@@ -1,0 +1,325 @@
+package ttastar
+
+// One benchmark per experiment in DESIGN.md §3. Each regenerates the
+// corresponding paper artifact, asserts its shape (who wins, what holds),
+// and reports the headline quantity as a custom metric.
+
+import (
+	"math"
+	"testing"
+
+	"ttastar/internal/analysis"
+	"ttastar/internal/cluster"
+	"ttastar/internal/experiments"
+	"ttastar/internal/guardian"
+	"ttastar/internal/mc"
+	"ttastar/internal/model"
+)
+
+// BenchmarkE1VerificationMatrix regenerates the §5.2 verification matrix:
+// the property holds for passive/time-windows/small-shifting couplers and
+// fails for full shifting.
+func BenchmarkE1VerificationMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.VerificationMatrix(mc.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Result.Holds != (r.Authority != guardian.AuthorityFullShift) {
+				b.Fatalf("%v: unexpected verdict %v", r.Authority, r.Result.Holds)
+			}
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rows[0].Result.StatesExplored), "states/holds-row")
+		}
+	}
+}
+
+// BenchmarkE2ColdStartReplayTrace regenerates the paper's first trace: one
+// out-of-slot error, failure by duplicated cold-start frame.
+func BenchmarkE2ColdStartReplayTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr, err := experiments.ColdStartReplayTrace()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Result.Holds {
+			b.Fatal("E2 held; expected counterexample")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(tr.Result.Counterexample)), "trace-states")
+			b.ReportMetric(float64(tr.Result.StatesExplored), "states")
+		}
+	}
+}
+
+// BenchmarkE3CStateReplayTrace regenerates the paper's second trace:
+// cold-start replay forbidden, failure by duplicated C-state frame.
+func BenchmarkE3CStateReplayTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr, err := experiments.CStateReplayTrace()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Result.Holds {
+			b.Fatal("E3 held; expected counterexample")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(tr.Result.Counterexample)), "trace-states")
+		}
+	}
+}
+
+// BenchmarkE4MaxFrameExample regenerates eq. (5)-(6): Δ = 0.0002 →
+// f_max = 115,000 bits.
+func BenchmarkE4MaxFrameExample(b *testing.B) {
+	var f float64
+	for i := 0; i < b.N; i++ {
+		delta := analysis.DeltaFromPPM(analysis.PaperOscillatorPPM)
+		f = analysis.FMax(analysis.PaperFMin, analysis.PaperLineEncodingBits, delta)
+		if math.Abs(f-115000) > 1e-6 {
+			b.Fatalf("eq.(6) f_max = %g", f)
+		}
+	}
+	b.ReportMetric(f, "fmax-bits")
+}
+
+// BenchmarkE5MinProtocolDelta regenerates eq. (8): Δ ≤ 30.26 % for the
+// 76-bit minimum I-frame.
+func BenchmarkE5MinProtocolDelta(b *testing.B) {
+	var d float64
+	for i := 0; i < b.N; i++ {
+		d = analysis.MaxDelta(analysis.PaperFMin, analysis.PaperLineEncodingBits, analysis.PaperIFrameBits)
+		if math.Abs(d-23.0/76.0) > 1e-12 {
+			b.Fatalf("eq.(8) Δ = %g", d)
+		}
+	}
+	b.ReportMetric(100*d, "max-delta-pct")
+}
+
+// BenchmarkE6MaxXFrameDelta regenerates eq. (9): Δ ≤ 1.11 % with maximum
+// X-frames.
+func BenchmarkE6MaxXFrameDelta(b *testing.B) {
+	var d float64
+	for i := 0; i < b.N; i++ {
+		d = analysis.MaxDelta(analysis.PaperFMin, analysis.PaperLineEncodingBits, analysis.PaperXFrameBits)
+		if math.Abs(d-23.0/2076.0) > 1e-12 {
+			b.Fatalf("eq.(9) Δ = %g", d)
+		}
+	}
+	b.ReportMetric(100*d, "max-delta-pct")
+}
+
+// BenchmarkE7Figure3Curve regenerates the Figure 3 series, including the
+// f_max = f_min = 128 → 25.6 remark.
+func BenchmarkE7Figure3Curve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := analysis.Figure3Series(
+			analysis.PaperFMin, analysis.PaperLineEncodingBits,
+			analysis.PaperFMin, analysis.PaperXFrameBits, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 1; j < len(series); j++ {
+			if series[j].Ratio >= series[j-1].Ratio {
+				b.Fatal("Figure 3 curve not decreasing")
+			}
+		}
+		if r := analysis.ClockRatio(128, 128, 4); r != 25.6 {
+			b.Fatalf("ratio(128,128) = %g", r)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(series)), "points")
+		}
+	}
+}
+
+// BenchmarkE8BufferOccupancy regenerates the eq. (1) validation: simulated
+// guardian buffer peaks within one bit of le + Δ·f.
+func BenchmarkE8BufferOccupancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.BufferOccupancySweep([]float64{200, 5000}, []int{500, 2076})
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, p := range points {
+			if d := math.Abs(p.Measured - p.Predicted); d > worst {
+				worst = d
+			}
+		}
+		if worst > 1 {
+			b.Fatalf("measured vs eq.(1) off by %.2f bits", worst)
+		}
+		if i == 0 {
+			b.ReportMetric(worst, "worst-error-bits")
+		}
+	}
+}
+
+// BenchmarkE9TimedReplay regenerates the timed-simulator replay failure: a
+// healthy integrating node frozen by a full-shifting coupler's replay.
+func BenchmarkE9TimedReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TimedReplay()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.HealthyFreezes < 1 || r.ControlFreezes != 0 {
+			b.Fatalf("replay freezes=%d control=%d", r.HealthyFreezes, r.ControlFreezes)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(r.HealthyFreezes), "healthy-freezes")
+		}
+	}
+}
+
+// BenchmarkE10SOSCampaign regenerates the SOS comparison: bus disrupted,
+// reshaping star clean.
+func BenchmarkE10SOSCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bus, err := experiments.SOSTimingCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		star, err := experiments.SOSTimingCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bus.RunsDisrupted == 0 || star.RunsDisrupted != 0 {
+			b.Fatalf("bus=%d star=%d disrupted", bus.RunsDisrupted, star.RunsDisrupted)
+		}
+		if i == 0 {
+			b.ReportMetric(bus.DisruptionRate()-star.DisruptionRate(), "rate-gap")
+		}
+	}
+}
+
+// BenchmarkE11MasqueradeCampaign regenerates the masquerade/invalid-C-state
+// comparison: semantic analysis blocks what local guardians cannot.
+func BenchmarkE11MasqueradeCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bus, err := experiments.BadCStateCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, false, 6, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		star, err := experiments.BadCStateCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, true, 6, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bus.RunsDisrupted == 0 || star.RunsDisrupted != 0 || star.GuardianBlocked == 0 {
+			b.Fatalf("bus=%d star=%d blocked=%d", bus.RunsDisrupted, star.RunsDisrupted, star.GuardianBlocked)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(star.GuardianBlocked), "blocked-frames")
+		}
+	}
+}
+
+// BenchmarkAblationReshaping regenerates the authority ablation for
+// value-domain SOS: a windows-only star coupler does not prevent it; the
+// re-driving (small-shifting) one does.
+func BenchmarkAblationReshaping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		windows, err := experiments.SOSValueCampaign(cluster.TopologyStar, guardian.AuthorityTimeWindows, 3, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reshaping, err := experiments.SOSValueCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if windows.RunsDisrupted == 0 || reshaping.RunsDisrupted != 0 {
+			b.Fatalf("windows=%d reshaping=%d disrupted", windows.RunsDisrupted, reshaping.RunsDisrupted)
+		}
+	}
+}
+
+// BenchmarkBabblingIdiot regenerates the §1 headline fault comparison: a
+// babbling node (whose local guardians share its fate) destroys the bus;
+// the physically independent central guardian confines it.
+func BenchmarkBabblingIdiot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bus, err := experiments.BabblingIdiotCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, 3, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		star, err := experiments.BabblingIdiotCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bus.RunsDisrupted == 0 || star.RunsDisrupted != 0 {
+			b.Fatalf("bus=%d star=%d disrupted", bus.RunsDisrupted, star.RunsDisrupted)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(star.GuardianBlocked), "babble-blocked")
+		}
+	}
+}
+
+// BenchmarkAblationBufferSize regenerates the buffer-size ablation: a
+// guardian buffer below the eq. (1) demand damages frames and the cluster
+// never forms.
+func BenchmarkAblationBufferSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.BufferTruncationAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.AdequateActive || r.TinyActive {
+			b.Fatalf("adequate=%v tiny=%v", r.AdequateActive, r.TinyActive)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(r.TinyTruncated), "damaged-frames")
+		}
+	}
+}
+
+// BenchmarkModelScaling measures exhaustive verification cost against
+// cluster size (2-5 nodes; 6 nodes verifies in ~5 min / 13.2M states and
+// is left out of the routine run).
+func BenchmarkModelScaling(b *testing.B) {
+	for _, n := range []int{2, 3, 4, 5} {
+		n := n
+		b.Run(string(rune('0'+n))+"nodes", func(b *testing.B) {
+			m, err := model.New(model.Config{Authority: guardian.AuthoritySmallShift, Nodes: n})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := mc.CheckTransitionInvariant(m, m.Property(), mc.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Holds {
+					b.Fatal("property failed")
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.StatesExplored), "states")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkModelCheckerThroughput measures raw checker speed on the
+// small-shifting model (the E1 "holds" rows).
+func BenchmarkModelCheckerThroughput(b *testing.B) {
+	m, err := model.New(model.Config{Authority: guardian.AuthoritySmallShift})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := mc.CheckTransitionInvariant(m, m.Property(), mc.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Holds {
+			b.Fatal("property failed")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.TransitionsExplored), "transitions")
+		}
+	}
+}

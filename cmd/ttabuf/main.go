@@ -1,0 +1,73 @@
+// ttabuf reproduces the paper's §6 buffer-size analysis: the worked
+// equation examples (eq. 5-9), the Figure 3 clock-ratio/frame-size curve,
+// and the simulator validation of the B_min = le + Δ·f_max bound (eq. 1).
+//
+// Usage:
+//
+//	ttabuf -examples
+//	ttabuf -figure3 [-fmin 28 -fmax 2076 -step 8 -csv]
+//	ttabuf -simulate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ttastar/internal/analysis"
+	"ttastar/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ttabuf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ttabuf", flag.ContinueOnError)
+	examples := fs.Bool("examples", false, "print the §6 worked examples (eq. 5-9)")
+	figure3 := fs.Bool("figure3", false, "print the Figure 3 curve")
+	fmin := fs.Int("fmin", analysis.PaperFMin, "minimum frame size [bits]")
+	fmaxHi := fs.Int("fmax", analysis.PaperXFrameBits, "largest f_max to sweep [bits]")
+	step := fs.Int("step", 8, "sweep step [bits]")
+	csv := fs.Bool("csv", false, "emit the Figure 3 series as CSV instead of a plot")
+	simulate := fs.Bool("simulate", false, "validate eq. (1) against the timed simulator (E8)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*examples && !*figure3 && !*simulate {
+		*examples, *figure3 = true, true
+	}
+
+	if *examples {
+		fmt.Println("§6 worked examples (le = 4, f_min = 28):")
+		fmt.Print(experiments.EquationTable())
+		fmt.Println()
+	}
+	if *figure3 {
+		series, err := analysis.Figure3Series(*fmin, analysis.PaperLineEncodingBits, *fmin, *fmaxHi, *step)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			return analysis.WriteCSV(os.Stdout, series)
+		}
+		fmt.Printf("Figure 3: allowable ρmax/ρmin below the curve (f_min = %d, le = %d):\n",
+			*fmin, analysis.PaperLineEncodingBits)
+		fmt.Print(experiments.AsciiPlot(series, 16))
+	}
+	if *simulate {
+		fmt.Println("eq. (1) validation: simulated guardian buffer peak vs le + Δ·f (E8):")
+		points, err := experiments.BufferOccupancySweep(
+			[]float64{200, 1000, 5000, 20000},
+			[]int{200, 500, 1000, 2076},
+		)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatOccupancy(points))
+	}
+	return nil
+}

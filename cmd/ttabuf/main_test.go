@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("default: %v", err)
+	}
+}
+
+func TestRunFigure3CSV(t *testing.T) {
+	if err := run([]string{"-figure3", "-csv", "-fmin", "28", "-fmax", "200", "-step", "16"}); err != nil {
+		t.Fatalf("-figure3 -csv: %v", err)
+	}
+}
+
+func TestRunSimulate(t *testing.T) {
+	if err := run([]string{"-simulate"}); err != nil {
+		t.Fatalf("-simulate: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-figure3", "-fmin", "100", "-fmax", "50"}); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if err := run([]string{"-bad-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,146 @@
+// ttafi runs the fault-injection campaigns that motivated the central-
+// guardian design (§2.2 of the paper, after Ademaj et al. [7]): SOS faults,
+// masquerading cold-start frames and invalid-C-state frames, compared
+// across the bus topology (local guardians) and the star topology (central
+// guardians, optionally with semantic analysis).
+//
+// Usage:
+//
+//	ttafi -experiment all -runs 20
+//	ttafi -experiment sos-timing -runs 50 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ttastar/internal/cluster"
+	"ttastar/internal/experiments"
+	"ttastar/internal/guardian"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ttafi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ttafi", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "sos-timing | sos-value | masquerade | badcstate | babbling | replay | startup | ablation | all")
+	runs := fs.Int("runs", 20, "seeded runs per campaign cell")
+	seed := fs.Uint64("seed", 1, "base seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cells []experiments.CampaignCell
+	add := func(c experiments.CampaignCell, err error) error {
+		if err != nil {
+			return err
+		}
+		cells = append(cells, c)
+		return nil
+	}
+
+	small := guardian.AuthoritySmallShift
+	want := func(name string) bool { return *experiment == name || *experiment == "all" }
+
+	if want("sos-timing") {
+		if err := add(experiments.SOSTimingCampaign(cluster.TopologyBus, small, *runs, *seed)); err != nil {
+			return err
+		}
+		if err := add(experiments.SOSTimingCampaign(cluster.TopologyStar, small, *runs, *seed)); err != nil {
+			return err
+		}
+	}
+	if want("sos-value") {
+		if err := add(experiments.SOSValueCampaign(cluster.TopologyBus, small, *runs, *seed+100)); err != nil {
+			return err
+		}
+		if err := add(experiments.SOSValueCampaign(cluster.TopologyStar, small, *runs, *seed+100)); err != nil {
+			return err
+		}
+	}
+	if want("masquerade") {
+		if err := add(experiments.MasqueradeCampaign(cluster.TopologyBus, small, false, *runs, *seed+200)); err != nil {
+			return err
+		}
+		if err := add(experiments.MasqueradeCampaign(cluster.TopologyStar, small, false, *runs, *seed+200)); err != nil {
+			return err
+		}
+		if err := add(experiments.MasqueradeCampaign(cluster.TopologyStar, small, true, *runs, *seed+200)); err != nil {
+			return err
+		}
+	}
+	if want("badcstate") {
+		if err := add(experiments.BadCStateCampaign(cluster.TopologyBus, small, false, *runs, *seed+300)); err != nil {
+			return err
+		}
+		if err := add(experiments.BadCStateCampaign(cluster.TopologyStar, small, false, *runs, *seed+300)); err != nil {
+			return err
+		}
+		if err := add(experiments.BadCStateCampaign(cluster.TopologyStar, small, true, *runs, *seed+300)); err != nil {
+			return err
+		}
+	}
+	if want("babbling") {
+		if err := add(experiments.BabblingIdiotCampaign(cluster.TopologyBus, small, *runs, *seed+500)); err != nil {
+			return err
+		}
+		if err := add(experiments.BabblingIdiotCampaign(cluster.TopologyStar, guardian.AuthorityTimeWindows, *runs, *seed+500)); err != nil {
+			return err
+		}
+		if err := add(experiments.BabblingIdiotCampaign(cluster.TopologyStar, small, *runs, *seed+500)); err != nil {
+			return err
+		}
+	}
+	if len(cells) > 0 {
+		fmt.Print(experiments.FormatCampaign(cells))
+	}
+
+	if want("replay") {
+		r, err := experiments.TimedReplay()
+		if err != nil {
+			return err
+		}
+		fmt.Println("out-of-slot replay during integration (E9, full-shifting couplers):")
+		fmt.Print(experiments.FormatTimedReplay(r))
+	}
+	if want("startup") {
+		var results []experiments.StartupResult
+		for _, cfg := range []struct {
+			top cluster.Topology
+			a   guardian.Authority
+		}{
+			{cluster.TopologyBus, small},
+			{cluster.TopologyStar, small},
+			{cluster.TopologyStar, guardian.AuthorityPassive},
+		} {
+			r, err := experiments.StartupLatency(cfg.top, cfg.a, *runs, *seed+400)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		fmt.Println("fault-free startup latency across randomized power-on orders:")
+		fmt.Print(experiments.FormatStartup(results))
+	}
+	if want("ablation") {
+		r, err := experiments.BufferTruncationAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println("buffer-size ablation (guardian buffer vs eq. (1) demand, Δ = 4%):")
+		fmt.Print(experiments.FormatTruncation(r))
+	}
+	switch *experiment {
+	case "all", "replay", "startup", "ablation", "sos-timing", "sos-value",
+		"masquerade", "badcstate", "babbling":
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestRunSingleCampaigns(t *testing.T) {
+	for _, exp := range []string{"sos-timing", "sos-value", "masquerade", "badcstate", "babbling", "replay", "startup", "ablation"} {
+		if err := run([]string{"-experiment", exp, "-runs", "2"}); err != nil {
+			t.Errorf("-experiment %s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-experiment", "bogus"}); err == nil {
+		t.Error("bogus experiment accepted")
+	}
+	if err := run([]string{"-bad-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,122 @@
+// ttamc runs the explicit-state model checker over the paper's §4 TTA
+// model: it reproduces the §5 verification matrix and the published
+// counterexample traces.
+//
+// Usage:
+//
+//	ttamc -matrix                 # E1: property × coupler authority
+//	ttamc -trace coldstart        # E2: the duplicated cold-start trace
+//	ttamc -trace cstate           # E3: the duplicated C-state trace
+//	ttamc -trace unconstrained    # shortest trace, replays unrestricted
+//	ttamc -authority fullshift -nodes 4 -max-oos 1 -states
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ttastar/internal/experiments"
+	"ttastar/internal/guardian"
+	"ttastar/internal/mc"
+	"ttastar/internal/model"
+	"ttastar/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ttamc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ttamc", flag.ContinueOnError)
+	matrix := fs.Bool("matrix", false, "print the E1 verification matrix (all four coupler authorities)")
+	traceKind := fs.String("trace", "", "print a counterexample trace: coldstart | cstate | unconstrained")
+	authority := fs.String("authority", "smallshift", "coupler authority: passive | windows | smallshift | fullshift")
+	nodes := fs.Int("nodes", 4, "cluster size (2-7)")
+	maxOOS := fs.Int("max-oos", 0, "limit total out-of-slot errors (0 = unlimited)")
+	noCSReplay := fs.Bool("no-cs-replay", false, "forbid replaying cold-start frames")
+	states := fs.Bool("states", false, "also dump raw state variables of the trace")
+	maxStates := fs.Int("max-states", 0, "state budget (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := mc.Options{MaxStates: *maxStates}
+
+	if *matrix {
+		rows, err := experiments.VerificationMatrix(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatMatrix(rows))
+		return nil
+	}
+
+	if *traceKind != "" {
+		var tr experiments.TraceResult
+		var err error
+		switch *traceKind {
+		case "coldstart":
+			tr, err = experiments.ColdStartReplayTrace()
+		case "cstate":
+			tr, err = experiments.CStateReplayTrace()
+		case "unconstrained":
+			tr, err = experiments.UnconstrainedTrace()
+		default:
+			return fmt.Errorf("unknown trace kind %q", *traceKind)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(tr.Result.String())
+		fmt.Print(tr.Rendered)
+		if *states {
+			fmt.Print(trace.RenderStates(tr.Model, tr.Result.Counterexample))
+		}
+		return nil
+	}
+
+	a, err := parseAuthority(*authority)
+	if err != nil {
+		return err
+	}
+	m, err := model.New(model.Config{
+		Nodes:             *nodes,
+		Authority:         a,
+		MaxOutOfSlot:      *maxOOS,
+		NoColdStartReplay: *noCSReplay,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := mc.CheckTransitionInvariant(m, m.Property(), opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("property (§5.1) for %v couplers, %d nodes: %v\n", a, *nodes, res)
+	if !res.Holds {
+		fmt.Print(trace.Render(m, res.Counterexample))
+		if *states {
+			fmt.Print(trace.RenderStates(m, res.Counterexample))
+		}
+	}
+	return nil
+}
+
+func parseAuthority(s string) (guardian.Authority, error) {
+	switch s {
+	case "passive":
+		return guardian.AuthorityPassive, nil
+	case "windows":
+		return guardian.AuthorityTimeWindows, nil
+	case "smallshift":
+		return guardian.AuthoritySmallShift, nil
+	case "fullshift":
+		return guardian.AuthorityFullShift, nil
+	default:
+		return 0, fmt.Errorf("unknown authority %q", s)
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestRunMatrix(t *testing.T) {
+	if err := run([]string{"-matrix"}); err != nil {
+		t.Fatalf("-matrix: %v", err)
+	}
+}
+
+func TestRunTraces(t *testing.T) {
+	for _, kind := range []string{"coldstart", "cstate", "unconstrained"} {
+		if err := run([]string{"-trace", kind}); err != nil {
+			t.Errorf("-trace %s: %v", kind, err)
+		}
+	}
+	if err := run([]string{"-trace", "bogus"}); err == nil {
+		t.Error("bogus trace kind accepted")
+	}
+}
+
+func TestRunDirectCheck(t *testing.T) {
+	if err := run([]string{"-authority", "smallshift", "-nodes", "3"}); err != nil {
+		t.Errorf("direct check: %v", err)
+	}
+	if err := run([]string{"-authority", "fullshift", "-max-oos", "1", "-states"}); err != nil {
+		t.Errorf("fullshift check: %v", err)
+	}
+	if err := run([]string{"-authority", "bogus"}); err == nil {
+		t.Error("bogus authority accepted")
+	}
+	if err := run([]string{"-nodes", "99"}); err == nil {
+		t.Error("99 nodes accepted")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,163 @@
+// ttasim runs a timed TTA cluster simulation: TTP/C nodes with drifting
+// clocks on a bus (local guardians) or star (central guardians) topology,
+// and reports startup behaviour, membership and protocol statistics.
+//
+// Usage:
+//
+//	ttasim -topology star -authority smallshift -duration 100ms
+//	ttasim -topology bus -nodes 6 -drift-ppm 100 -events
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ttastar/internal/channel"
+	"ttastar/internal/cluster"
+	"ttastar/internal/frame"
+	"ttastar/internal/guardian"
+	"ttastar/internal/medl"
+	"ttastar/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ttasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ttasim", flag.ContinueOnError)
+	topology := fs.String("topology", "star", "bus | star")
+	authority := fs.String("authority", "smallshift", "star coupler authority: passive | windows | smallshift | fullshift")
+	semantic := fs.Bool("semantic", false, "enable coupler semantic analysis")
+	nodes := fs.Int("nodes", 4, "cluster size")
+	duration := fs.Duration("duration", 100*time.Millisecond, "simulated time to run")
+	driftPPM := fs.Float64("drift-ppm", 100, "alternating ±drift of node oscillators")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	events := fs.Bool("events", false, "print protocol state changes")
+	medlPath := fs.String("medl", "", "load the MEDL (TDMA schedule) from a JSON file instead of generating one")
+	dumpMEDL := fs.String("dump-medl", "", "write the generated MEDL as JSON to this file and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var top cluster.Topology
+	switch *topology {
+	case "bus":
+		top = cluster.TopologyBus
+	case "star":
+		top = cluster.TopologyStar
+	default:
+		return fmt.Errorf("unknown topology %q", *topology)
+	}
+	a, err := parseAuthority(*authority)
+	if err != nil {
+		return err
+	}
+
+	sched := medl.Build(medl.Config{Nodes: *nodes, Kind: frame.KindI})
+	if *medlPath != "" {
+		loaded, err := loadMEDL(*medlPath)
+		if err != nil {
+			return err
+		}
+		sched = loaded
+		*nodes = sched.NumSlots()
+	}
+	if *dumpMEDL != "" {
+		return dumpSchedule(sched, *dumpMEDL)
+	}
+
+	drifts := make([]sim.PPB, *nodes)
+	for i := range drifts {
+		d := sim.PPM(*driftPPM)
+		if i%2 == 1 {
+			d = -d
+		}
+		drifts[i] = d
+	}
+	c, err := cluster.New(cluster.Config{
+		Topology:         top,
+		Schedule:         sched,
+		Authority:        a,
+		SemanticAnalysis: *semantic,
+		NodeDrifts:       drifts,
+		Seed:             *seed,
+	})
+	if err != nil {
+		return err
+	}
+	c.StartStaggered(100 * time.Microsecond)
+	c.Run(*duration)
+
+	fmt.Printf("topology=%v authority=%v nodes=%d simulated=%v rounds≈%d\n",
+		top, a, *nodes, *duration, int(time.Duration(*duration)/c.Schedule.RoundDuration()))
+	for _, n := range c.Nodes() {
+		st := n.Stats()
+		fmt.Printf("node %v: state=%-10v membership=%v sent=%d coldstarts=%d integrations=%d "+
+			"cliqueErrors=%d judged(correct=%d incorrect=%d invalid=%d null=%d)\n",
+			n.ID(), n.State(), n.CState().Membership, st.FramesSent, st.ColdStartsSent,
+			st.Integrations, st.CliqueErrors, st.SlotsCorrect, st.SlotsIncorrect, st.SlotsInvalid, st.SlotsNull)
+	}
+	if top == cluster.TopologyStar {
+		for ch := channel.ID(0); ch < channel.NumChannels; ch++ {
+			s := c.Coupler(ch).Stats()
+			fmt.Printf("coupler%d: forwarded=%d reshaped=%d windowBlocked=%d wrongSlot=%d semanticBlocked=%d peakBuffer=%.1f bits\n",
+				ch, s.Forwarded, s.Reshaped, s.WindowBlocked, s.WrongSlot, s.SemanticBlocked, s.PeakBufferBits)
+		}
+	}
+	fmt.Printf("healthy freezes=%d startup regressions=%d\n", c.HealthyFreezes(), c.StartupRegressions())
+	if *events {
+		for _, e := range c.Events() {
+			fmt.Printf("%14v node %v: %v → %v\n", e.At, e.Node, e.From, e.To)
+		}
+	}
+	return nil
+}
+
+func loadMEDL(path string) (*medl.Schedule, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading MEDL: %w", err)
+	}
+	var s medl.Schedule
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("parsing MEDL: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid MEDL: %w", err)
+	}
+	return &s, nil
+}
+
+func dumpSchedule(s *medl.Schedule, path string) error {
+	raw, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing MEDL: %w", err)
+	}
+	fmt.Printf("wrote %d-slot MEDL to %s\n", s.NumSlots(), path)
+	return nil
+}
+
+func parseAuthority(s string) (guardian.Authority, error) {
+	switch s {
+	case "passive":
+		return guardian.AuthorityPassive, nil
+	case "windows":
+		return guardian.AuthorityTimeWindows, nil
+	case "smallshift":
+		return guardian.AuthoritySmallShift, nil
+	case "fullshift":
+		return guardian.AuthorityFullShift, nil
+	default:
+		return 0, fmt.Errorf("unknown authority %q", s)
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestRunStar(t *testing.T) {
+	if err := run([]string{"-topology", "star", "-duration", "20ms"}); err != nil {
+		t.Fatalf("star: %v", err)
+	}
+}
+
+func TestRunBusWithEvents(t *testing.T) {
+	if err := run([]string{"-topology", "bus", "-duration", "20ms", "-events"}); err != nil {
+		t.Fatalf("bus: %v", err)
+	}
+}
+
+func TestRunSemanticStar(t *testing.T) {
+	if err := run([]string{"-semantic", "-nodes", "3", "-duration", "20ms"}); err != nil {
+		t.Fatalf("semantic: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-topology", "ring"}); err == nil {
+		t.Error("ring topology accepted")
+	}
+	if err := run([]string{"-authority", "bogus"}); err == nil {
+		t.Error("bogus authority accepted")
+	}
+	if err := run([]string{"-bad-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunMEDLRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/medl.json"
+	if err := run([]string{"-nodes", "3", "-dump-medl", path}); err != nil {
+		t.Fatalf("-dump-medl: %v", err)
+	}
+	if err := run([]string{"-medl", path, "-duration", "20ms"}); err != nil {
+		t.Fatalf("-medl: %v", err)
+	}
+	if err := run([]string{"-medl", "/nonexistent.json"}); err == nil {
+		t.Error("missing MEDL file accepted")
+	}
+}

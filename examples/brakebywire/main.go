@@ -1,0 +1,156 @@
+// Brakebywire is the domain scenario the paper's introduction motivates:
+// a fail-operational automotive subsystem on a TTA star cluster. A pedal
+// node broadcasts the demanded brake pressure in X-frames (whose explicit
+// C-state doubles as the cluster's integration beacon); four wheel nodes
+// apply it and report back in N-frames, whose implicit C-state guarantees
+// that only state-agreeing data reaches the actuators.
+//
+// Mid-run, one wheel node fails silent: the membership service removes it
+// within a round and braking continues on three wheels (fail-operational).
+// When its host restarts it, the node reintegrates from the pedal's
+// X-frames and the cluster heals.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ttastar/internal/bitstr"
+	"ttastar/internal/cluster"
+	"ttastar/internal/cstate"
+	"ttastar/internal/frame"
+	"ttastar/internal/guardian"
+	"ttastar/internal/medl"
+	"ttastar/internal/node"
+	"ttastar/internal/sim"
+)
+
+const (
+	pedalID    = cstate.NodeID(1)
+	numWheels  = 4
+	payloadBit = 16 // one 16-bit pressure value per frame
+)
+
+type wheel struct {
+	id      cstate.NodeID
+	node    *node.Node
+	demand  uint16 // last pedal command received
+	applied uint16 // pressure this wheel reports
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "brakebywire:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Slot 1: the pedal's X-frame (data + explicit C-state, so joining
+	// wheels can integrate on it). Slots 2-5: wheel N-frames.
+	sched := medl.Build(medl.Config{
+		Nodes:    1 + numWheels,
+		Kind:     frame.KindN,
+		DataBits: payloadBit,
+	})
+	sched.Slots[0].Kind = frame.KindX
+	// Resize the pedal slot for its bigger frame.
+	sched.Slots[0].Duration = sched.Slots[0].ActionOffset +
+		sched.TransmissionTime(sched.Slots[0].FrameBits()) +
+		sched.Precision + 20*time.Microsecond
+	if err := sched.Validate(); err != nil {
+		return err
+	}
+
+	c, err := cluster.New(cluster.Config{
+		Topology:  cluster.TopologyStar,
+		Schedule:  sched,
+		Authority: guardian.AuthoritySmallShift,
+		NodeDrifts: []sim.PPB{
+			sim.PPM(40), sim.PPM(-70), sim.PPM(100), sim.PPM(-100), sim.PPM(20),
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// The pedal host: demanded pressure ramps with simulated time.
+	pedal := c.Node(pedalID)
+	demandNow := func() uint16 {
+		ms := c.Sched.Now().Microseconds() / 1000
+		return uint16(ms * 600) // ramps, wraps — content is illustrative
+	}
+	pedal.SetDataFunc(func(bits int) *bitstr.String {
+		return bitstr.New(bits).AppendUint(uint64(demandNow()), bits)
+	})
+
+	// The wheel hosts: apply the pedal command, report the applied value.
+	wheels := make([]*wheel, 0, numWheels)
+	for i := 0; i < numWheels; i++ {
+		w := &wheel{id: cstate.NodeID(2 + i)}
+		w.node = c.Node(w.id)
+		w.node.OnData(func(slot int, sender cstate.NodeID, data *bitstr.String) {
+			if sender == pedalID {
+				w.demand = uint16(data.Uint(0, payloadBit))
+				w.applied = w.demand // ideal actuator
+			}
+		})
+		w.node.SetDataFunc(func(bits int) *bitstr.String {
+			return bitstr.New(bits).AppendUint(uint64(w.applied), bits)
+		})
+		wheels = append(wheels, w)
+	}
+
+	// The pedal host also monitors what the wheels report.
+	reported := map[cstate.NodeID]uint16{}
+	pedal.OnData(func(slot int, sender cstate.NodeID, data *bitstr.String) {
+		reported[sender] = uint16(data.Uint(0, payloadBit))
+	})
+
+	c.StartStaggered(120 * time.Microsecond)
+	c.Run(20 * time.Millisecond)
+	if !c.AllActive() {
+		return fmt.Errorf("cluster failed to start")
+	}
+	snapshot := func(label string) {
+		fmt.Printf("%-28s demand=%5d membership=%v wheels:", label, demandNow(), pedal.CState().Membership)
+		for _, w := range wheels {
+			if pedal.CState().Membership.Contains(w.id) {
+				fmt.Printf("  %v=%5d", w.id, reported[w.id])
+			} else {
+				fmt.Printf("  %v= ----", w.id)
+			}
+		}
+		fmt.Println()
+	}
+	snapshot("braking on 4 wheels")
+
+	// Wheel node D (slot 4) fails silent mid-braking.
+	victim := wheels[2]
+	victim.node.HostFreeze()
+	c.Run(5 * time.Millisecond)
+	snapshot("after wheel D fails silent")
+	if pedal.CState().Membership.Contains(victim.id) {
+		return fmt.Errorf("membership still lists the failed wheel")
+	}
+	if c.CountInState(node.StateActive) != 4 {
+		return fmt.Errorf("healthy nodes disturbed by the wheel failure")
+	}
+
+	// The host restarts the wheel; it reintegrates from the pedal's
+	// X-frames (explicit C-state) without a cold start.
+	victim.node.Wake()
+	c.Run(10 * time.Millisecond)
+	snapshot("after wheel D reintegrates")
+	if !pedal.CState().Membership.Contains(victim.id) {
+		return fmt.Errorf("failed wheel did not reintegrate")
+	}
+	if victim.node.Stats().ColdStartsSent != 0 {
+		return fmt.Errorf("rejoining wheel cold-started instead of integrating")
+	}
+
+	fmt.Println("\nfail-operational: braking continued on 3 wheels during the outage,")
+	fmt.Println("and the restarted node reintegrated into the running cluster.")
+	return nil
+}

@@ -1,0 +1,59 @@
+// Bufferlimits reproduces the paper's §6 analysis: how forbidding a central
+// guardian from buffering whole frames couples the allowable frame sizes
+// and clock rates — the worked examples (eq. 5-9), the Figure 3 curve, and
+// a feasibility exploration for a few hypothetical designs.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ttastar/internal/analysis"
+	"ttastar/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bufferlimits:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("§6 worked examples:")
+	fmt.Print(experiments.EquationTable())
+
+	fmt.Println("\nFigure 3 — allowable clock-rate ratio vs maximum frame size (f_min = 28, le = 4):")
+	series, err := analysis.Figure3Series(
+		analysis.PaperFMin, analysis.PaperLineEncodingBits,
+		analysis.PaperFMin, analysis.PaperXFrameBits, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.AsciiPlot(series, 14))
+
+	fmt.Println("\ndesign feasibility (is there a safe buffer size B_min ≤ B_max?):")
+	designs := []struct {
+		label      string
+		fMin, fMax int
+		delta      float64
+	}{
+		{"paper's eq.(6) operating point", 28, 115000, 0.0002},
+		{"minimal protocol, 30% mismatch", 28, 76, 0.30},
+		{"minimal protocol, 31% mismatch", 28, 76, 0.31},
+		{"max X-frames, 1% mismatch", 28, 2076, 0.01},
+		{"max X-frames, 2% mismatch", 28, 2076, 0.02},
+		{"mixed fast/slow links, 50% mismatch", 28, 2076, 0.50},
+	}
+	for _, d := range designs {
+		bMin, bMax, ok := analysis.SafeBufferRange(d.fMin, d.fMax, analysis.PaperLineEncodingBits, d.delta)
+		verdict := "FEASIBLE"
+		if !ok {
+			verdict = "INFEASIBLE"
+		}
+		fmt.Printf("  %-38s B_min=%8.1f  B_max=%3d  → %s\n", d.label, bMin, bMax, verdict)
+	}
+	fmt.Println("\nthe infeasible rows are the paper's conclusion: wide frame-size or")
+	fmt.Println("clock-rate ranges cannot be combined with a safe central guardian.")
+	return nil
+}

@@ -1,0 +1,79 @@
+// Faultcampaign reproduces the fault-injection comparisons that motivated
+// the central-guardian design (§2.2, after Ademaj et al.): SOS faults,
+// masquerading cold-start frames and invalid-C-state frames on the bus
+// topology versus the star topology — plus the paper's own point, the
+// out-of-slot replay failure of a full-shifting coupler (E9).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ttastar/internal/cluster"
+	"ttastar/internal/experiments"
+	"ttastar/internal/guardian"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const runs = 10
+	small := guardian.AuthoritySmallShift
+	var cells []experiments.CampaignCell
+	add := func(c experiments.CampaignCell, err error) error {
+		if err != nil {
+			return err
+		}
+		cells = append(cells, c)
+		return nil
+	}
+
+	steps := []func() (experiments.CampaignCell, error){
+		func() (experiments.CampaignCell, error) {
+			return experiments.SOSTimingCampaign(cluster.TopologyBus, small, runs, 1)
+		},
+		func() (experiments.CampaignCell, error) {
+			return experiments.SOSTimingCampaign(cluster.TopologyStar, small, runs, 1)
+		},
+		func() (experiments.CampaignCell, error) {
+			return experiments.SOSValueCampaign(cluster.TopologyBus, small, runs, 2)
+		},
+		func() (experiments.CampaignCell, error) {
+			return experiments.SOSValueCampaign(cluster.TopologyStar, small, runs, 2)
+		},
+		func() (experiments.CampaignCell, error) {
+			return experiments.MasqueradeCampaign(cluster.TopologyBus, small, false, runs, 3)
+		},
+		func() (experiments.CampaignCell, error) {
+			return experiments.MasqueradeCampaign(cluster.TopologyStar, small, true, runs, 3)
+		},
+		func() (experiments.CampaignCell, error) {
+			return experiments.BadCStateCampaign(cluster.TopologyBus, small, false, runs, 4)
+		},
+		func() (experiments.CampaignCell, error) {
+			return experiments.BadCStateCampaign(cluster.TopologyStar, small, true, runs, 4)
+		},
+	}
+	for _, step := range steps {
+		if err := add(step()); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("fault propagation, bus vs star (healthy-node disruption over seeded runs):")
+	fmt.Print(experiments.FormatCampaign(cells))
+
+	fmt.Println("\nand the paper's own hazard — a full-shifting coupler replaying a")
+	fmt.Println("buffered frame while a healthy node integrates (E9):")
+	r, err := experiments.TimedReplay()
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatTimedReplay(r))
+	return nil
+}

@@ -1,0 +1,3 @@
+module ttastar
+
+go 1.22

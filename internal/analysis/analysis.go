@@ -1,0 +1,161 @@
+// Package analysis implements the paper's §6 buffer-size analysis:
+// equations (1)-(10) relating a central guardian's forwarding-buffer limits
+// to frame sizes and clock rates, the worked examples (eq. 5, 6, 8, 9), and
+// the Figure 3 curve.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"ttastar/internal/frame"
+	"ttastar/internal/guardian"
+)
+
+// Paper parameter values.
+const (
+	// PaperLineEncodingBits is le = 4, the §6 line-encoding buffer bits.
+	PaperLineEncodingBits = guardian.DefaultLineEncodingBits
+	// PaperFMin is the shortest TTP/C frame: the 28-bit N-frame.
+	PaperFMin = frame.MinNFrameBits
+	// PaperIFrameBits is the 76-bit minimum I-frame (smallest f_max that
+	// still allows protocol operation, eq. 8).
+	PaperIFrameBits = frame.MinIFrameBits
+	// PaperXFrameBits is the 2076-bit maximum X-frame (eq. 9).
+	PaperXFrameBits = frame.MaxXFrameBits
+	// PaperOscillatorPPM is the commodity-crystal tolerance of eq. 5.
+	PaperOscillatorPPM = 100
+)
+
+// Delta is eq. (2): the relative clock-rate difference between the faster
+// and slower of two clocks, Δ = (ρmax − ρmin)/ρmax.
+func Delta(fast, slow float64) float64 {
+	if fast <= 0 {
+		return 0
+	}
+	return (fast - slow) / fast
+}
+
+// DeltaFromPPM is the worst case of eq. (5): one clock ppm fast and the
+// other ppm slow gives Δ ≈ 2·ppm·10⁻⁶ (the paper's approximation).
+func DeltaFromPPM(ppm float64) float64 { return 2 * ppm * 1e-6 }
+
+// BMin is eq. (1): the minimum guardian buffer, B_min = le + Δ·f_max bits.
+func BMin(le int, delta float64, fMax int) float64 {
+	return float64(le) + delta*float64(fMax)
+}
+
+// BMax is eq. (3): the maximum safe buffer, B_max = f_min − 1 bits — a
+// guardian allowed to hold a complete frame can replay it (§5).
+func BMax(fMin int) int { return fMin - 1 }
+
+// FMax is eq. (4): with B_min = B_max, the largest allowable frame is
+// f_max = (f_min − 1 − le)/Δ bits.
+func FMax(fMin, le int, delta float64) float64 {
+	if delta <= 0 {
+		return 0
+	}
+	return float64(fMin-1-le) / delta
+}
+
+// MaxDelta is eq. (7): for fixed frame sizes, the largest allowable
+// relative clock-rate difference is Δ = (f_min − 1 − le)/f_max.
+func MaxDelta(fMin, le, fMax int) float64 {
+	if fMax <= 0 {
+		return 0
+	}
+	return float64(fMin-1-le) / float64(fMax)
+}
+
+// ClockRatio is eq. (10): the largest allowable ratio of fastest to slowest
+// clock, ρmax/ρmin = f_max/(f_max − f_min + 1 + le).
+func ClockRatio(fMax, fMin, le int) float64 {
+	den := fMax - fMin + 1 + le
+	if den <= 0 {
+		return 0
+	}
+	return float64(fMax) / float64(den)
+}
+
+// RatioPoint is one Figure 3 sample.
+type RatioPoint struct {
+	FMax  int     `json:"fMax"`
+	Ratio float64 `json:"ratio"`
+}
+
+// ErrBadRange reports an invalid sweep request.
+var ErrBadRange = errors.New("analysis: invalid sweep range")
+
+// Figure3Series sweeps f_max and returns the eq. (10) curve for a given
+// f_min — the relationship Figure 3 plots (allowable clock-rate ratios lie
+// below the curve).
+func Figure3Series(fMin, le, fMaxLo, fMaxHi, step int) ([]RatioPoint, error) {
+	if step <= 0 || fMaxHi < fMaxLo || fMaxLo < fMin {
+		return nil, fmt.Errorf("%w: fMin=%d lo=%d hi=%d step=%d", ErrBadRange, fMin, fMaxLo, fMaxHi, step)
+	}
+	out := make([]RatioPoint, 0, (fMaxHi-fMaxLo)/step+1)
+	for f := fMaxLo; f <= fMaxHi; f += step {
+		out = append(out, RatioPoint{FMax: f, Ratio: ClockRatio(f, fMin, le)})
+	}
+	return out, nil
+}
+
+// WriteCSV writes a Figure 3 series as CSV.
+func WriteCSV(w io.Writer, series []RatioPoint) error {
+	if _, err := fmt.Fprintln(w, "f_max_bits,clock_ratio_max"); err != nil {
+		return err
+	}
+	for _, p := range series {
+		if _, err := fmt.Fprintf(w, "%d,%.6f\n", p.FMax, p.Ratio); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WorkedExamples collects the paper's §6 numeric results.
+type WorkedExamples struct {
+	// Delta100PPM is eq. (5): Δ = 0.0002 for ±100 ppm oscillators.
+	Delta100PPM float64
+	// FMaxAt100PPM is eq. (6): f_max = 115,000 bits.
+	FMaxAt100PPM float64
+	// MaxDeltaIFrame is eq. (8): Δ ≤ 30.26 % when f_max is the 76-bit
+	// minimum I-frame.
+	MaxDeltaIFrame float64
+	// MaxDeltaXFrame is eq. (9): Δ ≤ 1.11 % when f_max is the 2076-bit
+	// maximum X-frame.
+	MaxDeltaXFrame float64
+	// Ratio128 is the Figure 3 remark: f_max = f_min = 128 gives
+	// ρmax/ρmin = 128/5 = 25.6, not 128.
+	Ratio128 float64
+}
+
+// PaperExamples computes the §6 worked examples from the equations.
+func PaperExamples() WorkedExamples {
+	delta := DeltaFromPPM(PaperOscillatorPPM)
+	return WorkedExamples{
+		Delta100PPM:    delta,
+		FMaxAt100PPM:   FMax(PaperFMin, PaperLineEncodingBits, delta),
+		MaxDeltaIFrame: MaxDelta(PaperFMin, PaperLineEncodingBits, PaperIFrameBits),
+		MaxDeltaXFrame: MaxDelta(PaperFMin, PaperLineEncodingBits, PaperXFrameBits),
+		Ratio128:       ClockRatio(128, 128, PaperLineEncodingBits),
+	}
+}
+
+// String formats the worked examples as the paper states them.
+func (w WorkedExamples) String() string {
+	return fmt.Sprintf(
+		"eq.(5) Δ = %.4f; eq.(6) f_max = %.0f bits; eq.(8) Δ ≤ %.2f%%; eq.(9) Δ ≤ %.2f%%; fig.3 remark ρmax/ρmin(128,128) = %.1f",
+		w.Delta100PPM, w.FMaxAt100PPM, 100*w.MaxDeltaIFrame, 100*w.MaxDeltaXFrame, w.Ratio128)
+}
+
+// SafeBufferRange returns [B_min, B_max] for a configuration and whether a
+// safe buffer size exists at all (B_min ≤ B_max). When it does not, the
+// §6 conclusion applies: the configuration's frame sizes and clock rates
+// are incompatible with a safe central guardian.
+func SafeBufferRange(fMin, fMax, le int, delta float64) (bMin float64, bMax int, feasible bool) {
+	bMin = BMin(le, delta, fMax)
+	bMax = BMax(fMin)
+	return bMin, bMax, bMin <= float64(bMax)
+}

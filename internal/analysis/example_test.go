@@ -1,0 +1,32 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"ttastar/internal/analysis"
+)
+
+// The §6 worked examples fall straight out of the equations.
+func ExamplePaperExamples() {
+	ex := analysis.PaperExamples()
+	fmt.Printf("eq.(5)  Δ = %.4f\n", ex.Delta100PPM)
+	fmt.Printf("eq.(6)  f_max = %.0f bits\n", ex.FMaxAt100PPM)
+	fmt.Printf("eq.(8)  Δ ≤ %.2f%%\n", 100*ex.MaxDeltaIFrame)
+	fmt.Printf("eq.(9)  Δ ≤ %.2f%%\n", 100*ex.MaxDeltaXFrame)
+	fmt.Printf("eq.(10) ρmax/ρmin(128,128) = %.1f\n", ex.Ratio128)
+	// Output:
+	// eq.(5)  Δ = 0.0002
+	// eq.(6)  f_max = 115000 bits
+	// eq.(8)  Δ ≤ 30.26%
+	// eq.(9)  Δ ≤ 1.11%
+	// eq.(10) ρmax/ρmin(128,128) = 25.6
+}
+
+// A design is feasible only if some buffer size satisfies both the eq. (1)
+// minimum and the eq. (3) maximum.
+func ExampleSafeBufferRange() {
+	bMin, bMax, ok := analysis.SafeBufferRange(28, 2076, 4, 0.02)
+	fmt.Printf("B_min=%.1f B_max=%d feasible=%v\n", bMin, bMax, ok)
+	// Output:
+	// B_min=45.5 B_max=27 feasible=false
+}

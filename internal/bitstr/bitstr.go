@@ -1,0 +1,163 @@
+// Package bitstr implements bit-exact strings and the cyclic redundancy
+// checks TTP/C frames use. Frames in TTP/C are not byte aligned (a minimum
+// N-frame is 28 bits), so all frame encoding is done at bit granularity.
+package bitstr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String is a mutable sequence of bits, most significant bit first within
+// the sequence. The zero value is an empty string ready for use.
+type String struct {
+	data []byte
+	n    int
+}
+
+// New returns an empty bit string with capacity for sizeHint bits.
+func New(sizeHint int) *String {
+	return &String{data: make([]byte, 0, (sizeHint+7)/8)}
+}
+
+// FromBits builds a string from explicit bit values.
+func FromBits(bits ...bool) *String {
+	s := New(len(bits))
+	for _, b := range bits {
+		s.AppendBit(b)
+	}
+	return s
+}
+
+// Len returns the number of bits in the string.
+func (s *String) Len() int { return s.n }
+
+// AppendBit appends one bit.
+func (s *String) AppendBit(bit bool) *String {
+	if s.n%8 == 0 {
+		s.data = append(s.data, 0)
+	}
+	if bit {
+		s.data[s.n/8] |= 1 << (7 - uint(s.n%8))
+	}
+	s.n++
+	return s
+}
+
+// AppendUint appends the low width bits of v, most significant first.
+// It panics if width is outside [0, 64] or v does not fit in width bits.
+func (s *String) AppendUint(v uint64, width int) *String {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitstr: AppendUint width %d out of range", width))
+	}
+	if width < 64 && v>>uint(width) != 0 {
+		panic(fmt.Sprintf("bitstr: value %d does not fit in %d bits", v, width))
+	}
+	for i := width - 1; i >= 0; i-- {
+		s.AppendBit(v>>uint(i)&1 == 1)
+	}
+	return s
+}
+
+// Append appends all bits of other.
+func (s *String) Append(other *String) *String {
+	for i := 0; i < other.n; i++ {
+		s.AppendBit(other.Bit(i))
+	}
+	return s
+}
+
+// Bit returns the bit at index i. It panics if i is out of range.
+func (s *String) Bit(i int) bool {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitstr: index %d out of range [0,%d)", i, s.n))
+	}
+	return s.data[i/8]>>(7-uint(i%8))&1 == 1
+}
+
+// SetBit sets the bit at index i.
+func (s *String) SetBit(i int, bit bool) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitstr: index %d out of range [0,%d)", i, s.n))
+	}
+	mask := byte(1) << (7 - uint(i%8))
+	if bit {
+		s.data[i/8] |= mask
+	} else {
+		s.data[i/8] &^= mask
+	}
+}
+
+// Flip inverts the bit at index i. Fault injectors use it to corrupt frames.
+func (s *String) Flip(i int) { s.SetBit(i, !s.Bit(i)) }
+
+// Uint reads width bits starting at offset, most significant first.
+func (s *String) Uint(offset, width int) uint64 {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitstr: Uint width %d out of range", width))
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		v <<= 1
+		if s.Bit(offset + i) {
+			v |= 1
+		}
+	}
+	return v
+}
+
+// Slice returns a copy of bits [from, to).
+func (s *String) Slice(from, to int) *String {
+	if from < 0 || to > s.n || from > to {
+		panic(fmt.Sprintf("bitstr: slice [%d,%d) out of range [0,%d)", from, to, s.n))
+	}
+	out := New(to - from)
+	for i := from; i < to; i++ {
+		out.AppendBit(s.Bit(i))
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (s *String) Clone() *String {
+	out := &String{data: make([]byte, len(s.data)), n: s.n}
+	copy(out.data, s.data)
+	return out
+}
+
+// Equal reports whether s and other hold the same bit sequence.
+func (s *String) Equal(other *String) bool {
+	if s.n != other.n {
+		return false
+	}
+	for i := 0; i < s.n; i++ {
+		if s.Bit(i) != other.Bit(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the bits as '0'/'1' characters grouped in nibbles.
+func (s *String) String() string {
+	var b strings.Builder
+	for i := 0; i < s.n; i++ {
+		if i > 0 && i%4 == 0 {
+			b.WriteByte(' ')
+		}
+		if s.Bit(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Bytes returns the packed representation, final partial byte zero-padded.
+// The returned slice is a copy.
+func (s *String) Bytes() []byte {
+	out := make([]byte, len(s.data))
+	copy(out, s.data)
+	return out
+}

@@ -1,0 +1,153 @@
+package bitstr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndReadBits(t *testing.T) {
+	s := New(8)
+	s.AppendBit(true).AppendBit(false).AppendBit(true)
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", s.Len())
+	}
+	want := []bool{true, false, true}
+	for i, w := range want {
+		if s.Bit(i) != w {
+			t.Errorf("Bit(%d) = %v, want %v", i, s.Bit(i), w)
+		}
+	}
+}
+
+func TestAppendUintRoundTrip(t *testing.T) {
+	f := func(v uint32, pre uint8) bool {
+		s := New(64)
+		s.AppendUint(uint64(pre), 8)
+		s.AppendUint(uint64(v), 32)
+		return s.Uint(0, 8) == uint64(pre) && s.Uint(8, 32) == uint64(v) && s.Len() == 40
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendUintChecksWidth(t *testing.T) {
+	s := New(8)
+	for _, call := range []func(){
+		func() { s.AppendUint(4, 2) },  // 4 needs 3 bits
+		func() { s.AppendUint(0, -1) }, // negative width
+		func() { s.AppendUint(0, 65) }, // too wide
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+func TestZeroWidthUint(t *testing.T) {
+	s := New(0)
+	s.AppendUint(0, 0)
+	if s.Len() != 0 {
+		t.Errorf("Len() = %d after zero-width append", s.Len())
+	}
+	if s.Uint(0, 0) != 0 {
+		t.Error("zero-width Uint != 0")
+	}
+}
+
+func TestSetBitAndFlip(t *testing.T) {
+	s := New(8)
+	s.AppendUint(0, 8)
+	s.SetBit(3, true)
+	if s.Uint(0, 8) != 0b00010000 {
+		t.Errorf("after SetBit(3): %08b", s.Uint(0, 8))
+	}
+	s.Flip(3)
+	s.Flip(7)
+	if s.Uint(0, 8) != 0b00000001 {
+		t.Errorf("after flips: %08b", s.Uint(0, 8))
+	}
+}
+
+func TestSliceAndAppend(t *testing.T) {
+	s := New(16)
+	s.AppendUint(0xABCD, 16)
+	mid := s.Slice(4, 12)
+	if mid.Uint(0, 8) != 0xBC {
+		t.Errorf("Slice(4,12) = %02x, want bc", mid.Uint(0, 8))
+	}
+	joined := New(24).Append(s).Append(mid)
+	if joined.Len() != 24 || joined.Uint(16, 8) != 0xBC {
+		t.Errorf("Append result wrong: len=%d", joined.Len())
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := FromBits(true, false, true)
+	c := s.Clone()
+	c.Flip(0)
+	if !s.Bit(0) {
+		t.Error("mutating clone changed original")
+	}
+	if c.Bit(0) {
+		t.Error("clone flip did not apply")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromBits(true, false, true)
+	b := FromBits(true, false, true)
+	c := FromBits(true, false, false)
+	d := FromBits(true, false)
+	if !a.Equal(b) {
+		t.Error("equal strings reported unequal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("unequal strings reported equal")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := FromBits(true, false, true, true, false)
+	if got := s.String(); got != "1011 0" {
+		t.Errorf("String() = %q, want \"1011 0\"", got)
+	}
+}
+
+func TestBytesPadding(t *testing.T) {
+	s := FromBits(true, true, true) // 111 → 0xE0 padded
+	b := s.Bytes()
+	if len(b) != 1 || b[0] != 0xE0 {
+		t.Errorf("Bytes() = %x, want e0", b)
+	}
+	b[0] = 0 // returned slice must be a copy
+	if !s.Bit(0) {
+		t.Error("Bytes() aliases internal storage")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := FromBits(true)
+	for name, call := range map[string]func(){
+		"Bit":       func() { s.Bit(1) },
+		"BitNeg":    func() { s.Bit(-1) },
+		"SetBit":    func() { s.SetBit(5, true) },
+		"Slice":     func() { s.Slice(0, 2) },
+		"SliceSwap": func() { s.Slice(1, 0) },
+		"UintWide":  func() { s.Uint(0, 65) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}

@@ -1,0 +1,151 @@
+package clocksync
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ttastar/internal/sim"
+)
+
+func TestFTABasics(t *testing.T) {
+	devs := []time.Duration{10, 20, 30}
+	if got := FTA(devs, 0); got != 20 {
+		t.Errorf("FTA(k=0) = %v, want 20", got)
+	}
+	// k=1 drops 10 and 30.
+	if got := FTA(devs, 1); got != 20 {
+		t.Errorf("FTA(k=1) = %v, want 20", got)
+	}
+}
+
+func TestFTARejectsOutlier(t *testing.T) {
+	// One byzantine measurement must not shift the average when k=1.
+	devs := []time.Duration{10, 12, 14, time.Hour}
+	got := FTA(devs, 1)
+	if got < 10 || got > 14 {
+		t.Errorf("FTA with outlier = %v, want within [10,14]", got)
+	}
+}
+
+func TestFTATooFewMeasurements(t *testing.T) {
+	if got := FTA([]time.Duration{5, 6}, 1); got != 0 {
+		t.Errorf("FTA with 2 measurements, k=1 = %v, want 0", got)
+	}
+	if got := FTA(nil, 0); got != 0 {
+		t.Errorf("FTA(nil) = %v, want 0", got)
+	}
+}
+
+func TestFTANegativeKClamped(t *testing.T) {
+	if got := FTA([]time.Duration{4, 6}, -3); got != 5 {
+		t.Errorf("FTA(k=-3) = %v, want 5", got)
+	}
+}
+
+func TestFTADoesNotMutateInput(t *testing.T) {
+	devs := []time.Duration{30, 10, 20}
+	FTA(devs, 0)
+	if devs[0] != 30 || devs[1] != 10 || devs[2] != 20 {
+		t.Error("FTA sorted the caller's slice")
+	}
+}
+
+func TestFTABoundedByExtremesProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		devs := make([]time.Duration, len(raw))
+		lo, hi := time.Duration(raw[0]), time.Duration(raw[0])
+		for i, v := range raw {
+			devs[i] = time.Duration(v)
+			if devs[i] < lo {
+				lo = devs[i]
+			}
+			if devs[i] > hi {
+				hi = devs[i]
+			}
+		}
+		got := FTA(devs, 0)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynchronizerInterval(t *testing.T) {
+	s := New(1)
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		s.Observe(d)
+	}
+	if s.Pending() != 4 {
+		t.Errorf("Pending() = %d, want 4", s.Pending())
+	}
+	corr := s.Correction()
+	if corr != 25 {
+		t.Errorf("Correction() = %v, want 25", corr)
+	}
+	if s.Pending() != 0 {
+		t.Error("Correction did not clear measurements")
+	}
+	count, last, maxAbs := s.Stats()
+	if count != 1 || last != 25 || maxAbs != 25 {
+		t.Errorf("Stats() = %d, %v, %v", count, last, maxAbs)
+	}
+}
+
+func TestSynchronizerZeroCorrectionNotCounted(t *testing.T) {
+	s := New(0)
+	corr := s.Correction() // no measurements
+	if corr != 0 {
+		t.Errorf("empty Correction() = %v", corr)
+	}
+	count, _, _ := s.Stats()
+	if count != 0 {
+		t.Errorf("zero correction counted: %d", count)
+	}
+}
+
+func TestSynchronizerConvergesTwoClocks(t *testing.T) {
+	// Two clocks, one +100 ppm and one -100 ppm, exchanging deviation
+	// measurements each "round" and applying FTA corrections, must keep
+	// their mutual offset bounded near 2*drift*interval.
+	sched := sim.NewScheduler()
+	fast := sim.NewClock(sched, sim.PPM(100))
+	slow := sim.NewClock(sched, sim.PPM(-100))
+	syncFast, syncSlow := New(0), New(0)
+
+	const interval = 10 * time.Millisecond
+	worst := time.Duration(0)
+	for i := 0; i < 50; i++ {
+		at := sim.Time(i+1) * sim.Time(interval)
+		sched.At(at, "resync", func() {
+			offFast := time.Duration(fast.Now() - slow.Now()) // fast is ahead
+			if off := offFast.Abs(); off > worst {
+				worst = off
+			}
+			syncFast.Observe(-offFast)
+			syncSlow.Observe(offFast)
+			fast.Adjust(syncFast.Correction())
+			slow.Adjust(syncSlow.Correction())
+		})
+	}
+	sched.RunUntil(sim.Time(51) * sim.Time(interval))
+	bound := PrecisionBound(sim.PPM(100), interval, 0) + time.Microsecond
+	if worst > bound {
+		t.Errorf("worst offset %v exceeds precision bound %v", worst, bound)
+	}
+	if worst == 0 {
+		t.Error("clocks never diverged; drift model broken")
+	}
+}
+
+func TestPrecisionBound(t *testing.T) {
+	got := PrecisionBound(sim.PPM(100), 10*time.Millisecond, time.Microsecond)
+	want := 2*time.Microsecond + 2*time.Microsecond // 2*1e-4*10ms = 2µs drift + 2µs reading
+	if got != want {
+		t.Errorf("PrecisionBound = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"ttastar/internal/channel"
+	"ttastar/internal/cstate"
+	"ttastar/internal/guardian"
+	"ttastar/internal/medl"
+	"ttastar/internal/node"
+	"ttastar/internal/sim"
+)
+
+func cstateID(i int) cstate.NodeID { return cstate.NodeID(i) }
+
+func mustCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestStarStartupAllAuthorities(t *testing.T) {
+	for _, a := range []guardian.Authority{
+		guardian.AuthorityPassive,
+		guardian.AuthorityTimeWindows,
+		guardian.AuthoritySmallShift,
+		guardian.AuthorityFullShift,
+	} {
+		t.Run(a.String(), func(t *testing.T) {
+			c := mustCluster(t, Config{Topology: TopologyStar, Authority: a})
+			c.StartStaggered(100 * time.Microsecond)
+			c.Run(40 * time.Millisecond)
+			if !c.AllActive() {
+				t.Fatalf("not all nodes active (active=%d)", c.CountInState(node.StateActive))
+			}
+			if d := c.Disruptions(); d != 0 {
+				t.Errorf("healthy startup had %d disruptions", d)
+			}
+		})
+	}
+}
+
+func TestStarStartupWithSemanticAnalysis(t *testing.T) {
+	c := mustCluster(t, Config{
+		Topology:         TopologyStar,
+		Authority:        guardian.AuthoritySmallShift,
+		SemanticAnalysis: true,
+	})
+	c.StartStaggered(100 * time.Microsecond)
+	c.Run(40 * time.Millisecond)
+	if !c.AllActive() {
+		t.Fatal("semantic analysis broke healthy startup")
+	}
+	if got := c.Coupler(channel.ChannelA).Stats().SemanticBlocked; got != 0 {
+		t.Errorf("semantic analysis blocked %d healthy frames", got)
+	}
+}
+
+func TestBusStartup(t *testing.T) {
+	c := mustCluster(t, Config{Topology: TopologyBus})
+	c.StartStaggered(100 * time.Microsecond)
+	c.Run(40 * time.Millisecond)
+	if !c.AllActive() {
+		t.Fatalf("bus cluster not all active (active=%d)", c.CountInState(node.StateActive))
+	}
+	// Local guardians must exist and have synced enough to forward.
+	g := c.LocalGuardian(1, channel.ChannelA)
+	if g == nil {
+		t.Fatal("no local guardian on bus cluster")
+	}
+	if g.Stats().Forwarded == 0 {
+		t.Error("local guardian forwarded nothing")
+	}
+	if c.Coupler(channel.ChannelA) != nil {
+		t.Error("bus cluster has a star coupler")
+	}
+}
+
+func TestStartupWithDriftAndTolerances(t *testing.T) {
+	c := mustCluster(t, Config{
+		Topology:       TopologyStar,
+		NodeDrifts:     []sim.PPB{sim.PPM(100), sim.PPM(-100), sim.PPM(60), sim.PPM(-60)},
+		GuardianDrifts: [channel.NumChannels]sim.PPB{sim.PPM(100), sim.PPM(-100)},
+		NodeTolerances: []time.Duration{time.Microsecond, 2 * time.Microsecond, 3 * time.Microsecond, 0},
+	})
+	c.StartStaggered(150 * time.Microsecond)
+	c.Run(100 * time.Millisecond)
+	if !c.AllActive() {
+		t.Fatal("drifting cluster failed to start")
+	}
+	if d := c.Disruptions(); d != 0 {
+		t.Errorf("drifting cluster had %d disruptions", d)
+	}
+}
+
+func TestSingleCouplerSilenceFaultTolerated(t *testing.T) {
+	// §3: TTP/C tolerates passive channel faults via redundancy. A silent
+	// coupler on one channel must not disturb any node.
+	c := mustCluster(t, Config{Topology: TopologyStar})
+	c.StartStaggered(100 * time.Microsecond)
+	c.Run(20 * time.Millisecond)
+	if !c.AllActive() {
+		t.Fatal("precondition: cluster not active")
+	}
+	if err := c.Coupler(channel.ChannelA).SetFault(guardian.FaultSilence); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(40 * time.Millisecond)
+	if d := c.Disruptions(); d != 0 {
+		t.Errorf("silence fault on one coupler caused %d disruptions", d)
+	}
+	if !c.AllActive() {
+		t.Error("cluster degraded under single silence fault")
+	}
+}
+
+func TestSingleCouplerBadFrameFaultTolerated(t *testing.T) {
+	c := mustCluster(t, Config{Topology: TopologyStar, Seed: 7})
+	c.StartStaggered(100 * time.Microsecond)
+	c.Run(20 * time.Millisecond)
+	if !c.AllActive() {
+		t.Fatal("precondition: cluster not active")
+	}
+	if err := c.Coupler(channel.ChannelB).SetFault(guardian.FaultBadFrame); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(40 * time.Millisecond)
+	if d := c.Disruptions(); d != 0 {
+		t.Errorf("bad-frame fault on one coupler caused %d disruptions", d)
+	}
+	if !c.AllActive() {
+		t.Error("cluster degraded under single bad-frame fault")
+	}
+}
+
+// TestReplayFreezesIntegratingNode is the timed-simulator counterpart of
+// the paper's §5 result (experiment E9): a full-shifting coupler replaying
+// a buffered frame out of its slot makes a perfectly healthy late-joining
+// node misintegrate and freeze.
+func TestReplayFreezesIntegratingNode(t *testing.T) {
+	c := mustCluster(t, Config{Topology: TopologyStar, Authority: guardian.AuthorityFullShift})
+	// Nodes 1-3 form a running cluster; node 4 joins late.
+	for i := 1; i <= 3; i++ {
+		if err := c.StartNode(cstateID(i), time.Duration(i)*100*time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(20 * time.Millisecond)
+	if c.CountInState(node.StateActive) != 3 {
+		t.Fatal("precondition: running cluster of 3 not active")
+	}
+
+	// Aim the out-of-slot replay into node 4's (currently silent) slot, so
+	// it is the first valid frame the listening node sees: the node
+	// integrates on stale, replayed state exactly as in §2.2/§5.
+	now := c.Sched.Now()
+	initDelay := c.Schedule.Slot(1).Duration
+	s4, ok := c.Coupler(channel.ChannelA).Tracker().NextSlotStart(now.Add(initDelay+200*time.Microsecond), 4)
+	if !ok {
+		t.Fatal("coupler has no phase view")
+	}
+	listenAt := s4.Add(-15 * time.Microsecond)
+	if err := c.StartNode(4, listenAt.Sub(now)-initDelay); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Coupler(channel.ChannelA).ReplayBuffered(s4.Add(10 * time.Microsecond).Sub(now)); err != nil {
+		t.Fatalf("ReplayBuffered: %v", err)
+	}
+	c.Run(20 * time.Millisecond)
+	if c.Node(4).Stats().Integrations == 0 {
+		t.Fatal("node 4 never integrated on anything")
+	}
+
+	if hf := c.HealthyFreezes(); hf < 1 {
+		t.Errorf("HealthyFreezes = %d, want ≥1 (replayed frame must deny integration)", hf)
+	}
+	if c.Coupler(channel.ChannelA).Stats().Replays != 1 {
+		t.Error("replay not recorded")
+	}
+}
+
+// TestNoReplayCleanIntegration is the control for E9: without the replay
+// the late joiner integrates cleanly.
+func TestNoReplayCleanIntegration(t *testing.T) {
+	c := mustCluster(t, Config{Topology: TopologyStar, Authority: guardian.AuthorityFullShift})
+	for i := 1; i <= 3; i++ {
+		if err := c.StartNode(cstateID(i), time.Duration(i)*100*time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(20 * time.Millisecond)
+	if err := c.StartNode(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(20 * time.Millisecond)
+
+	if c.Node(4).State() != node.StateActive {
+		t.Errorf("late joiner state = %v, want active", c.Node(4).State())
+	}
+	if hf := c.HealthyFreezes(); hf != 0 {
+		t.Errorf("control run had %d healthy freezes", hf)
+	}
+}
+
+// TestColdStartReplayDisruptsStartup reproduces the startup half of the
+// §5 result in the timed simulator: replaying a cold-start frame during
+// cluster startup denies service to healthy nodes.
+func TestColdStartReplayDisruptsStartup(t *testing.T) {
+	c := mustCluster(t, Config{Topology: TopologyStar, Authority: guardian.AuthorityFullShift})
+	c.StartStaggered(100 * time.Microsecond)
+
+	// Wait for the first cold-start frame to pass through (and be buffered
+	// by) the coupler, then replay it into the following slot.
+	ok := c.RunUntil(10*time.Millisecond, func() bool {
+		return c.Coupler(channel.ChannelA).Stats().Forwarded >= 1
+	})
+	if !ok {
+		t.Fatal("no cold-start frame ever forwarded")
+	}
+	if err := c.Coupler(channel.ChannelA).ReplayBuffered(c.Schedule.Slot(1).Duration); err != nil {
+		t.Fatalf("ReplayBuffered: %v", err)
+	}
+	c.Run(40 * time.Millisecond)
+
+	if d := c.Disruptions(); d < 1 {
+		t.Errorf("Disruptions = %d, want ≥1 (duplicated cold-start must disturb startup)", d)
+	}
+}
+
+func TestClusterAccessors(t *testing.T) {
+	c := mustCluster(t, Config{Topology: TopologyStar, Record: true})
+	if c.Topology() != TopologyStar {
+		t.Error("Topology() wrong")
+	}
+	if TopologyBus.String() != "bus" || TopologyStar.String() != "star" || Topology(9).String() != "Topology(9)" {
+		t.Error("Topology.String() wrong")
+	}
+	if len(c.Nodes()) != 4 {
+		t.Errorf("Nodes() = %d, want 4", len(c.Nodes()))
+	}
+	if c.Node(2) == nil || c.Node(2).ID() != 2 {
+		t.Error("Node(2) wrong")
+	}
+	if c.Node(9) != nil {
+		t.Error("Node(9) should be nil")
+	}
+	if c.Medium(channel.ChannelA) == nil {
+		t.Error("Medium(A) nil")
+	}
+	if c.LocalGuardian(1, channel.ChannelA) != nil {
+		t.Error("star cluster has local guardians")
+	}
+	if err := c.StartNode(9, 0); err == nil {
+		t.Error("StartNode(9) accepted")
+	}
+	if c.Recorder == nil {
+		t.Error("Record: true produced no recorder")
+	}
+}
+
+func TestClusterRejectsBadConfig(t *testing.T) {
+	bad := medl.Default4Node()
+	bad.BitRate = 0
+	if _, err := New(Config{Schedule: bad}); err == nil {
+		t.Error("invalid schedule accepted")
+	}
+	if _, err := New(Config{Topology: Topology(9)}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestEventsRecorded(t *testing.T) {
+	c := mustCluster(t, Config{})
+	c.StartStaggered(100 * time.Microsecond)
+	c.Run(20 * time.Millisecond)
+	events := c.Events()
+	if len(events) == 0 {
+		t.Fatal("no state events recorded")
+	}
+	sawActive := false
+	for _, e := range events {
+		if e.To == node.StateActive {
+			sawActive = true
+		}
+	}
+	if !sawActive {
+		t.Error("no transition into active recorded")
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ttastar/internal/channel"
+	"ttastar/internal/cluster"
+	"ttastar/internal/frame"
+	"ttastar/internal/guardian"
+	"ttastar/internal/medl"
+	"ttastar/internal/sim"
+)
+
+// TruncationResult is the buffer-size ablation: the same cluster with a
+// guardian buffer sized per eq. (1) versus one below it.
+type TruncationResult struct {
+	// AdequateActive: the cluster with a sufficient buffer reaches
+	// steady state.
+	AdequateActive bool
+	// TinyActive: the cluster whose guardian buffer is below the eq. (1)
+	// demand (expected false — frames are damaged in transit).
+	TinyActive bool
+	// TinyTruncated counts the frames the undersized guardian damaged.
+	TinyTruncated int
+	// RequiredBits is the eq. (1) demand for this configuration.
+	RequiredBits float64
+}
+
+// BufferTruncationAblation demonstrates why B_min is a *minimum*: a
+// small-shifting guardian with a buffer below le + Δ·f damages every frame
+// it forwards across a 4 % clock mismatch, and the cluster never forms.
+func BufferTruncationAblation() (TruncationResult, error) {
+	const deltaPPM = 40_000.0 // 4 % mismatch: eq. (1) demand ≈ 7 bits
+	var out TruncationResult
+
+	sched := medl.Build(medl.Config{
+		Nodes:     4,
+		Kind:      frame.KindI,
+		Precision: 120 * time.Microsecond, // windows must absorb tracker lag at 4 %
+		Gap:       60 * time.Microsecond,
+	})
+	required := float64(guardian.DefaultLineEncodingBits) +
+		(deltaPPM*1e-6)*float64(frame.MinIFrameBits)
+	out.RequiredBits = required
+
+	run := func(bufferBits int) (bool, int, error) {
+		half := deltaPPM / 2
+		c, err := cluster.New(cluster.Config{
+			Topology:   cluster.TopologyStar,
+			Schedule:   sched,
+			Authority:  guardian.AuthoritySmallShift,
+			BufferBits: bufferBits,
+			NodeDrifts: []sim.PPB{
+				sim.PPM(half), sim.PPM(half), sim.PPM(half), sim.PPM(half),
+			},
+			GuardianDrifts: [channel.NumChannels]sim.PPB{
+				sim.PPM(-half), sim.PPM(-half),
+			},
+		})
+		if err != nil {
+			return false, 0, fmt.Errorf("experiments: truncation cluster: %w", err)
+		}
+		c.StartStaggered(150 * time.Microsecond)
+		c.Run(60 * sched.RoundDuration())
+		truncated := c.Coupler(channel.ChannelA).Stats().Truncated +
+			c.Coupler(channel.ChannelB).Stats().Truncated
+		return c.AllActive(), truncated, nil
+	}
+
+	var err error
+	out.AdequateActive, _, err = run(int(required) + 3)
+	if err != nil {
+		return out, err
+	}
+	out.TinyActive, out.TinyTruncated, err = run(guardian.DefaultLineEncodingBits + 1)
+	if err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// FormatTruncation renders the ablation as text.
+func FormatTruncation(r TruncationResult) string {
+	return fmt.Sprintf(
+		"eq.(1) demand: %.1f bits\n"+
+			"buffer ≥ demand: cluster active = %v\n"+
+			"buffer < demand: cluster active = %v, frames damaged = %d\n",
+		r.RequiredBits, r.AdequateActive, r.TinyActive, r.TinyTruncated)
+}

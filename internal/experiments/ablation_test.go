@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ttastar/internal/cluster"
+	"ttastar/internal/guardian"
+)
+
+// TestAuthorityAblationLadder maps each coupler authority level to the SOS
+// fault class it defeats. Time-domain SOS needs the *window* authority:
+// the guardian's window is tighter than every receiver's, so a marginal
+// frame is blocked (or passed) consistently for all — a passive hub cannot
+// do that. Value-domain SOS additionally needs the *reshaping* authority:
+// only re-driving the signal to nominal strength removes the marginal
+// amplitude that splits receivers.
+func TestAuthorityAblationLadder(t *testing.T) {
+	passiveT, err := SOSTimingCampaign(cluster.TopologyStar, guardian.AuthorityPassive, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowsT, err := SOSTimingCampaign(cluster.TopologyStar, guardian.AuthorityTimeWindows, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passiveT.RunsDisrupted == 0 {
+		t.Error("passive hub prevented SOS timing disruption")
+	}
+	if windowsT.RunsDisrupted != 0 {
+		t.Error("window enforcement did not contain SOS timing faults")
+	}
+
+	windowsV, err := SOSValueCampaign(cluster.TopologyStar, guardian.AuthorityTimeWindows, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reshapeV, err := SOSValueCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windowsV.RunsDisrupted == 0 {
+		t.Error("windows-only coupler prevented SOS value disruption; re-driving should be required")
+	}
+	if reshapeV.RunsDisrupted != 0 {
+		t.Error("reshaping coupler did not contain SOS value faults")
+	}
+}
+
+// TestBufferTruncationAblation is the buffer-size ablation: a guardian
+// buffer below the eq. (1) demand damages frames in transit and the
+// cluster never forms; at or above it, the cluster is healthy.
+func TestBufferTruncationAblation(t *testing.T) {
+	r, err := BufferTruncationAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.AdequateActive {
+		t.Error("cluster with adequate buffer failed to start")
+	}
+	if r.TinyActive {
+		t.Error("cluster with undersized buffer started anyway")
+	}
+	if r.TinyTruncated == 0 {
+		t.Error("undersized buffer damaged no frames")
+	}
+	if r.RequiredBits <= float64(guardian.DefaultLineEncodingBits) {
+		t.Errorf("eq.(1) demand %.1f not above le", r.RequiredBits)
+	}
+	out := FormatTruncation(r)
+	if !strings.Contains(out, "eq.(1) demand") {
+		t.Errorf("format malformed: %s", out)
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"testing"
+
+	"ttastar/internal/cluster"
+	"ttastar/internal/guardian"
+)
+
+// TestBabblingIdiot is the paper's §1 headline fault: a continuously
+// babbling node with fate-shared (stuck-open) local guardians destroys the
+// bus cluster; the physically independent central guardian confines the
+// babble to the babbler's slot and the cluster keeps running.
+func TestBabblingIdiot(t *testing.T) {
+	bus, err := BabblingIdiotCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := BabblingIdiotCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bus.RunsDisrupted != bus.Runs {
+		t.Errorf("babbling idiot disrupted only %d/%d bus runs", bus.RunsDisrupted, bus.Runs)
+	}
+	if bus.HealthyFreezes == 0 {
+		t.Error("no healthy-node freezes on the babbled bus")
+	}
+	if star.RunsDisrupted != 0 {
+		t.Errorf("babbling idiot disrupted %d star runs", star.RunsDisrupted)
+	}
+	if star.GuardianBlocked == 0 {
+		t.Error("central guardian blocked no babble")
+	}
+	// Windows authority suffices for containment (blocking, not content).
+	windows, err := BabblingIdiotCampaign(cluster.TopologyStar, guardian.AuthorityTimeWindows, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows.RunsDisrupted != 0 {
+		t.Errorf("windows coupler failed to contain the babble: %d disrupted", windows.RunsDisrupted)
+	}
+}

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ttastar/internal/cluster"
+	"ttastar/internal/guardian"
+	"ttastar/internal/mc"
+)
+
+// TestE1VerificationMatrix is the paper's §5.2 result: exactly the
+// full-shifting coupler fails the property.
+func TestE1VerificationMatrix(t *testing.T) {
+	rows, err := VerificationMatrix(mc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("matrix has %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		wantHolds := r.Authority != guardian.AuthorityFullShift
+		if r.Result.Holds != wantHolds {
+			t.Errorf("%v: holds=%v, want %v", r.Authority, r.Result.Holds, wantHolds)
+		}
+		wantFaults := 3
+		if r.Authority == guardian.AuthorityFullShift {
+			wantFaults = 4
+		}
+		if len(r.Faults) != wantFaults {
+			t.Errorf("%v: %d fault modes, want %d", r.Authority, len(r.Faults), wantFaults)
+		}
+	}
+	table := FormatMatrix(rows)
+	for _, phrase := range []string{"passive", "full shifting", "HOLDS", "FAILS", "out_of_slot"} {
+		if !strings.Contains(table, phrase) {
+			t.Errorf("matrix table missing %q:\n%s", phrase, table)
+		}
+	}
+}
+
+func TestE2ColdStartReplayTrace(t *testing.T) {
+	tr, err := ColdStartReplayTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Result.Holds {
+		t.Fatal("E2 configuration holds; expected a counterexample")
+	}
+	for _, phrase := range []string{
+		"replays the previous cold start frame",
+		"freezes due to a clique avoidance error",
+	} {
+		if !strings.Contains(tr.Rendered, phrase) {
+			t.Errorf("E2 trace missing %q:\n%s", phrase, tr.Rendered)
+		}
+	}
+}
+
+func TestE3CStateReplayTrace(t *testing.T) {
+	tr, err := CStateReplayTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Result.Holds {
+		t.Fatal("E3 configuration holds; expected a counterexample")
+	}
+	if !strings.Contains(tr.Rendered, "replays the previous C-state frame") {
+		t.Errorf("E3 trace is not a C-state replay:\n%s", tr.Rendered)
+	}
+	if strings.Contains(tr.Rendered, "replays the previous cold start frame") {
+		t.Errorf("E3 trace replays a cold-start frame:\n%s", tr.Rendered)
+	}
+}
+
+func TestUnconstrainedTrace(t *testing.T) {
+	tr, err := UnconstrainedTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Result.Holds {
+		t.Fatal("unconstrained full shifting holds")
+	}
+	// The paper notes the unconstrained shortest trace piles up several
+	// replays; ours must be no longer than the constrained ones.
+	e2, err := ColdStartReplayTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Result.Counterexample) > len(e2.Result.Counterexample) {
+		t.Error("unconstrained trace longer than constrained")
+	}
+}
+
+func TestE4toE6EquationTable(t *testing.T) {
+	table := EquationTable()
+	for _, want := range []string{"0.0002", "115000", "30.26", "1.11", "25.6"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("equation table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestE7Figure3Curves(t *testing.T) {
+	curves, err := Figure3Curves([]int{28, 128}, 2076, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 {
+		t.Fatalf("got %d curves", len(curves))
+	}
+	// Larger f_min admits larger clock ratios at the same f_max.
+	c28, c128 := curves[28], curves[128]
+	if c128[0].Ratio <= c28[len(c28)-1].Ratio {
+		t.Error("f_min=128 curve not above f_min=28 tail")
+	}
+	plot := AsciiPlot(c28, 10)
+	if !strings.Contains(plot, "f_max=") || !strings.Contains(plot, "#") {
+		t.Errorf("ascii plot malformed:\n%s", plot)
+	}
+	if AsciiPlot(nil, 5) != "" {
+		t.Error("empty series plotted")
+	}
+	if _, err := Figure3Curves([]int{28}, 10, 1); err == nil {
+		t.Error("bad range accepted")
+	}
+}
+
+// TestE8BufferOccupancy validates eq. (1) against the timed simulator: the
+// measured leaky-bucket peak must sit within a bit of le + Δ·f.
+func TestE8BufferOccupancy(t *testing.T) {
+	points, err := BufferOccupancySweep([]float64{200, 5000}, []int{200, 2076})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if math.Abs(p.Measured-p.Predicted) > 1 {
+			t.Errorf("Δ=%gppm f=%d: measured %.2f vs predicted %.2f",
+				p.DeltaPPM, p.FrameBits, p.Measured, p.Predicted)
+		}
+		if !p.Feasible {
+			t.Errorf("Δ=%gppm f=%d should be feasible (measured %.2f ≤ B_max %d)",
+				p.DeltaPPM, p.FrameBits, p.Measured, p.BMaxSafe)
+		}
+		if p.Measured < float64(guardian.DefaultLineEncodingBits) {
+			t.Errorf("peak %.2f below the le floor", p.Measured)
+		}
+	}
+	// Occupancy grows with both Δ and frame size.
+	if !(points[3].Measured > points[0].Measured) {
+		t.Error("occupancy not growing with Δ and f")
+	}
+	if out := FormatOccupancy(points); !strings.Contains(out, "eq.(1)") {
+		t.Errorf("occupancy table malformed:\n%s", out)
+	}
+}
+
+// TestE9TimedReplay is the §5 failure in the timed simulator: the replay
+// freezes a healthy integrating node; the control run is clean.
+func TestE9TimedReplay(t *testing.T) {
+	r, err := TimedReplay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HealthyFreezes < 1 {
+		t.Errorf("HealthyFreezes = %d, want ≥1", r.HealthyFreezes)
+	}
+	if r.ControlFreezes != 0 {
+		t.Errorf("ControlFreezes = %d, want 0", r.ControlFreezes)
+	}
+	if r.Replays != 1 || !r.VictimIntegrated {
+		t.Errorf("replays=%d victimIntegrated=%v", r.Replays, r.VictimIntegrated)
+	}
+	if out := FormatTimedReplay(r); !strings.Contains(out, "control run") {
+		t.Errorf("format malformed: %s", out)
+	}
+}
+
+// TestE10SOS compares SOS fault handling: the bus topology suffers
+// healthy-node freezes; the reshaping star coupler prevents them ([7]).
+func TestE10SOS(t *testing.T) {
+	busT, err := SOSTimingCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starT, err := SOSTimingCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busT.RunsDisrupted == 0 {
+		t.Error("SOS timing on bus disrupted nothing")
+	}
+	if starT.RunsDisrupted != 0 {
+		t.Errorf("SOS timing on reshaping star disrupted %d runs", starT.RunsDisrupted)
+	}
+
+	busV, err := SOSValueCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starV, err := SOSValueCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busV.RunsDisrupted == 0 {
+		t.Error("SOS value on bus disrupted nothing")
+	}
+	if starV.RunsDisrupted != 0 {
+		t.Errorf("SOS value on reshaping star disrupted %d runs", starV.RunsDisrupted)
+	}
+	if busT.DisruptionRate() <= starT.DisruptionRate() {
+		t.Error("bus not worse than star under SOS faults")
+	}
+	table := FormatCampaign([]CampaignCell{busT, starT, busV, starV})
+	if !strings.Contains(table, "SOS timing") || !strings.Contains(table, "bus") {
+		t.Errorf("campaign table malformed:\n%s", table)
+	}
+}
+
+// TestE11Masquerade: semantic analysis blocks masqueraded cold-start
+// frames; local bus guardians cannot.
+func TestE11Masquerade(t *testing.T) {
+	bus, err := MasqueradeCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, false, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := MasqueradeCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, true, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bus.RunsDisrupted == 0 {
+		t.Error("masquerade on bus disrupted nothing")
+	}
+	if bus.GuardianBlocked != 0 {
+		t.Error("local guardians claimed to block masqueraded frames")
+	}
+	if star.RunsDisrupted != 0 {
+		t.Errorf("masquerade disrupted %d runs despite semantic analysis", star.RunsDisrupted)
+	}
+	if star.GuardianBlocked == 0 {
+		t.Error("semantic analysis blocked nothing")
+	}
+}
+
+// TestE11BadCState: a CRC-valid frame with wrong controller state denies
+// integration on a bus, and is filtered by semantic analysis on a star.
+func TestE11BadCState(t *testing.T) {
+	bus, err := BadCStateCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, false, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := BadCStateCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, true, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bus.RunsDisrupted == 0 {
+		t.Error("invalid C-state on bus disrupted nothing")
+	}
+	if star.RunsDisrupted != 0 {
+		t.Errorf("invalid C-state disrupted %d star runs despite semantic analysis", star.RunsDisrupted)
+	}
+	if star.GuardianBlocked == 0 {
+		t.Error("semantic analysis blocked nothing")
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ttastar/internal/analysis"
+	"ttastar/internal/channel"
+	"ttastar/internal/cluster"
+	"ttastar/internal/frame"
+	"ttastar/internal/guardian"
+	"ttastar/internal/medl"
+	"ttastar/internal/sim"
+)
+
+// OccupancyPoint is one E8 measurement: simulated guardian forwarding-
+// buffer peak occupancy versus the eq. (1) prediction.
+type OccupancyPoint struct {
+	DeltaPPM  float64 // relative node/guardian clock difference, in ppm
+	FrameBits int
+	Measured  float64 // peak buffer bits observed in the simulator
+	Predicted float64 // eq. (1): le + Δ·f
+	BMaxSafe  int     // eq. (3): f_min − 1 for the schedule
+	Feasible  bool    // Measured ≤ BMaxSafe
+}
+
+// BufferOccupancySweep runs the E8 experiment: for each clock mismatch and
+// frame size, a two-node star cluster exchanges X-frames through a
+// small-shifting coupler whose leaky-bucket high-water mark is recorded,
+// then compared against eq. (1). The frame sizes must be at least the
+// 156-bit X-frame overhead.
+func BufferOccupancySweep(deltaPPMs []float64, frameBits []int) ([]OccupancyPoint, error) {
+	const xOverhead = frame.MaxXFrameBits - frame.MaxDataBits // 156
+	var out []OccupancyPoint
+	for _, d := range deltaPPMs {
+		for _, bits := range frameBits {
+			if bits < xOverhead || bits > frame.MaxXFrameBits {
+				return nil, fmt.Errorf("experiments: frame size %d outside [%d,%d]", bits, xOverhead, frame.MaxXFrameBits)
+			}
+			p, err := measureOccupancy(d, bits)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func measureOccupancy(deltaPPM float64, frameBits int) (OccupancyPoint, error) {
+	const xOverhead = frame.MaxXFrameBits - frame.MaxDataBits
+	half := deltaPPM / 2 // nodes +half, guardians −half
+	txTime := time.Duration(frameBits) * time.Microsecond
+	build := func(precision time.Duration) *medl.Schedule {
+		return medl.Build(medl.Config{
+			Nodes:     2,
+			Kind:      frame.KindX,
+			DataBits:  frameBits - xOverhead,
+			Precision: precision,
+			Gap:       txTime/10 + 30*time.Microsecond,
+		})
+	}
+	// The guardian's offset-only phase tracking chronically lags a rate
+	// mismatch by O(Δ·round): acceptance windows must scale with it —
+	// itself an instance of the §6 point that clock mismatch constrains
+	// the system design.
+	sched := build(30 * time.Microsecond)
+	for i := 0; i < 3; i++ {
+		lag := time.Duration(10 * deltaPPM * 1e-6 * float64(sched.RoundDuration()))
+		if lag <= sched.Precision {
+			break
+		}
+		sched = build(lag)
+	}
+	c, err := cluster.New(cluster.Config{
+		Topology:   cluster.TopologyStar,
+		Schedule:   sched,
+		Authority:  guardian.AuthoritySmallShift,
+		BufferBits: frameBits, // no truncation: we measure the demand
+		NodeDrifts: []sim.PPB{sim.PPM(half), sim.PPM(half)},
+		GuardianDrifts: [channel.NumChannels]sim.PPB{
+			sim.PPM(-half), sim.PPM(-half),
+		},
+	})
+	if err != nil {
+		return OccupancyPoint{}, fmt.Errorf("experiments: occupancy cluster: %w", err)
+	}
+	c.StartStaggered(100 * time.Microsecond)
+	c.Run(30 * sched.RoundDuration())
+	if !c.AllActive() {
+		return OccupancyPoint{}, fmt.Errorf("experiments: occupancy cluster (Δ=%gppm, f=%d) failed to start", deltaPPM, frameBits)
+	}
+
+	in := 1 + half*1e-6
+	outRate := 1 - half*1e-6
+	delta := analysis.Delta(in, outRate)
+	minFrame := frame.ColdStartBits // smallest frame the coupler carries
+	if sched.Slot(1).FrameBits() < minFrame {
+		minFrame = sched.Slot(1).FrameBits()
+	}
+	measured := c.Coupler(channel.ChannelA).Stats().PeakBufferBits
+	return OccupancyPoint{
+		DeltaPPM:  deltaPPM,
+		FrameBits: frameBits,
+		Measured:  measured,
+		Predicted: analysis.BMin(guardian.DefaultLineEncodingBits, delta, frameBits),
+		BMaxSafe:  analysis.BMax(minFrame),
+		Feasible:  measured <= float64(analysis.BMax(minFrame)),
+	}, nil
+}
+
+// FormatOccupancy renders E8 results as a table.
+func FormatOccupancy(points []OccupancyPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %10s %14s %16s %10s %9s\n",
+		"Δ [ppm]", "f [bits]", "measured", "eq.(1) bound", "B_max", "feasible")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%10.0f %10d %14.2f %16.2f %10d %9v\n",
+			p.DeltaPPM, p.FrameBits, p.Measured, p.Predicted, p.BMaxSafe, p.Feasible)
+	}
+	return b.String()
+}

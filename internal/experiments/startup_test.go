@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ttastar/internal/cluster"
+	"ttastar/internal/guardian"
+)
+
+// TestStartupRobustness samples randomized power-on interleavings — the
+// nondeterminism the model checker explores exhaustively — in the timed
+// simulator: every fault-free run must converge with zero healthy-node
+// freezes; cold-start retries under power-on races are legal.
+func TestStartupRobustness(t *testing.T) {
+	var results []StartupResult
+	for _, top := range []cluster.Topology{cluster.TopologyBus, cluster.TopologyStar} {
+		r, err := StartupLatency(top, guardian.AuthoritySmallShift, 15, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Failures != 0 {
+			t.Errorf("%v: %d runs never converged", top, r.Failures)
+		}
+		if r.HealthyFreezes != 0 {
+			t.Errorf("%v: %d healthy freezes in fault-free startup", top, r.HealthyFreezes)
+		}
+		if r.Latency.N() != 15 {
+			t.Errorf("%v: %d latency samples", top, r.Latency.N())
+		}
+		if r.Latency.Mean() <= 0 {
+			t.Errorf("%v: non-positive mean latency", top)
+		}
+		results = append(results, r)
+	}
+	out := FormatStartup(results)
+	if !strings.Contains(out, "bus") || !strings.Contains(out, "star") {
+		t.Errorf("startup table malformed:\n%s", out)
+	}
+	// Both topologies start within the same order of magnitude; a
+	// systematic 10x gap would indicate a modelling bug.
+	if b, s := results[0].Latency.Mean(), results[1].Latency.Mean(); b > 10*s || s > 10*b {
+		t.Errorf("startup latency wildly asymmetric: bus %.2fms star %.2fms", b, s)
+	}
+}
+
+func TestStartupLatencyPassiveHub(t *testing.T) {
+	r, err := StartupLatency(cluster.TopologyStar, guardian.AuthorityPassive, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failures != 0 || r.HealthyFreezes != 0 {
+		t.Errorf("passive hub: failures=%d freezes=%d", r.Failures, r.HealthyFreezes)
+	}
+}

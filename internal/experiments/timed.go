@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ttastar/internal/channel"
+	"ttastar/internal/cluster"
+	"ttastar/internal/cstate"
+	"ttastar/internal/guardian"
+	"ttastar/internal/node"
+)
+
+// TimedReplayResult is the E9 outcome: the abstract model's §5 failure
+// reproduced in the timed simulator, with a fault-free control run.
+type TimedReplayResult struct {
+	// HealthyFreezes counts integrated healthy nodes frozen after the
+	// replay (the property violation; ≥ 1 expected).
+	HealthyFreezes int
+	// Disruptions additionally counts startup regressions.
+	Disruptions int
+	// Replays is the number of out-of-slot replays injected (1).
+	Replays int
+	// ControlFreezes is the same scenario without the replay (0 expected).
+	ControlFreezes int
+	// VictimIntegrated confirms the late joiner integrated on something
+	// in the faulty run (it must, to be a §5-style failure).
+	VictimIntegrated bool
+}
+
+// TimedReplay runs E9: a running 3-node star cluster with full-shifting
+// couplers; node 4 joins while the channel-A coupler replays its buffered
+// frame out of slot, aimed into node 4's silent slot so the replay is the
+// first valid frame the integrating node sees.
+func TimedReplay() (TimedReplayResult, error) {
+	var out TimedReplayResult
+	for _, inject := range []bool{true, false} {
+		c, err := cluster.New(cluster.Config{
+			Topology:  cluster.TopologyStar,
+			Authority: guardian.AuthorityFullShift,
+		})
+		if err != nil {
+			return out, fmt.Errorf("experiments: timed replay cluster: %w", err)
+		}
+		for i := 1; i <= 3; i++ {
+			if err := c.StartNode(cstate.NodeID(i), time.Duration(i)*100*time.Microsecond); err != nil {
+				return out, err
+			}
+		}
+		c.Run(20 * time.Millisecond)
+		if c.CountInState(node.StateActive) != 3 {
+			return out, fmt.Errorf("experiments: timed replay precondition failed")
+		}
+
+		now := c.Sched.Now()
+		initDelay := c.Schedule.Slot(1).Duration
+		s4, ok := c.Coupler(channel.ChannelA).Tracker().NextSlotStart(now.Add(initDelay+200*time.Microsecond), 4)
+		if !ok {
+			return out, fmt.Errorf("experiments: coupler lost phase")
+		}
+		listenAt := s4.Add(-15 * time.Microsecond)
+		if err := c.StartNode(4, listenAt.Sub(now)-initDelay); err != nil {
+			return out, err
+		}
+		if inject {
+			if err := c.Coupler(channel.ChannelA).ReplayBuffered(s4.Add(10 * time.Microsecond).Sub(now)); err != nil {
+				return out, fmt.Errorf("experiments: replay: %w", err)
+			}
+		}
+		c.Run(30 * time.Millisecond)
+
+		if inject {
+			out.HealthyFreezes = c.HealthyFreezes()
+			out.Disruptions = c.Disruptions()
+			out.Replays = c.Coupler(channel.ChannelA).Stats().Replays
+			out.VictimIntegrated = c.Node(4).Stats().Integrations > 0
+		} else {
+			out.ControlFreezes = c.HealthyFreezes()
+		}
+	}
+	return out, nil
+}
+
+// FormatTimedReplay renders E9 as text.
+func FormatTimedReplay(r TimedReplayResult) string {
+	return fmt.Sprintf(
+		"replay run:  healthy freezes=%d disruptions=%d replays=%d victim integrated=%v\n"+
+			"control run: healthy freezes=%d\n",
+		r.HealthyFreezes, r.Disruptions, r.Replays, r.VictimIntegrated, r.ControlFreezes)
+}

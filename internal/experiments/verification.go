@@ -1,0 +1,119 @@
+// Package experiments implements the paper's evaluation artifacts end to
+// end: the §5 verification matrix and counterexample traces (E1–E3), the
+// §6 equations and Figure 3 (E4–E7), the buffer-occupancy validation (E8),
+// the timed replay failure (E9), and the §2.2 motivating fault-injection
+// campaigns (E10–E11). Commands, examples and benchmarks all call into
+// this package so every surface reports the same numbers.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ttastar/internal/guardian"
+	"ttastar/internal/mc"
+	"ttastar/internal/model"
+	"ttastar/internal/trace"
+)
+
+// MatrixRow is one row of the E1 verification matrix (§5.2 results).
+type MatrixRow struct {
+	Authority guardian.Authority
+	Faults    []model.Fault
+	Result    mc.Result
+}
+
+// VerificationMatrix checks the §5.1 property for all four coupler
+// authority levels — the paper's headline result: the first three hold,
+// full shifting fails.
+func VerificationMatrix(opts mc.Options) ([]MatrixRow, error) {
+	authorities := []guardian.Authority{
+		guardian.AuthorityPassive,
+		guardian.AuthorityTimeWindows,
+		guardian.AuthoritySmallShift,
+		guardian.AuthorityFullShift,
+	}
+	rows := make([]MatrixRow, 0, len(authorities))
+	for _, a := range authorities {
+		m, err := model.New(model.Config{Authority: a})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building model for %v: %w", a, err)
+		}
+		res, err := mc.CheckTransitionInvariant(m, m.Property(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: checking %v: %w", a, err)
+		}
+		rows = append(rows, MatrixRow{Authority: a, Faults: m.AllowedFaults(), Result: res})
+	}
+	return rows, nil
+}
+
+// FormatMatrix renders the verification matrix as a text table.
+func FormatMatrix(rows []MatrixRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-40s %-8s %10s %8s\n", "coupler", "fault modes", "property", "states", "trace")
+	for _, r := range rows {
+		verdict := "HOLDS"
+		traceLen := "-"
+		if !r.Result.Holds {
+			verdict = "FAILS"
+			traceLen = fmt.Sprint(len(r.Result.Counterexample))
+		}
+		faults := make([]string, len(r.Faults))
+		for i, f := range r.Faults {
+			faults[i] = f.String()
+		}
+		fmt.Fprintf(&b, "%-16s %-40s %-8s %10d %8s\n",
+			r.Authority, strings.Join(faults, ","), verdict, r.Result.StatesExplored, traceLen)
+	}
+	return b.String()
+}
+
+// TraceResult is a counterexample plus its prose rendering (E2/E3).
+type TraceResult struct {
+	Model    *model.Model
+	Result   mc.Result
+	Rendered string
+}
+
+func traceFor(cfg model.Config) (TraceResult, error) {
+	m, err := model.New(cfg)
+	if err != nil {
+		return TraceResult{}, fmt.Errorf("experiments: %w", err)
+	}
+	res, err := mc.CheckTransitionInvariant(m, m.Property(), mc.Options{})
+	if err != nil {
+		return TraceResult{}, fmt.Errorf("experiments: %w", err)
+	}
+	out := TraceResult{Model: m, Result: res}
+	if !res.Holds {
+		out.Rendered = trace.Render(m, res.Counterexample)
+	}
+	return out, nil
+}
+
+// ColdStartReplayTrace reproduces the paper's first published trace (E2):
+// full-shifting couplers, at most one out-of-slot error; the failure is a
+// duplicated cold-start frame.
+func ColdStartReplayTrace() (TraceResult, error) {
+	return traceFor(model.Config{
+		Authority:    guardian.AuthorityFullShift,
+		MaxOutOfSlot: 1,
+	})
+}
+
+// CStateReplayTrace reproduces the paper's second published trace (E3):
+// cold-start duplication prohibited; the failure is a duplicated C-state
+// frame.
+func CStateReplayTrace() (TraceResult, error) {
+	return traceFor(model.Config{
+		Authority:         guardian.AuthorityFullShift,
+		NoColdStartReplay: true,
+	})
+}
+
+// UnconstrainedTrace is the shortest counterexample with no extra
+// constraints (the paper notes it uses several out-of-slot errors).
+func UnconstrainedTrace() (TraceResult, error) {
+	return traceFor(model.Config{Authority: guardian.AuthorityFullShift})
+}

@@ -1,0 +1,99 @@
+package frame
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ttastar/internal/bitstr"
+	"ttastar/internal/cstate"
+	"ttastar/internal/sim"
+)
+
+// randomBits builds an arbitrary bit string from fuzz inputs.
+func randomBits(seed uint64, length uint16) *bitstr.String {
+	rng := sim.NewRNG(seed)
+	n := int(length) % 2200
+	s := bitstr.New(n)
+	for i := 0; i < n; i++ {
+		s.AppendBit(rng.Bool())
+	}
+	return s
+}
+
+// TestDecodeTotalOnRandomBits: Decode must be total — no panic on any
+// input — and must essentially never judge random bits correct (the CRC
+// would have to collide).
+func TestDecodeTotalOnRandomBits(t *testing.T) {
+	rx := cstate.CState{GlobalTime: 3, RoundSlot: 1, Membership: 0b1111}
+	f := func(seed uint64, length uint16, kindSeed uint8) bool {
+		bits := randomBits(seed, length)
+		kind := Kind(1 + kindSeed%4)
+		res := Decode(kind, bits, rx)
+		if res.Status == StatusCorrect {
+			// A 24-bit CRC collision on random input would be a one in
+			// 16M fluke; with explicit C-state comparison on top, treat
+			// any hit as a bug.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeForIntegrationTotalOnRandomBits: the integration decoder is
+// total and never accepts random bits.
+func TestDecodeForIntegrationTotalOnRandomBits(t *testing.T) {
+	f := func(seed uint64, length uint16) bool {
+		_, ok := DecodeForIntegration(randomBits(seed, length))
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeTotalOnTruncatedFrames: prefixes of genuine frames (what a
+// tail-cutting guardian or a mid-frame collision produces) must decode
+// without panicking and never as correct.
+func TestDecodeTotalOnTruncatedFrames(t *testing.T) {
+	cs := cstate.CState{GlobalTime: 7, RoundSlot: 2, Membership: 0b11}
+	whole, err := NewI(2, cs).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < whole.Len(); cut++ {
+		prefix := whole.Slice(0, cut)
+		for _, k := range []Kind{KindColdStart, KindN, KindI, KindX} {
+			if res := Decode(k, prefix, cs); res.Status == StatusCorrect {
+				t.Fatalf("truncated frame (%d bits) decoded correct as %v", cut, k)
+			}
+		}
+		if _, ok := DecodeForIntegration(prefix); ok {
+			t.Fatalf("truncated frame (%d bits) accepted for integration", cut)
+		}
+	}
+}
+
+// TestDecodeBitFlipSweepXFrame: every single-bit corruption of an X-frame
+// must be detected (invalid or incorrect, never correct). The trailing
+// XFramePadBits are meaningless filler outside both CRCs and are exempt.
+func TestDecodeBitFlipSweepXFrame(t *testing.T) {
+	cs := cstate.CState{GlobalTime: 1, RoundSlot: 1, Membership: 1}
+	data := bitstr.New(24).AppendUint(0xABCDEF, 24)
+	bits, err := NewX(1, cs, data).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < bits.Len()-XFramePadBits; i++ {
+		bits.Flip(i)
+		if res := Decode(KindX, bits, cs); res.Status == StatusCorrect {
+			t.Fatalf("bit flip at %d undetected", i)
+		}
+		bits.Flip(i)
+	}
+	if res := Decode(KindX, bits, cs); res.Status != StatusCorrect {
+		t.Fatal("pristine frame no longer correct after sweep")
+	}
+}

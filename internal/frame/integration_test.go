@@ -1,0 +1,104 @@
+package frame
+
+import (
+	"testing"
+
+	"ttastar/internal/bitstr"
+	"ttastar/internal/cstate"
+)
+
+func TestDecodeForIntegrationColdStart(t *testing.T) {
+	bits, err := NewColdStart(3, 12).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := DecodeForIntegration(bits)
+	if !ok || f.Kind != KindColdStart || f.Sender != 3 {
+		t.Errorf("cold-start: ok=%v f=%+v", ok, f)
+	}
+}
+
+func TestDecodeForIntegrationIFrame(t *testing.T) {
+	cs := cstate.CState{GlobalTime: 9, RoundSlot: 2, Membership: cstate.Membership(0).With(1).With(2)}
+	bits, err := NewI(2, cs).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := DecodeForIntegration(bits)
+	if !ok || f.Kind != KindI || f.CState.RoundSlot != 2 || f.CState.GlobalTime != 9 {
+		t.Errorf("I-frame: ok=%v f=%+v", ok, f)
+	}
+}
+
+func TestDecodeForIntegrationXFrame(t *testing.T) {
+	cs := cstate.CState{GlobalTime: 4, RoundSlot: 1, Membership: cstate.Membership(0).With(1)}
+	data := bitstr.New(16).AppendUint(0xBEEF, 16)
+	bits, err := NewX(1, cs, data).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := DecodeForIntegration(bits)
+	if !ok || f.Kind != KindX || !f.CState.Equal(cs) {
+		t.Errorf("X-frame: ok=%v f=%+v", ok, f)
+	}
+	// Corrupting the C-state makes it unusable for integration.
+	bits.Flip(HeaderBits + 5)
+	if _, ok := DecodeForIntegration(bits); ok {
+		t.Error("corrupted X-frame accepted for integration")
+	}
+}
+
+func TestDecodeForIntegrationRejects(t *testing.T) {
+	if _, ok := DecodeForIntegration(nil); ok {
+		t.Error("nil accepted")
+	}
+	if _, ok := DecodeForIntegration(bitstr.New(0)); ok {
+		t.Error("empty accepted")
+	}
+	// N-frames carry no verifiable C-state.
+	nBits, err := NewN(1, cstate.CState{}, nil).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := DecodeForIntegration(nBits); ok {
+		t.Error("N-frame accepted for integration")
+	}
+	// A corrupted I-frame.
+	iBits, err := NewI(1, cstate.CState{RoundSlot: 1}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iBits.Flip(20)
+	if _, ok := DecodeForIntegration(iBits); ok {
+		t.Error("corrupted I-frame accepted for integration")
+	}
+	if _, ok := DecodeForIntegration(channelNoise(64)); ok {
+		t.Error("noise accepted for integration")
+	}
+}
+
+func channelNoise(n int) *bitstr.String {
+	s := bitstr.New(n)
+	for i := 0; i < n; i++ {
+		s.AppendBit(i%3 == 0)
+	}
+	return s
+}
+
+func TestLooksLikeFrame(t *testing.T) {
+	cases := []struct {
+		build func() *bitstr.String
+		want  bool
+	}{
+		{func() *bitstr.String { b, _ := NewColdStart(1, 0).Encode(); return b }, true},
+		{func() *bitstr.String { b, _ := NewI(1, cstate.CState{}).Encode(); return b }, true},
+		{func() *bitstr.String { b, _ := NewN(1, cstate.CState{}, nil).Encode(); return b }, true},
+		{func() *bitstr.String { return nil }, false},
+		{func() *bitstr.String { return bitstr.FromBits(true, false) }, false},
+	}
+	for i, tc := range cases {
+		if got := LooksLikeFrame(tc.build()); got != tc.want {
+			t.Errorf("case %d: LooksLikeFrame = %v, want %v", i, got, tc.want)
+		}
+	}
+}

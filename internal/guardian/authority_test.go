@@ -1,0 +1,154 @@
+package guardian
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ttastar/internal/frame"
+)
+
+func TestAuthorityCapabilities(t *testing.T) {
+	cases := []struct {
+		a                      Authority
+		block, reshape, buffer bool
+	}{
+		{AuthorityPassive, false, false, false},
+		{AuthorityTimeWindows, true, false, false},
+		{AuthoritySmallShift, true, true, false},
+		{AuthorityFullShift, true, true, true},
+	}
+	for _, tc := range cases {
+		if tc.a.CanBlock() != tc.block || tc.a.CanReshape() != tc.reshape || tc.a.CanBufferFrames() != tc.buffer {
+			t.Errorf("%v: capabilities = %v/%v/%v, want %v/%v/%v", tc.a,
+				tc.a.CanBlock(), tc.a.CanReshape(), tc.a.CanBufferFrames(),
+				tc.block, tc.reshape, tc.buffer)
+		}
+	}
+}
+
+func TestAuthorityStrings(t *testing.T) {
+	want := map[Authority]string{
+		AuthorityPassive:     "passive",
+		AuthorityTimeWindows: "time windows",
+		AuthoritySmallShift:  "small shifting",
+		AuthorityFullShift:   "full shifting",
+	}
+	for a, w := range want {
+		if a.String() != w {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), w)
+		}
+	}
+	if Authority(9).String() != "Authority(9)" {
+		t.Error("unknown authority string")
+	}
+}
+
+func TestFaultModePossibleFor(t *testing.T) {
+	// §4.4: out_of_slot occurs only with full time shifting; all other
+	// faults may be caused by any configuration.
+	all := []Authority{AuthorityPassive, AuthorityTimeWindows, AuthoritySmallShift, AuthorityFullShift}
+	for _, a := range all {
+		for _, f := range []FaultMode{FaultNone, FaultSilence, FaultBadFrame} {
+			if !f.PossibleFor(a) {
+				t.Errorf("%v impossible for %v", f, a)
+			}
+		}
+		want := a == AuthorityFullShift
+		if FaultOutOfSlot.PossibleFor(a) != want {
+			t.Errorf("out_of_slot possible for %v = %v, want %v", a, !want, want)
+		}
+	}
+}
+
+func TestFaultModeStrings(t *testing.T) {
+	want := map[FaultMode]string{
+		FaultNone: "none", FaultSilence: "silence",
+		FaultBadFrame: "bad_frame", FaultOutOfSlot: "out_of_slot",
+	}
+	for f, w := range want {
+		if f.String() != w {
+			t.Errorf("%d.String() = %q, want %q", f, f.String(), w)
+		}
+	}
+	if FaultMode(9).String() != "FaultMode(9)" {
+		t.Error("unknown fault string")
+	}
+	if LocalFaultNone.String() != "none" || LocalFaultStuckClosed.String() != "stuck_closed" ||
+		LocalFaultStuckOpen.String() != "stuck_open" || LocalFault(9).String() != "LocalFault(9)" {
+		t.Error("local fault strings wrong")
+	}
+}
+
+func TestPeakOccupancyFastGuardian(t *testing.T) {
+	// Guardian drains at least as fast as the frame arrives: the start-up
+	// threshold (le) is the high-water mark.
+	if got := PeakOccupancy(2076, 4, 1.0, 1.0); got != 4 {
+		t.Errorf("equal rates: peak = %g, want 4", got)
+	}
+	if got := PeakOccupancy(2076, 4, 0.9999, 1.0001); got != 4 {
+		t.Errorf("fast guardian: peak = %g, want 4", got)
+	}
+}
+
+func TestPeakOccupancyMatchesEquationOne(t *testing.T) {
+	// Slow guardian: peak ≈ le + Δ·f_max, the paper's eq. (1). Worst-case
+	// commodity oscillators: Δ = 0.0002 (eq. 5).
+	const le, fMax = 4, 2076
+	in, out := 1.0001, 0.9999
+	delta := (in - out) / in
+	got := PeakOccupancy(fMax, le, in, out)
+	want := MinBufferBits(le, delta, fMax)
+	// Our leaky bucket excludes the already-buffered le bits from the
+	// residue, so it sits just below eq. (1).
+	if got > want || want-got > delta*le+1e-9 {
+		t.Errorf("peak = %g, eq.(1) = %g", got, want)
+	}
+}
+
+func TestPeakOccupancyLargeMismatch(t *testing.T) {
+	// A 30% slower guardian (the eq. 8 extreme) buffering a 76-bit I-frame.
+	got := PeakOccupancy(76, 4, 1.0, 0.7)
+	want := 4 + 72*0.3
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("peak = %g, want %g", got, want)
+	}
+}
+
+func TestPeakOccupancyEdgeCases(t *testing.T) {
+	if PeakOccupancy(0, 4, 1, 1) != 0 {
+		t.Error("zero-length frame should occupy nothing")
+	}
+	if PeakOccupancy(10, -5, 1, 1) != 0 {
+		t.Error("negative threshold not clamped")
+	}
+	if got := PeakOccupancy(10, 50, 1.1, 0.9); got != 10 {
+		t.Errorf("threshold beyond frame: peak = %g, want 10", got)
+	}
+}
+
+func TestPeakOccupancyMonotoneInMismatchProperty(t *testing.T) {
+	f := func(frameSeed uint16, mismatchSeed uint8) bool {
+		bits := 28 + int(frameSeed)%2048
+		d1 := float64(mismatchSeed%100) / 1000
+		d2 := d1 + 0.01
+		p1 := PeakOccupancy(bits, 4, 1.0, 1.0-d1)
+		p2 := PeakOccupancy(bits, 4, 1.0, 1.0-d2)
+		return p2 >= p1 && p1 >= 4 && p2 <= float64(bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinBufferBitsEquationFive(t *testing.T) {
+	// Eq. (5)-(6) context: Δ = 0.0002, f_max = 115000 → B_min just under
+	// the 28-bit minimum frame (27 = f_min−1).
+	got := MinBufferBits(4, 0.0002, 115000)
+	if math.Abs(got-27) > 1e-9 {
+		t.Errorf("B_min = %g, want 27 (f_min−1)", got)
+	}
+	if got := MinBufferBits(4, 0, frame.MaxXFrameBits); got != 4 {
+		t.Errorf("zero mismatch: B_min = %g, want le", got)
+	}
+}

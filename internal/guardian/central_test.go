@@ -1,0 +1,397 @@
+package guardian
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ttastar/internal/channel"
+	"ttastar/internal/cstate"
+	"ttastar/internal/frame"
+	"ttastar/internal/medl"
+	"ttastar/internal/sim"
+)
+
+type sink struct {
+	got []channel.Reception
+}
+
+func (s *sink) Receive(rx channel.Reception) { s.got = append(s.got, rx) }
+
+type centralFixture struct {
+	sched *sim.Scheduler
+	medl  *medl.Schedule
+	out   *channel.Medium
+	g     *Central
+	rx    *sink
+}
+
+func newCentralFixture(t *testing.T, mutate func(*CentralConfig)) *centralFixture {
+	t.Helper()
+	f := &centralFixture{
+		sched: sim.NewScheduler(),
+		medl:  medl.Default4Node(),
+	}
+	f.out = channel.NewMedium(f.sched, channel.ChannelA, "dist")
+	f.rx = &sink{}
+	f.out.Attach(f.rx)
+	cfg := CentralConfig{Name: "coupler0", Authority: AuthorityTimeWindows, Schedule: f.medl}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	g, err := NewCentral(f.sched, cfg, f.out, sim.NewRNG(1), nil)
+	if err != nil {
+		t.Fatalf("NewCentral: %v", err)
+	}
+	f.g = g
+	return f
+}
+
+// coldStartTx builds node id's cold-start transmission starting at start.
+func (f *centralFixture) coldStartTx(t *testing.T, id cstate.NodeID, gt uint16, start sim.Time) channel.Transmission {
+	t.Helper()
+	bits := encodeFrame(t, frame.NewColdStart(id, gt))
+	return channel.Transmission{
+		Origin:   id,
+		Bits:     bits,
+		Start:    start,
+		Duration: f.medl.TransmissionTime(bits.Len()),
+		Strength: channel.NominalStrength,
+	}
+}
+
+func (f *centralFixture) iFrameTx(t *testing.T, id cstate.NodeID, cs cstate.CState, start sim.Time) channel.Transmission {
+	t.Helper()
+	bits := encodeFrame(t, frame.NewI(id, cs))
+	return channel.Transmission{
+		Origin:   id,
+		Bits:     bits,
+		Start:    start,
+		Duration: f.medl.TransmissionTime(bits.Len()),
+		Strength: channel.NominalStrength,
+	}
+}
+
+// actionTime returns the reference instant of slot's action time in the
+// round that starts at roundStart.
+func (f *centralFixture) actionTime(roundStart sim.Time, slot int) sim.Time {
+	return roundStart.Add(f.medl.SlotStart(slot) + f.medl.Slot(slot).ActionOffset)
+}
+
+func TestNewCentralValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	out := channel.NewMedium(sched, channel.ChannelA, "d")
+	if _, err := NewCentral(sched, CentralConfig{Authority: AuthorityPassive}, out, sim.NewRNG(1), nil); err == nil {
+		t.Error("missing schedule accepted")
+	}
+	if _, err := NewCentral(sched, CentralConfig{Authority: Authority(9), Schedule: medl.Default4Node()}, out, sim.NewRNG(1), nil); err == nil {
+		t.Error("bad authority accepted")
+	}
+}
+
+func TestCentralDefaultBufferSizes(t *testing.T) {
+	for _, tc := range []struct {
+		a    Authority
+		want int
+	}{
+		{AuthorityPassive, 0},
+		{AuthorityTimeWindows, DefaultLineEncodingBits},
+		{AuthoritySmallShift, frame.ColdStartBits - 1}, // smallest frame in the schedule is the 50-bit cold-start
+		{AuthorityFullShift, frame.MinIFrameBits},      // largest: the 76-bit I-frames
+	} {
+		f := newCentralFixture(t, func(c *CentralConfig) { c.Authority = tc.a })
+		if got := f.g.BufferBits(); got != tc.want {
+			t.Errorf("%v: default buffer = %d bits, want %d", tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestCentralPassiveForwardsEverything(t *testing.T) {
+	f := newCentralFixture(t, func(c *CentralConfig) { c.Authority = AuthorityPassive })
+	port := f.g.InputPort(1)
+
+	// Sync the coupler, then transmit from node 1 in a wrong slot at a
+	// wrong time: a passive hub must still forward.
+	port.Transmit(f.coldStartTx(t, 1, 0, f.actionTime(0, 1)))
+	f.sched.RunUntil(sim.Time(f.medl.RoundDuration()))
+	badTime := f.sched.Now().Add(3 * time.Microsecond)
+	port.Transmit(f.coldStartTx(t, 1, 9, badTime))
+	f.sched.RunUntil(sim.Time(2 * f.medl.RoundDuration()))
+
+	if len(f.rx.got) != 2 {
+		t.Fatalf("forwarded %d transmissions, want 2", len(f.rx.got))
+	}
+	if f.g.Stats().WindowBlocked+f.g.Stats().WrongSlot != 0 {
+		t.Error("passive coupler blocked something")
+	}
+}
+
+func TestCentralWindowsBlockForeignSlot(t *testing.T) {
+	f := newCentralFixture(t, nil)
+	// Anchor the guardian on node 1's cold-start in slot 1.
+	f.g.InputPort(1).Transmit(f.coldStartTx(t, 1, 0, f.actionTime(0, 1)))
+	f.sched.RunUntil(sim.Time(f.medl.SlotStart(2)))
+
+	// Node 3 transmits during slot 2 (node 2's slot): blocked.
+	f.g.InputPort(3).Transmit(f.coldStartTx(t, 3, 0, f.actionTime(0, 2)))
+	f.sched.RunUntil(sim.Time(f.medl.RoundDuration()))
+
+	if got := f.g.Stats().WrongSlot; got != 1 {
+		t.Errorf("WrongSlot = %d, want 1", got)
+	}
+	if len(f.rx.got) != 1 {
+		t.Errorf("forwarded %d transmissions, want only the anchor", len(f.rx.got))
+	}
+}
+
+func TestCentralWindowsBlockOffTiming(t *testing.T) {
+	f := newCentralFixture(t, nil)
+	f.g.InputPort(1).Transmit(f.coldStartTx(t, 1, 0, f.actionTime(0, 1)))
+	f.sched.RunUntil(sim.Time(f.medl.RoundDuration()))
+
+	// Node 2 transmits in its own slot of round 2, but 50 µs late — far
+	// outside precision+margin (10+10 µs).
+	round2 := sim.Time(f.medl.RoundDuration())
+	late := f.actionTime(round2, 2).Add(50 * time.Microsecond)
+	f.g.InputPort(2).Transmit(f.coldStartTx(t, 2, 0, late))
+	f.sched.RunUntil(round2 + sim.Time(f.medl.RoundDuration()))
+
+	if got := f.g.Stats().WindowBlocked; got != 1 {
+		t.Errorf("WindowBlocked = %d, want 1", got)
+	}
+}
+
+func TestCentralUnsyncedIsOpen(t *testing.T) {
+	f := newCentralFixture(t, nil)
+	// No anchor yet: anything goes through (start-up must be possible).
+	f.g.InputPort(2).Transmit(f.coldStartTx(t, 2, 0, 5))
+	f.sched.RunUntil(sim.Time(f.medl.RoundDuration()))
+	if len(f.rx.got) != 1 {
+		t.Errorf("unsynced coupler forwarded %d, want 1", len(f.rx.got))
+	}
+}
+
+func TestCentralSmallShiftReshapes(t *testing.T) {
+	f := newCentralFixture(t, func(c *CentralConfig) { c.Authority = AuthoritySmallShift })
+	f.g.InputPort(1).Transmit(f.coldStartTx(t, 1, 0, f.actionTime(0, 1)))
+	f.sched.RunUntil(sim.Time(f.medl.RoundDuration()))
+
+	// Node 2, slightly early (within window) and weak: the coupler must
+	// re-time it onto the action time and re-drive the strength.
+	round2 := sim.Time(f.medl.RoundDuration())
+	early := f.actionTime(round2, 2).Add(-5 * time.Microsecond)
+	tx := f.coldStartTx(t, 2, 0, early)
+	tx.Strength = 0.55 // marginal: SOS in the value domain
+	f.g.InputPort(2).Transmit(tx)
+	f.sched.RunUntil(round2 + sim.Time(f.medl.RoundDuration()))
+
+	if len(f.rx.got) != 2 {
+		t.Fatalf("forwarded %d transmissions, want 2", len(f.rx.got))
+	}
+	got := f.rx.got[1]
+	if got.Strength != channel.NominalStrength {
+		t.Errorf("strength not re-driven: %g", got.Strength)
+	}
+	latency := f.medl.TransmissionTime(DefaultLineEncodingBits)
+	wantStart := f.actionTime(round2, 2).Add(latency)
+	if d := got.Start.Sub(wantStart); d.Abs() > time.Microsecond {
+		t.Errorf("frame not re-timed: start %v, want %v", got.Start, wantStart)
+	}
+	if f.g.Stats().Reshaped == 0 {
+		t.Error("Reshaped not counted")
+	}
+}
+
+func TestCentralTimeWindowsDoesNotReshape(t *testing.T) {
+	f := newCentralFixture(t, nil)
+	f.g.InputPort(1).Transmit(f.coldStartTx(t, 1, 0, f.actionTime(0, 1)))
+	f.sched.RunUntil(sim.Time(f.medl.RoundDuration()))
+
+	round2 := sim.Time(f.medl.RoundDuration())
+	early := f.actionTime(round2, 2).Add(-5 * time.Microsecond)
+	tx := f.coldStartTx(t, 2, 0, early)
+	tx.Strength = 0.55
+	f.g.InputPort(2).Transmit(tx)
+	f.sched.RunUntil(round2 + sim.Time(f.medl.RoundDuration()))
+
+	got := f.rx.got[len(f.rx.got)-1]
+	if got.Strength != 0.55 {
+		t.Errorf("time-windows coupler changed strength to %g", got.Strength)
+	}
+	if f.g.Stats().Reshaped != 0 {
+		t.Error("time-windows coupler reshaped")
+	}
+}
+
+func TestCentralFullShiftBuffersAndReplays(t *testing.T) {
+	f := newCentralFixture(t, func(c *CentralConfig) { c.Authority = AuthorityFullShift })
+	f.g.InputPort(1).Transmit(f.coldStartTx(t, 1, 3, f.actionTime(0, 1)))
+	f.sched.RunUntil(sim.Time(f.medl.RoundDuration()))
+
+	if err := f.g.ReplayBuffered(f.medl.Slot(1).Duration); err != nil {
+		t.Fatalf("ReplayBuffered: %v", err)
+	}
+	f.sched.RunUntil(sim.Time(3 * f.medl.RoundDuration()))
+
+	if len(f.rx.got) != 2 {
+		t.Fatalf("got %d transmissions, want original + replay", len(f.rx.got))
+	}
+	if !f.rx.got[0].Bits.Equal(f.rx.got[1].Bits) {
+		t.Error("replayed bits differ from original")
+	}
+	if f.g.Stats().Replays != 1 {
+		t.Errorf("Replays = %d, want 1", f.g.Stats().Replays)
+	}
+}
+
+func TestCentralReplayImpossibleWithoutFullShift(t *testing.T) {
+	for _, a := range []Authority{AuthorityPassive, AuthorityTimeWindows, AuthoritySmallShift} {
+		f := newCentralFixture(t, func(c *CentralConfig) { c.Authority = a })
+		f.g.InputPort(1).Transmit(f.coldStartTx(t, 1, 0, f.actionTime(0, 1)))
+		f.sched.RunUntil(sim.Time(f.medl.RoundDuration()))
+		if err := f.g.ReplayBuffered(0); !errors.Is(err, ErrFaultImpossible) {
+			t.Errorf("%v: ReplayBuffered err = %v, want ErrFaultImpossible", a, err)
+		}
+	}
+	// Full shift without any buffered frame.
+	f := newCentralFixture(t, func(c *CentralConfig) { c.Authority = AuthorityFullShift })
+	if err := f.g.ReplayBuffered(0); !errors.Is(err, ErrNoBufferedFrame) {
+		t.Errorf("empty buffer: err = %v, want ErrNoBufferedFrame", err)
+	}
+}
+
+func TestCentralSetFaultValidation(t *testing.T) {
+	f := newCentralFixture(t, nil) // time windows
+	if err := f.g.SetFault(FaultOutOfSlot); !errors.Is(err, ErrFaultImpossible) {
+		t.Errorf("out_of_slot on windows coupler: err = %v", err)
+	}
+	if err := f.g.SetFault(FaultSilence); err != nil {
+		t.Errorf("silence: err = %v", err)
+	}
+	if f.g.Fault() != FaultSilence {
+		t.Error("fault not recorded")
+	}
+	f.g.ClearFault()
+	if f.g.Fault() != FaultNone {
+		t.Error("ClearFault did not reset")
+	}
+}
+
+func TestCentralSilenceFaultDropsFrames(t *testing.T) {
+	f := newCentralFixture(t, nil)
+	if err := f.g.SetFault(FaultSilence); err != nil {
+		t.Fatal(err)
+	}
+	f.g.InputPort(1).Transmit(f.coldStartTx(t, 1, 0, f.actionTime(0, 1)))
+	f.sched.RunUntil(sim.Time(f.medl.RoundDuration()))
+	if len(f.rx.got) != 0 {
+		t.Errorf("silent coupler forwarded %d transmissions", len(f.rx.got))
+	}
+	if f.g.Stats().FaultDropped != 1 {
+		t.Errorf("FaultDropped = %d, want 1", f.g.Stats().FaultDropped)
+	}
+}
+
+func TestCentralBadFrameFaultEmitsNoise(t *testing.T) {
+	f := newCentralFixture(t, nil)
+	if err := f.g.SetFault(FaultBadFrame); err != nil {
+		t.Fatal(err)
+	}
+	f.g.InputPort(1).Transmit(f.coldStartTx(t, 1, 0, f.actionTime(0, 1)))
+	f.sched.RunUntil(sim.Time(2 * f.medl.RoundDuration()))
+
+	if f.g.Stats().NoiseEmissions < 4 {
+		t.Errorf("NoiseEmissions = %d, want several", f.g.Stats().NoiseEmissions)
+	}
+	for _, rx := range f.rx.got {
+		if rx.Origin != cstate.NoNode {
+			t.Error("babbled frame carries a node origin")
+		}
+	}
+	f.g.ClearFault()
+	before := f.g.Stats().NoiseEmissions
+	f.sched.RunUntil(sim.Time(4 * f.medl.RoundDuration()))
+	if f.g.Stats().NoiseEmissions != before {
+		t.Error("noise continued after ClearFault")
+	}
+}
+
+func TestCentralSemanticBlocksMasquerade(t *testing.T) {
+	f := newCentralFixture(t, func(c *CentralConfig) {
+		c.Authority = AuthoritySmallShift
+		c.SemanticAnalysis = true
+	})
+	// Node 3's port sends a cold-start frame claiming to be node 1.
+	f.g.InputPort(3).Transmit(f.coldStartTx(t, 1, 0, f.actionTime(0, 1)))
+	f.sched.RunUntil(sim.Time(f.medl.RoundDuration()))
+
+	if len(f.rx.got) != 0 {
+		t.Error("masqueraded cold-start forwarded")
+	}
+	if f.g.Stats().SemanticBlocked != 1 {
+		t.Errorf("SemanticBlocked = %d, want 1", f.g.Stats().SemanticBlocked)
+	}
+	// The genuine frame passes.
+	f.g.InputPort(1).Transmit(f.coldStartTx(t, 1, 0, f.actionTime(sim.Time(f.medl.RoundDuration()), 1)))
+	f.sched.RunUntil(sim.Time(2 * f.medl.RoundDuration()))
+	if len(f.rx.got) != 1 {
+		t.Error("genuine cold-start blocked")
+	}
+}
+
+func TestCentralSemanticBlocksBadCState(t *testing.T) {
+	f := newCentralFixture(t, func(c *CentralConfig) {
+		c.Authority = AuthoritySmallShift
+		c.SemanticAnalysis = true
+	})
+	// Anchor with a genuine cold-start from node 1 (global time 0).
+	f.g.InputPort(1).Transmit(f.coldStartTx(t, 1, 0, f.actionTime(0, 1)))
+	f.sched.RunUntil(sim.Time(f.medl.SlotStart(2)))
+
+	// Node 2 sends an I-frame in its slot with a wildly wrong global time.
+	cs := cstate.CState{GlobalTime: 999, RoundSlot: 2, Membership: cstate.Membership(0).With(1).With(2)}
+	f.g.InputPort(2).Transmit(f.iFrameTx(t, 2, cs, f.actionTime(0, 2)))
+	f.sched.RunUntil(sim.Time(f.medl.RoundDuration()))
+
+	if f.g.Stats().SemanticBlocked != 1 {
+		t.Errorf("SemanticBlocked = %d, want 1", f.g.Stats().SemanticBlocked)
+	}
+	if len(f.rx.got) != 1 {
+		t.Errorf("forwarded %d, want only the anchor frame", len(f.rx.got))
+	}
+
+	// A consistent I-frame passes.
+	cs.GlobalTime = 2 // slot 3 of the anchored round
+	cs.RoundSlot = 3
+	f.g.InputPort(3).Transmit(f.iFrameTx(t, 3, cs, f.actionTime(0, 3)))
+	f.sched.RunUntil(sim.Time(f.medl.RoundDuration()))
+	if f.g.Stats().SemanticBlocked != 1 {
+		t.Error("consistent I-frame blocked")
+	}
+}
+
+func TestCentralBufferOverflowTruncates(t *testing.T) {
+	// A small-shift coupler with a tiny buffer facing a much slower sender
+	// clock: the leaky bucket overflows and the frame is damaged.
+	f := newCentralFixture(t, func(c *CentralConfig) {
+		c.Authority = AuthoritySmallShift
+		c.BufferBits = 5
+	})
+	tx := f.coldStartTx(t, 1, 0, f.actionTime(0, 1))
+	tx.Duration = tx.Duration * 90 / 100 // sender clock 10% fast: bits pile up
+	f.g.InputPort(1).Transmit(tx)
+	f.sched.RunUntil(sim.Time(f.medl.RoundDuration()))
+
+	if f.g.Stats().Truncated != 1 {
+		t.Fatalf("Truncated = %d, want 1", f.g.Stats().Truncated)
+	}
+	if len(f.rx.got) != 1 {
+		t.Fatalf("forwarded %d, want 1 (damaged)", len(f.rx.got))
+	}
+	if f.rx.got[0].Bits.Len() >= frame.ColdStartBits {
+		t.Error("truncated frame kept its full length")
+	}
+	if f.g.Stats().PeakBufferBits <= 5 {
+		t.Errorf("PeakBufferBits = %g, want > capacity", f.g.Stats().PeakBufferBits)
+	}
+}

@@ -1,0 +1,175 @@
+package guardian
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ttastar/internal/channel"
+	"ttastar/internal/cstate"
+	"ttastar/internal/medl"
+	"ttastar/internal/sim"
+)
+
+// LocalFault is a fault mode of a per-node local bus guardian.
+type LocalFault uint8
+
+// Local guardian fault modes.
+const (
+	// LocalFaultNone is error-free operation.
+	LocalFaultNone LocalFault = iota + 1
+	// LocalFaultStuckClosed blocks all of the node's transmissions —
+	// which, unlike the same fault in a central guardian, silences only
+	// this node (the paper's §1 motivating contrast).
+	LocalFaultStuckClosed
+	// LocalFaultStuckOpen forwards everything unchecked, exposing the bus
+	// to a babbling node.
+	LocalFaultStuckOpen
+)
+
+// String names the fault.
+func (f LocalFault) String() string {
+	switch f {
+	case LocalFaultNone:
+		return "none"
+	case LocalFaultStuckClosed:
+		return "stuck_closed"
+	case LocalFaultStuckOpen:
+		return "stuck_open"
+	default:
+		return fmt.Sprintf("LocalFault(%d)", uint8(f))
+	}
+}
+
+// LocalConfig parameterizes a local bus guardian.
+type LocalConfig struct {
+	// Node is the guarded node; the guardian only passes transmissions in
+	// this node's slot.
+	Node cstate.NodeID
+	// Schedule is the MEDL copy the guardian holds.
+	Schedule *medl.Schedule
+	// Drift is the guardian's independent oscillator deviation.
+	Drift sim.PPB
+	// WindowMargin widens the acceptance window beyond the precision;
+	// defaults to the precision.
+	WindowMargin time.Duration
+	// StaleAfter controls phase-view expiry (default two rounds).
+	StaleAfter time.Duration
+}
+
+// LocalStats counts local-guardian activity.
+type LocalStats struct {
+	Received  int
+	Forwarded int
+	Blocked   int
+}
+
+// Local is a per-node bus guardian: it sits between its node's transmitter
+// and the shared bus, opening the bus only during the node's own slot. It
+// derives its phase by listening to bus traffic on its own independent
+// clock. Before it ever synchronizes (cluster start-up) it is open — local
+// guardians cannot do the content checks a central guardian can, which is
+// the §2.2 motivation for centralization.
+type Local struct {
+	sched   *sim.Scheduler
+	cfg     LocalConfig
+	out     channel.Wire
+	tracker *PhaseTracker
+	fault   LocalFault
+	tracer  sim.Tracer
+	stats   LocalStats
+}
+
+var (
+	_ channel.Wire     = (*Local)(nil)
+	_ channel.Receiver = (*Local)(nil)
+)
+
+// NewLocal builds a local guardian in front of bus wire out. Attach it as a
+// receiver to the bus medium so it can track the cluster phase.
+func NewLocal(sched *sim.Scheduler, cfg LocalConfig, out channel.Wire, tracer sim.Tracer) (*Local, error) {
+	if cfg.Schedule == nil {
+		return nil, errors.New("guardian: local config needs a schedule")
+	}
+	if cfg.Schedule.OwnerSlot(cfg.Node) == 0 {
+		return nil, fmt.Errorf("guardian: node %v owns no slot", cfg.Node)
+	}
+	if cfg.WindowMargin == 0 {
+		cfg.WindowMargin = cfg.Schedule.Precision
+	}
+	clock := sim.NewClock(sched, cfg.Drift)
+	tracker := NewPhaseTracker(clock, cfg.Schedule, cfg.StaleAfter)
+	tracker.SetMaxCorrection(cfg.Schedule.Precision)
+	return &Local{
+		sched:   sched,
+		cfg:     cfg,
+		out:     out,
+		tracker: tracker,
+		tracer:  tracer,
+	}, nil
+}
+
+// Stats returns a snapshot of the guardian's counters.
+func (l *Local) Stats() LocalStats { return l.stats }
+
+// Fault returns the injected fault mode.
+func (l *Local) Fault() LocalFault { return l.fault }
+
+// SetFault injects a local-guardian fault.
+func (l *Local) SetFault(f LocalFault) { l.fault = f }
+
+// Receive implements channel.Receiver: the guardian overhears the bus to
+// maintain its phase view.
+func (l *Local) Receive(rx channel.Reception) {
+	if rx.Collided || rx.Strength < 0.5 {
+		return
+	}
+	l.tracker.Observe(rx.Bits, rx.Start)
+}
+
+// Transmit implements channel.Wire: the node's transmitter feeds the
+// guardian, which decides whether the bus opens.
+func (l *Local) Transmit(tx channel.Transmission) {
+	l.stats.Received++
+	switch l.fault {
+	case LocalFaultStuckClosed:
+		l.stats.Blocked++
+		return
+	case LocalFaultStuckOpen:
+		l.forward(tx)
+		return
+	}
+	slot, off, synced := l.tracker.SlotAt(tx.Start)
+	if !synced {
+		// Start-up: no phase reference yet; the bus stays open so
+		// cold-start traffic can flow.
+		l.forward(tx)
+		return
+	}
+	sl := l.cfg.Schedule.Slot(slot)
+	if sl.Owner != l.cfg.Node {
+		l.stats.Blocked++
+		l.trace("blocked transmission in foreign slot %d (owner %v)", slot, sl.Owner)
+		return
+	}
+	dev := off - sl.ActionOffset
+	if dev.Abs() > l.cfg.Schedule.Precision+l.cfg.WindowMargin {
+		l.stats.Blocked++
+		l.trace("blocked transmission %v outside window of slot %d", dev, slot)
+		return
+	}
+	l.forward(tx)
+}
+
+func (l *Local) forward(tx channel.Transmission) {
+	l.stats.Forwarded++
+	l.out.Transmit(tx)
+}
+
+func (l *Local) trace(format string, args ...any) {
+	if l.tracer == nil {
+		return
+	}
+	l.tracer.Trace(l.sched.Now(), "guardian",
+		fmt.Sprintf("local[%v]: %s", l.cfg.Node, fmt.Sprintf(format, args...)))
+}

@@ -1,0 +1,133 @@
+package guardian
+
+import (
+	"testing"
+	"time"
+
+	"ttastar/internal/cstate"
+	"ttastar/internal/frame"
+	"ttastar/internal/medl"
+	"ttastar/internal/sim"
+)
+
+// csFor builds the C-state an honest sender of the given slot would carry.
+func csFor(slot, globalTime int) cstate.CState {
+	return cstate.CState{
+		GlobalTime: uint16(globalTime),
+		RoundSlot:  uint16(slot),
+		Membership: cstate.Membership(0).With(1).With(2).With(3).With(4),
+	}
+}
+
+func TestNextSlotStart(t *testing.T) {
+	sched := sim.NewScheduler()
+	s := medl.Default4Node()
+	clock := sim.NewClock(sched, 0)
+	tr := NewPhaseTracker(clock, s, time.Hour)
+
+	if _, ok := tr.NextSlotStart(0, 2); ok {
+		t.Fatal("NextSlotStart ok while unsynced")
+	}
+
+	// Anchor on node 1's cold start at its slot-1 action time: slot 1
+	// started at t=0.
+	bits := encodeFrame(t, frame.NewColdStart(1, 0))
+	tr.Observe(bits, sim.Time(s.Slot(1).ActionOffset))
+
+	at, ok := tr.NextSlotStart(0, 3)
+	if !ok || at != sim.Time(s.SlotStart(3)) {
+		t.Errorf("NextSlotStart(0, 3) = %v, %v; want %v", at, ok, s.SlotStart(3))
+	}
+	// Asking after that instant lands in the next round.
+	later := sim.Time(s.SlotStart(3)) + 1
+	at, ok = tr.NextSlotStart(later, 3)
+	if !ok || at != sim.Time(s.SlotStart(3)+s.RoundDuration()) {
+		t.Errorf("NextSlotStart(later, 3) = %v, %v", at, ok)
+	}
+	if _, ok := tr.NextSlotStart(0, 9); ok {
+		t.Error("out-of-range slot accepted")
+	}
+}
+
+func TestTrackerConsensusRejectsOutlier(t *testing.T) {
+	sched := sim.NewScheduler()
+	s := medl.Default4Node()
+	clock := sim.NewClock(sched, 0)
+	tr := NewPhaseTracker(clock, s, time.Hour)
+	tr.SetMaxCorrection(s.Precision)
+
+	// Anchor perfectly, then feed one round of deviations: two honest
+	// senders at +1 µs and a marginal one at +9 µs. The FTA median keeps
+	// the phase near the honest pair.
+	action := func(slot int, round int) sim.Time {
+		return sim.Time(time.Duration(round)*s.RoundDuration() + s.SlotStart(slot) + s.Slot(slot).ActionOffset)
+	}
+	tr.Observe(encodeFrame(t, frame.NewColdStart(1, 0)), action(1, 0))
+	for round := 1; round <= 3; round++ {
+		for slot := 1; slot <= 3; slot++ {
+			dev := time.Microsecond
+			if slot == 2 {
+				dev = 9 * time.Microsecond // the marginal sender
+			}
+			// I-frames make the claimed slot explicit.
+			bits := encodeFrame(t, frame.NewI(1, csFor(slot, round*4+slot-1)))
+			tr.Observe(bits, action(slot, round).Add(dev))
+		}
+	}
+	// The tracker's view of slot 1 must sit within ~2 µs of truth, not at
+	// the marginal sender's +9 µs.
+	at, ok := tr.NextSlotStart(action(4, 3), 1)
+	if !ok {
+		t.Fatal("tracker lost sync")
+	}
+	truth := sim.Time(4*s.RoundDuration() + s.SlotStart(1))
+	if d := at.Sub(truth); d.Abs() > 3*time.Microsecond {
+		t.Errorf("tracker dragged by marginal sender: off by %v", d)
+	}
+}
+
+func TestTrackerRebaseLongRun(t *testing.T) {
+	sched := sim.NewScheduler()
+	s := medl.Default4Node()
+	clock := sim.NewClock(sched, 0)
+	tr := NewPhaseTracker(clock, s, time.Hour)
+	tr.SetMaxCorrection(s.Precision)
+
+	action := func(slot, round int) sim.Time {
+		return sim.Time(time.Duration(round)*s.RoundDuration() + s.SlotStart(slot) + s.Slot(slot).ActionOffset)
+	}
+	for round := 0; round < 200; round++ {
+		for slot := 1; slot <= 4; slot++ {
+			bits := encodeFrame(t, frame.NewI(1, csFor(slot, round*4+slot-1)))
+			tr.Observe(bits, action(slot, round))
+		}
+	}
+	// After 200 rounds the global-time estimate must still track exactly.
+	gt, ok := tr.GlobalTimeAt(action(2, 200))
+	if !ok || gt != uint16(200*4+1) {
+		t.Errorf("GlobalTimeAt after 200 rounds = %d, %v; want %d", gt, ok, 200*4+1)
+	}
+}
+
+func TestForwardLatency(t *testing.T) {
+	s := medl.Default4Node()
+	if got := ForwardLatency(AuthorityPassive, s, 0); got != 0 {
+		t.Errorf("passive latency = %v", got)
+	}
+	if got := ForwardLatency(AuthorityTimeWindows, s, 0); got != s.TransmissionTime(DefaultLineEncodingBits) {
+		t.Errorf("windows latency = %v", got)
+	}
+	if got := ForwardLatency(AuthorityFullShift, s, 8); got != s.TransmissionTime(8) {
+		t.Errorf("custom le latency = %v", got)
+	}
+}
+
+func TestCentralAccessors(t *testing.T) {
+	f := newCentralFixture(t, nil)
+	if f.g.Authority() != AuthorityTimeWindows {
+		t.Error("Authority() wrong")
+	}
+	if f.g.Tracker() == nil {
+		t.Error("Tracker() nil")
+	}
+}

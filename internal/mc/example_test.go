@@ -1,0 +1,35 @@
+package mc_test
+
+import (
+	"fmt"
+	"strconv"
+
+	"ttastar/internal/mc"
+)
+
+// countTo3 is a toy model: states 0..3, each state steps to its successor.
+type countTo3 struct{}
+
+func (countTo3) Initial() []mc.State { return []mc.State{"0"} }
+
+func (countTo3) Successors(s mc.State) []mc.State {
+	v, _ := strconv.Atoi(string(s))
+	if v >= 3 {
+		return nil
+	}
+	return []mc.State{mc.State(strconv.Itoa(v + 1))}
+}
+
+// A violated invariant yields the shortest path to the violation, like
+// SMV's counterexamples.
+func ExampleCheckInvariant() {
+	res, err := mc.CheckInvariant(countTo3{}, func(s mc.State) bool {
+		return s != "2"
+	}, mc.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Holds, res.Counterexample)
+	// Output:
+	// false [0 1 2]
+}

@@ -1,0 +1,217 @@
+// Package mc is a small explicit-state model checker. It plays the role SMV
+// plays in the paper: given a finite-state model (initial states plus a
+// successor relation), it explores the reachable state space breadth-first,
+// checks invariants, and reconstructs shortest counterexample traces.
+//
+// The paper's correctness criterion (§5.1) is a *transition* invariant —
+// "a node in active or passive never moves to freeze" — so the checker
+// verifies predicates over (from, to) state pairs as well as plain state
+// invariants.
+package mc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State is an opaque, canonical encoding of one model state. Equal states
+// must encode to equal strings.
+type State string
+
+// Model is a finite-state transition system.
+type Model interface {
+	// Initial returns the initial states.
+	Initial() []State
+	// Successors returns every state reachable from s in one transition.
+	Successors(s State) []State
+}
+
+// TransitionInvariant is a predicate over a transition; the checker
+// searches for a reachable transition where it is false.
+type TransitionInvariant func(from, to State) bool
+
+// StateInvariant is a predicate over single states.
+type StateInvariant func(s State) bool
+
+// Options bound the exploration.
+type Options struct {
+	// MaxStates aborts the search after visiting this many states
+	// (0 = default of 20 million).
+	MaxStates int
+	// MaxDepth limits the BFS depth (0 = unbounded). With a depth limit
+	// the verdict "holds" only covers traces up to that length.
+	MaxDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxStates == 0 {
+		o.MaxStates = 20_000_000
+	}
+	return o
+}
+
+// ErrStateLimit reports that the state budget was exhausted before the
+// search completed.
+var ErrStateLimit = errors.New("mc: state limit exceeded")
+
+// Result is the outcome of a check.
+type Result struct {
+	// Holds is true when no reachable violation exists (within MaxDepth,
+	// if one was set).
+	Holds bool
+	// StatesExplored is the number of distinct states visited.
+	StatesExplored int
+	// TransitionsExplored is the number of transitions examined.
+	TransitionsExplored int
+	// Depth is the height of the explored BFS tree.
+	Depth int
+	// DepthBounded is set when MaxDepth cut the search off.
+	DepthBounded bool
+	// Counterexample is a shortest path of states from an initial state to
+	// the violation (inclusive); empty when Holds.
+	Counterexample []State
+}
+
+// String summarizes the result.
+func (r Result) String() string {
+	verdict := "HOLDS"
+	if !r.Holds {
+		verdict = fmt.Sprintf("FAILS (counterexample length %d)", len(r.Counterexample))
+	} else if r.DepthBounded {
+		verdict = fmt.Sprintf("HOLDS (up to depth %d)", r.Depth)
+	}
+	return fmt.Sprintf("%s — %d states, %d transitions explored", verdict, r.StatesExplored, r.TransitionsExplored)
+}
+
+type bfsNode struct {
+	parent State
+	depth  int
+}
+
+// CheckTransitionInvariant explores the reachable state space breadth-first
+// and reports whether inv holds on every reachable transition. Because the
+// search is breadth-first, a returned counterexample is of minimal length,
+// like SMV's shortest error traces.
+func CheckTransitionInvariant(m Model, inv TransitionInvariant, opts Options) (Result, error) {
+	return check(m, nil, inv, opts)
+}
+
+// CheckInvariant explores the reachable state space and reports whether inv
+// holds in every reachable state.
+func CheckInvariant(m Model, inv StateInvariant, opts Options) (Result, error) {
+	return check(m, inv, nil, opts)
+}
+
+func check(m Model, stInv StateInvariant, trInv TransitionInvariant, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	visited := make(map[State]bfsNode)
+	var frontier []State
+	res := Result{Holds: true}
+
+	for _, s := range m.Initial() {
+		if _, seen := visited[s]; seen {
+			continue
+		}
+		visited[s] = bfsNode{}
+		if stInv != nil && !stInv(s) {
+			res.Holds = false
+			res.Counterexample = []State{s}
+			res.StatesExplored = len(visited)
+			return res, nil
+		}
+		frontier = append(frontier, s)
+	}
+
+	for len(frontier) > 0 {
+		var next []State
+		for _, s := range frontier {
+			depth := visited[s].depth
+			if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
+				res.DepthBounded = true
+				continue
+			}
+			for _, succ := range m.Successors(s) {
+				res.TransitionsExplored++
+				if trInv != nil && !trInv(s, succ) {
+					res.Holds = false
+					res.Counterexample = append(tracePath(visited, s), succ)
+					res.StatesExplored = len(visited)
+					res.Depth = depth + 1
+					return res, nil
+				}
+				if _, seen := visited[succ]; seen {
+					continue
+				}
+				visited[succ] = bfsNode{parent: s, depth: depth + 1}
+				if depth+1 > res.Depth {
+					res.Depth = depth + 1
+				}
+				if stInv != nil && !stInv(succ) {
+					res.Holds = false
+					res.Counterexample = tracePath(visited, succ)
+					res.StatesExplored = len(visited)
+					return res, nil
+				}
+				if len(visited) > opts.MaxStates {
+					res.StatesExplored = len(visited)
+					return res, fmt.Errorf("%d states: %w", len(visited), ErrStateLimit)
+				}
+				next = append(next, succ)
+			}
+		}
+		frontier = next
+	}
+	res.StatesExplored = len(visited)
+	return res, nil
+}
+
+// tracePath reconstructs the BFS path from an initial state to s inclusive.
+func tracePath(visited map[State]bfsNode, s State) []State {
+	var rev []State
+	for {
+		rev = append(rev, s)
+		n := visited[s]
+		if n.parent == "" && n.depth == 0 {
+			break
+		}
+		s = n.parent
+	}
+	out := make([]State, len(rev))
+	for i, st := range rev {
+		out[len(rev)-1-i] = st
+	}
+	return out
+}
+
+// RandomWalker explores by seeded random simulation — a cheap falsification
+// pass for models too large to exhaust.
+type RandomWalker struct {
+	// NextChoice returns a value in [0, n); a seeded RNG in practice.
+	NextChoice func(n int) int
+}
+
+// Walk runs walks random walks of at most depth steps each, returning the
+// first violating trace found, or nil.
+func (w RandomWalker) Walk(m Model, inv TransitionInvariant, walks, depth int) []State {
+	inits := m.Initial()
+	if len(inits) == 0 {
+		return nil
+	}
+	for i := 0; i < walks; i++ {
+		s := inits[w.NextChoice(len(inits))]
+		trace := []State{s}
+		for d := 0; d < depth; d++ {
+			succs := m.Successors(s)
+			if len(succs) == 0 {
+				break
+			}
+			next := succs[w.NextChoice(len(succs))]
+			trace = append(trace, next)
+			if !inv(s, next) {
+				return trace
+			}
+			s = next
+		}
+	}
+	return nil
+}

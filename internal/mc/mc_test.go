@@ -1,0 +1,212 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"testing"
+
+	"ttastar/internal/sim"
+)
+
+// counterModel counts from 0; each state may step +1 or +2, capped at max.
+type counterModel struct {
+	max int
+}
+
+func encodeInt(v int) State { return State(strconv.Itoa(v)) }
+
+func decodeInt(s State) int {
+	v, err := strconv.Atoi(string(s))
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func (m counterModel) Initial() []State { return []State{encodeInt(0)} }
+
+func (m counterModel) Successors(s State) []State {
+	v := decodeInt(s)
+	var out []State
+	for _, d := range []int{1, 2} {
+		if v+d <= m.max {
+			out = append(out, encodeInt(v+d))
+		}
+	}
+	return out
+}
+
+func TestCheckInvariantHolds(t *testing.T) {
+	m := counterModel{max: 100}
+	res, err := CheckInvariant(m, func(s State) bool { return decodeInt(s) <= 100 }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Error("invariant should hold")
+	}
+	if res.StatesExplored != 101 {
+		t.Errorf("StatesExplored = %d, want 101", res.StatesExplored)
+	}
+	if res.String() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestCheckInvariantShortestCounterexample(t *testing.T) {
+	m := counterModel{max: 100}
+	res, err := CheckInvariant(m, func(s State) bool { return decodeInt(s) != 9 }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("invariant should fail at 9")
+	}
+	// Shortest path to 9 by ±{1,2} steps: 0→2→4→6→8→9 or similar, 6 states.
+	if len(res.Counterexample) != 6 {
+		t.Errorf("counterexample length = %d, want 6 (shortest)", len(res.Counterexample))
+	}
+	if decodeInt(res.Counterexample[len(res.Counterexample)-1]) != 9 {
+		t.Error("counterexample does not end at violation")
+	}
+	if decodeInt(res.Counterexample[0]) != 0 {
+		t.Error("counterexample does not start at an initial state")
+	}
+	// Consecutive states must be valid transitions.
+	for i := 1; i < len(res.Counterexample); i++ {
+		d := decodeInt(res.Counterexample[i]) - decodeInt(res.Counterexample[i-1])
+		if d != 1 && d != 2 {
+			t.Errorf("invalid step %d in counterexample", d)
+		}
+	}
+}
+
+func TestCheckTransitionInvariant(t *testing.T) {
+	m := counterModel{max: 50}
+	// Forbid the specific transition 10 → 12.
+	inv := func(from, to State) bool {
+		return !(decodeInt(from) == 10 && decodeInt(to) == 12)
+	}
+	res, err := CheckTransitionInvariant(m, inv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("transition invariant should fail")
+	}
+	n := len(res.Counterexample)
+	if decodeInt(res.Counterexample[n-2]) != 10 || decodeInt(res.Counterexample[n-1]) != 12 {
+		t.Errorf("counterexample tail = %v", res.Counterexample[n-2:])
+	}
+	// 0→2→4→6→8→10→12: 7 states is the shortest.
+	if n != 7 {
+		t.Errorf("counterexample length = %d, want 7", n)
+	}
+}
+
+func TestTransitionInvariantHolds(t *testing.T) {
+	m := counterModel{max: 30}
+	res, err := CheckTransitionInvariant(m, func(from, to State) bool {
+		return decodeInt(to) > decodeInt(from)
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Error("monotonicity should hold")
+	}
+	if res.TransitionsExplored == 0 {
+		t.Error("no transitions explored")
+	}
+}
+
+func TestStateLimit(t *testing.T) {
+	m := counterModel{max: 1000}
+	_, err := CheckInvariant(m, func(State) bool { return true }, Options{MaxStates: 10})
+	if !errors.Is(err, ErrStateLimit) {
+		t.Errorf("err = %v, want ErrStateLimit", err)
+	}
+}
+
+func TestDepthBound(t *testing.T) {
+	m := counterModel{max: 1000}
+	res, err := CheckInvariant(m, func(s State) bool { return decodeInt(s) < 900 }, Options{MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth 5 reaches at most 10; the violation at 900 is invisible.
+	if !res.Holds {
+		t.Error("bounded check found unreachable violation")
+	}
+	if !res.DepthBounded {
+		t.Error("DepthBounded not set")
+	}
+	if res.Depth > 5 {
+		t.Errorf("Depth = %d beyond bound", res.Depth)
+	}
+	if res.String() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestInitialStateViolation(t *testing.T) {
+	m := counterModel{max: 10}
+	res, err := CheckInvariant(m, func(s State) bool { return decodeInt(s) != 0 }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds || len(res.Counterexample) != 1 {
+		t.Errorf("initial violation: holds=%v len=%d", res.Holds, len(res.Counterexample))
+	}
+}
+
+func TestDuplicateInitialStates(t *testing.T) {
+	m := dupInitModel{}
+	res, err := CheckInvariant(m, func(State) bool { return true }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatesExplored != 2 {
+		t.Errorf("StatesExplored = %d, want 2", res.StatesExplored)
+	}
+}
+
+type dupInitModel struct{}
+
+func (dupInitModel) Initial() []State { return []State{"a", "a", "b"} }
+
+func (dupInitModel) Successors(s State) []State { return nil }
+
+func TestRandomWalkFindsBug(t *testing.T) {
+	m := counterModel{max: 40}
+	rng := sim.NewRNG(3)
+	w := RandomWalker{NextChoice: func(n int) int { return rng.Intn(n) }}
+	trace := w.Walk(m, func(from, to State) bool { return decodeInt(to) != 20 }, 200, 60)
+	if trace == nil {
+		t.Fatal("random walk never hit 20 in 200 walks")
+	}
+	if decodeInt(trace[len(trace)-1]) != 20 {
+		t.Error("trace does not end at violation")
+	}
+}
+
+func TestRandomWalkCleanModel(t *testing.T) {
+	m := counterModel{max: 10}
+	rng := sim.NewRNG(5)
+	w := RandomWalker{NextChoice: func(n int) int { return rng.Intn(n) }}
+	if trace := w.Walk(m, func(State, State) bool { return true }, 50, 20); trace != nil {
+		t.Error("violation found in clean model")
+	}
+}
+
+func TestResultStringFormats(t *testing.T) {
+	r := Result{Holds: true, StatesExplored: 5, TransitionsExplored: 7}
+	if r.String() != "HOLDS — 5 states, 7 transitions explored" {
+		t.Errorf("String() = %q", r.String())
+	}
+	r = Result{Holds: false, Counterexample: make([]State, 3)}
+	if r.String() != fmt.Sprintf("FAILS (counterexample length 3) — 0 states, 0 transitions explored") {
+		t.Errorf("String() = %q", r.String())
+	}
+}

@@ -1,0 +1,76 @@
+package medl
+
+import (
+	"time"
+
+	"ttastar/internal/cstate"
+	"ttastar/internal/frame"
+)
+
+// Config parameterizes the schedule builder.
+type Config struct {
+	// Nodes is the number of cluster nodes; node i owns slot i.
+	Nodes int
+	// Kind is the frame kind every slot carries (the paper's model uses
+	// I-frames: explicit C-state).
+	Kind frame.Kind
+	// DataBits is the payload length for N-/X-frame slots.
+	DataBits int
+	// BitRate in bits per second; defaults to 1 Mbit/s.
+	BitRate int64
+	// Precision Π; defaults to 10 µs.
+	Precision time.Duration
+	// Gap is extra idle time appended to each slot beyond the minimum;
+	// defaults to 20 µs.
+	Gap time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.Kind == 0 {
+		c.Kind = frame.KindI
+	}
+	if c.BitRate == 0 {
+		c.BitRate = 1_000_000
+	}
+	if c.Precision == 0 {
+		c.Precision = 10 * time.Microsecond
+	}
+	if c.Gap == 0 {
+		c.Gap = 20 * time.Microsecond
+	}
+	return c
+}
+
+// Build constructs a uniform one-slot-per-node schedule from the config.
+// The result always validates.
+func Build(c Config) *Schedule {
+	c = c.withDefaults()
+	s := &Schedule{BitRate: c.BitRate, Precision: c.Precision}
+	for i := 1; i <= c.Nodes; i++ {
+		sl := Slot{
+			Owner:        cstate.NodeID(i),
+			Kind:         c.Kind,
+			DataBits:     c.DataBits,
+			ActionOffset: c.Precision,
+		}
+		tx := s.TransmissionTime(sl.FrameBits())
+		// Leave room for a cold-start frame too: during start-up this slot
+		// may carry one instead of its scheduled frame.
+		csTx := s.TransmissionTime(frame.ColdStartBits)
+		if csTx > tx {
+			tx = csTx
+		}
+		sl.Duration = sl.ActionOffset + tx + c.Precision + c.Gap
+		s.Slots = append(s.Slots, sl)
+	}
+	return s
+}
+
+// Default4Node returns the schedule the paper's model corresponds to: four
+// nodes, one I-frame slot each.
+func Default4Node() *Schedule {
+	return Build(Config{})
+}

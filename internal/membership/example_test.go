@@ -1,0 +1,21 @@
+package membership_test
+
+import (
+	"fmt"
+
+	"ttastar/internal/frame"
+	"ttastar/internal/membership"
+)
+
+// A round of judgements drives the clique-avoidance counters; the test at
+// the node's own slot decides whether it may keep operating.
+func ExampleCounters() {
+	var c membership.Counters
+	c.Reset() // the node counts itself
+	c.Note(frame.StatusCorrect)
+	c.Note(frame.StatusNull) // silent slots count as neither
+	c.Note(frame.StatusIncorrect)
+	fmt.Println(c, "pass:", c.CliquePass())
+	// Output:
+	// agreed=2 failed=1 pass: true
+}

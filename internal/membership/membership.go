@@ -1,0 +1,63 @@
+// Package membership implements the TTP/C group-membership bookkeeping and
+// the clique-avoidance test: per-round agreed/failed slot counters, the
+// majority test run in a node's own slot, and the membership-vector updates
+// driven by slot judgements.
+package membership
+
+import (
+	"fmt"
+
+	"ttastar/internal/cstate"
+	"ttastar/internal/frame"
+)
+
+// Counters are the per-round clique-avoidance counters the paper models as
+// agreed_slots_counter and failed_slots_counter. The agreed counter starts
+// at 1 after every reset, counting the node's own slot.
+type Counters struct {
+	Agreed int
+	Failed int
+}
+
+// Reset starts a new counting round; the node counts itself as agreed.
+func (c *Counters) Reset() {
+	c.Agreed = 1
+	c.Failed = 0
+}
+
+// Note records the judgement of one observed slot. Null slots count as
+// neither agreed nor failed.
+func (c *Counters) Note(st frame.Status) {
+	switch {
+	case st.CountsAsAgreed():
+		c.Agreed++
+	case st.CountsAsFailed():
+		c.Failed++
+	}
+}
+
+// CliquePass is the clique-avoidance majority test: the node may keep
+// operating only if it agreed with more slots than it failed.
+func (c *Counters) CliquePass() bool { return c.Agreed > c.Failed }
+
+// ColdStartAlone reports the cold-start re-send condition: nobody answered
+// during the round (no frame beyond the node's own, nothing failed), so the
+// cold-starting node sends another cold-start frame.
+func (c *Counters) ColdStartAlone() bool { return c.Agreed <= 1 && c.Failed == 0 }
+
+// String renders the counters for traces.
+func (c Counters) String() string { return fmt.Sprintf("agreed=%d failed=%d", c.Agreed, c.Failed) }
+
+// Apply returns the membership vector after judging slot owner's
+// transmission: a correct frame keeps (or re-admits) the owner, anything
+// else — including silence — removes it. The receiving node never removes
+// itself here; its own fate is decided by the clique test.
+func Apply(m cstate.Membership, owner, self cstate.NodeID, st frame.Status) cstate.Membership {
+	if owner == self || owner == cstate.NoNode {
+		return m
+	}
+	if st == frame.StatusCorrect {
+		return m.With(owner)
+	}
+	return m.Without(owner)
+}

@@ -1,0 +1,115 @@
+package membership
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ttastar/internal/cstate"
+	"ttastar/internal/frame"
+)
+
+func TestCountersResetCountsSelf(t *testing.T) {
+	var c Counters
+	c.Agreed, c.Failed = 7, 7
+	c.Reset()
+	if c.Agreed != 1 || c.Failed != 0 {
+		t.Errorf("after Reset: %v", c)
+	}
+}
+
+func TestCountersNote(t *testing.T) {
+	var c Counters
+	c.Reset()
+	c.Note(frame.StatusCorrect)
+	c.Note(frame.StatusNull)
+	c.Note(frame.StatusInvalid)
+	c.Note(frame.StatusIncorrect)
+	if c.Agreed != 2 {
+		t.Errorf("Agreed = %d, want 2", c.Agreed)
+	}
+	if c.Failed != 2 {
+		t.Errorf("Failed = %d, want 2", c.Failed)
+	}
+}
+
+func TestCliquePass(t *testing.T) {
+	cases := []struct {
+		agreed, failed int
+		want           bool
+	}{
+		{1, 0, true},  // alone, nothing failed
+		{1, 1, false}, // tie loses
+		{3, 1, true},
+		{1, 3, false},
+		{0, 0, false}, // degenerate: no self-count, no pass
+	}
+	for _, tc := range cases {
+		c := Counters{Agreed: tc.agreed, Failed: tc.failed}
+		if got := c.CliquePass(); got != tc.want {
+			t.Errorf("CliquePass(%d,%d) = %v, want %v", tc.agreed, tc.failed, got, tc.want)
+		}
+	}
+}
+
+func TestColdStartAlone(t *testing.T) {
+	cases := []struct {
+		agreed, failed int
+		want           bool
+	}{
+		{1, 0, true},
+		{2, 0, false}, // someone answered
+		{1, 1, false}, // something failed
+		{0, 0, true},
+	}
+	for _, tc := range cases {
+		c := Counters{Agreed: tc.agreed, Failed: tc.failed}
+		if got := c.ColdStartAlone(); got != tc.want {
+			t.Errorf("ColdStartAlone(%d,%d) = %v, want %v", tc.agreed, tc.failed, got, tc.want)
+		}
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	c := Counters{Agreed: 2, Failed: 1}
+	if got := c.String(); got != "agreed=2 failed=1" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestApplyMembership(t *testing.T) {
+	self := cstate.NodeID(1)
+	m := cstate.Membership(0).With(1).With(2).With(3)
+
+	if got := Apply(m, 2, self, frame.StatusCorrect); !got.Contains(2) {
+		t.Error("correct frame removed sender")
+	}
+	if got := Apply(m, 2, self, frame.StatusIncorrect); got.Contains(2) {
+		t.Error("incorrect frame kept sender")
+	}
+	if got := Apply(m, 2, self, frame.StatusNull); got.Contains(2) {
+		t.Error("silent sender kept membership")
+	}
+	if got := Apply(m.Without(4), 4, self, frame.StatusCorrect); !got.Contains(4) {
+		t.Error("recovered sender not re-admitted")
+	}
+	if got := Apply(m, self, self, frame.StatusIncorrect); !got.Contains(self) {
+		t.Error("node removed itself on own slot judgement")
+	}
+	if got := Apply(m, cstate.NoNode, self, frame.StatusIncorrect); got != m {
+		t.Error("NoNode owner changed vector")
+	}
+}
+
+func TestApplyIdempotentProperty(t *testing.T) {
+	f := func(base uint32, ownerSeed, stSeed uint8) bool {
+		owner := cstate.NodeID(1 + ownerSeed%8)
+		st := frame.Status(1 + stSeed%4)
+		m := cstate.Membership(base)
+		once := Apply(m, owner, 1, st)
+		twice := Apply(once, owner, 1, st)
+		return once == twice
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,296 @@
+// Package model is the paper's §4 formal model of the TTA star topology,
+// transcribed from its SMV constraints: a slot-synchronous finite-state
+// model of N TTP/C nodes, two redundant star couplers with fault modes, the
+// big-bang cold-start rule, listen timeouts, and the clique-avoidance
+// counters. One transition of the model corresponds to exactly one TDMA
+// slot (§4.2).
+//
+// The model plugs into the explicit-state checker in internal/mc; the §5.1
+// correctness property is exported as a transition invariant.
+package model
+
+import (
+	"fmt"
+
+	"ttastar/internal/guardian"
+	"ttastar/internal/mc"
+)
+
+// Phase is a node's protocol phase in the abstract model. The await, test
+// and download states of the full controller are host-managed detours with
+// no protocol behaviour; they are disabled by default (see DESIGN.md) and
+// re-enabled by Config.AllowHostStates.
+type Phase uint8
+
+// The modeled protocol phases.
+const (
+	PhaseFreeze Phase = iota + 1
+	PhaseInit
+	PhaseListen
+	PhaseColdStart
+	PhaseActive
+	PhasePassive
+	PhaseAwait
+	PhaseTest
+	PhaseDownload
+)
+
+// String returns the paper's name for the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseFreeze:
+		return "freeze"
+	case PhaseInit:
+		return "init"
+	case PhaseListen:
+		return "listen"
+	case PhaseColdStart:
+		return "cold_start"
+	case PhaseActive:
+		return "active"
+	case PhasePassive:
+		return "passive"
+	case PhaseAwait:
+		return "await"
+	case PhaseTest:
+		return "test"
+	case PhaseDownload:
+		return "download"
+	default:
+		return fmt.Sprintf("Phase(%d)", uint8(p))
+	}
+}
+
+// Integrated reports whether the §5.1 property quantifies over this phase.
+func (p Phase) Integrated() bool { return p == PhaseActive || p == PhasePassive }
+
+// FrameKind is what a channel carries during one slot (§4.3's none,
+// cold_start, c_state, bad_frame, other).
+type FrameKind uint8
+
+// Channel contents.
+const (
+	FrameNone FrameKind = iota + 1
+	FrameColdStart
+	FrameCState
+	FrameOther
+	FrameBad
+)
+
+// String returns the paper's name for the frame kind.
+func (k FrameKind) String() string {
+	switch k {
+	case FrameNone:
+		return "none"
+	case FrameColdStart:
+		return "cold_start"
+	case FrameCState:
+		return "c_state"
+	case FrameOther:
+		return "other"
+	case FrameBad:
+		return "bad_frame"
+	default:
+		return fmt.Sprintf("FrameKind(%d)", uint8(k))
+	}
+}
+
+// Fault is a per-step coupler fault choice (§4.4).
+type Fault uint8
+
+// Coupler fault modes.
+const (
+	FaultNone Fault = iota + 1
+	FaultSilence
+	FaultBadFrame
+	FaultOutOfSlot
+)
+
+// String returns the paper's name for the fault.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultSilence:
+		return "silence"
+	case FaultBadFrame:
+		return "bad_frame"
+	case FaultOutOfSlot:
+		return "out_of_slot"
+	default:
+		return fmt.Sprintf("Fault(%d)", uint8(f))
+	}
+}
+
+// NumCouplers is the number of redundant star couplers (channels).
+const NumCouplers = 2
+
+// Config parameterizes the model.
+type Config struct {
+	// Nodes is the cluster size; node i owns slot i. Default 4 (the
+	// paper's cluster), maximum 7 (listen timeouts must fit 4 bits).
+	Nodes int
+	// Authority is the couplers' feature set. Out-of-slot faults exist
+	// only for full-shifting couplers; the other §4.4 faults exist for
+	// every feature set.
+	Authority guardian.Authority
+	// MaxOutOfSlot, when positive, bounds the total number of out-of-slot
+	// fault occurrences — the constraint the paper adds to obtain its
+	// first published trace.
+	MaxOutOfSlot int
+	// NoColdStartReplay forbids replaying buffered cold-start frames — the
+	// constraint the paper adds to obtain its second trace (a duplicated
+	// C-state frame).
+	NoColdStartReplay bool
+	// AllowInitFreeze re-enables the paper's init → freeze detour
+	// (default off; it only enlarges the state space).
+	AllowInitFreeze bool
+	// AllowHostStates re-enables the paper's freeze → {await, test}
+	// detours and the await → download path. These host-managed states
+	// have no protocol behaviour; they are off by default because they
+	// only enlarge the state space (DESIGN.md §4).
+	AllowHostStates bool
+	// DataSlots lists slots whose owner sends frames *without* explicit
+	// C-state ("other" in §4.3) when active — N-frame slots. Listening
+	// nodes cannot integrate on them (but they do reset the listen
+	// timeout). Slots not listed carry C-state frames.
+	DataSlots []int
+	// DisableBigBang removes the big-bang rule: listening nodes integrate
+	// on the *first* cold-start frame. An ablation of the startup
+	// algorithm's defence; see the ablation tests for what it does and
+	// does not protect against within this fault model.
+	DisableBigBang bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.Authority == 0 {
+		c.Authority = guardian.AuthoritySmallShift
+	}
+	return c
+}
+
+// NodeState is one node's state variables (§4.3).
+type NodeState struct {
+	Phase   Phase
+	Slot    uint8 // current TDMA slot (1..N); 0 when not operational
+	Agreed  uint8 // agreed_slots_counter
+	Failed  uint8 // failed_slots_counter
+	BigBang bool  // a cold-start frame was seen while in listen
+	Timeout uint8 // listen_timeout in slots
+}
+
+// CouplerState is one star coupler's state variables (§4.4).
+type CouplerState struct {
+	BufferedID   uint8     // buffered_id: sender slot of the last frame
+	BufferedKind FrameKind // buffered_frame
+}
+
+// State is the full model state.
+type State struct {
+	Nodes         []NodeState
+	Couplers      [NumCouplers]CouplerState
+	OutOfSlotUsed uint8 // tracked only when MaxOutOfSlot > 0
+}
+
+// Model is the checkable transition system.
+type Model struct {
+	cfg Config
+}
+
+var _ mc.Model = (*Model)(nil)
+
+// New builds a model from cfg.
+func New(cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 2 || cfg.Nodes > 7 {
+		return nil, fmt.Errorf("model: %d nodes outside [2,7]", cfg.Nodes)
+	}
+	if cfg.Authority < guardian.AuthorityPassive || cfg.Authority > guardian.AuthorityFullShift {
+		return nil, fmt.Errorf("model: unknown authority %d", cfg.Authority)
+	}
+	for _, s := range cfg.DataSlots {
+		if s < 1 || s > cfg.Nodes {
+			return nil, fmt.Errorf("model: data slot %d outside [1,%d]", s, cfg.Nodes)
+		}
+	}
+	return &Model{cfg: cfg}, nil
+}
+
+// Config returns the model's configuration (with defaults applied).
+func (m *Model) Config() Config { return m.cfg }
+
+// Encode serializes a state canonically.
+func (m *Model) Encode(s State) mc.State {
+	buf := make([]byte, 0, 3*m.cfg.Nodes+NumCouplers+1)
+	for _, n := range s.Nodes {
+		bb := byte(0)
+		if n.BigBang {
+			bb = 1
+		}
+		buf = append(buf,
+			byte(n.Phase)<<4|bb<<3|0, // phase(4) | bigbang(1) | pad
+			n.Slot<<4|n.Agreed,
+			n.Failed<<4|n.Timeout,
+		)
+	}
+	for _, c := range s.Couplers {
+		buf = append(buf, byte(c.BufferedKind)<<4|c.BufferedID)
+	}
+	buf = append(buf, s.OutOfSlotUsed)
+	return mc.State(buf)
+}
+
+// Decode parses a canonical state encoding.
+func (m *Model) Decode(enc mc.State) State {
+	b := []byte(enc)
+	s := State{Nodes: make([]NodeState, m.cfg.Nodes)}
+	for i := 0; i < m.cfg.Nodes; i++ {
+		o := 3 * i
+		s.Nodes[i] = NodeState{
+			Phase:   Phase(b[o] >> 4),
+			BigBang: b[o]>>3&1 == 1,
+			Slot:    b[o+1] >> 4,
+			Agreed:  b[o+1] & 0xF,
+			Failed:  b[o+2] >> 4,
+			Timeout: b[o+2] & 0xF,
+		}
+	}
+	for c := 0; c < NumCouplers; c++ {
+		v := b[3*m.cfg.Nodes+c]
+		s.Couplers[c] = CouplerState{BufferedKind: FrameKind(v >> 4), BufferedID: v & 0xF}
+	}
+	s.OutOfSlotUsed = b[len(b)-1]
+	return s
+}
+
+// Initial implements mc.Model: all nodes frozen, couplers empty (§4.3:
+// "Initially, all nodes are in the freeze state").
+func (m *Model) Initial() []mc.State {
+	s := State{Nodes: make([]NodeState, m.cfg.Nodes)}
+	for i := range s.Nodes {
+		s.Nodes[i] = NodeState{Phase: PhaseFreeze}
+	}
+	for c := range s.Couplers {
+		s.Couplers[c] = CouplerState{BufferedKind: FrameNone}
+	}
+	return []mc.State{m.Encode(s)}
+}
+
+// Property is the §5.1 correctness criterion as a transition invariant: no
+// node in active or passive may move to freeze. (Nodes are modeled not to
+// fail, so any such freeze is caused by the single modeled coupler fault.)
+func (m *Model) Property() mc.TransitionInvariant {
+	return func(from, to mc.State) bool {
+		f := m.Decode(from)
+		t := m.Decode(to)
+		for i := range f.Nodes {
+			if f.Nodes[i].Phase.Integrated() && t.Nodes[i].Phase == PhaseFreeze {
+				return false
+			}
+		}
+		return true
+	}
+}

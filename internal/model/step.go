@@ -1,0 +1,443 @@
+package model
+
+import (
+	"ttastar/internal/guardian"
+	"ttastar/internal/mc"
+)
+
+// Content is what one channel carries during a slot.
+type Content struct {
+	Kind FrameKind
+	ID   uint8 // sender round-slot position; 0 for none/bad
+}
+
+// faultAssignment is one per-step choice of coupler faults, honouring the
+// fault hypothesis "at most one coupler has a fault at a given time".
+type faultAssignment [NumCouplers]Fault
+
+// StepInfo describes how one transition happened: the fault choice and the
+// resulting channel contents. Trace rendering uses it.
+type StepInfo struct {
+	Faults   [NumCouplers]Fault
+	Channels [NumCouplers]Content
+}
+
+// Successors implements mc.Model: all states reachable in one TDMA slot.
+func (m *Model) Successors(enc mc.State) []mc.State {
+	var out []mc.State
+	seen := make(map[mc.State]bool)
+	m.expand(m.Decode(enc), func(e mc.State, _ StepInfo) bool {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+		return false
+	})
+	return out
+}
+
+// Explain finds a fault/channel assignment under which 'from' steps to
+// 'to'. It re-enumerates the single transition, which is cheap.
+func (m *Model) Explain(from, to mc.State) (StepInfo, bool) {
+	var found StepInfo
+	ok := false
+	m.expand(m.Decode(from), func(e mc.State, info StepInfo) bool {
+		if e == to {
+			found, ok = info, true
+			return true
+		}
+		return false
+	})
+	return found, ok
+}
+
+// expand enumerates every successor of s, invoking visit with the encoded
+// state and the step description; visit returns true to stop early.
+func (m *Model) expand(s State, visit func(mc.State, StepInfo) bool) {
+	// The frame each sending node puts on both channels this slot (§4.3's
+	// frame_sent): cold-starting nodes send cold-start frames, active
+	// nodes send frames with explicit C-state.
+	nominal, sendersPresent := m.nominalContent(s)
+
+	for _, fa := range m.faultAssignments(s) {
+		var ch [NumCouplers]Content
+		oosThisStep := uint8(0)
+		for c := 0; c < NumCouplers; c++ {
+			switch fa[c] {
+			case FaultSilence:
+				ch[c] = Content{Kind: FrameNone}
+			case FaultBadFrame:
+				ch[c] = Content{Kind: FrameBad}
+			case FaultOutOfSlot:
+				ch[c] = Content{Kind: s.Couplers[c].BufferedKind, ID: s.Couplers[c].BufferedID}
+				oosThisStep++
+			default:
+				ch[c] = nominal
+			}
+		}
+		// A replayed frame is real channel activity even in a silent slot.
+		activity := sendersPresent
+		for c := 0; c < NumCouplers; c++ {
+			if fa[c] == FaultOutOfSlot && ch[c].Kind != FrameNone {
+				activity = true
+			}
+		}
+
+		// Per-node next states; freeze/init nodes are nondeterministic.
+		choices := make([][]NodeState, m.cfg.Nodes)
+		for i := range choices {
+			choices[i] = m.stepNode(s.Nodes[i], uint8(i+1), ch, activity)
+		}
+
+		// Coupler buffers track the frame on their channel (§4.4: updated
+		// whenever the id on the channel is non-zero).
+		var couplers [NumCouplers]CouplerState
+		for c := 0; c < NumCouplers; c++ {
+			couplers[c] = s.Couplers[c]
+			if ch[c].ID != 0 {
+				couplers[c] = CouplerState{BufferedID: ch[c].ID, BufferedKind: ch[c].Kind}
+			}
+		}
+		oosUsed := s.OutOfSlotUsed
+		if m.cfg.MaxOutOfSlot > 0 {
+			oosUsed += oosThisStep
+			if int(oosUsed) > m.cfg.MaxOutOfSlot {
+				oosUsed = uint8(m.cfg.MaxOutOfSlot) // saturate (choice already vetoed)
+			}
+		}
+
+		info := StepInfo{Faults: fa, Channels: ch}
+		next := State{Nodes: make([]NodeState, m.cfg.Nodes), Couplers: couplers, OutOfSlotUsed: oosUsed}
+		stop := false
+		m.enumerate(choices, 0, &next, func(st *State) {
+			if stop {
+				return
+			}
+			if visit(m.Encode(*st), info) {
+				stop = true
+			}
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+func (m *Model) enumerate(choices [][]NodeState, i int, acc *State, emit func(*State)) {
+	if i == len(choices) {
+		emit(acc)
+		return
+	}
+	for _, c := range choices[i] {
+		acc.Nodes[i] = c
+		m.enumerate(choices, i+1, acc, emit)
+	}
+}
+
+// nominalContent computes the fault-free channel content for this slot and
+// whether any real sender transmitted.
+func (m *Model) nominalContent(s State) (Content, bool) {
+	var frames []Content
+	for i, n := range s.Nodes {
+		own := uint8(i + 1)
+		if n.Slot != own {
+			continue
+		}
+		switch n.Phase {
+		case PhaseColdStart:
+			frames = append(frames, Content{Kind: FrameColdStart, ID: own})
+		case PhaseActive:
+			kind := FrameCState
+			if m.isDataSlot(int(own)) {
+				kind = FrameOther
+			}
+			frames = append(frames, Content{Kind: kind, ID: own})
+		}
+	}
+	switch len(frames) {
+	case 0:
+		return Content{Kind: FrameNone}, false
+	case 1:
+		return frames[0], true
+	default:
+		// Simultaneous transmissions collide into a bad frame.
+		return Content{Kind: FrameBad}, true
+	}
+}
+
+// faultAssignments enumerates the per-step coupler fault choices: fault-free
+// plus each single-coupler fault allowed by the configuration.
+func (m *Model) faultAssignments(s State) []faultAssignment {
+	out := []faultAssignment{{FaultNone, FaultNone}}
+	for c := 0; c < NumCouplers; c++ {
+		for _, f := range []Fault{FaultSilence, FaultBadFrame, FaultOutOfSlot} {
+			if f == FaultOutOfSlot {
+				if !m.cfg.Authority.CanBufferFrames() {
+					continue // §4.4: only full shifting can replay
+				}
+				if s.Couplers[c].BufferedKind == FrameNone {
+					continue // nothing buffered yet
+				}
+				if m.cfg.NoColdStartReplay && s.Couplers[c].BufferedKind == FrameColdStart {
+					continue // the paper's second-trace constraint
+				}
+				if m.cfg.MaxOutOfSlot > 0 && int(s.OutOfSlotUsed) >= m.cfg.MaxOutOfSlot {
+					continue // the paper's first-trace constraint
+				}
+			}
+			var fa faultAssignment
+			for k := range fa {
+				fa[k] = FaultNone
+			}
+			fa[c] = f
+			out = append(out, fa)
+		}
+	}
+	return out
+}
+
+// stepNode computes node i's possible next states given the channel
+// contents. Only freeze and init nodes are nondeterministic.
+func (m *Model) stepNode(n NodeState, own uint8, ch [NumCouplers]Content, activity bool) []NodeState {
+	switch n.Phase {
+	case PhaseFreeze:
+		// §4.3: from freeze the node may re-initialize or, with host
+		// states enabled, detour via await or test.
+		next := []NodeState{
+			{Phase: PhaseFreeze},
+			{Phase: PhaseInit},
+		}
+		if m.cfg.AllowHostStates {
+			next = append(next,
+				NodeState{Phase: PhaseAwait},
+				NodeState{Phase: PhaseTest},
+			)
+		}
+		return next
+
+	case PhaseInit:
+		next := []NodeState{
+			{Phase: PhaseInit},
+			m.enterListen(own),
+		}
+		if m.cfg.AllowInitFreeze {
+			next = append(next, NodeState{Phase: PhaseFreeze})
+		}
+		return next
+
+	case PhaseAwait:
+		// Awaiting host decisions: stay, download a configuration, or
+		// return to freeze.
+		return []NodeState{
+			{Phase: PhaseAwait},
+			{Phase: PhaseDownload},
+			{Phase: PhaseFreeze},
+		}
+
+	case PhaseTest, PhaseDownload:
+		return []NodeState{
+			{Phase: n.Phase},
+			{Phase: PhaseFreeze},
+		}
+
+	case PhaseListen:
+		return []NodeState{m.stepListen(n, own, ch)}
+
+	case PhaseColdStart, PhaseActive, PhasePassive:
+		return []NodeState{m.stepOperational(n, own, ch, activity)}
+
+	default:
+		return []NodeState{n}
+	}
+}
+
+// enterListen is the listen-state entry: timeout = node_id + N (§4.3).
+func (m *Model) enterListen(own uint8) NodeState {
+	return NodeState{Phase: PhaseListen, Timeout: own + uint8(m.cfg.Nodes)}
+}
+
+// firstFrame returns the first channel content of the wanted kind,
+// preferring channel 0 (the paper's id_on_bus).
+func firstFrame(ch [NumCouplers]Content, kind FrameKind) (Content, bool) {
+	for c := 0; c < NumCouplers; c++ {
+		if ch[c].Kind == kind {
+			return ch[c], true
+		}
+	}
+	return Content{}, false
+}
+
+func anyKind(ch [NumCouplers]Content, kind FrameKind) bool {
+	_, ok := firstFrame(ch, kind)
+	return ok
+}
+
+// stepListen transcribes the §4.3 LISTEN constraints.
+func (m *Model) stepListen(n NodeState, own uint8, ch [NumCouplers]Content) NodeState {
+	cs, hasCS := firstFrame(ch, FrameColdStart)
+	cst, hasCState := firstFrame(ch, FrameCState)
+
+	// Frames with explicit C-state integrate immediately; cold-start
+	// frames integrate only once big_bang is armed by an earlier one
+	// (unless the ablation disables the rule).
+	integratingID := uint8(0)
+	switch {
+	case hasCState:
+		integratingID = cst.ID
+	case hasCS && (n.BigBang || m.cfg.DisableBigBang):
+		integratingID = cs.ID
+	}
+	if integratingID != 0 {
+		return NodeState{
+			Phase:  PhasePassive,
+			Slot:   m.nextSlot(integratingID),
+			Agreed: 2, // self plus the frame integrated on
+			Failed: 0,
+		}
+	}
+
+	out := n
+	out.BigBang = n.BigBang || hasCS
+
+	// listen_timeout: reset on cold-start and "other" frames, else count
+	// down (§4.3).
+	if hasCS || anyKind(ch, FrameOther) {
+		out.Timeout = own + uint8(m.cfg.Nodes)
+	} else if out.Timeout > 0 {
+		out.Timeout--
+	}
+
+	// A cold-start frame not used for integration keeps the node in listen
+	// even if the timeout just reached zero.
+	if !hasCS && n.Timeout == 0 {
+		return NodeState{Phase: PhaseColdStart, Slot: own, Agreed: 1, Failed: 0}
+	}
+	return out
+}
+
+// judge classifies this slot for a receiver expecting slot n.Slot, per the
+// TTP/C validity/correctness rules. A bad frame counts against the
+// receiver only when there was real channel activity to misreceive (see
+// DESIGN.md on the membership abstraction).
+func judge(ch [NumCouplers]Content, slot uint8, activity bool) FrameKind {
+	// Return the dominant judgement encoded as a FrameKind-ish verdict:
+	// we reduce to three outcomes below.
+	best := 0 // 0 null, 1 failed, 2 agreed
+	for c := 0; c < NumCouplers; c++ {
+		v := 0
+		switch ch[c].Kind {
+		case FrameNone:
+			v = 0
+		case FrameBad:
+			if activity {
+				v = 1
+			}
+		case FrameColdStart:
+			v = 1 // a cold-start frame is never the scheduled frame
+		case FrameCState, FrameOther:
+			if ch[c].ID == slot {
+				v = 2
+			} else {
+				v = 1
+			}
+		}
+		if v > best {
+			best = v
+		}
+	}
+	switch best {
+	case 2:
+		return FrameCState // agreed
+	case 1:
+		return FrameBad // failed
+	default:
+		return FrameNone // null
+	}
+}
+
+// stepOperational advances a cold-start, active or passive node by one
+// slot: judge the current slot, advance the slot counter, and run the
+// end-of-round tests when the node's own slot comes up next (§4.3).
+func (m *Model) stepOperational(n NodeState, own uint8, ch [NumCouplers]Content, activity bool) NodeState {
+	agreed, failed := n.Agreed, n.Failed
+	if n.Slot != own {
+		switch judge(ch, n.Slot, activity) {
+		case FrameCState:
+			if agreed < 15 {
+				agreed++
+			}
+		case FrameBad:
+			if failed < 15 {
+				failed++
+			}
+		}
+	}
+
+	next := n
+	next.Slot = m.nextSlot(n.Slot)
+	next.Agreed, next.Failed = agreed, failed
+
+	if next.Slot != own {
+		return next
+	}
+
+	// The node's own slot comes up next: end-of-round decisions.
+	pass := agreed > failed
+	switch n.Phase {
+	case PhaseColdStart:
+		switch {
+		case agreed <= 1 && failed == 0:
+			// Nobody answered: stay in cold start (and send again).
+			next.Agreed, next.Failed = 1, 0
+		case pass:
+			next.Phase = PhaseActive
+			next.Agreed, next.Failed = 1, 0
+		default:
+			return m.enterListen(own)
+		}
+
+	case PhaseActive:
+		if !pass {
+			return NodeState{Phase: PhaseFreeze} // clique avoidance error
+		}
+		next.Agreed, next.Failed = 1, 0
+
+	case PhasePassive:
+		switch {
+		case failed > 0 && !pass:
+			return NodeState{Phase: PhaseFreeze} // clique avoidance error
+		case pass && agreed >= 2:
+			next.Phase = PhaseActive
+			next.Agreed, next.Failed = 1, 0
+		default:
+			next.Agreed, next.Failed = 1, 0
+		}
+	}
+	return next
+}
+
+func (m *Model) isDataSlot(slot int) bool {
+	for _, s := range m.cfg.DataSlots {
+		if s == slot {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Model) nextSlot(s uint8) uint8 {
+	if int(s) >= m.cfg.Nodes {
+		return 1
+	}
+	return s + 1
+}
+
+// AllowedFaults lists the fault modes the configuration permits, for
+// reporting in the verification matrix.
+func (m *Model) AllowedFaults() []Fault {
+	out := []Fault{FaultNone, FaultSilence, FaultBadFrame}
+	if m.cfg.Authority == guardian.AuthorityFullShift {
+		out = append(out, FaultOutOfSlot)
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package node
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNodeAccessors(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	n := tc.nodes[0]
+	if n.ID() != 1 {
+		t.Errorf("ID() = %v", n.ID())
+	}
+	if n.Clock() == nil {
+		t.Error("Clock() nil")
+	}
+	if n.Slot() != 0 {
+		t.Errorf("Slot() before operation = %d", n.Slot())
+	}
+	tc.startAll()
+	tc.run(20 * time.Millisecond)
+	if n.Slot() < 1 || n.Slot() > 2 {
+		t.Errorf("Slot() while active = %d", n.Slot())
+	}
+	if c := n.Counters(); c.Agreed < 1 {
+		t.Errorf("Counters() = %v", c)
+	}
+	count, _, maxAbs := n.SyncStats()
+	if count < 0 || maxAbs < 0 {
+		t.Error("SyncStats() nonsense")
+	}
+}
+
+func TestStartIgnoredWhenNotFrozen(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	n := tc.nodes[0]
+	n.Start(0)
+	tc.run(time.Millisecond)
+	if n.State() == StateFreeze {
+		t.Fatal("Start did not leave freeze")
+	}
+	before := n.State()
+	// A second Start while already running is a no-op.
+	n.Start(0)
+	tc.run(2 * time.Millisecond)
+	if n.State() == StateFreeze || (before == StateListen && n.State() == StateInit) {
+		t.Errorf("second Start disturbed the node: %v", n.State())
+	}
+	// Wake is also a no-op outside freeze.
+	n.Wake()
+	tc.run(3 * time.Millisecond)
+	if n.Stats().Freezes != 0 {
+		t.Error("spurious freeze")
+	}
+}

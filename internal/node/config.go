@@ -1,0 +1,113 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ttastar/internal/channel"
+	"ttastar/internal/cstate"
+	"ttastar/internal/medl"
+	"ttastar/internal/sim"
+)
+
+// TxHook intercepts every transmission a node is about to place on a
+// channel. Fault injectors use it to delay, weaken, corrupt or suppress
+// frames; returning send=false suppresses the transmission on that channel.
+type TxHook func(ch channel.ID, tx channel.Transmission) (modified channel.Transmission, send bool)
+
+// StateListener observes protocol state changes.
+type StateListener func(id cstate.NodeID, from, to State, at sim.Time)
+
+// Config parameterizes one TTP/C controller.
+type Config struct {
+	// ID is the node's identity; it must own a slot in the schedule.
+	ID cstate.NodeID
+	// Schedule is the cluster MEDL; all nodes must share one schedule.
+	Schedule *medl.Schedule
+	// Drift is the local oscillator deviation.
+	Drift sim.PPB
+	// TimingTolerance is this receiver's extra acceptance margin beyond the
+	// cluster precision. Small per-node differences here are what turn a
+	// marginal (slightly-off-specification) frame into a disagreement.
+	TimingTolerance time.Duration
+	// StrengthThreshold is the minimum signal strength this receiver
+	// decodes; defaults to 0.5 of nominal.
+	StrengthThreshold float64
+	// DetectionFloor is the strength below which this receiver sees no
+	// activity at all; defaults to 0.2 of nominal.
+	DetectionFloor float64
+	// SyncK is the number of faulty measurements the FTA clock
+	// synchronization tolerates per interval; defaults to 1.
+	SyncK int
+	// DelayCorrection is the known systematic delay between a sender's
+	// action time and the frame's arrival here (propagation plus guardian
+	// forwarding latency). Real TTP/C configures these per sender in the
+	// MEDL; without it, clock sync would chase the star coupler's
+	// forwarding latency forever.
+	DelayCorrection time.Duration
+	// InitDelay is how long initialization (init state) takes; defaults to
+	// one slot duration.
+	InitDelay time.Duration
+	// ColdStartAllowed permits the node to originate cold-start frames
+	// after its listen timeout; defaults to true (set by DefaultFor).
+	ColdStartAllowed bool
+}
+
+// Validation errors.
+var (
+	ErrNoSchedule = errors.New("node: config needs a schedule")
+	ErrNotInMEDL  = errors.New("node: node owns no slot in the schedule")
+)
+
+// DefaultFor fills a config with defaults for node id on schedule s.
+func DefaultFor(id cstate.NodeID, s *medl.Schedule) Config {
+	return Config{
+		ID:                id,
+		Schedule:          s,
+		StrengthThreshold: 0.5,
+		DetectionFloor:    0.2,
+		SyncK:             1,
+		ColdStartAllowed:  true,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Schedule == nil {
+		return ErrNoSchedule
+	}
+	if c.Schedule.OwnerSlot(c.ID) == 0 {
+		return fmt.Errorf("%w: node %v", ErrNotInMEDL, c.ID)
+	}
+	return nil
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.StrengthThreshold == 0 {
+		out.StrengthThreshold = 0.5
+	}
+	if out.DetectionFloor == 0 {
+		out.DetectionFloor = 0.2
+	}
+	if out.SyncK == 0 {
+		out.SyncK = 1
+	}
+	if out.InitDelay == 0 && out.Schedule != nil && len(out.Schedule.Slots) > 0 {
+		out.InitDelay = out.Schedule.Slot(1).Duration
+	}
+	return out
+}
+
+// Stats counts node-level protocol events for experiment harnesses.
+type Stats struct {
+	FramesSent     int // scheduled frames transmitted
+	ColdStartsSent int // cold-start frames transmitted
+	Integrations   int // times the node integrated into a cluster
+	CliqueErrors   int // clique-avoidance failures (freeze causes)
+	Freezes        int // total transitions into freeze after start
+	SlotsCorrect   int
+	SlotsIncorrect int
+	SlotsInvalid   int
+	SlotsNull      int
+}

@@ -1,0 +1,175 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"ttastar/internal/bitstr"
+	"ttastar/internal/channel"
+	"ttastar/internal/cstate"
+	"ttastar/internal/frame"
+	"ttastar/internal/medl"
+	"ttastar/internal/sim"
+)
+
+// newDataCluster builds a guardianless cluster on a custom schedule.
+func newDataCluster(t *testing.T, sched *medl.Schedule) *testCluster {
+	t.Helper()
+	tc := &testCluster{sched: sim.NewScheduler(), medl: sched}
+	for ch := channel.ID(0); ch < channel.NumChannels; ch++ {
+		tc.media[ch] = channel.NewMedium(tc.sched, ch, ch.String())
+	}
+	for i := 1; i <= sched.NumSlots(); i++ {
+		n, err := New(tc.sched, DefaultFor(cstate.NodeID(i), sched), nil)
+		if err != nil {
+			t.Fatalf("New(node %d): %v", i, err)
+		}
+		for ch := channel.ID(0); ch < channel.NumChannels; ch++ {
+			n.SetWire(ch, tc.media[ch])
+			tc.media[ch].Attach(n)
+		}
+		tc.nodes = append(tc.nodes, n)
+	}
+	return tc
+}
+
+// mixedSchedule returns a 4-node schedule whose slot 1 carries I-frames
+// (the periodic explicit C-state the protocol needs) and slots 2-4 carry
+// N-frames with payload.
+func mixedSchedule() *medl.Schedule {
+	s := medl.Build(medl.Config{Nodes: 4, Kind: frame.KindN, DataBits: 32})
+	s.Slots[0].Kind = frame.KindI
+	s.Slots[0].DataBits = 0
+	return s
+}
+
+func TestNFrameClusterDeliversData(t *testing.T) {
+	sched := mixedSchedule()
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tc := newDataCluster(t, sched)
+
+	// Each sender transmits a recognizable payload.
+	for i, n := range tc.nodes {
+		id := uint64(i + 1)
+		n.SetDataFunc(func(bits int) *bitstr.String {
+			if bits == 0 {
+				return nil
+			}
+			s := bitstr.New(bits)
+			for s.Len()+8 <= bits {
+				s.AppendUint(id, 8)
+			}
+			for s.Len() < bits {
+				s.AppendBit(false)
+			}
+			return s
+		})
+	}
+	type delivery struct {
+		slot   int
+		sender cstate.NodeID
+		first  uint64
+	}
+	var got []delivery
+	tc.nodes[0].OnData(func(slot int, sender cstate.NodeID, data *bitstr.String) {
+		got = append(got, delivery{slot, sender, data.Uint(0, 8)})
+	})
+
+	tc.startAll()
+	tc.run(40 * time.Millisecond)
+
+	for i, n := range tc.nodes {
+		if n.State() != StateActive {
+			t.Fatalf("node %d state = %v; mixed N/I schedule broke startup", i+1, n.State())
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("node 1 received no application data")
+	}
+	for _, d := range got {
+		if d.sender == 1 {
+			t.Error("node received its own payload")
+		}
+		if d.first != uint64(d.sender) {
+			t.Errorf("slot %d payload starts with %d, want %d (implicit-CRC protection broken?)",
+				d.slot, d.first, d.sender)
+		}
+	}
+}
+
+// TestAllNFrameClusterBlocksLateIntegration: a cluster whose MEDL carries
+// only N-frames starts up fine (cold-start frames carry the time base) but
+// a late joiner can never integrate — there is no explicit C-state on the
+// wire. This is the protocol-level reason MEDLs schedule periodic
+// I-frames, and the timed counterpart of the model-level
+// TestAllDataSlotsBlockIntegration.
+func TestAllNFrameClusterBlocksLateIntegration(t *testing.T) {
+	sched := medl.Build(medl.Config{Nodes: 4, Kind: frame.KindN, DataBits: 32})
+	tc := newDataCluster(t, sched)
+
+	for i := 0; i < 3; i++ {
+		tc.nodes[i].Start(time.Duration(i) * 100 * time.Microsecond)
+	}
+	tc.run(40 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if tc.nodes[i].State() != StateActive {
+			t.Fatalf("node %d state = %v; all-N startup failed", i+1, tc.nodes[i].State())
+		}
+	}
+
+	late := tc.nodes[3]
+	late.Start(0)
+	tc.run(100 * time.Millisecond)
+	if late.State() != StateListen {
+		t.Errorf("late joiner state = %v, want listen forever (no I-frames to integrate on)", late.State())
+	}
+	if late.Stats().Integrations != 0 {
+		t.Error("late joiner integrated without explicit C-state frames")
+	}
+	// The traffic does keep resetting its startup timeout: it must not
+	// cold-start into the running cluster either.
+	if late.Stats().ColdStartsSent != 0 {
+		t.Error("late joiner cold-started into a running cluster")
+	}
+}
+
+func TestMixedScheduleLateJoinerIntegrates(t *testing.T) {
+	sched := mixedSchedule()
+	tc := newDataCluster(t, sched)
+	for i := 0; i < 3; i++ {
+		tc.nodes[i].Start(time.Duration(i) * 100 * time.Microsecond)
+	}
+	tc.run(40 * time.Millisecond)
+
+	late := tc.nodes[3]
+	late.Start(0)
+	tc.run(80 * time.Millisecond)
+	if late.State() != StateActive {
+		t.Errorf("late joiner state = %v; slot-1 I-frames should admit it", late.State())
+	}
+}
+
+func TestXFrameSchedule(t *testing.T) {
+	sched := medl.Build(medl.Config{Nodes: 3, Kind: frame.KindX, DataBits: 128})
+	tc := newDataCluster(t, sched)
+
+	var payloads int
+	tc.nodes[2].OnData(func(_ int, _ cstate.NodeID, data *bitstr.String) {
+		if data.Len() == 128 {
+			payloads++
+		}
+	})
+	tc.startAll()
+	tc.run(60 * time.Millisecond)
+
+	for i, n := range tc.nodes {
+		if n.State() != StateActive {
+			t.Fatalf("node %d state = %v with X-frame schedule", i+1, n.State())
+		}
+	}
+	if payloads == 0 {
+		t.Error("no X-frame payloads delivered")
+	}
+}

@@ -1,0 +1,102 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"ttastar/internal/frame"
+	"ttastar/internal/medl"
+)
+
+func TestModeChangePropagates(t *testing.T) {
+	// X-frames carry the full C-state, so mode agreement is CRC-enforced.
+	sched := medl.Build(medl.Config{Nodes: 4, Kind: frame.KindX, DataBits: 32})
+	tc := newDataCluster(t, sched)
+	tc.startAll()
+	tc.run(20 * time.Millisecond)
+	for i, n := range tc.nodes {
+		if n.State() != StateActive {
+			t.Fatalf("node %d not active", i+1)
+		}
+		if n.CState().ClusterMode != 0 {
+			t.Fatalf("node %d starts in mode %d", i+1, n.CState().ClusterMode)
+		}
+	}
+
+	// Node 2's host requests mode 3.
+	if err := tc.nodes[1].RequestModeChange(3); err != nil {
+		t.Fatal(err)
+	}
+	tc.run(25 * time.Millisecond) // > one cycle
+
+	for i, n := range tc.nodes {
+		if got := n.CState().ClusterMode; got != 3 {
+			t.Errorf("node %d cluster mode = %d, want 3", i+1, got)
+		}
+		if n.CState().DMC != 0 {
+			t.Errorf("node %d DMC not cleared: %d", i+1, n.CState().DMC)
+		}
+		if n.State() != StateActive {
+			t.Errorf("node %d disturbed by mode change: %v", i+1, n.State())
+		}
+		if n.Stats().SlotsIncorrect > 0 {
+			t.Errorf("node %d judged %d frames incorrect during mode change", i+1, n.Stats().SlotsIncorrect)
+		}
+	}
+}
+
+func TestModeChangeSequence(t *testing.T) {
+	sched := medl.Build(medl.Config{Nodes: 2, Kind: frame.KindX, DataBits: 16})
+	tc := newDataCluster(t, sched)
+	tc.startAll()
+	tc.run(15 * time.Millisecond)
+
+	if err := tc.nodes[0].RequestModeChange(1); err != nil {
+		t.Fatal(err)
+	}
+	tc.run(25 * time.Millisecond)
+	if tc.nodes[1].CState().ClusterMode != 1 {
+		t.Fatalf("first mode change not applied: %d", tc.nodes[1].CState().ClusterMode)
+	}
+	// A second change from the other node overrides.
+	if err := tc.nodes[1].RequestModeChange(5); err != nil {
+		t.Fatal(err)
+	}
+	tc.run(35 * time.Millisecond)
+	for i, n := range tc.nodes {
+		if got := n.CState().ClusterMode; got != 5 {
+			t.Errorf("node %d mode = %d, want 5", i+1, got)
+		}
+	}
+}
+
+func TestModeChangeValidation(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	if err := tc.nodes[0].RequestModeChange(0); err == nil {
+		t.Error("mode 0 accepted")
+	}
+	if err := tc.nodes[0].RequestModeChange(8); err == nil {
+		t.Error("mode 8 accepted")
+	}
+	if err := tc.nodes[0].RequestModeChange(7); err != nil {
+		t.Errorf("mode 7 rejected: %v", err)
+	}
+}
+
+func TestModeChangeWithIFramesAppliesToo(t *testing.T) {
+	// I-frames carry the request in their header as well; the compact
+	// C-state does not encode the mode, but the propagation path is the
+	// same.
+	tc := newTestCluster(t, 4)
+	tc.startAll()
+	tc.run(20 * time.Millisecond)
+	if err := tc.nodes[2].RequestModeChange(2); err != nil {
+		t.Fatal(err)
+	}
+	tc.run(40 * time.Millisecond)
+	for i, n := range tc.nodes {
+		if got := n.CState().ClusterMode; got != 2 {
+			t.Errorf("node %d mode = %d, want 2", i+1, got)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package node
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ttastar/internal/channel"
+	"ttastar/internal/cstate"
+	"ttastar/internal/medl"
+	"ttastar/internal/sim"
+)
+
+// testCluster wires n nodes straight onto two bare media (a guardianless
+// bus), which is all the node layer itself needs.
+type testCluster struct {
+	sched *sim.Scheduler
+	medl  *medl.Schedule
+	nodes []*Node
+	media [channel.NumChannels]*channel.Medium
+}
+
+func newTestCluster(t *testing.T, count int, drifts ...sim.PPB) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		sched: sim.NewScheduler(),
+		medl:  medl.Build(medl.Config{Nodes: count}),
+	}
+	for ch := channel.ID(0); ch < channel.NumChannels; ch++ {
+		tc.media[ch] = channel.NewMedium(tc.sched, ch, ch.String())
+	}
+	for i := 1; i <= count; i++ {
+		cfg := DefaultFor(cstate.NodeID(i), tc.medl)
+		if len(drifts) >= i {
+			cfg.Drift = drifts[i-1]
+		}
+		n, err := New(tc.sched, cfg, nil)
+		if err != nil {
+			t.Fatalf("New(node %d): %v", i, err)
+		}
+		for ch := channel.ID(0); ch < channel.NumChannels; ch++ {
+			n.SetWire(ch, tc.media[ch])
+			tc.media[ch].Attach(n)
+		}
+		tc.nodes = append(tc.nodes, n)
+	}
+	return tc
+}
+
+func (tc *testCluster) startAll() {
+	for i, n := range tc.nodes {
+		n.Start(time.Duration(i) * 100 * time.Microsecond)
+	}
+}
+
+func (tc *testCluster) run(d time.Duration) {
+	tc.sched.RunUntil(sim.Time(d))
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	sched := sim.NewScheduler()
+	if _, err := New(sched, Config{ID: 1}, nil); !errors.Is(err, ErrNoSchedule) {
+		t.Errorf("no schedule: err = %v", err)
+	}
+	s := medl.Default4Node()
+	if _, err := New(sched, DefaultFor(9, s), nil); !errors.Is(err, ErrNotInMEDL) {
+		t.Errorf("unknown node: err = %v", err)
+	}
+}
+
+func TestLoneNodeColdStartsForever(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	tc.nodes[0].Start(0) // only node A powers on
+	tc.run(20 * time.Millisecond)
+
+	n := tc.nodes[0]
+	if n.State() != StateColdStart {
+		t.Fatalf("lone node state = %v, want cold_start", n.State())
+	}
+	if n.Stats().ColdStartsSent < 5 {
+		t.Errorf("lone node sent %d cold-starts, want several", n.Stats().ColdStartsSent)
+	}
+	if n.Stats().FramesSent != 0 {
+		t.Errorf("lone node sent %d scheduled frames, want 0", n.Stats().FramesSent)
+	}
+}
+
+func TestTwoNodeStartup(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	tc.startAll()
+	tc.run(20 * time.Millisecond)
+
+	for i, n := range tc.nodes {
+		if n.State() != StateActive {
+			t.Fatalf("node %d state = %v, want active", i+1, n.State())
+		}
+	}
+	wantMem := cstate.Membership(0).With(1).With(2)
+	for i, n := range tc.nodes {
+		if n.CState().Membership != wantMem {
+			t.Errorf("node %d membership = %v, want %v", i+1, n.CState().Membership, wantMem)
+		}
+	}
+}
+
+func TestBigBangPreventsFirstFrameIntegration(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	tc.startAll()
+
+	// Track node B's integrations relative to cold-starts A sent.
+	integrated := sim.Time(0)
+	tc.nodes[1].OnStateChange(func(_ cstate.NodeID, _, to State, at sim.Time) {
+		if to == StatePassive && integrated == 0 {
+			integrated = at
+		}
+	})
+	tc.run(20 * time.Millisecond)
+	if integrated == 0 {
+		t.Fatal("node B never integrated")
+	}
+	// At integration time A must have sent at least two cold-start frames.
+	if got := tc.nodes[0].Stats().ColdStartsSent; got < 2 {
+		t.Errorf("B integrated after only %d cold-start frame(s); big bang violated", got)
+	}
+}
+
+func TestFourNodeStartupAllActive(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	tc.startAll()
+	tc.run(30 * time.Millisecond)
+
+	wantMem := cstate.Membership(0).With(1).With(2).With(3).With(4)
+	for i, n := range tc.nodes {
+		if n.State() != StateActive {
+			t.Fatalf("node %d state = %v, want active", i+1, n.State())
+		}
+		if n.CState().Membership != wantMem {
+			t.Errorf("node %d membership = %v, want %v", i+1, n.CState().Membership, wantMem)
+		}
+		if n.Stats().Freezes != 0 {
+			t.Errorf("node %d froze %d times during healthy startup", i+1, n.Stats().Freezes)
+		}
+	}
+}
+
+func TestClusterCStateAgreement(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	tc.startAll()
+	tc.run(30 * time.Millisecond)
+
+	// All nodes integrated: their C-states must agree up to slot skew. Run
+	// to a quiet instant and compare global time within one slot.
+	ref := tc.nodes[0].CState()
+	for i, n := range tc.nodes[1:] {
+		cs := n.CState()
+		diff := int(int16(cs.GlobalTime - ref.GlobalTime))
+		if diff < -1 || diff > 1 {
+			t.Errorf("node %d global time %d far from node 1's %d", i+2, cs.GlobalTime, ref.GlobalTime)
+		}
+		if cs.Membership != ref.Membership {
+			t.Errorf("node %d membership %v != node 1's %v", i+2, cs.Membership, ref.Membership)
+		}
+	}
+}
+
+func TestClusterStableUnderDrift(t *testing.T) {
+	// Worst-case commodity oscillators (±100 ppm, eq. 5 of the paper) must
+	// not disturb steady-state operation thanks to clock sync.
+	tc := newTestCluster(t, 4, sim.PPM(100), sim.PPM(-100), sim.PPM(50), sim.PPM(-50))
+	tc.startAll()
+	tc.run(200 * time.Millisecond)
+
+	for i, n := range tc.nodes {
+		if n.State() != StateActive {
+			t.Fatalf("node %d state = %v after 200ms with drift", i+1, n.State())
+		}
+		if n.Stats().CliqueErrors != 0 {
+			t.Errorf("node %d had %d clique errors", i+1, n.Stats().CliqueErrors)
+		}
+		if n.Stats().SlotsIncorrect+n.Stats().SlotsInvalid > 0 {
+			t.Errorf("node %d judged %d incorrect / %d invalid slots in a healthy cluster",
+				i+1, n.Stats().SlotsIncorrect, n.Stats().SlotsInvalid)
+		}
+	}
+	// Drifting clocks must actually have been corrected.
+	count, _, _ := tc.nodes[0].SyncStats()
+	if count == 0 {
+		t.Error("clock synchronization never applied a correction despite drift")
+	}
+}
+
+func TestNodeDeafWhenFrozen(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	// Nodes 1-3 start; node 4 stays frozen.
+	for i := 0; i < 3; i++ {
+		tc.nodes[i].Start(time.Duration(i) * 100 * time.Microsecond)
+	}
+	tc.run(30 * time.Millisecond)
+
+	frozen := tc.nodes[3]
+	if frozen.State() != StateFreeze {
+		t.Fatalf("unstarted node state = %v", frozen.State())
+	}
+	if frozen.Stats().Integrations != 0 {
+		t.Error("frozen node integrated")
+	}
+	// Other nodes drop node 4 from membership.
+	for i := 0; i < 3; i++ {
+		if tc.nodes[i].CState().Membership.Contains(4) {
+			t.Errorf("node %d still counts frozen node 4 as member", i+1)
+		}
+	}
+}
+
+func TestWakeRejoinsCluster(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	for i := 0; i < 3; i++ {
+		tc.nodes[i].Start(time.Duration(i) * 100 * time.Microsecond)
+	}
+	tc.run(30 * time.Millisecond)
+
+	late := tc.nodes[3]
+	late.Wake()
+	tc.run(60 * time.Millisecond)
+	if late.State() != StateActive {
+		t.Fatalf("late node state = %v, want active", late.State())
+	}
+	for i, n := range tc.nodes {
+		if !n.CState().Membership.Contains(4) {
+			t.Errorf("node %d does not see late joiner in membership", i+1)
+		}
+	}
+	if late.Stats().ColdStartsSent != 0 {
+		t.Errorf("late joiner cold-started %d times instead of integrating", late.Stats().ColdStartsSent)
+	}
+}
+
+func TestHostStates(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	n := tc.nodes[0]
+
+	n.EnterTest(time.Millisecond)
+	if n.State() != StateTest {
+		t.Fatalf("state = %v, want test", n.State())
+	}
+	tc.run(2 * time.Millisecond)
+	if n.State() != StateFreeze {
+		t.Fatalf("state after test = %v, want freeze", n.State())
+	}
+	n.EnterAwait(time.Millisecond)
+	if n.State() != StateAwait {
+		t.Fatalf("state = %v, want await", n.State())
+	}
+	tc.run(4 * time.Millisecond)
+	n.EnterDownload(time.Millisecond)
+	if n.State() != StateDownload {
+		t.Fatalf("state = %v, want download", n.State())
+	}
+	tc.run(6 * time.Millisecond)
+	if n.State() != StateFreeze {
+		t.Fatalf("final state = %v, want freeze", n.State())
+	}
+	// Host states are only reachable from freeze.
+	n.Start(0)
+	tc.run(7 * time.Millisecond)
+	n.EnterTest(time.Millisecond)
+	if n.State() == StateTest {
+		t.Error("EnterTest succeeded outside freeze")
+	}
+}
+
+func TestHostFreeze(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	tc.startAll()
+	tc.run(20 * time.Millisecond)
+	n := tc.nodes[0]
+	if n.State() != StateActive {
+		t.Fatalf("precondition: state = %v", n.State())
+	}
+	n.HostFreeze()
+	if n.State() != StateFreeze {
+		t.Errorf("state after HostFreeze = %v", n.State())
+	}
+	// Idempotent.
+	n.HostFreeze()
+	if n.State() != StateFreeze {
+		t.Error("second HostFreeze changed state")
+	}
+}
+
+func TestColdStartForbidden(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	cfg := DefaultFor(1, tc.medl)
+	cfg.ColdStartAllowed = false
+	noCS, err := New(tc.sched, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ch := channel.ID(0); ch < channel.NumChannels; ch++ {
+		noCS.SetWire(ch, tc.media[ch])
+		tc.media[ch].Attach(noCS)
+	}
+	noCS.Start(0)
+	tc.run(20 * time.Millisecond)
+	if noCS.State() != StateListen {
+		t.Errorf("state = %v, want listen (cold start forbidden)", noCS.State())
+	}
+	if noCS.Stats().ColdStartsSent != 0 {
+		t.Error("node sent cold-start frames despite prohibition")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{
+		StateFreeze: "freeze", StateInit: "init", StateListen: "listen",
+		StateColdStart: "cold_start", StateActive: "active", StatePassive: "passive",
+		StateAwait: "await", StateTest: "test", StateDownload: "download",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+	if State(99).String() != "State(99)" {
+		t.Error("unknown state string")
+	}
+	if !StateActive.Integrated() || !StatePassive.Integrated() || StateColdStart.Integrated() {
+		t.Error("Integrated() wrong")
+	}
+	if !StateColdStart.Operational() || StateListen.Operational() {
+		t.Error("Operational() wrong")
+	}
+}
+
+func TestTransitionGraph(t *testing.T) {
+	if canTransition(StateFreeze, StateActive) {
+		t.Error("freeze → active allowed")
+	}
+	if !canTransition(StateListen, StateColdStart) {
+		t.Error("listen → cold_start rejected")
+	}
+	if !canTransition(StateActive, StateFreeze) {
+		t.Error("active → freeze rejected")
+	}
+	if canTransition(StateAwait, StateActive) {
+		t.Error("await → active allowed")
+	}
+}

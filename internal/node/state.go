@@ -1,0 +1,81 @@
+package node
+
+import "fmt"
+
+// State is a TTP/C protocol state. The standard's controller state machine
+// has the nine states the paper lists in §4.3.
+type State uint8
+
+// The nine TTP/C protocol states.
+const (
+	StateFreeze State = iota + 1
+	StateInit
+	StateListen
+	StateColdStart
+	StateActive
+	StatePassive
+	StateAwait
+	StateTest
+	StateDownload
+)
+
+// String returns the lower-case state name the paper uses.
+func (s State) String() string {
+	switch s {
+	case StateFreeze:
+		return "freeze"
+	case StateInit:
+		return "init"
+	case StateListen:
+		return "listen"
+	case StateColdStart:
+		return "cold_start"
+	case StateActive:
+		return "active"
+	case StatePassive:
+		return "passive"
+	case StateAwait:
+		return "await"
+	case StateTest:
+		return "test"
+	case StateDownload:
+		return "download"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Operational reports whether the node participates in the TDMA schedule in
+// this state (maintains a slot counter, judges slots).
+func (s State) Operational() bool {
+	return s == StateColdStart || s == StateActive || s == StatePassive
+}
+
+// Integrated reports whether the node has synchronized to the cluster. The
+// §5.1 correctness property quantifies over these states: once a healthy
+// node is active or passive, no single coupler fault may freeze it.
+func (s State) Integrated() bool { return s == StateActive || s == StatePassive }
+
+// validTransitions encodes the protocol state graph; transition() enforces
+// it so an illegal hop is caught at the moment it is attempted.
+var validTransitions = map[State][]State{
+	StateFreeze:    {StateInit, StateAwait, StateTest, StateDownload},
+	StateInit:      {StateFreeze, StateListen},
+	StateListen:    {StateFreeze, StateListen, StateColdStart, StatePassive},
+	StateColdStart: {StateFreeze, StateColdStart, StateActive, StateListen},
+	StateActive:    {StateFreeze, StateActive, StatePassive},
+	StatePassive:   {StateFreeze, StatePassive, StateActive},
+	StateAwait:     {StateFreeze},
+	StateTest:      {StateFreeze},
+	StateDownload:  {StateFreeze},
+}
+
+// canTransition reports whether from → to is a legal protocol transition.
+func canTransition(from, to State) bool {
+	for _, t := range validTransitions[from] {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}

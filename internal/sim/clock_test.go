@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockPerfect(t *testing.T) {
+	s := NewScheduler()
+	c := NewClock(s, 0)
+	s.At(1_000_000, "t", func() {
+		if got := c.Now(); got != 1_000_000 {
+			t.Errorf("perfect clock at 1ms reads %v, want 1000000", got)
+		}
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestClockFastDrift(t *testing.T) {
+	s := NewScheduler()
+	c := NewClock(s, PPM(100)) // +100 ppm
+	// After 1 s of reference time, a +100 ppm clock has gained 100 µs.
+	got := c.At(Time(time.Second))
+	want := LocalTime(time.Second + 100*time.Microsecond)
+	if got != want {
+		t.Errorf("At(1s) = %v, want %v", got, want)
+	}
+}
+
+func TestClockSlowDrift(t *testing.T) {
+	s := NewScheduler()
+	c := NewClock(s, PPM(-100))
+	got := c.At(Time(time.Second))
+	want := LocalTime(time.Second - 100*time.Microsecond)
+	if got != want {
+		t.Errorf("At(1s) = %v, want %v", got, want)
+	}
+}
+
+func TestClockWhenLocalInverse(t *testing.T) {
+	s := NewScheduler()
+	for _, drift := range []PPB{0, PPM(100), PPM(-100), PPM(3000), PPM(-3000), PPM(100000)} {
+		c := NewClock(s, drift)
+		for _, l := range []LocalTime{0, 1, 999, 1_000_000, LocalTime(time.Second), LocalTime(10 * time.Second)} {
+			ref := c.WhenLocal(l)
+			back := c.At(ref)
+			diff := int64(back - l)
+			if diff < -1 || diff > 1 {
+				t.Errorf("drift %v: At(WhenLocal(%d)) = %d, off by %d ns", drift, l, back, diff)
+			}
+		}
+	}
+}
+
+func TestClockWhenLocalInverseProperty(t *testing.T) {
+	s := NewScheduler()
+	f := func(driftPPM int16, localNS uint32) bool {
+		c := NewClock(s, PPM(float64(driftPPM)))
+		l := LocalTime(localNS)
+		back := c.At(c.WhenLocal(l))
+		diff := int64(back - l)
+		return diff >= -1 && diff <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockAdjust(t *testing.T) {
+	s := NewScheduler()
+	c := NewClock(s, PPM(100))
+	s.At(Time(time.Second), "adjust", func() {
+		before := c.Now()
+		c.Adjust(-100 * time.Microsecond) // undo the accumulated drift
+		after := c.Now()
+		if after-before != LocalTime(-100*time.Microsecond) {
+			t.Errorf("Adjust stepped by %v, want -100µs", after-before)
+		}
+		if after != LocalTime(time.Second) {
+			t.Errorf("after correction clock reads %v, want 1s", after)
+		}
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestClockSetLocal(t *testing.T) {
+	s := NewScheduler()
+	c := NewClock(s, PPM(50))
+	s.At(12345, "set", func() {
+		c.SetLocal(LocalTime(time.Hour))
+		if got := c.Now(); got != LocalTime(time.Hour) {
+			t.Errorf("after SetLocal clock reads %v, want 1h", got)
+		}
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Drift continues from the new setting.
+	got := c.At(Time(12345).Add(time.Second))
+	want := LocalTime(time.Hour + time.Second + 50*time.Microsecond)
+	if got != want {
+		t.Errorf("1s after SetLocal clock reads %v, want %v", got, want)
+	}
+}
+
+func TestClockDurationConversions(t *testing.T) {
+	s := NewScheduler()
+	c := NewClock(s, PPM(100))
+	if got := c.LocalDuration(time.Second); got != time.Second+100*time.Microsecond {
+		t.Errorf("LocalDuration(1s) = %v", got)
+	}
+	rt := c.RefDuration(time.Second + 100*time.Microsecond)
+	if d := rt - time.Second; d < -time.Nanosecond || d > time.Nanosecond {
+		t.Errorf("RefDuration inverse off by %v", d)
+	}
+}
+
+func TestClockRebaseKeepsReading(t *testing.T) {
+	s := NewScheduler()
+	c := NewClock(s, PPM(250))
+	s.At(Time(3*time.Second), "rebase", func() {
+		before := c.Now()
+		c.Adjust(0) // forces a rebase
+		if after := c.Now(); after != before {
+			t.Errorf("rebase changed reading: %v → %v", before, after)
+		}
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestPPBHelpers(t *testing.T) {
+	if PPM(100) != 100_000 {
+		t.Errorf("PPM(100) = %d", PPM(100))
+	}
+	if PPM(100).Float() != 1e-4 {
+		t.Errorf("Float() = %g", PPM(100).Float())
+	}
+	if PPM(100).String() != "+100.000ppm" {
+		t.Errorf("String() = %q", PPM(100).String())
+	}
+}
+
+func TestMulDivRound(t *testing.T) {
+	cases := []struct{ a, b, den, want int64 }{
+		{10, 3, 10, 3},
+		{15, 1, 10, 2}, // rounds to nearest
+		{-15, 1, 10, -2},
+		{0, 5, 7, 0},
+		{1_000_000_000, 100_000, 1_000_000_000, 100_000},
+	}
+	for _, tc := range cases {
+		if got := mulDivRound(tc.a, tc.b, tc.den); got != tc.want {
+			t.Errorf("mulDivRound(%d,%d,%d) = %d, want %d", tc.a, tc.b, tc.den, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGInt63nPanics(t *testing.T) {
+	r := NewRNG(7)
+	defer func() {
+		if recover() == nil {
+			t.Error("Int63n(-1) did not panic")
+		}
+	}()
+	r.Int63n(-1)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGRange(t *testing.T) {
+	r := NewRNG(11)
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("Range(-3,3) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Range(-3,3) produced %d distinct values in 1000 draws, want 7", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Range(3,-3) did not panic")
+		}
+	}()
+	r.Range(3, -3)
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGBoolBalanced(t *testing.T) {
+	r := NewRNG(13)
+	trues := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if trues < n*4/10 || trues > n*6/10 {
+		t.Errorf("Bool() true rate %d/%d is far from fair", trues, n)
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	r := NewRNG(21)
+	child := r.Split()
+	a, b := r.Uint64(), child.Uint64()
+	if a == b {
+		t.Error("split stream mirrors parent")
+	}
+}

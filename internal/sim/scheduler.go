@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrEventLimit is returned by Run when the configured event budget is
+// exhausted before the event queue drains.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// Event is a scheduled callback. It is returned by At/After so callers can
+// cancel it before it fires.
+type Event struct {
+	at     Time
+	seq    uint64
+	name   string
+	fn     func()
+	index  int // heap index, -1 once popped or cancelled
+	cancel bool
+}
+
+// At returns the instant the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Name returns the diagnostic label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event scheduler. Events scheduled
+// for the same instant fire in scheduling order (FIFO tie-break), which
+// keeps simulations reproducible run to run.
+//
+// Scheduler is not safe for concurrent use; a simulation is a single
+// logical thread of control.
+type Scheduler struct {
+	now    Time
+	pq     eventHeap
+	seq    uint64
+	fired  uint64
+	tracer Tracer
+}
+
+// NewScheduler returns a scheduler positioned at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// SetTracer installs a tracer that observes every fired event. A nil tracer
+// disables tracing.
+func (s *Scheduler) SetTracer(t Tracer) { s.tracer = t }
+
+// Now returns the current simulated reference time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently scheduled.
+func (s *Scheduler) Pending() int { return len(s.pq) }
+
+// At schedules fn to run at instant t. Scheduling in the past panics: it is
+// always a simulation bug, never a recoverable condition.
+func (s *Scheduler) At(t Time, name string, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, t, s.now))
+	}
+	e := &Event{at: t, seq: s.seq, name: name, fn: fn}
+	s.seq++
+	heap.Push(&s.pq, e)
+	return e
+}
+
+// After schedules fn to run d after the current instant.
+func (s *Scheduler) After(d time.Duration, name string, fn func()) *Event {
+	return s.At(s.now.Add(d), name, fn)
+}
+
+// Step fires the next event, advancing time to it. It reports whether an
+// event fired (false means the queue was empty).
+func (s *Scheduler) Step() bool {
+	for len(s.pq) > 0 {
+		popped := heap.Pop(&s.pq)
+		e, ok := popped.(*Event)
+		if !ok {
+			continue
+		}
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		if s.tracer != nil {
+			s.tracer.Trace(s.now, "event", e.name)
+		}
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the queue is empty or the next event
+// would fire after deadline. Time is left at the later of the last fired
+// event and deadline.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for len(s.pq) > 0 && s.pq[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Run fires events until the queue drains or limit events have executed.
+// A limit of 0 means no limit. It returns ErrEventLimit if the budget is
+// exhausted with events still pending.
+func (s *Scheduler) Run(limit uint64) error {
+	start := s.fired
+	for s.Step() {
+		if limit != 0 && s.fired-start >= limit && len(s.pq) > 0 {
+			return fmt.Errorf("after %d events: %w", s.fired-start, ErrEventLimit)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSchedulerFiresInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30, "c", func() { got = append(got, 3) })
+	s.At(10, "a", func() { got = append(got, 1) })
+	s.At(20, "b", func() { got = append(got, 2) })
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", s.Now())
+	}
+}
+
+func TestSchedulerFIFOTieBreak(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, "tie", func() { got = append(got, i) })
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.At(10, "x", func() { fired = true })
+	e.Cancel()
+	if !e.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	var at []Time
+	s.At(10, "outer", func() {
+		at = append(at, s.Now())
+		s.After(5*time.Nanosecond, "inner", func() {
+			at = append(at, s.Now())
+		})
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(at) != 2 || at[0] != 10 || at[1] != 15 {
+		t.Errorf("fire times = %v, want [10 15]", at)
+	}
+}
+
+func TestSchedulerPastSchedulingPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(10, "x", func() {})
+	if !s.Step() {
+		t.Fatal("Step() = false, want true")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	s.At(5, "past", func() {})
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		s.At(at, "e", func() { fired = append(fired, at) })
+	}
+	s.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 12 {
+		t.Errorf("Now() = %v, want 12", s.Now())
+	}
+	s.RunUntil(100)
+	if len(fired) != 4 {
+		t.Errorf("fired %d events after second RunUntil, want 4", len(fired))
+	}
+	if s.Now() != 100 {
+		t.Errorf("Now() = %v, want 100", s.Now())
+	}
+}
+
+func TestSchedulerEventLimit(t *testing.T) {
+	s := NewScheduler()
+	var reschedule func()
+	reschedule = func() {
+		s.After(time.Nanosecond, "loop", reschedule)
+	}
+	s.At(0, "start", reschedule)
+	err := s.Run(100)
+	if !errors.Is(err, ErrEventLimit) {
+		t.Errorf("Run(100) = %v, want ErrEventLimit", err)
+	}
+}
+
+func TestSchedulerCounters(t *testing.T) {
+	s := NewScheduler()
+	s.At(1, "a", func() {})
+	s.At(2, "b", func() {})
+	if s.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", s.Pending())
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Fired() != 2 {
+		t.Errorf("Fired() = %d, want 2", s.Fired())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0", s.Pending())
+	}
+}
+
+func TestSchedulerTracer(t *testing.T) {
+	s := NewScheduler()
+	rec := NewRecorder()
+	s.SetTracer(rec)
+	s.At(7, "hello", func() {})
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	entries := rec.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("recorded %d entries, want 1", len(entries))
+	}
+	if entries[0].At != 7 || entries[0].Category != "event" || entries[0].Message != "hello" {
+		t.Errorf("entry = %+v", entries[0])
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	rec := NewRecorder("keep")
+	rec.Trace(1, "keep", "a")
+	rec.Trace(2, "drop", "b")
+	rec.Tracef(3, "keep", "c%d", 7)
+	if rec.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", rec.Len())
+	}
+	if rec.Entries()[1].Message != "c7" {
+		t.Errorf("formatted message = %q, want c7", rec.Entries()[1].Message)
+	}
+	if rec.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestMultiTracer(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	m := MultiTracer{a, b}
+	m.Trace(1, "x", "y")
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Errorf("fan-out lens = %d, %d, want 1, 1", a.Len(), b.Len())
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	if got := Time(1_500_000_000).String(); got != "1.500000000s" {
+		t.Errorf("Time.String() = %q", got)
+	}
+	if got := Infinity.String(); got != "+inf" {
+		t.Errorf("Infinity.String() = %q", got)
+	}
+	if got := Time(3000).Microseconds(); got != 3 {
+		t.Errorf("Microseconds() = %d, want 3", got)
+	}
+	base := Time(100)
+	if base.Add(50*time.Nanosecond) != 150 {
+		t.Error("Add failed")
+	}
+	if Time(150).Sub(base) != 50*time.Nanosecond {
+		t.Error("Sub failed")
+	}
+	if !base.Before(150) || !Time(150).After(base) {
+		t.Error("Before/After failed")
+	}
+	lt := LocalTime(10)
+	if lt.Add(5*time.Nanosecond) != 15 || LocalTime(15).Sub(lt) != 5*time.Nanosecond {
+		t.Error("LocalTime arithmetic failed")
+	}
+	if lt.String() == "" {
+		t.Error("LocalTime.String() empty")
+	}
+}

@@ -1,0 +1,152 @@
+// Package stats provides the small descriptive statistics the experiment
+// campaigns report: samples with mean/deviation/extremes, normal-approx
+// confidence intervals, and fixed-width histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Sample accumulates observations.
+type Sample struct {
+	values []float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func (s *Sample) StdDev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min returns the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	min := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	max := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// CI95 returns a normal-approximation 95% confidence interval for the
+// mean. For an empty sample both bounds are 0.
+func (s *Sample) CI95() (lo, hi float64) {
+	n := len(s.values)
+	if n == 0 {
+		return 0, 0
+	}
+	m := s.Mean()
+	half := 1.96 * s.StdDev() / math.Sqrt(float64(n))
+	return m - half, m + half
+}
+
+// String summarizes the sample.
+func (s *Sample) String() string {
+	lo, hi := s.CI95()
+	return fmt.Sprintf("n=%d mean=%.3f ±95%%[%.3f,%.3f] min=%.3f max=%.3f",
+		s.N(), s.Mean(), lo, hi, s.Min(), s.Max())
+}
+
+// Histogram counts observations into fixed-width buckets over [Lo, Hi);
+// out-of-range observations land in the edge buckets.
+type Histogram struct {
+	Lo, Hi  float64
+	buckets []int
+	total   int
+}
+
+// NewHistogram returns a histogram with n buckets over [lo, hi). It panics
+// on a degenerate range — always a caller bug.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: bad histogram [%g,%g)/%d", lo, hi, n))
+	}
+	return &Histogram{Lo: lo, Hi: hi, buckets: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	i := int(float64(len(h.buckets)) * (v - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int { return h.buckets[i] }
+
+// String renders the histogram as bars.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	peak := 0
+	for _, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.buckets))
+	for i, c := range h.buckets {
+		bar := 0
+		if peak > 0 {
+			bar = 30 * c / peak
+		}
+		fmt.Fprintf(&b, "[%8.3f,%8.3f) %-30s %d\n",
+			h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample not all-zero")
+	}
+	lo, hi := s.CI95()
+	if lo != 0 || hi != 0 {
+		t.Error("empty CI not zero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %g", s.Mean())
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.StdDev()-want) > 1e-12 {
+		t.Errorf("StdDev = %g, want %g", s.StdDev(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %g/%g", s.Min(), s.Max())
+	}
+	lo, hi = s.CI95()
+	if lo >= s.Mean() || hi <= s.Mean() {
+		t.Errorf("CI [%g,%g] does not bracket mean", lo, hi)
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestSampleSingleValue(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	if s.StdDev() != 0 {
+		t.Error("single-value stddev not zero")
+	}
+	lo, hi := s.CI95()
+	if lo != 3 || hi != 3 {
+		t.Errorf("single-value CI = [%g,%g]", lo, hi)
+	}
+}
+
+func TestSampleMeanBoundsProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		m := s.Mean()
+		return m >= s.Min() && m <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0, 1, 2.5, 5, 9.9, -3, 42} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Bucket(0) != 3 { // 0, 1, and clamped -3
+		t.Errorf("bucket 0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(4) != 2 { // 9.9 and clamped 42
+		t.Errorf("bucket 4 = %d", h.Bucket(4))
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Error("histogram renders no bars")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, call := range []func(){
+		func() { NewHistogram(0, 0, 5) },
+		func() { NewHistogram(0, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			call()
+		}()
+	}
+}

@@ -1,0 +1,172 @@
+// Package trace renders model-checker counterexamples in the numbered
+// prose style of the paper's §5.2 traces ("1) Initially, all nodes are in
+// the freeze state. …").
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"ttastar/internal/cstate"
+	"ttastar/internal/mc"
+	"ttastar/internal/model"
+)
+
+// Render formats a counterexample path of m as numbered steps.
+func Render(m *model.Model, path []mc.State) string {
+	if len(path) == 0 {
+		return "(empty trace)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "1) Initially, all nodes are in the freeze state.\n")
+	step := 2
+	for i := 0; i+1 < len(path); i++ {
+		info, ok := m.Explain(path[i], path[i+1])
+		lines := describe(m, path[i], path[i+1], info, ok)
+		if len(lines) == 0 {
+			lines = []string{"One TDMA slot passes without observable change."}
+		}
+		fmt.Fprintf(&b, "%d) %s\n", step, strings.Join(lines, " "))
+		step++
+	}
+	return b.String()
+}
+
+// RenderStates dumps the raw state variables of every state on the path —
+// the detailed companion to Render.
+func RenderStates(m *model.Model, path []mc.State) string {
+	var b strings.Builder
+	for i, enc := range path {
+		s := m.Decode(enc)
+		fmt.Fprintf(&b, "state %d:", i+1)
+		for j, n := range s.Nodes {
+			fmt.Fprintf(&b, "  %v=%v", cstate.NodeID(j+1), n.Phase)
+			if n.Phase == model.PhaseListen {
+				fmt.Fprintf(&b, "(t=%d,bb=%v)", n.Timeout, n.BigBang)
+			}
+			if n.Slot != 0 {
+				fmt.Fprintf(&b, "(slot=%d,a=%d,f=%d)", n.Slot, n.Agreed, n.Failed)
+			}
+		}
+		for c, cp := range s.Couplers {
+			if cp.BufferedKind != model.FrameNone {
+				fmt.Fprintf(&b, "  buf%d=%v/%d", c, cp.BufferedKind, cp.BufferedID)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func nodeName(i int) string { return "Node " + cstate.NodeID(i+1).String() }
+
+func describe(m *model.Model, fromEnc, toEnc mc.State, info model.StepInfo, haveInfo bool) []string {
+	from := m.Decode(fromEnc)
+	to := m.Decode(toEnc)
+	var lines []string
+
+	// Transmissions during the slot.
+	for i, n := range from.Nodes {
+		if n.Slot != uint8(i+1) {
+			continue
+		}
+		switch n.Phase {
+		case model.PhaseColdStart:
+			lines = append(lines, fmt.Sprintf("%s sends a cold start frame.", nodeName(i)))
+		case model.PhaseActive:
+			lines = append(lines, fmt.Sprintf("%s sends a C-state frame.", nodeName(i)))
+		}
+	}
+
+	// Coupler faults.
+	if haveInfo {
+		for c, f := range info.Faults {
+			switch f {
+			case model.FaultSilence:
+				lines = append(lines, fmt.Sprintf("The faulty star coupler %d turns channel %d silent.", c, c))
+			case model.FaultBadFrame:
+				lines = append(lines, fmt.Sprintf("The faulty star coupler %d places a bad frame on channel %d.", c, c))
+			case model.FaultOutOfSlot:
+				lines = append(lines, fmt.Sprintf("A faulty star coupler replays the previous %s frame from %s.",
+					kindNoun(info.Channels[c].Kind), cstate.NodeID(info.Channels[c].ID)))
+			}
+		}
+	}
+
+	// Per-node visible changes, grouped where the paper groups them.
+	var toInit, toListen []string
+	for i := range from.Nodes {
+		f, t := from.Nodes[i], to.Nodes[i]
+		switch {
+		case f.Phase == model.PhaseFreeze && t.Phase == model.PhaseInit:
+			toInit = append(toInit, nodeName(i))
+		case f.Phase == model.PhaseInit && t.Phase == model.PhaseListen:
+			toListen = append(toListen, nodeName(i))
+		case f.Phase == model.PhaseListen && t.Phase == model.PhaseListen:
+			if !f.BigBang && t.BigBang {
+				lines = append(lines, fmt.Sprintf("%s ignores the frame due to the big bang requirement.", nodeName(i)))
+			} else if t.Timeout == 0 && f.Timeout > 0 {
+				lines = append(lines, fmt.Sprintf("The listen timeout counter of %s decreases to zero.", strings.ToLower(nodeName(i)[:1])+nodeName(i)[1:]))
+			}
+		case f.Phase == model.PhaseListen && t.Phase == model.PhaseColdStart:
+			lines = append(lines, fmt.Sprintf("%s transitions into the cold start state.", nodeName(i)))
+		case f.Phase == model.PhaseListen && t.Phase == model.PhasePassive:
+			lines = append(lines, fmt.Sprintf("%s integrates on the frame and transitions into the passive state.", nodeName(i)))
+		case f.Phase == model.PhaseColdStart && t.Phase == model.PhaseActive:
+			lines = append(lines, fmt.Sprintf("%s passes the clique test and enters the active state.", nodeName(i)))
+		case f.Phase == model.PhaseColdStart && t.Phase == model.PhaseListen:
+			lines = append(lines, fmt.Sprintf("%s fails the clique avoidance test and returns to the listen state.", nodeName(i)))
+		case f.Phase == model.PhasePassive && t.Phase == model.PhaseActive:
+			lines = append(lines, fmt.Sprintf("%s enters the active state and starts transmitting.", nodeName(i)))
+		case f.Phase.Integrated() && t.Phase == model.PhaseFreeze:
+			lines = append(lines, fmt.Sprintf("%s freezes due to a clique avoidance error.", nodeName(i)))
+		case t.Phase == model.PhaseFreeze && f.Phase != model.PhaseFreeze:
+			lines = append(lines, fmt.Sprintf("%s transitions into the freeze state.", nodeName(i)))
+		}
+
+		// Judgement notes for real frames counted as failed.
+		if f.Phase.Integrated() && t.Phase.Integrated() && t.Failed > f.Failed && haveInfo && realFrame(info) {
+			lines = append(lines, fmt.Sprintf("%s considers the frame a faulty frame.", nodeName(i)))
+		}
+	}
+	if len(toInit) > 0 {
+		lines = append(lines, groupSentence(toInit, "the init state"))
+	}
+	if len(toListen) > 0 {
+		lines = append(lines, groupSentence(toListen, "the listen state"))
+	}
+	return lines
+}
+
+func groupSentence(names []string, dest string) string {
+	if len(names) == len([]string{}) {
+		return ""
+	}
+	if len(names) == 1 {
+		return fmt.Sprintf("%s makes a transition into %s.", names[0], dest)
+	}
+	return fmt.Sprintf("%s transition into %s.", strings.Join(names, ", "), dest)
+}
+
+func realFrame(info model.StepInfo) bool {
+	for _, c := range info.Channels {
+		switch c.Kind {
+		case model.FrameColdStart, model.FrameCState, model.FrameOther:
+			return true
+		}
+	}
+	return false
+}
+
+func kindNoun(k model.FrameKind) string {
+	switch k {
+	case model.FrameColdStart:
+		return "cold start"
+	case model.FrameCState:
+		return "C-state"
+	case model.FrameOther:
+		return "data"
+	default:
+		return k.String()
+	}
+}
