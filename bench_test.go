@@ -5,7 +5,9 @@ package ttastar
 // and reports the headline quantity as a custom metric.
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"ttastar/internal/analysis"
@@ -273,6 +275,30 @@ func BenchmarkAblationBufferSize(b *testing.B) {
 		if i == 0 {
 			b.ReportMetric(float64(r.TinyTruncated), "damaged-frames")
 		}
+	}
+}
+
+// BenchmarkCampaignParallel measures the campaign engine's scaling: the
+// same 16-run SOS-timing campaign on a serial pool versus one worker per
+// core. Results are byte-identical across sub-benchmarks; only wall-clock
+// time changes.
+func BenchmarkCampaignParallel(b *testing.B) {
+	defer experiments.SetParallelism(0)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			experiments.SetParallelism(workers)
+			for i := 0; i < b.N; i++ {
+				cell, err := experiments.SOSTimingCampaign(
+					cluster.TopologyBus, guardian.AuthoritySmallShift, 16, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cell.Runs != 16 {
+					b.Fatalf("campaign ran %d/16 runs", cell.Runs)
+				}
+			}
+			b.ReportMetric(float64(workers), "workers")
+		})
 	}
 }
 

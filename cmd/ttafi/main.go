@@ -7,13 +7,19 @@
 // Usage:
 //
 //	ttafi -experiment all -runs 20
-//	ttafi -experiment sos-timing -runs 50 -seed 7
+//	ttafi -experiment sos-timing -runs 50 -seed 7 -parallel 8
+//
+// Campaign runs fan out over a bounded worker pool (-parallel, default
+// NumCPU); every run owns an independent simulator and a seed stream
+// derived from (base seed, cell label, run index), so output is
+// byte-identical for any -parallel value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"ttastar/internal/cluster"
 	"ttastar/internal/experiments"
@@ -32,9 +38,11 @@ func run(args []string) error {
 	experiment := fs.String("experiment", "all", "sos-timing | sos-value | masquerade | badcstate | babbling | replay | startup | ablation | all")
 	runs := fs.Int("runs", 20, "seeded runs per campaign cell")
 	seed := fs.Uint64("seed", 1, "base seed")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "campaign worker-pool size (results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	experiments.SetParallelism(*parallel)
 
 	var cells []experiments.CampaignCell
 	add := func(c experiments.CampaignCell, err error) error {

@@ -10,6 +10,14 @@ func TestRunSingleCampaigns(t *testing.T) {
 	}
 }
 
+func TestRunParallelFlag(t *testing.T) {
+	for _, p := range []string{"1", "4"} {
+		if err := run([]string{"-experiment", "sos-timing", "-runs", "2", "-parallel", p}); err != nil {
+			t.Errorf("-parallel %s: %v", p, err)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-experiment", "bogus"}); err == nil {
 		t.Error("bogus experiment accepted")

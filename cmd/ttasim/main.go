@@ -6,6 +6,12 @@
 //
 //	ttasim -topology star -authority smallshift -duration 100ms
 //	ttasim -topology bus -nodes 6 -drift-ppm 100 -events
+//	ttasim -topology star -runs 50 -parallel 8
+//
+// With -runs N (N > 1) the same configuration is simulated N times with
+// independent derived seed streams, fanned out over a worker pool
+// (-parallel, default NumCPU), and summarized as an aggregate; the
+// summary is byte-identical for any -parallel value.
 package main
 
 import (
@@ -13,14 +19,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"ttastar/internal/channel"
 	"ttastar/internal/cluster"
+	"ttastar/internal/experiments"
 	"ttastar/internal/frame"
 	"ttastar/internal/guardian"
 	"ttastar/internal/medl"
 	"ttastar/internal/sim"
+	"ttastar/internal/stats"
 )
 
 func main() {
@@ -39,6 +48,8 @@ func run(args []string) error {
 	duration := fs.Duration("duration", 100*time.Millisecond, "simulated time to run")
 	driftPPM := fs.Float64("drift-ppm", 100, "alternating ±drift of node oscillators")
 	seed := fs.Uint64("seed", 1, "simulation seed")
+	runs := fs.Int("runs", 1, "independent seeded replicas; >1 prints an aggregate summary")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "worker-pool size for -runs replicas")
 	events := fs.Bool("events", false, "print protocol state changes")
 	medlPath := fs.String("medl", "", "load the MEDL (TDMA schedule) from a JSON file instead of generating one")
 	dumpMEDL := fs.String("dump-medl", "", "write the generated MEDL as JSON to this file and exit")
@@ -81,14 +92,19 @@ func run(args []string) error {
 		}
 		drifts[i] = d
 	}
-	c, err := cluster.New(cluster.Config{
+	cfg := cluster.Config{
 		Topology:         top,
 		Schedule:         sched,
 		Authority:        a,
 		SemanticAnalysis: *semantic,
 		NodeDrifts:       drifts,
-		Seed:             *seed,
-	})
+	}
+	if *runs > 1 {
+		experiments.SetParallelism(*parallel)
+		return runReplicas(cfg, *runs, *seed, *duration)
+	}
+	cfg.Seed = *seed
+	c, err := cluster.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -117,6 +133,57 @@ func run(args []string) error {
 			fmt.Printf("%14v node %v: %v → %v\n", e.At, e.Node, e.From, e.To)
 		}
 	}
+	return nil
+}
+
+// runReplicas simulates the same configuration runs times with derived
+// seed streams over the campaign worker pool and prints an aggregate.
+func runReplicas(cfg cluster.Config, runs int, seed uint64, duration time.Duration) error {
+	type verdict struct {
+		allActive   bool
+		freezes     int
+		regressions int
+		framesSent  int
+	}
+	label := fmt.Sprintf("ttasim replicas (%v, %v, n=%d)", cfg.Topology, cfg.Authority, len(cfg.NodeDrifts))
+	verdicts, err := experiments.RunSeeded(label, runs, seed, func(r int, s experiments.RunSeeds) (verdict, error) {
+		runCfg := cfg
+		runCfg.Seed = s.Cluster
+		c, err := cluster.New(runCfg)
+		if err != nil {
+			return verdict{}, err
+		}
+		c.StartStaggered(100 * time.Microsecond)
+		c.Run(duration)
+		sent := 0
+		for _, n := range c.Nodes() {
+			sent += n.Stats().FramesSent
+		}
+		return verdict{
+			allActive:   c.AllActive(),
+			freezes:     c.HealthyFreezes(),
+			regressions: c.StartupRegressions(),
+			framesSent:  sent,
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	allActive, freezes, regressions := 0, 0, 0
+	var sent stats.Sample
+	for _, v := range verdicts {
+		if v.allActive {
+			allActive++
+		}
+		freezes += v.freezes
+		regressions += v.regressions
+		sent.Add(float64(v.framesSent))
+	}
+	fmt.Printf("topology=%v authority=%v nodes=%d simulated=%v replicas=%d\n",
+		cfg.Topology, cfg.Authority, len(cfg.NodeDrifts), duration, runs)
+	fmt.Printf("all-active=%d/%d healthy freezes=%d startup regressions=%d\n",
+		allActive, runs, freezes, regressions)
+	fmt.Printf("frames sent per replica: %v\n", sent.String())
 	return nil
 }
 

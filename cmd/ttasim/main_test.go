@@ -20,6 +20,14 @@ func TestRunSemanticStar(t *testing.T) {
 	}
 }
 
+func TestRunReplicas(t *testing.T) {
+	for _, p := range []string{"1", "4"} {
+		if err := run([]string{"-topology", "star", "-runs", "5", "-duration", "20ms", "-parallel", p}); err != nil {
+			t.Fatalf("replicas -parallel %s: %v", p, err)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-topology", "ring"}); err == nil {
 		t.Error("ring topology accepted")

@@ -68,15 +68,23 @@ func BufferTruncationAblation() (TruncationResult, error) {
 		return c.AllActive(), truncated, nil
 	}
 
-	var err error
-	out.AdequateActive, _, err = run(int(required) + 3)
+	// The two configurations are independent simulations; fan them over
+	// the campaign worker pool like any other cell's runs.
+	type outcome struct {
+		active    bool
+		truncated int
+	}
+	bufferBits := []int{int(required) + 3, guardian.DefaultLineEncodingBits + 1}
+	results, err := mapRuns(len(bufferBits), Parallelism(), func(i int) (outcome, error) {
+		active, truncated, err := run(bufferBits[i])
+		return outcome{active, truncated}, err
+	})
 	if err != nil {
 		return out, err
 	}
-	out.TinyActive, out.TinyTruncated, err = run(guardian.DefaultLineEncodingBits + 1)
-	if err != nil {
-		return out, err
-	}
+	out.AdequateActive = results[0].active
+	out.TinyActive = results[1].active
+	out.TinyTruncated = results[1].truncated
 	return out, nil
 }
 

@@ -22,28 +22,26 @@ func BabblingIdiotCampaign(top cluster.Topology, authority guardian.Authority, r
 	cell := CampaignCell{
 		Label:    fmt.Sprintf("babbling idiot (%s)", describeGuard(top, authority, false)),
 		Topology: top,
-		Runs:     runs,
 	}
 	const babbler = cstate.NodeID(4)
-	for r := 0; r < runs; r++ {
-		rng := sim.NewRNG(seed + uint64(r)*48611)
+	verdicts, err := RunSeeded(cell.Label, runs, seed, func(r int, s RunSeeds) (RunVerdict, error) {
 		c, err := cluster.New(cluster.Config{
 			Topology:  top,
 			Authority: authority,
-			Seed:      seed + uint64(r),
+			Seed:      s.Cluster,
 		})
 		if err != nil {
-			return cell, fmt.Errorf("experiments: babble cluster: %w", err)
+			return RunVerdict{}, fmt.Errorf("experiments: babble cluster: %w", err)
 		}
 		// Nodes 1-3 form the cluster; node 4 is the babbler.
 		for i := 1; i <= 3; i++ {
 			if err := c.StartNode(cstate.NodeID(i), time.Duration(i)*100*time.Microsecond); err != nil {
-				return cell, err
+				return RunVerdict{}, err
 			}
 		}
 		c.Run(20 * time.Millisecond)
 		if c.CountInState(node.StateActive) != 3 {
-			return cell, fmt.Errorf("experiments: babble run %d failed to start", r)
+			return RunVerdict{}, fmt.Errorf("experiments: babble run %d failed to start", r)
 		}
 
 		if top == cluster.TopologyBus {
@@ -53,18 +51,19 @@ func BabblingIdiotCampaign(top cluster.Topology, authority guardian.Authority, r
 				c.LocalGuardian(babbler, ch).SetFault(guardian.LocalFaultStuckOpen)
 			}
 		}
-		stop := startBabbler(c, babbler, rng)
+		stop := startBabbler(c, babbler, s.RNG)
 		c.Run(40 * time.Millisecond)
 		stop()
 
 		hf := c.HealthyFreezes(babbler)
-		cell.HealthyFreezes += hf
-		if hf > 0 || c.CountInState(node.StateActive) < 3 {
-			cell.RunsDisrupted++
-		}
-		cell.GuardianBlocked += guardianBlocked(c)
-	}
-	return cell, nil
+		return RunVerdict{
+			Disrupted:       hf > 0 || c.CountInState(node.StateActive) < 3,
+			HealthyFreezes:  hf,
+			GuardianBlocked: guardianBlocked(c),
+		}, nil
+	})
+	cell.reduceVerdicts(verdicts)
+	return cell, err
 }
 
 // startBabbler transmits noise bursts continuously from the node's

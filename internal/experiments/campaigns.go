@@ -33,6 +33,54 @@ func (c CampaignCell) DisruptionRate() float64 {
 	return float64(c.RunsDisrupted) / float64(c.Runs)
 }
 
+// RunVerdict is one seeded run's contribution to a CampaignCell.
+type RunVerdict struct {
+	Disrupted       bool
+	HealthyFreezes  int
+	GuardianBlocked int
+}
+
+// AddRun folds one run's verdict into the cell. Folding is pure addition,
+// so reducing verdicts in run-index order gives the same cell however the
+// runs were scheduled across workers.
+func (c *CampaignCell) AddRun(v RunVerdict) {
+	c.Runs++
+	if v.Disrupted {
+		c.RunsDisrupted++
+	}
+	c.HealthyFreezes += v.HealthyFreezes
+	c.GuardianBlocked += v.GuardianBlocked
+}
+
+// Merge folds another cell's tallies into c, so shards of one campaign
+// cell (same label/topology) aggregated separately can be combined:
+// AddRun and Merge commute with any associative grouping of the runs.
+func (c *CampaignCell) Merge(o CampaignCell) {
+	c.Runs += o.Runs
+	c.RunsDisrupted += o.RunsDisrupted
+	c.HealthyFreezes += o.HealthyFreezes
+	c.GuardianBlocked += o.GuardianBlocked
+}
+
+// reduceVerdicts builds the campaign aggregate from ordered run verdicts.
+func (c *CampaignCell) reduceVerdicts(vs []RunVerdict) {
+	for _, v := range vs {
+		c.AddRun(v)
+	}
+}
+
+// verdictFor reads the standard disruption verdict off a finished run:
+// the faulty node is excluded, any healthy-node freeze or startup
+// regression counts as disruption.
+func verdictFor(c *cluster.Cluster, faulty cstate.NodeID) RunVerdict {
+	hf := c.HealthyFreezes(faulty)
+	return RunVerdict{
+		Disrupted:       hf+c.StartupRegressions(faulty) > 0,
+		HealthyFreezes:  hf,
+		GuardianBlocked: guardianBlocked(c),
+	}
+}
+
 // FormatCampaign renders campaign cells as a table.
 func FormatCampaign(cells []CampaignCell) string {
 	var b strings.Builder
@@ -45,33 +93,47 @@ func FormatCampaign(cells []CampaignCell) string {
 	return b.String()
 }
 
+// perStartMemo caches one drawn value per distinct transmission start, so
+// a hook invoked once per channel for the same frame hands both channels
+// the identical draw. An explicit drawn flag marks "nothing cached yet" —
+// a zero draw is a legitimate value, not a sentinel; treating it as one
+// used to redraw per channel and split the marginal signal across
+// channels.
+func perStartMemo[T any](draw func() T) func(sim.Time) T {
+	var last sim.Time
+	var val T
+	drawn := false
+	return func(start sim.Time) T {
+		if !drawn || start != last {
+			drawn, last = true, start
+			val = draw()
+		}
+		return val
+	}
+}
+
 // perFrameOffset builds a TxHook that shifts every transmission of a node
 // by a marginal timing offset (SOS in the time domain). The hook caches per
 // frame so both channels carry the identical marginal signal.
 func perFrameOffset(rng *sim.RNG, base, jitter time.Duration) node.TxHook {
-	var lastStart sim.Time
-	var lastOffset time.Duration
+	memo := perStartMemo(func() time.Duration {
+		return base + time.Duration(rng.Range(-int64(jitter), int64(jitter)))
+	})
 	return func(_ channel.ID, tx channel.Transmission) (channel.Transmission, bool) {
-		if tx.Start != lastStart || lastOffset == 0 {
-			lastStart = tx.Start
-			lastOffset = base + time.Duration(rng.Range(-int64(jitter), int64(jitter)))
-		}
-		tx.Start = tx.Start.Add(lastOffset)
+		tx.Start = tx.Start.Add(memo(tx.Start))
 		return tx, true
 	}
 }
 
 // perFrameStrength builds a TxHook that weakens every transmission to a
-// marginal signal strength (SOS in the value domain).
+// marginal signal strength (SOS in the value domain), cached per frame
+// like perFrameOffset.
 func perFrameStrength(rng *sim.RNG, base, jitter float64) node.TxHook {
-	var lastStart sim.Time
-	var lastStrength float64
+	memo := perStartMemo(func() float64 {
+		return base + jitter*(2*rng.Float64()-1)
+	})
 	return func(_ channel.ID, tx channel.Transmission) (channel.Transmission, bool) {
-		if tx.Start != lastStart || lastStrength == 0 {
-			lastStart = tx.Start
-			lastStrength = base + jitter*(2*rng.Float64()-1)
-		}
-		tx.Strength = lastStrength
+		tx.Strength = memo(tx.Start)
 		return tx, true
 	}
 }
@@ -112,32 +174,25 @@ func SOSTimingCampaign(top cluster.Topology, authority guardian.Authority, runs 
 	cell := CampaignCell{
 		Label:    fmt.Sprintf("SOS timing (%s)", describeGuard(top, authority, false)),
 		Topology: top,
-		Runs:     runs,
 	}
-	for r := 0; r < runs; r++ {
-		rng := sim.NewRNG(seed + uint64(r)*7919)
-		c, err := cluster.New(sosConfig(top, authority, seed+uint64(r)))
+	verdicts, err := RunSeeded(cell.Label, runs, seed, func(r int, s RunSeeds) (RunVerdict, error) {
+		c, err := cluster.New(sosConfig(top, authority, s.Cluster))
 		if err != nil {
-			return cell, fmt.Errorf("experiments: SOS timing cluster: %w", err)
+			return RunVerdict{}, fmt.Errorf("experiments: SOS timing cluster: %w", err)
 		}
 		c.StartStaggered(100 * time.Microsecond)
 		c.Run(20 * time.Millisecond)
 		if !c.AllActive() {
-			return cell, fmt.Errorf("experiments: SOS timing run %d failed to start", r)
+			return RunVerdict{}, fmt.Errorf("experiments: SOS timing run %d failed to start", r)
 		}
 		// The marginal offset straddles the receivers' acceptance edges
 		// (precision 10 µs, tolerances 0–4 µs).
-		c.Node(1).SetTxHook(perFrameOffset(rng, 11500*time.Nanosecond, 2*time.Microsecond))
+		c.Node(1).SetTxHook(perFrameOffset(s.RNG, 11500*time.Nanosecond, 2*time.Microsecond))
 		c.Run(100 * time.Millisecond)
-
-		hf := c.HealthyFreezes(1)
-		cell.HealthyFreezes += hf
-		if hf+c.StartupRegressions(1) > 0 {
-			cell.RunsDisrupted++
-		}
-		cell.GuardianBlocked += guardianBlocked(c)
-	}
-	return cell, nil
+		return verdictFor(c, 1), nil
+	})
+	cell.reduceVerdicts(verdicts)
+	return cell, err
 }
 
 // SOSValueCampaign runs E10b: node 1 transmits at marginal signal strength;
@@ -147,31 +202,24 @@ func SOSValueCampaign(top cluster.Topology, authority guardian.Authority, runs i
 	cell := CampaignCell{
 		Label:    fmt.Sprintf("SOS value (%s)", describeGuard(top, authority, false)),
 		Topology: top,
-		Runs:     runs,
 	}
-	for r := 0; r < runs; r++ {
-		rng := sim.NewRNG(seed + uint64(r)*104729)
-		c, err := cluster.New(sosConfig(top, authority, seed+uint64(r)))
+	verdicts, err := RunSeeded(cell.Label, runs, seed, func(r int, s RunSeeds) (RunVerdict, error) {
+		c, err := cluster.New(sosConfig(top, authority, s.Cluster))
 		if err != nil {
-			return cell, fmt.Errorf("experiments: SOS value cluster: %w", err)
+			return RunVerdict{}, fmt.Errorf("experiments: SOS value cluster: %w", err)
 		}
 		c.StartStaggered(100 * time.Microsecond)
 		c.Run(20 * time.Millisecond)
 		if !c.AllActive() {
-			return cell, fmt.Errorf("experiments: SOS value run %d failed to start", r)
+			return RunVerdict{}, fmt.Errorf("experiments: SOS value run %d failed to start", r)
 		}
 		// Strength straddles the 0.46–0.54 threshold spread.
-		c.Node(1).SetTxHook(perFrameStrength(rng, 0.50, 0.03))
+		c.Node(1).SetTxHook(perFrameStrength(s.RNG, 0.50, 0.03))
 		c.Run(100 * time.Millisecond)
-
-		hf := c.HealthyFreezes(1)
-		cell.HealthyFreezes += hf
-		if hf+c.StartupRegressions(1) > 0 {
-			cell.RunsDisrupted++
-		}
-		cell.GuardianBlocked += guardianBlocked(c)
-	}
-	return cell, nil
+		return verdictFor(c, 1), nil
+	})
+	cell.reduceVerdicts(verdicts)
+	return cell, err
 }
 
 // MasqueradeCampaign runs E11a: during cluster start-up a faulty device on
@@ -184,34 +232,32 @@ func MasqueradeCampaign(top cluster.Topology, authority guardian.Authority, sema
 	cell := CampaignCell{
 		Label:    fmt.Sprintf("masquerade start-up (%s)", describeGuard(top, authority, semantic)),
 		Topology: top,
-		Runs:     runs,
 	}
-	for r := 0; r < runs; r++ {
-		rng := sim.NewRNG(seed + uint64(r)*31337)
+	verdicts, err := RunSeeded(cell.Label, runs, seed, func(r int, s RunSeeds) (RunVerdict, error) {
 		c, err := cluster.New(cluster.Config{
 			Topology:         top,
 			Authority:        authority,
 			SemanticAnalysis: semantic,
-			Seed:             seed + uint64(r),
+			Seed:             s.Cluster,
 		})
 		if err != nil {
-			return cell, fmt.Errorf("experiments: masquerade cluster: %w", err)
+			return RunVerdict{}, fmt.Errorf("experiments: masquerade cluster: %w", err)
 		}
 		// Nodes 1-3 start; node 4's attachment point hosts the rogue.
 		for i := 1; i <= 3; i++ {
 			if err := c.StartNode(cstate.NodeID(i), time.Duration(i)*100*time.Microsecond); err != nil {
-				return cell, err
+				return RunVerdict{}, err
 			}
 		}
 		// Rogue cold-start frames claiming node 2, at random times across
 		// the start-up window.
-		bits, err := frame.NewColdStart(2, uint16(rng.Intn(100))).Encode()
+		bits, err := frame.NewColdStart(2, uint16(s.RNG.Intn(100))).Encode()
 		if err != nil {
-			return cell, err
+			return RunVerdict{}, err
 		}
 		for k := 0; k < 3; k++ {
 			at := sim.Time(600*time.Microsecond) +
-				sim.Time(rng.Int63n(int64(3*time.Millisecond))) +
+				sim.Time(s.RNG.Int63n(int64(3*time.Millisecond))) +
 				sim.Time(k)*sim.Time(700*time.Microsecond)
 			c.Sched.At(at, "rogue masquerade", func() {
 				tx := channel.Transmission{
@@ -229,15 +275,10 @@ func MasqueradeCampaign(top cluster.Topology, authority guardian.Authority, sema
 			})
 		}
 		c.Run(60 * time.Millisecond)
-
-		hf := c.HealthyFreezes(4)
-		cell.HealthyFreezes += hf
-		if hf+c.StartupRegressions(4) > 0 {
-			cell.RunsDisrupted++
-		}
-		cell.GuardianBlocked += guardianBlocked(c)
-	}
-	return cell, nil
+		return verdictFor(c, 4), nil
+	})
+	cell.reduceVerdicts(verdicts)
+	return cell, err
 }
 
 // BadCStateCampaign runs E11b: a running cluster's node-1 slot is fed by a
@@ -251,51 +292,44 @@ func BadCStateCampaign(top cluster.Topology, authority guardian.Authority, seman
 	cell := CampaignCell{
 		Label:    fmt.Sprintf("invalid C-state (%s)", describeGuard(top, authority, semantic)),
 		Topology: top,
-		Runs:     runs,
 	}
-	for r := 0; r < runs; r++ {
-		rng := sim.NewRNG(seed + uint64(r)*65537)
+	verdicts, err := RunSeeded(cell.Label, runs, seed, func(r int, s RunSeeds) (RunVerdict, error) {
 		c, err := cluster.New(cluster.Config{
 			Topology:         top,
 			Authority:        authority,
 			SemanticAnalysis: semantic,
-			Seed:             seed + uint64(r),
+			Seed:             s.Cluster,
 		})
 		if err != nil {
-			return cell, fmt.Errorf("experiments: bad C-state cluster: %w", err)
+			return RunVerdict{}, fmt.Errorf("experiments: bad C-state cluster: %w", err)
 		}
 		// Nodes 2 and 3 form the running cluster; node 1's attachment is
 		// the faulty device; node 4 is the late joiner.
 		if err := c.StartNode(2, 100*time.Microsecond); err != nil {
-			return cell, err
+			return RunVerdict{}, err
 		}
 		if err := c.StartNode(3, 200*time.Microsecond); err != nil {
-			return cell, err
+			return RunVerdict{}, err
 		}
 		c.Run(20 * time.Millisecond)
 		if c.CountInState(node.StateActive) != 2 {
-			return cell, fmt.Errorf("experiments: bad C-state run %d failed to start", r)
+			return RunVerdict{}, fmt.Errorf("experiments: bad C-state run %d failed to start", r)
 		}
 
 		rogueTracker := attachTracker(c)
 		stopRogue := startBadCStateRogue(c, rogueTracker)
 
 		// Node 4 joins at a random phase of the round.
-		delay := time.Duration(rng.Int63n(int64(c.Schedule.RoundDuration())))
+		delay := time.Duration(s.RNG.Int63n(int64(c.Schedule.RoundDuration())))
 		if err := c.StartNode(4, delay); err != nil {
-			return cell, err
+			return RunVerdict{}, err
 		}
 		c.Run(60 * time.Millisecond)
 		stopRogue()
-
-		hf := c.HealthyFreezes(1)
-		cell.HealthyFreezes += hf
-		if hf+c.StartupRegressions(1) > 0 {
-			cell.RunsDisrupted++
-		}
-		cell.GuardianBlocked += guardianBlocked(c)
-	}
-	return cell, nil
+		return verdictFor(c, 1), nil
+	})
+	cell.reduceVerdicts(verdicts)
+	return cell, err
 }
 
 // attachTracker gives the experiment its own phase view of the cluster by

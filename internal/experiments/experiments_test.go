@@ -225,11 +225,11 @@ func TestE10SOS(t *testing.T) {
 // TestE11Masquerade: semantic analysis blocks masqueraded cold-start
 // frames; local bus guardians cannot.
 func TestE11Masquerade(t *testing.T) {
-	bus, err := MasqueradeCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, false, 8, 3)
+	bus, err := MasqueradeCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, false, 12, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	star, err := MasqueradeCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, true, 8, 3)
+	star, err := MasqueradeCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, true, 12, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

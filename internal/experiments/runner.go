@@ -1,0 +1,120 @@
+package experiments
+
+// The parallel campaign engine. Every fault-injection campaign is the
+// same shape — N seeded runs, each on its own fully independent
+// sim.Scheduler/cluster instance, reduced to one aggregate — so the fan-
+// out lives here once: a bounded worker pool that executes runs in any
+// order but surfaces results (and the first error) in run-index order,
+// making campaign output byte-identical regardless of worker count.
+//
+// Seed streams are derived by splitmix64 mixing of (base seed, cell label
+// hash, run index): see sim.Mix. Unlike linear seed arithmetic, no two
+// runs — within a cell or across cells — can share or overlap a stream.
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ttastar/internal/sim"
+)
+
+// parallelism is the configured worker-pool width; 0 means NumCPU.
+var parallelism atomic.Int32
+
+// Parallelism returns the worker-pool width campaigns fan out over.
+func Parallelism() int {
+	if n := parallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.NumCPU()
+}
+
+// SetParallelism sets the campaign worker-pool width. n < 1 restores the
+// NumCPU default. The aggregate of a campaign is independent of this
+// setting; only wall-clock time changes.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Domain separators so the cluster's noise RNG and the experiment's fault
+// RNG draw from unrelated streams even though both derive from one run.
+const (
+	seedDomainCluster    = 0xc1
+	seedDomainExperiment = 0xe2
+)
+
+// RunSeeds carries the independent random streams one campaign run owns.
+type RunSeeds struct {
+	// Cluster seeds cluster.Config.Seed (channel noise, per-node jitter).
+	Cluster uint64
+	// RNG is the experiment's private stream for fault timing/values.
+	RNG *sim.RNG
+}
+
+// seedsFor derives the streams for run r of the cell named label.
+func seedsFor(base uint64, label string, r int) RunSeeds {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	run := sim.Mix(base, h.Sum64(), uint64(r))
+	return RunSeeds{
+		Cluster: sim.Mix(run, seedDomainCluster),
+		RNG:     sim.NewRNG(sim.Mix(run, seedDomainExperiment)),
+	}
+}
+
+// mapRuns executes fn(0..runs-1) over a pool of at most workers
+// goroutines and returns the results in index order. If any runs fail,
+// the error of the lowest-indexed failure is returned (with the full
+// result slice), so error reporting is as deterministic as the results.
+func mapRuns[T any](runs, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if runs <= 0 {
+		return nil, nil
+	}
+	if workers > runs {
+		workers = runs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]T, runs)
+	errs := make([]error, runs)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= runs {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// RunSeeded fans runs seeded runs of the cell named label over the
+// campaign worker pool. runOne receives the run index and the run's
+// derived seed streams and must be self-contained: it builds its own
+// cluster, injects its own faults, and returns a verdict. Verdicts come
+// back in run-index order, so any fold over them is reproducible
+// regardless of Parallelism().
+func RunSeeded[T any](label string, runs int, base uint64, runOne func(r int, s RunSeeds) (T, error)) ([]T, error) {
+	return mapRuns(runs, Parallelism(), func(i int) (T, error) {
+		return runOne(i, seedsFor(base, label, i))
+	})
+}

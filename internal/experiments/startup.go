@@ -7,7 +7,6 @@ import (
 
 	"ttastar/internal/cluster"
 	"ttastar/internal/guardian"
-	"ttastar/internal/sim"
 	"ttastar/internal/stats"
 )
 
@@ -36,31 +35,48 @@ type StartupResult struct {
 // explores exhaustively, sampled here in the timed world).
 func StartupLatency(top cluster.Topology, authority guardian.Authority, runs int, seed uint64) (StartupResult, error) {
 	out := StartupResult{Topology: top, Authority: authority}
-	for r := 0; r < runs; r++ {
-		rng := sim.NewRNG(seed + uint64(r)*1013)
+	type verdict struct {
+		failed    bool
+		latencyMS float64
+		freezes   int
+		retries   int
+	}
+	label := fmt.Sprintf("startup latency (%v, %v)", top, authority)
+	verdicts, err := RunSeeded(label, runs, seed, func(r int, s RunSeeds) (verdict, error) {
 		c, err := cluster.New(cluster.Config{
 			Topology:  top,
 			Authority: authority,
-			Seed:      seed + uint64(r),
+			Seed:      s.Cluster,
 		})
 		if err != nil {
-			return out, fmt.Errorf("experiments: startup cluster: %w", err)
+			return verdict{}, fmt.Errorf("experiments: startup cluster: %w", err)
 		}
 		// Random power-on order and spacing, up to two rounds apart.
 		span := int64(2 * c.Schedule.RoundDuration())
 		for _, n := range c.Nodes() {
-			n.Start(time.Duration(rng.Int63n(span)))
+			n.Start(time.Duration(s.RNG.Int63n(span)))
 		}
-		ok := c.RunUntil(500*time.Millisecond, c.AllActive)
-		if !ok {
+		if !c.RunUntil(500*time.Millisecond, c.AllActive) {
+			return verdict{failed: true}, nil
+		}
+		return verdict{
+			latencyMS: float64(c.Sched.Now()) / 1e6,
+			freezes:   c.HealthyFreezes(),
+			retries:   c.StartupRegressions(),
+		}, nil
+	})
+	// Reduce in run-index order: out.Latency is identical to the sample a
+	// serial loop would have built.
+	for _, v := range verdicts {
+		if v.failed {
 			out.Failures++
 			continue
 		}
-		out.Latency.Add(float64(c.Sched.Now()) / 1e6) // ms
-		out.HealthyFreezes += c.HealthyFreezes()
-		out.Retries += c.StartupRegressions()
+		out.Latency.Add(v.latencyMS)
+		out.HealthyFreezes += v.freezes
+		out.Retries += v.retries
 	}
-	return out, nil
+	return out, err
 }
 
 // FormatStartup renders startup-latency results as a table.

@@ -1,5 +1,7 @@
 package sim
 
+import "math/bits"
+
 // RNG is a small, fast, deterministic random number generator (splitmix64).
 // Simulations derive all randomness from one seeded RNG so runs are exactly
 // reproducible; math/rand's global state is deliberately avoided.
@@ -21,12 +23,30 @@ func (r *RNG) Uint64() uint64 {
 	return z ^ (z >> 31)
 }
 
+// Uint64n returns a uniform value in [0, n). n must be non-zero. Unlike
+// Uint64() % n — whose low residues are overrepresented by up to one part
+// in 2^64/n — it is exactly uniform, using Lemire's widening-multiply
+// rejection method (one 64×64→128 multiply, <1 retry expected).
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
 // Intn returns a uniform value in [0, n). n must be positive.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	return int(r.Uint64n(uint64(n)))
 }
 
 // Int63n returns a uniform value in [0, n). n must be positive.
@@ -34,7 +54,7 @@ func (r *RNG) Int63n(n int64) int64 {
 	if n <= 0 {
 		panic("sim: Int63n with non-positive n")
 	}
-	return int64(r.Uint64() % uint64(n))
+	return int64(r.Uint64n(uint64(n)))
 }
 
 // Float64 returns a uniform value in [0, 1).
@@ -50,7 +70,8 @@ func (r *RNG) Range(lo, hi int64) int64 {
 	if hi < lo {
 		panic("sim: Range with hi < lo")
 	}
-	return lo + r.Int63n(hi-lo+1)
+	// uint64 arithmetic keeps spans wider than MaxInt64 exact.
+	return lo + int64(r.Uint64n(uint64(hi-lo)+1))
 }
 
 // Perm returns a random permutation of [0, n).

@@ -114,6 +114,68 @@ func TestRNGBoolBalanced(t *testing.T) {
 	}
 }
 
+// TestRNGIntnUnbiased is a chi-squared goodness-of-fit check on the
+// rejection sampler. The old Uint64() % n draw is biased for n not a
+// power of two; for huge n (where the bias is gross) see
+// TestRNGUint64nLargeModulus.
+func TestRNGIntnUnbiased(t *testing.T) {
+	// 99.9% chi-squared critical values for n-1 degrees of freedom.
+	cases := []struct {
+		n    int
+		crit float64
+	}{
+		{3, 13.82},
+		{10, 27.88},
+		{12, 31.26},
+		{100, 148.23},
+	}
+	const draws = 200_000
+	for _, tc := range cases {
+		r := NewRNG(0xfeed + uint64(tc.n))
+		counts := make([]int, tc.n)
+		for i := 0; i < draws; i++ {
+			counts[r.Intn(tc.n)]++
+		}
+		expected := float64(draws) / float64(tc.n)
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		if chi2 > tc.crit {
+			t.Errorf("Intn(%d): chi-squared %.2f exceeds 99.9%% critical value %.2f",
+				tc.n, chi2, tc.crit)
+		}
+	}
+}
+
+// TestRNGUint64nLargeModulus exercises the rejection path: for n just
+// above 2^63 the modulo draw would return values in [0, n-2^63) twice as
+// often as the rest. Check bounds and that the top half is populated.
+func TestRNGUint64nLargeModulus(t *testing.T) {
+	r := NewRNG(31)
+	n := uint64(1)<<63 + 12345
+	top := 0
+	for i := 0; i < 2000; i++ {
+		v := r.Uint64n(n)
+		if v >= n {
+			t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+		}
+		if v >= n/2 {
+			top++
+		}
+	}
+	if top < 800 || top > 1200 {
+		t.Errorf("Uint64n(2^63+k): top half drawn %d/2000 times, want ≈1000", top)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) did not panic")
+		}
+	}()
+	r.Uint64n(0)
+}
+
 func TestRNGSplitIndependent(t *testing.T) {
 	r := NewRNG(21)
 	child := r.Split()

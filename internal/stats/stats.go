@@ -17,6 +17,12 @@ type Sample struct {
 // Add records one observation.
 func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
 
+// Merge appends every observation of o to s, preserving o's insertion
+// order. Merging per-shard samples in shard order is therefore associative
+// and yields exactly the sample a serial accumulation would have built —
+// the property parallel campaign runners rely on.
+func (s *Sample) Merge(o Sample) { s.values = append(s.values, o.values...) }
+
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.values) }
 
@@ -76,13 +82,18 @@ func (s *Sample) Max() float64 {
 }
 
 // CI95 returns a normal-approximation 95% confidence interval for the
-// mean. For an empty sample both bounds are 0.
+// mean. For an empty sample both bounds are 0; for a single observation
+// the spread is undefined and both bounds collapse to the mean, so no
+// NaN can leak into formatted output.
 func (s *Sample) CI95() (lo, hi float64) {
 	n := len(s.values)
 	if n == 0 {
 		return 0, 0
 	}
 	m := s.Mean()
+	if n < 2 {
+		return m, m
+	}
 	half := 1.96 * s.StdDev() / math.Sqrt(float64(n))
 	return m - half, m + half
 }

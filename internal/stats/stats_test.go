@@ -51,6 +51,48 @@ func TestSampleSingleValue(t *testing.T) {
 	if lo != 3 || hi != 3 {
 		t.Errorf("single-value CI = [%g,%g]", lo, hi)
 	}
+	if out := s.String(); strings.Contains(out, "NaN") {
+		t.Errorf("single-value String() leaks NaN: %q", out)
+	}
+}
+
+// TestSampleMerge: merging shard samples in shard order must reproduce the
+// serially accumulated sample exactly, whatever the shard boundaries.
+func TestSampleMerge(t *testing.T) {
+	values := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var serial Sample
+	for _, v := range values {
+		serial.Add(v)
+	}
+	for _, cut := range []int{0, 1, 3, 8} {
+		var a, b, merged Sample
+		for _, v := range values[:cut] {
+			a.Add(v)
+		}
+		for _, v := range values[cut:] {
+			b.Add(v)
+		}
+		merged.Merge(a)
+		merged.Merge(b)
+		if merged.String() != serial.String() {
+			t.Errorf("cut %d: merged %q != serial %q", cut, merged.String(), serial.String())
+		}
+	}
+	// Merging an empty sample is a no-op.
+	var s, empty Sample
+	s.Add(1)
+	s.Merge(empty)
+	if s.N() != 1 {
+		t.Errorf("merge of empty sample changed N to %d", s.N())
+	}
+	// Merge copies values: mutating the source later must not alias.
+	var src, dst Sample
+	src.Add(10)
+	dst.Merge(src)
+	src.Add(20)
+	if dst.N() != 1 || dst.Max() != 10 {
+		t.Errorf("merge aliases source: n=%d max=%g", dst.N(), dst.Max())
+	}
 }
 
 func TestSampleMeanBoundsProperty(t *testing.T) {
