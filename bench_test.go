@@ -20,21 +20,36 @@ import (
 
 // BenchmarkE1VerificationMatrix regenerates the §5.2 verification matrix:
 // the property holds for passive/time-windows/small-shifting couplers and
-// fails for full shifting.
+// fails for full shifting. Sub-benchmarks run the checker serially and
+// with one worker per core; the rendered matrix (verdicts, states,
+// trace lengths) is asserted byte-identical across worker counts — only
+// wall-clock time may differ.
 func BenchmarkE1VerificationMatrix(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.VerificationMatrix(mc.Options{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, r := range rows {
-			if r.Result.Holds != (r.Authority != guardian.AuthorityFullShift) {
-				b.Fatalf("%v: unexpected verdict %v", r.Authority, r.Result.Holds)
+	var serialTable string
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.VerificationMatrix(mc.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range rows {
+					if r.Result.Holds != (r.Authority != guardian.AuthorityFullShift) {
+						b.Fatalf("%v: unexpected verdict %v", r.Authority, r.Result.Holds)
+					}
+				}
+				if i == 0 {
+					table := experiments.FormatMatrix(rows)
+					if serialTable == "" {
+						serialTable = table
+					} else if table != serialTable {
+						b.Fatalf("matrix differs at %d workers:\n%s\nvs serial:\n%s", workers, table, serialTable)
+					}
+					b.ReportMetric(float64(rows[0].Result.StatesExplored), "states/holds-row")
+				}
 			}
-		}
-		if i == 0 {
-			b.ReportMetric(float64(rows[0].Result.StatesExplored), "states/holds-row")
-		}
+		})
 	}
 }
 
@@ -42,7 +57,7 @@ func BenchmarkE1VerificationMatrix(b *testing.B) {
 // out-of-slot error, failure by duplicated cold-start frame.
 func BenchmarkE2ColdStartReplayTrace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tr, err := experiments.ColdStartReplayTrace()
+		tr, err := experiments.ColdStartReplayTrace(mc.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,7 +75,7 @@ func BenchmarkE2ColdStartReplayTrace(b *testing.B) {
 // cold-start replay forbidden, failure by duplicated C-state frame.
 func BenchmarkE3CStateReplayTrace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tr, err := experiments.CStateReplayTrace()
+		tr, err := experiments.CStateReplayTrace(mc.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

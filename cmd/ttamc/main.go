@@ -9,12 +9,20 @@
 //	ttamc -trace cstate           # E3: the duplicated C-state trace
 //	ttamc -trace unconstrained    # shortest trace, replays unrestricted
 //	ttamc -authority fullshift -nodes 4 -max-oos 1 -states
+//	ttamc -matrix -parallel 8 -v  # 8 exploration workers, per-level progress
+//
+// Exploration fans each BFS level out over a bounded worker pool
+// (-parallel, default NumCPU). Verdicts, state/transition counts and
+// counterexample traces are byte-identical for any -parallel value; -v
+// streams per-level progress (depth/states/transitions/frontier) to
+// stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"ttastar/internal/experiments"
 	"ttastar/internal/guardian"
@@ -40,11 +48,19 @@ func run(args []string) error {
 	noCSReplay := fs.Bool("no-cs-replay", false, "forbid replaying cold-start frames")
 	states := fs.Bool("states", false, "also dump raw state variables of the trace")
 	maxStates := fs.Int("max-states", 0, "state budget (0 = default)")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "exploration worker-pool size (results are identical for any value)")
+	verbose := fs.Bool("v", false, "print per-level exploration progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := mc.Options{MaxStates: *maxStates}
+	opts := mc.Options{MaxStates: *maxStates, Workers: *parallel}
+	if *verbose {
+		opts.Progress = func(p mc.Progress) {
+			fmt.Fprintf(os.Stderr, "ttamc: depth %3d  %9d states  %10d transitions  frontier %8d\n",
+				p.Depth, p.States, p.Transitions, p.Frontier)
+		}
+	}
 
 	if *matrix {
 		rows, err := experiments.VerificationMatrix(opts)
@@ -60,11 +76,11 @@ func run(args []string) error {
 		var err error
 		switch *traceKind {
 		case "coldstart":
-			tr, err = experiments.ColdStartReplayTrace()
+			tr, err = experiments.ColdStartReplayTrace(opts)
 		case "cstate":
-			tr, err = experiments.CStateReplayTrace()
+			tr, err = experiments.CStateReplayTrace(opts)
 		case "unconstrained":
-			tr, err = experiments.UnconstrainedTrace()
+			tr, err = experiments.UnconstrainedTrace(opts)
 		default:
 			return fmt.Errorf("unknown trace kind %q", *traceKind)
 		}

@@ -19,6 +19,18 @@ func TestRunTraces(t *testing.T) {
 	}
 }
 
+func TestRunParallelAndVerbose(t *testing.T) {
+	if err := run([]string{"-matrix", "-parallel", "2"}); err != nil {
+		t.Errorf("-matrix -parallel 2: %v", err)
+	}
+	if err := run([]string{"-authority", "smallshift", "-nodes", "2", "-parallel", "1", "-v"}); err != nil {
+		t.Errorf("-parallel 1 -v: %v", err)
+	}
+	if err := run([]string{"-trace", "unconstrained", "-parallel", "3"}); err != nil {
+		t.Errorf("-trace -parallel 3: %v", err)
+	}
+}
+
 func TestRunDirectCheck(t *testing.T) {
 	if err := run([]string{"-authority", "smallshift", "-nodes", "3"}); err != nil {
 		t.Errorf("direct check: %v", err)

@@ -32,7 +32,7 @@ func run() error {
 	fmt.Print(experiments.FormatMatrix(rows))
 
 	fmt.Println("\n--- trace 1: duplicated cold-start frame (≤1 out-of-slot error) ---")
-	t1, err := experiments.ColdStartReplayTrace()
+	t1, err := experiments.ColdStartReplayTrace(mc.Options{})
 	if err != nil {
 		return err
 	}
@@ -40,7 +40,7 @@ func run() error {
 	fmt.Print(t1.Rendered)
 
 	fmt.Println("\n--- trace 2: duplicated C-state frame (cold-start replay forbidden) ---")
-	t2, err := experiments.CStateReplayTrace()
+	t2, err := experiments.CStateReplayTrace(mc.Options{})
 	if err != nil {
 		return err
 	}

@@ -42,7 +42,7 @@ func TestE1VerificationMatrix(t *testing.T) {
 }
 
 func TestE2ColdStartReplayTrace(t *testing.T) {
-	tr, err := ColdStartReplayTrace()
+	tr, err := ColdStartReplayTrace(mc.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestE2ColdStartReplayTrace(t *testing.T) {
 }
 
 func TestE3CStateReplayTrace(t *testing.T) {
-	tr, err := CStateReplayTrace()
+	tr, err := CStateReplayTrace(mc.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestE3CStateReplayTrace(t *testing.T) {
 }
 
 func TestUnconstrainedTrace(t *testing.T) {
-	tr, err := UnconstrainedTrace()
+	tr, err := UnconstrainedTrace(mc.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestUnconstrainedTrace(t *testing.T) {
 	}
 	// The paper notes the unconstrained shortest trace piles up several
 	// replays; ours must be no longer than the constrained ones.
-	e2, err := ColdStartReplayTrace()
+	e2, err := ColdStartReplayTrace(mc.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

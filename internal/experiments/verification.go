@@ -76,12 +76,12 @@ type TraceResult struct {
 	Rendered string
 }
 
-func traceFor(cfg model.Config) (TraceResult, error) {
+func traceFor(cfg model.Config, opts mc.Options) (TraceResult, error) {
 	m, err := model.New(cfg)
 	if err != nil {
 		return TraceResult{}, fmt.Errorf("experiments: %w", err)
 	}
-	res, err := mc.CheckTransitionInvariant(m, m.Property(), mc.Options{})
+	res, err := mc.CheckTransitionInvariant(m, m.Property(), opts)
 	if err != nil {
 		return TraceResult{}, fmt.Errorf("experiments: %w", err)
 	}
@@ -95,25 +95,25 @@ func traceFor(cfg model.Config) (TraceResult, error) {
 // ColdStartReplayTrace reproduces the paper's first published trace (E2):
 // full-shifting couplers, at most one out-of-slot error; the failure is a
 // duplicated cold-start frame.
-func ColdStartReplayTrace() (TraceResult, error) {
+func ColdStartReplayTrace(opts mc.Options) (TraceResult, error) {
 	return traceFor(model.Config{
 		Authority:    guardian.AuthorityFullShift,
 		MaxOutOfSlot: 1,
-	})
+	}, opts)
 }
 
 // CStateReplayTrace reproduces the paper's second published trace (E3):
 // cold-start duplication prohibited; the failure is a duplicated C-state
 // frame.
-func CStateReplayTrace() (TraceResult, error) {
+func CStateReplayTrace(opts mc.Options) (TraceResult, error) {
 	return traceFor(model.Config{
 		Authority:         guardian.AuthorityFullShift,
 		NoColdStartReplay: true,
-	})
+	}, opts)
 }
 
 // UnconstrainedTrace is the shortest counterexample with no extra
 // constraints (the paper notes it uses several out-of-slot errors).
-func UnconstrainedTrace() (TraceResult, error) {
-	return traceFor(model.Config{Authority: guardian.AuthorityFullShift})
+func UnconstrainedTrace(opts mc.Options) (TraceResult, error) {
+	return traceFor(model.Config{Authority: guardian.AuthorityFullShift}, opts)
 }

@@ -1,0 +1,395 @@
+package mc
+
+// The exploration engine: a level-synchronous parallel BFS.
+//
+// Each BFS generation (all states at one depth) is partitioned across a
+// bounded worker pool. Workers claim successors through a sharded visited
+// set — numShards maps, each behind its own mutex, with the shard chosen
+// by an FNV-1a hash of the state — so there is no global lock on the hot
+// path. Determinism for any worker count comes from two reductions:
+//
+//   - Claim keys. Every generated successor carries the key
+//     (frontier slot index, successor index) — the order the serial loop
+//     would examine it in. When two frontier slots generate the same new
+//     state concurrently, the lower key wins the parent pointer
+//     (re-keying), so BFS parents — and therefore counterexample paths —
+//     are exactly the ones a serial left-to-right sweep would record.
+//   - Violation reduction. Invariant violations found within a level are
+//     collected and the lowest-keyed one wins; states and transitions are
+//     then counted up to that key only. The reported Result is therefore
+//     byte-identical to the serial sweep's, which stops at the first
+//     violation it meets.
+//
+// Because every level is fully expanded before the next begins, a
+// counterexample ends at the first level containing any violation: the
+// trace is of minimal length, preserving the shortest-trace guarantee
+// that substitutes for SMV's counterexamples (DESIGN.md).
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards is the visited-set shard count; a power of two so the shard
+// index is a mask of the state hash.
+const numShards = 64
+
+// Claim keys pack (frontier slot, successor index) into one comparable
+// word: lower key == earlier in serial examination order.
+const (
+	keySuccBits = 24 // successor index: up to ~16.7M successors per state
+	keySuccMask = 1<<keySuccBits - 1
+)
+
+func claimKey(slot, succ int) uint64 {
+	if succ > keySuccMask {
+		panic(fmt.Sprintf("mc: state with more than %d successors", keySuccMask))
+	}
+	return uint64(slot)<<keySuccBits | uint64(succ)
+}
+
+// bfsNode is the per-state record in the visited set.
+type bfsNode struct {
+	parent State
+	// key is the winning (lowest) claim key within the node's level; it
+	// orders the next frontier and resolves violation ties.
+	key uint64
+	// depth is the BFS level the state was first claimed at.
+	depth int32
+	// hasParent distinguishes root states from children explicitly: a
+	// parent encoding that happens to be the empty string must not
+	// terminate trace reconstruction.
+	hasParent bool
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[State]bfsNode
+}
+
+// visitedSet is the sharded, budget-bounded visited map.
+type visitedSet struct {
+	shards [numShards]shard
+	count  atomic.Int64 // states admitted; never exceeds max
+	max    int64
+}
+
+func newVisitedSet(maxStates int) *visitedSet {
+	v := &visitedSet{max: int64(maxStates)}
+	for i := range v.shards {
+		v.shards[i].m = make(map[State]bfsNode)
+	}
+	return v
+}
+
+// shardOf hashes s with FNV-1a and masks the result onto a shard.
+func (v *visitedSet) shardOf(s State) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return &v.shards[h&(numShards-1)]
+}
+
+// Claim outcomes.
+const (
+	claimNew  = iota // state admitted for the first time
+	claimDup         // state already visited (possibly re-keyed)
+	claimFull        // state budget exhausted; state NOT admitted
+)
+
+// claim tries to admit s with node n. The budget is checked before
+// insertion, so the set never holds more than max states. A duplicate
+// claim from the same level with a lower key takes over the parent
+// pointer (min-key reduction); duplicates from earlier levels are
+// untouched.
+func (v *visitedSet) claim(s State, n bfsNode) int {
+	sh := v.shardOf(s)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old, ok := sh.m[s]
+	if !ok {
+		if v.count.Add(1) > v.max {
+			v.count.Add(-1)
+			return claimFull
+		}
+		sh.m[s] = n
+		return claimNew
+	}
+	if old.depth == n.depth && n.key < old.key {
+		sh.m[s] = n
+	}
+	return claimDup
+}
+
+// get returns the node for a visited state. It is only called between
+// levels or after the search, when no claims are in flight, but locks
+// anyway so the engine stays race-clean under partial failures.
+func (v *visitedSet) get(s State) bfsNode {
+	sh := v.shardOf(s)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m[s]
+}
+
+// violation is a candidate invariant failure found within a level.
+type violation struct {
+	key     uint64
+	from    State // frontier state (transition violations only)
+	to      State // violating successor / violating state
+	isState bool  // state-invariant (vs transition-invariant) violation
+}
+
+// levelAcc is one worker's private accumulator for a level.
+type levelAcc struct {
+	claimed []State    // states this worker admitted first
+	trBest  *violation // lowest-keyed transition violation seen
+	stViol  []State    // newly admitted states that fail the state invariant
+	full    bool       // the worker hit the state budget
+}
+
+// levelOut is a fully expanded level, before reduction.
+type levelOut struct {
+	counts  []int // successor count per frontier slot
+	accs    []levelAcc
+	claimed int // total states admitted this level
+}
+
+// runLevel expands every frontier slot at the given depth across the
+// worker pool. The whole level is always completed — even after a
+// violation or budget hit — because deterministic reduction needs every
+// claim key of the level.
+func runLevel(m Model, v *visitedSet, frontier []State, depth int32,
+	stInv StateInvariant, trInv TransitionInvariant, workers int) levelOut {
+	n := len(frontier)
+	if workers > n {
+		workers = n
+	}
+	out := levelOut{counts: make([]int, n), accs: make([]levelAcc, workers)}
+	var nextSlot atomic.Int64
+	work := func(acc *levelAcc) {
+		for {
+			i := int(nextSlot.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			s := frontier[i]
+			succs := m.Successors(s)
+			out.counts[i] = len(succs)
+			for j, succ := range succs {
+				key := claimKey(i, j)
+				if trInv != nil && !trInv(s, succ) {
+					if acc.trBest == nil || key < acc.trBest.key {
+						acc.trBest = &violation{key: key, from: s, to: succ}
+					}
+					continue
+				}
+				switch v.claim(succ, bfsNode{parent: s, key: key, depth: depth + 1, hasParent: true}) {
+				case claimNew:
+					acc.claimed = append(acc.claimed, succ)
+					if stInv != nil && !stInv(succ) {
+						acc.stViol = append(acc.stViol, succ)
+					}
+				case claimFull:
+					acc.full = true
+				}
+			}
+		}
+	}
+	if workers <= 1 {
+		work(&out.accs[0])
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(acc *levelAcc) {
+				defer wg.Done()
+				work(acc)
+			}(&out.accs[w])
+		}
+		wg.Wait()
+	}
+	for i := range out.accs {
+		out.claimed += len(out.accs[i].claimed)
+	}
+	return out
+}
+
+// reduceViolation picks the level's winning violation: the lowest claim
+// key, with transition violations beating state violations on the
+// (unreachable) tie. State-violation keys are resolved through the
+// visited set so re-keyed claims use their final, lowest key.
+func reduceViolation(v *visitedSet, out levelOut) *violation {
+	var best *violation
+	better := func(c *violation) bool {
+		return best == nil || c.key < best.key || (c.key == best.key && !c.isState)
+	}
+	for i := range out.accs {
+		if tr := out.accs[i].trBest; tr != nil && better(tr) {
+			best = tr
+		}
+		for _, s := range out.accs[i].stViol {
+			c := &violation{key: v.get(s).key, to: s, isState: true}
+			if better(c) {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// transitionsThrough counts the transitions a serial sweep would have
+// examined up to and including the winning key.
+func transitionsThrough(counts []int, key uint64) int {
+	slot := int(key >> keySuccBits)
+	total := int(key&keySuccMask) + 1
+	for i := 0; i < slot; i++ {
+		total += counts[i]
+	}
+	return total
+}
+
+// statesThrough counts the states of this level a serial sweep would have
+// admitted before stopping at limit (exclusive).
+func statesThrough(v *visitedSet, out levelOut, limit uint64) int {
+	n := 0
+	for i := range out.accs {
+		for _, s := range out.accs[i].claimed {
+			if v.get(s).key < limit {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// nextFrontier orders the level's admitted states by their final claim
+// keys — exactly the order a serial sweep would have appended them in.
+func nextFrontier(v *visitedSet, out levelOut) []State {
+	if len(out.accs) == 1 {
+		// A single worker claims in ascending key order, so no claim is
+		// ever re-keyed and its list is already the sorted frontier.
+		return out.accs[0].claimed
+	}
+	type keyed struct {
+		key uint64
+		s   State
+	}
+	all := make([]keyed, 0, out.claimed)
+	for i := range out.accs {
+		for _, s := range out.accs[i].claimed {
+			all = append(all, keyed{key: v.get(s).key, s: s})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	frontier := make([]State, len(all))
+	for i, k := range all {
+		frontier[i] = k.s
+	}
+	return frontier
+}
+
+// check is the engine entry point shared by CheckInvariant and
+// CheckTransitionInvariant.
+func check(m Model, stInv StateInvariant, trInv TransitionInvariant, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	v := newVisitedSet(opts.MaxStates)
+	res := Result{Holds: true}
+
+	// Level 0: admit the initial states in index order — their claim keys
+	// are their indices — counting them against the state budget and
+	// checking the state invariant before any expansion.
+	var frontier []State
+	for i, s := range m.Initial() {
+		switch v.claim(s, bfsNode{key: uint64(i)}) {
+		case claimFull:
+			res.StatesExplored = int(v.count.Load())
+			return res, fmt.Errorf("%d states: %w", res.StatesExplored, ErrStateLimit)
+		case claimDup:
+			continue
+		}
+		if stInv != nil && !stInv(s) {
+			res.Holds = false
+			res.Counterexample = []State{s}
+			res.StatesExplored = int(v.count.Load())
+			return res, nil
+		}
+		frontier = append(frontier, s)
+	}
+
+	for depth := int32(0); len(frontier) > 0; depth++ {
+		if opts.MaxDepth > 0 && int(depth) >= opts.MaxDepth {
+			res.DepthBounded = true
+			break
+		}
+		lvl := runLevel(m, v, frontier, depth, stInv, trInv, opts.Workers)
+
+		if viol := reduceViolation(v, lvl); viol != nil {
+			res.Holds = false
+			res.Depth = int(depth) + 1
+			limit := viol.key // transitions: count claims strictly before
+			if viol.isState {
+				limit++ // the violating state itself was admitted first
+			}
+			prior := int(v.count.Load()) - lvl.claimed
+			res.StatesExplored = prior + statesThrough(v, lvl, limit)
+			res.TransitionsExplored += transitionsThrough(lvl.counts, viol.key)
+			if viol.isState {
+				res.Counterexample = tracePath(v, viol.to)
+			} else {
+				res.Counterexample = append(tracePath(v, viol.from), viol.to)
+			}
+			return res, nil
+		}
+
+		for _, c := range lvl.counts {
+			res.TransitionsExplored += c
+		}
+		full := false
+		for i := range lvl.accs {
+			full = full || lvl.accs[i].full
+		}
+		if full {
+			res.StatesExplored = int(v.count.Load())
+			return res, fmt.Errorf("%d states: %w", res.StatesExplored, ErrStateLimit)
+		}
+
+		frontier = nextFrontier(v, lvl)
+		if len(frontier) > 0 {
+			res.Depth = int(depth) + 1
+		}
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Depth:       int(depth) + 1,
+				States:      int(v.count.Load()),
+				Transitions: res.TransitionsExplored,
+				Frontier:    len(frontier),
+			})
+		}
+	}
+	res.StatesExplored = int(v.count.Load())
+	return res, nil
+}
+
+// tracePath reconstructs the BFS path from an initial state to s inclusive
+// by following parent pointers until a root (hasParent == false) — never
+// by inspecting the encoding, so models whose states encode to "" are
+// reconstructed correctly.
+func tracePath(v *visitedSet, s State) []State {
+	var rev []State
+	for {
+		rev = append(rev, s)
+		n := v.get(s)
+		if !n.hasParent {
+			break
+		}
+		s = n.parent
+	}
+	out := make([]State, len(rev))
+	for i, st := range rev {
+		out[len(rev)-1-i] = st
+	}
+	return out
+}

@@ -7,11 +7,18 @@
 // "a node in active or passive never moves to freeze" — so the checker
 // verifies predicates over (from, to) state pairs as well as plain state
 // invariants.
+//
+// Exploration is level-synchronous and parallel (see engine.go): each BFS
+// generation is partitioned across Options.Workers goroutines over a
+// sharded visited set, and per-level outcomes are reduced deterministically
+// so verdicts, counts and counterexamples are byte-identical for any
+// worker count.
 package mc
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 )
 
 // State is an opaque, canonical encoding of one model state. Equal states
@@ -23,6 +30,7 @@ type Model interface {
 	// Initial returns the initial states.
 	Initial() []State
 	// Successors returns every state reachable from s in one transition.
+	// It must be safe for concurrent calls on distinct states.
 	Successors(s State) []State
 }
 
@@ -33,19 +41,46 @@ type TransitionInvariant func(from, to State) bool
 // StateInvariant is a predicate over single states.
 type StateInvariant func(s State) bool
 
+// Progress is a per-level observability snapshot handed to
+// Options.Progress after each completed BFS generation.
+type Progress struct {
+	// Depth is the depth of the frontier just produced.
+	Depth int
+	// States is the number of distinct states visited so far.
+	States int
+	// Transitions is the number of transitions examined so far.
+	Transitions int
+	// Frontier is the size of the next frontier.
+	Frontier int
+}
+
 // Options bound the exploration.
 type Options struct {
-	// MaxStates aborts the search after visiting this many states
-	// (0 = default of 20 million).
+	// MaxStates aborts the search once this many distinct states
+	// (including the initial ones) have been admitted (0 = default of
+	// 20 million). The budget is checked before insertion, so at most
+	// MaxStates states are ever held.
 	MaxStates int
 	// MaxDepth limits the BFS depth (0 = unbounded). With a depth limit
 	// the verdict "holds" only covers traces up to that length.
 	MaxDepth int
+	// Workers is the number of goroutines that expand each BFS frontier
+	// (0 = one per CPU). The verdict, StatesExplored,
+	// TransitionsExplored, Depth and the counterexample are
+	// byte-identical for any value; only wall-clock time changes.
+	Workers int
+	// Progress, when non-nil, is invoked after every completed BFS
+	// level. It is called from the coordinating goroutine, never
+	// concurrently.
+	Progress func(Progress)
 }
 
 func (o Options) withDefaults() Options {
 	if o.MaxStates == 0 {
 		o.MaxStates = 20_000_000
+	}
+	if o.Workers < 1 {
+		o.Workers = runtime.NumCPU()
 	}
 	return o
 }
@@ -83,11 +118,6 @@ func (r Result) String() string {
 	return fmt.Sprintf("%s — %d states, %d transitions explored", verdict, r.StatesExplored, r.TransitionsExplored)
 }
 
-type bfsNode struct {
-	parent State
-	depth  int
-}
-
 // CheckTransitionInvariant explores the reachable state space breadth-first
 // and reports whether inv holds on every reachable transition. Because the
 // search is breadth-first, a returned counterexample is of minimal length,
@@ -102,92 +132,24 @@ func CheckInvariant(m Model, inv StateInvariant, opts Options) (Result, error) {
 	return check(m, inv, nil, opts)
 }
 
-func check(m Model, stInv StateInvariant, trInv TransitionInvariant, opts Options) (Result, error) {
-	opts = opts.withDefaults()
-	visited := make(map[State]bfsNode)
-	var frontier []State
-	res := Result{Holds: true}
-
-	for _, s := range m.Initial() {
-		if _, seen := visited[s]; seen {
-			continue
-		}
-		visited[s] = bfsNode{}
-		if stInv != nil && !stInv(s) {
-			res.Holds = false
-			res.Counterexample = []State{s}
-			res.StatesExplored = len(visited)
-			return res, nil
-		}
-		frontier = append(frontier, s)
-	}
-
-	for len(frontier) > 0 {
-		var next []State
-		for _, s := range frontier {
-			depth := visited[s].depth
-			if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
-				res.DepthBounded = true
-				continue
-			}
-			for _, succ := range m.Successors(s) {
-				res.TransitionsExplored++
-				if trInv != nil && !trInv(s, succ) {
-					res.Holds = false
-					res.Counterexample = append(tracePath(visited, s), succ)
-					res.StatesExplored = len(visited)
-					res.Depth = depth + 1
-					return res, nil
-				}
-				if _, seen := visited[succ]; seen {
-					continue
-				}
-				visited[succ] = bfsNode{parent: s, depth: depth + 1}
-				if depth+1 > res.Depth {
-					res.Depth = depth + 1
-				}
-				if stInv != nil && !stInv(succ) {
-					res.Holds = false
-					res.Counterexample = tracePath(visited, succ)
-					res.StatesExplored = len(visited)
-					return res, nil
-				}
-				if len(visited) > opts.MaxStates {
-					res.StatesExplored = len(visited)
-					return res, fmt.Errorf("%d states: %w", len(visited), ErrStateLimit)
-				}
-				next = append(next, succ)
-			}
-		}
-		frontier = next
-	}
-	res.StatesExplored = len(visited)
-	return res, nil
-}
-
-// tracePath reconstructs the BFS path from an initial state to s inclusive.
-func tracePath(visited map[State]bfsNode, s State) []State {
-	var rev []State
-	for {
-		rev = append(rev, s)
-		n := visited[s]
-		if n.parent == "" && n.depth == 0 {
-			break
-		}
-		s = n.parent
-	}
-	out := make([]State, len(rev))
-	for i, st := range rev {
-		out[len(rev)-1-i] = st
-	}
-	return out
-}
-
 // RandomWalker explores by seeded random simulation — a cheap falsification
 // pass for models too large to exhaust.
 type RandomWalker struct {
 	// NextChoice returns a value in [0, n); a seeded RNG in practice.
+	// It is only consulted for n >= 2 — the walker resolves empty and
+	// singleton choice sets itself, so implementations never see n < 2.
 	NextChoice func(n int) int
+}
+
+// choose picks an index in [0, len) without consulting NextChoice for
+// degenerate choice sets: singleton sets (the common single-initial-state
+// model) take the only element without burning a random draw, and empty
+// sets can never reach a NextChoice(0) panic.
+func (w RandomWalker) choose(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return w.NextChoice(n)
 }
 
 // Walk runs walks random walks of at most depth steps each, returning the
@@ -198,16 +160,48 @@ func (w RandomWalker) Walk(m Model, inv TransitionInvariant, walks, depth int) [
 		return nil
 	}
 	for i := 0; i < walks; i++ {
-		s := inits[w.NextChoice(len(inits))]
+		s := inits[w.choose(len(inits))]
 		trace := []State{s}
 		for d := 0; d < depth; d++ {
 			succs := m.Successors(s)
 			if len(succs) == 0 {
 				break
 			}
-			next := succs[w.NextChoice(len(succs))]
+			next := succs[w.choose(len(succs))]
 			trace = append(trace, next)
 			if !inv(s, next) {
+				return trace
+			}
+			s = next
+		}
+	}
+	return nil
+}
+
+// WalkState runs walks random walks of at most depth steps each against a
+// state invariant, returning the first violating trace found, or nil.
+// Unlike Walk's transition predicate, the invariant is also checked on the
+// drawn initial state itself, so a violating initial state yields a
+// one-state trace instead of going unnoticed.
+func (w RandomWalker) WalkState(m Model, inv StateInvariant, walks, depth int) []State {
+	inits := m.Initial()
+	if len(inits) == 0 {
+		return nil
+	}
+	for i := 0; i < walks; i++ {
+		s := inits[w.choose(len(inits))]
+		trace := []State{s}
+		if !inv(s) {
+			return trace
+		}
+		for d := 0; d < depth; d++ {
+			succs := m.Successors(s)
+			if len(succs) == 0 {
+				break
+			}
+			next := succs[w.choose(len(succs))]
+			trace = append(trace, next)
+			if !inv(next) {
 				return trace
 			}
 			s = next

@@ -222,8 +222,17 @@ func New(cfg Config) (*Model, error) {
 // Config returns the model's configuration (with defaults applied).
 func (m *Model) Config() Config { return m.cfg }
 
-// Encode serializes a state canonically.
-func (m *Model) Encode(s State) mc.State {
+// Encode serializes a state canonically — the packed binary layout of
+// EncodeBinary, interned directly as the checker's visited-set key.
+func (m *Model) Encode(s State) mc.State { return m.EncodeBinary(s) }
+
+// Decode parses a canonical state encoding.
+func (m *Model) Decode(enc mc.State) State { return m.DecodeBinary(enc) }
+
+// EncodeString is the original byte-per-field codec (one byte per packed
+// field pair, 3·N+3 bytes for N nodes). It is retained as an independent
+// oracle for the binary codec's round-trip tests.
+func (m *Model) EncodeString(s State) mc.State {
 	buf := make([]byte, 0, 3*m.cfg.Nodes+NumCouplers+1)
 	for _, n := range s.Nodes {
 		bb := byte(0)
@@ -243,8 +252,8 @@ func (m *Model) Encode(s State) mc.State {
 	return mc.State(buf)
 }
 
-// Decode parses a canonical state encoding.
-func (m *Model) Decode(enc mc.State) State {
+// DecodeString is the inverse of EncodeString.
+func (m *Model) DecodeString(enc mc.State) State {
 	b := []byte(enc)
 	s := State{Nodes: make([]NodeState, m.cfg.Nodes)}
 	for i := 0; i < m.cfg.Nodes; i++ {
