@@ -5,6 +5,7 @@ package ttastar
 // and reports the headline quantity as a custom metric.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -196,11 +197,11 @@ func BenchmarkE9TimedReplay(b *testing.B) {
 // reshaping star clean.
 func BenchmarkE10SOSCampaign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bus, err := experiments.SOSTimingCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, 3, 1)
+		bus, err := experiments.SOSTimingCampaign(context.Background(), cluster.TopologyBus, guardian.AuthoritySmallShift, 3, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
-		star, err := experiments.SOSTimingCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 1)
+		star, err := experiments.SOSTimingCampaign(context.Background(), cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -217,11 +218,11 @@ func BenchmarkE10SOSCampaign(b *testing.B) {
 // comparison: semantic analysis blocks what local guardians cannot.
 func BenchmarkE11MasqueradeCampaign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bus, err := experiments.BadCStateCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, false, 6, 4)
+		bus, err := experiments.BadCStateCampaign(context.Background(), cluster.TopologyBus, guardian.AuthoritySmallShift, false, 6, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
-		star, err := experiments.BadCStateCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, true, 6, 4)
+		star, err := experiments.BadCStateCampaign(context.Background(), cluster.TopologyStar, guardian.AuthoritySmallShift, true, 6, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -239,11 +240,11 @@ func BenchmarkE11MasqueradeCampaign(b *testing.B) {
 // re-driving (small-shifting) one does.
 func BenchmarkAblationReshaping(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		windows, err := experiments.SOSValueCampaign(cluster.TopologyStar, guardian.AuthorityTimeWindows, 3, 2)
+		windows, err := experiments.SOSValueCampaign(context.Background(), cluster.TopologyStar, guardian.AuthorityTimeWindows, 3, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
-		reshaping, err := experiments.SOSValueCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 2)
+		reshaping, err := experiments.SOSValueCampaign(context.Background(), cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -258,11 +259,11 @@ func BenchmarkAblationReshaping(b *testing.B) {
 // the physically independent central guardian confines it.
 func BenchmarkBabblingIdiot(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bus, err := experiments.BabblingIdiotCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, 3, 6)
+		bus, err := experiments.BabblingIdiotCampaign(context.Background(), cluster.TopologyBus, guardian.AuthoritySmallShift, 3, 6)
 		if err != nil {
 			b.Fatal(err)
 		}
-		star, err := experiments.BabblingIdiotCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 6)
+		star, err := experiments.BabblingIdiotCampaign(context.Background(), cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 6)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -304,7 +305,7 @@ func BenchmarkCampaignParallel(b *testing.B) {
 			experiments.SetParallelism(workers)
 			for i := 0; i < b.N; i++ {
 				cell, err := experiments.SOSTimingCampaign(
-					cluster.TopologyBus, guardian.AuthoritySmallShift, 16, 1)
+					context.Background(), cluster.TopologyBus, guardian.AuthoritySmallShift, 16, 1)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,9 +1,17 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ttastar/internal/experiments"
+)
 
 func TestRunSingleCampaigns(t *testing.T) {
-	for _, exp := range []string{"sos-timing", "sos-value", "masquerade", "badcstate", "babbling", "replay", "startup", "ablation"} {
+	for _, exp := range []string{"sos-timing", "sos-value", "masquerade", "badcstate", "babbling", "failover", "replay", "startup", "ablation"} {
 		if err := run([]string{"-experiment", exp, "-runs", "2"}); err != nil {
 			t.Errorf("-experiment %s: %v", exp, err)
 		}
@@ -24,5 +32,41 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bad-flag"}); err == nil {
 		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-experiment", "sos-timing", "-resume"}); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+	if err := run([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+// TestRunTimeoutPartial: a hopeless deadline surfaces the typed deadline
+// error and, with -checkpoint, leaves a resumable progress file behind.
+func TestRunTimeoutPartial(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "fi.json")
+	err := run([]string{"-experiment", "sos-timing", "-runs", "4", "-timeout", "1ns", "-checkpoint", cp})
+	if !errors.Is(err, experiments.ErrDeadline) {
+		t.Fatalf("got %v, want ErrDeadline", err)
+	}
+	if _, err := os.Stat(cp); err != nil {
+		t.Errorf("interrupted campaign left no checkpoint: %v", err)
+	}
+	// Resuming with the deadline lifted completes and removes the file.
+	if err := run([]string{"-experiment", "sos-timing", "-runs", "4", "-checkpoint", cp, "-resume"}); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if _, err := os.Stat(cp); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("completed campaign left its checkpoint behind (stat err=%v)", err)
+	}
+}
+
+func TestRunRetriesFlag(t *testing.T) {
+	defer experiments.SetMaxRetries(experiments.DefaultMaxRetries)
+	if err := run([]string{"-experiment", "sos-timing", "-runs", "2", "-retries", "0"}); err != nil {
+		t.Errorf("-retries 0: %v", err)
+	}
+	if got := experiments.MaxRetries(); got != 0 {
+		t.Errorf("MaxRetries() = %d after -retries 0", got)
 	}
 }

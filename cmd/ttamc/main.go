@@ -10,19 +10,32 @@
 //	ttamc -trace unconstrained    # shortest trace, replays unrestricted
 //	ttamc -authority fullshift -nodes 4 -max-oos 1 -states
 //	ttamc -matrix -parallel 8 -v  # 8 exploration workers, per-level progress
+//	ttamc -matrix -timeout 30s -checkpoint /tmp/e1.mc   # bounded, resumable
+//	ttamc -matrix -checkpoint /tmp/e1.mc -resume        # continue after a cut
 //
 // Exploration fans each BFS level out over a bounded worker pool
 // (-parallel, default NumCPU). Verdicts, state/transition counts and
 // counterexample traces are byte-identical for any -parallel value; -v
 // streams per-level progress (depth/states/transitions/frontier) to
 // stderr.
+//
+// Long runs are resilient: -timeout, SIGINT and SIGTERM cancel the search
+// cooperatively at level granularity, flush a checkpoint (-checkpoint),
+// print the partial result and exit nonzero; -resume continues from the
+// checkpoint and produces byte-identical results to an uninterrupted run.
+// -fallback-walks degrades an exhausted -max-states budget into seeded
+// random-walk sampling with an explicit INCONCLUSIVE verdict.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"ttastar/internal/experiments"
 	"ttastar/internal/guardian"
@@ -32,7 +45,11 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	err := run(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ttamc:", err)
 		os.Exit(1)
 	}
@@ -50,25 +67,61 @@ func run(args []string) error {
 	maxStates := fs.Int("max-states", 0, "state budget (0 = default)")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "exploration worker-pool size (results are identical for any value)")
 	verbose := fs.Bool("v", false, "print per-level exploration progress to stderr")
+	timeout := fs.Duration("timeout", 0, "cancel the search after this long (0 = none); partial results are printed")
+	checkpoint := fs.String("checkpoint", "", "write a resumable search snapshot here on interrupt and every -checkpoint-every levels")
+	checkpointEvery := fs.Int("checkpoint-every", 10, "levels between periodic checkpoint snapshots (needs -checkpoint)")
+	resume := fs.Bool("resume", false, "restore the search from the -checkpoint file if it exists")
+	interruptAfter := fs.Int("interrupt-after", 0, "cancel the search after N completed levels (testing aid; 0 = never)")
+	fallbackWalks := fs.Int("fallback-walks", 0, "on -max-states exhaustion, fall back to this many seeded random walks instead of failing (0 = off)")
+	fallbackDepth := fs.Int("fallback-depth", 0, "step bound per fallback walk (0 = 1024)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := mc.Options{MaxStates: *maxStates, Workers: *parallel}
-	if *verbose {
-		opts.Progress = func(p mc.Progress) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var cancelLevels context.CancelFunc
+	ctx, cancelLevels = context.WithCancel(ctx)
+	defer cancelLevels()
+
+	opts := mc.Options{
+		MaxStates:       *maxStates,
+		Workers:         *parallel,
+		Context:         ctx,
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *checkpointEvery,
+		FallbackWalks:   *fallbackWalks,
+		FallbackDepth:   *fallbackDepth,
+	}
+	if *resume {
+		if *checkpoint == "" {
+			return errors.New("-resume needs -checkpoint")
+		}
+		opts.ResumePath = *checkpoint
+	}
+	levels := 0
+	opts.Progress = func(p mc.Progress) {
+		if *verbose {
 			fmt.Fprintf(os.Stderr, "ttamc: depth %3d  %9d states  %10d transitions  frontier %8d\n",
 				p.Depth, p.States, p.Transitions, p.Frontier)
+		}
+		levels++
+		if *interruptAfter > 0 && levels >= *interruptAfter {
+			cancelLevels()
 		}
 	}
 
 	if *matrix {
 		rows, err := experiments.VerificationMatrix(opts)
-		if err != nil {
-			return err
+		if len(rows) > 0 {
+			fmt.Print(experiments.FormatMatrix(rows))
 		}
-		fmt.Print(experiments.FormatMatrix(rows))
-		return nil
+		return err
 	}
 
 	if *traceKind != "" {
@@ -84,10 +137,12 @@ func run(args []string) error {
 		default:
 			return fmt.Errorf("unknown trace kind %q", *traceKind)
 		}
+		if tr.Model != nil {
+			fmt.Println(tr.Result.String())
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Println(tr.Result.String())
 		fmt.Print(tr.Rendered)
 		if *states {
 			fmt.Print(trace.RenderStates(tr.Model, tr.Result.Counterexample))
@@ -109,10 +164,10 @@ func run(args []string) error {
 		return err
 	}
 	res, err := mc.CheckTransitionInvariant(m, m.Property(), opts)
+	fmt.Printf("property (§5.1) for %v couplers, %d nodes: %v\n", a, *nodes, res)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("property (§5.1) for %v couplers, %d nodes: %v\n", a, *nodes, res)
 	if !res.Holds {
 		fmt.Print(trace.Render(m, res.Counterexample))
 		if *states {

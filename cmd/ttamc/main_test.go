@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ttastar/internal/mc"
+)
 
 func TestRunMatrix(t *testing.T) {
 	if err := run([]string{"-matrix"}); err != nil {
@@ -46,5 +54,44 @@ func TestRunDirectCheck(t *testing.T) {
 	}
 	if err := run([]string{"-not-a-flag"}); err == nil {
 		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-resume"}); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+	if err := run([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+// TestRunInterruptResume is the CLI-level resilience loop: cut a search
+// after a few levels via -interrupt-after, confirm the typed interrupt
+// error and the checkpoint file, then -resume to the same verdict a clean
+// run produces — and confirm the finished search removed the checkpoint.
+func TestRunInterruptResume(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "cp.mc")
+	args := []string{"-authority", "smallshift", "-nodes", "2", "-parallel", "2", "-checkpoint", cp}
+	err := run(append(args, "-interrupt-after", "3"))
+	if !errors.Is(err, mc.ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want mc.ErrInterrupted", err)
+	}
+	if _, err := os.Stat(cp); err != nil {
+		t.Fatalf("interrupted run left no checkpoint: %v", err)
+	}
+	if err := run(append(args, "-resume")); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if _, err := os.Stat(cp); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("finished search left its checkpoint behind (stat err=%v)", err)
+	}
+}
+
+func TestRunFallbackFlags(t *testing.T) {
+	// A tiny -max-states budget without fallback fails; with
+	// -fallback-walks it degrades to an inconclusive sampled verdict.
+	if err := run([]string{"-authority", "smallshift", "-nodes", "2", "-max-states", "10"}); err == nil {
+		t.Error("exhausted budget without fallback did not error")
+	}
+	if err := run([]string{"-authority", "smallshift", "-nodes", "2", "-max-states", "10", "-fallback-walks", "4", "-fallback-depth", "32"}); err != nil {
+		t.Errorf("fallback sampling: %v", err)
 	}
 }

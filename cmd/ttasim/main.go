@@ -12,14 +12,23 @@
 // independent derived seed streams, fanned out over a worker pool
 // (-parallel, default NumCPU), and summarized as an aggregate; the
 // summary is byte-identical for any -parallel value.
+//
+// Long replica sweeps are resilient: -timeout, SIGINT and SIGTERM cancel
+// at run granularity and a partial aggregate is printed before exiting
+// nonzero; -checkpoint records completed replicas and -resume replays
+// them instead of re-simulating.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"ttastar/internal/channel"
@@ -33,7 +42,11 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	err := run(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ttasim:", err)
 		os.Exit(1)
 	}
@@ -53,8 +66,14 @@ func run(args []string) error {
 	events := fs.Bool("events", false, "print protocol state changes")
 	medlPath := fs.String("medl", "", "load the MEDL (TDMA schedule) from a JSON file instead of generating one")
 	dumpMEDL := fs.String("dump-medl", "", "write the generated MEDL as JSON to this file and exit")
+	timeout := fs.Duration("timeout", 0, "cancel a -runs sweep after this long (0 = none); a partial aggregate is printed")
+	checkpoint := fs.String("checkpoint", "", "record completed replica verdicts here so a cut sweep can be resumed")
+	resume := fs.Bool("resume", false, "replay verdicts recorded in the -checkpoint file instead of re-simulating them")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *checkpoint == "" {
+		return errors.New("-resume needs -checkpoint")
 	}
 
 	var top cluster.Topology
@@ -101,7 +120,34 @@ func run(args []string) error {
 	}
 	if *runs > 1 {
 		experiments.SetParallelism(*parallel)
-		return runReplicas(cfg, *runs, *seed, *duration)
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSignals()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		var cp *experiments.Checkpoint
+		if *checkpoint != "" {
+			var err error
+			cp, err = experiments.OpenCheckpoint(*checkpoint, *resume)
+			if err != nil {
+				return err
+			}
+			experiments.SetCheckpoint(cp)
+			defer experiments.SetCheckpoint(nil)
+		}
+		err := runReplicas(ctx, cfg, *runs, *seed, *duration)
+		if cp != nil {
+			if err != nil {
+				if ferr := cp.Flush(); ferr != nil {
+					fmt.Fprintln(os.Stderr, "ttasim:", ferr)
+				}
+			} else if rerr := cp.Remove(); rerr != nil {
+				return rerr
+			}
+		}
+		return err
 	}
 	cfg.Seed = *seed
 	c, err := cluster.New(cfg)
@@ -136,55 +182,68 @@ func run(args []string) error {
 	return nil
 }
 
+// replicaVerdict is one replica's outcome; exported fields so a campaign
+// checkpoint can round-trip it through JSON.
+type replicaVerdict struct {
+	AllActive   bool `json:"all_active"`
+	Freezes     int  `json:"freezes"`
+	Regressions int  `json:"regressions"`
+	FramesSent  int  `json:"frames_sent"`
+}
+
 // runReplicas simulates the same configuration runs times with derived
-// seed streams over the campaign worker pool and prints an aggregate.
-func runReplicas(cfg cluster.Config, runs int, seed uint64, duration time.Duration) error {
-	type verdict struct {
-		allActive   bool
-		freezes     int
-		regressions int
-		framesSent  int
-	}
+// seed streams over the campaign worker pool and prints an aggregate —
+// partial if the context cancels the sweep mid-way.
+func runReplicas(ctx context.Context, cfg cluster.Config, runs int, seed uint64, duration time.Duration) error {
 	label := fmt.Sprintf("ttasim replicas (%v, %v, n=%d)", cfg.Topology, cfg.Authority, len(cfg.NodeDrifts))
-	verdicts, err := experiments.RunSeeded(label, runs, seed, func(r int, s experiments.RunSeeds) (verdict, error) {
-		runCfg := cfg
-		runCfg.Seed = s.Cluster
-		c, err := cluster.New(runCfg)
-		if err != nil {
-			return verdict{}, err
-		}
-		c.StartStaggered(100 * time.Microsecond)
-		c.Run(duration)
-		sent := 0
-		for _, n := range c.Nodes() {
-			sent += n.Stats().FramesSent
-		}
-		return verdict{
-			allActive:   c.AllActive(),
-			freezes:     c.HealthyFreezes(),
-			regressions: c.StartupRegressions(),
-			framesSent:  sent,
-		}, nil
-	})
-	if err != nil {
-		return err
-	}
-	allActive, freezes, regressions := 0, 0, 0
+	verdicts, errs, st, err := experiments.RunSeededContext(ctx, label, runs, seed,
+		func(r int, s experiments.RunSeeds) (replicaVerdict, error) {
+			runCfg := cfg
+			runCfg.Seed = s.Cluster
+			c, err := cluster.New(runCfg)
+			if err != nil {
+				return replicaVerdict{}, err
+			}
+			c.StartStaggered(100 * time.Microsecond)
+			c.Run(duration)
+			sent := 0
+			for _, n := range c.Nodes() {
+				sent += n.Stats().FramesSent
+			}
+			return replicaVerdict{
+				AllActive:   c.AllActive(),
+				Freezes:     c.HealthyFreezes(),
+				Regressions: c.StartupRegressions(),
+				FramesSent:  sent,
+			}, nil
+		})
+	completed, allActive, freezes, regressions := 0, 0, 0, 0
 	var sent stats.Sample
-	for _, v := range verdicts {
-		if v.allActive {
+	for i, v := range verdicts {
+		if errs[i] != nil {
+			continue
+		}
+		completed++
+		if v.AllActive {
 			allActive++
 		}
-		freezes += v.freezes
-		regressions += v.regressions
-		sent.Add(float64(v.framesSent))
+		freezes += v.Freezes
+		regressions += v.Regressions
+		sent.Add(float64(v.FramesSent))
 	}
 	fmt.Printf("topology=%v authority=%v nodes=%d simulated=%v replicas=%d\n",
 		cfg.Topology, cfg.Authority, len(cfg.NodeDrifts), duration, runs)
 	fmt.Printf("all-active=%d/%d healthy freezes=%d startup regressions=%d\n",
-		allActive, runs, freezes, regressions)
+		allActive, completed, freezes, regressions)
 	fmt.Printf("frames sent per replica: %v\n", sent.String())
-	return nil
+	if st.Panics > 0 || st.Failed > 0 {
+		fmt.Printf("! %d panics across %d attempts, %d runs retried, %d runs failed\n",
+			st.Panics, st.Attempts, st.Retried, st.Failed)
+	}
+	if st.Skipped > 0 {
+		fmt.Printf("! partial — %d replicas skipped by cancellation\n", st.Skipped)
+	}
+	return err
 }
 
 func loadMEDL(path string) (*medl.Schedule, error) {

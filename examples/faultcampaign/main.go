@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -33,30 +34,31 @@ func run() error {
 		return nil
 	}
 
+	ctx := context.Background()
 	steps := []func() (experiments.CampaignCell, error){
 		func() (experiments.CampaignCell, error) {
-			return experiments.SOSTimingCampaign(cluster.TopologyBus, small, runs, 1)
+			return experiments.SOSTimingCampaign(ctx, cluster.TopologyBus, small, runs, 1)
 		},
 		func() (experiments.CampaignCell, error) {
-			return experiments.SOSTimingCampaign(cluster.TopologyStar, small, runs, 1)
+			return experiments.SOSTimingCampaign(ctx, cluster.TopologyStar, small, runs, 1)
 		},
 		func() (experiments.CampaignCell, error) {
-			return experiments.SOSValueCampaign(cluster.TopologyBus, small, runs, 2)
+			return experiments.SOSValueCampaign(ctx, cluster.TopologyBus, small, runs, 2)
 		},
 		func() (experiments.CampaignCell, error) {
-			return experiments.SOSValueCampaign(cluster.TopologyStar, small, runs, 2)
+			return experiments.SOSValueCampaign(ctx, cluster.TopologyStar, small, runs, 2)
 		},
 		func() (experiments.CampaignCell, error) {
-			return experiments.MasqueradeCampaign(cluster.TopologyBus, small, false, runs, 3)
+			return experiments.MasqueradeCampaign(ctx, cluster.TopologyBus, small, false, runs, 3)
 		},
 		func() (experiments.CampaignCell, error) {
-			return experiments.MasqueradeCampaign(cluster.TopologyStar, small, true, runs, 3)
+			return experiments.MasqueradeCampaign(ctx, cluster.TopologyStar, small, true, runs, 3)
 		},
 		func() (experiments.CampaignCell, error) {
-			return experiments.BadCStateCampaign(cluster.TopologyBus, small, false, runs, 4)
+			return experiments.BadCStateCampaign(ctx, cluster.TopologyBus, small, false, runs, 4)
 		},
 		func() (experiments.CampaignCell, error) {
-			return experiments.BadCStateCampaign(cluster.TopologyStar, small, true, runs, 4)
+			return experiments.BadCStateCampaign(ctx, cluster.TopologyStar, small, true, runs, 4)
 		},
 	}
 	for _, step := range steps {

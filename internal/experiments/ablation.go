@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -75,12 +76,14 @@ func BufferTruncationAblation() (TruncationResult, error) {
 		truncated int
 	}
 	bufferBits := []int{int(required) + 3, guardian.DefaultLineEncodingBits + 1}
-	results, err := mapRuns(len(bufferBits), Parallelism(), func(i int) (outcome, error) {
+	results, errs := mapRuns(context.Background(), len(bufferBits), Parallelism(), func(i int) (outcome, error) {
 		active, truncated, err := run(bufferBits[i])
 		return outcome{active, truncated}, err
 	})
-	if err != nil {
-		return out, err
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
 	}
 	out.AdequateActive = results[0].active
 	out.TinyActive = results[1].active

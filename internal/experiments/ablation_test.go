@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,11 +17,11 @@ import (
 // only re-driving the signal to nominal strength removes the marginal
 // amplitude that splits receivers.
 func TestAuthorityAblationLadder(t *testing.T) {
-	passiveT, err := SOSTimingCampaign(cluster.TopologyStar, guardian.AuthorityPassive, 3, 1)
+	passiveT, err := SOSTimingCampaign(context.Background(), cluster.TopologyStar, guardian.AuthorityPassive, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	windowsT, err := SOSTimingCampaign(cluster.TopologyStar, guardian.AuthorityTimeWindows, 3, 1)
+	windowsT, err := SOSTimingCampaign(context.Background(), cluster.TopologyStar, guardian.AuthorityTimeWindows, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,11 +32,11 @@ func TestAuthorityAblationLadder(t *testing.T) {
 		t.Error("window enforcement did not contain SOS timing faults")
 	}
 
-	windowsV, err := SOSValueCampaign(cluster.TopologyStar, guardian.AuthorityTimeWindows, 3, 2)
+	windowsV, err := SOSValueCampaign(context.Background(), cluster.TopologyStar, guardian.AuthorityTimeWindows, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	reshapeV, err := SOSValueCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 2)
+	reshapeV, err := SOSValueCampaign(context.Background(), cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,13 +19,13 @@ import (
 // non-independence argument of [2]): stuck open, they let the babble
 // destroy every slot. A central guardian is physically independent and
 // confines the babble to the babbler's own slot.
-func BabblingIdiotCampaign(top cluster.Topology, authority guardian.Authority, runs int, seed uint64) (CampaignCell, error) {
+func BabblingIdiotCampaign(ctx context.Context, top cluster.Topology, authority guardian.Authority, runs int, seed uint64) (CampaignCell, error) {
 	cell := CampaignCell{
 		Label:    fmt.Sprintf("babbling idiot (%s)", describeGuard(top, authority, false)),
 		Topology: top,
 	}
 	const babbler = cstate.NodeID(4)
-	verdicts, err := RunSeeded(cell.Label, runs, seed, func(r int, s RunSeeds) (RunVerdict, error) {
+	verdicts, errs, st, err := RunSeededContext(ctx, cell.Label, runs, seed, func(r int, s RunSeeds) (RunVerdict, error) {
 		c, err := cluster.New(cluster.Config{
 			Topology:  top,
 			Authority: authority,
@@ -62,7 +63,8 @@ func BabblingIdiotCampaign(top cluster.Topology, authority guardian.Authority, r
 			GuardianBlocked: guardianBlocked(c),
 		}, nil
 	})
-	cell.reduceVerdicts(verdicts)
+	cell.reduceVerdicts(verdicts, errs)
+	cell.noteStats(st)
 	return cell, err
 }
 

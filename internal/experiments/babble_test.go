@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"ttastar/internal/cluster"
@@ -12,11 +13,11 @@ import (
 // bus cluster; the physically independent central guardian confines the
 // babble to the babbler's slot and the cluster keeps running.
 func TestBabblingIdiot(t *testing.T) {
-	bus, err := BabblingIdiotCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, 3, 6)
+	bus, err := BabblingIdiotCampaign(context.Background(), cluster.TopologyBus, guardian.AuthoritySmallShift, 3, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
-	star, err := BabblingIdiotCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 6)
+	star, err := BabblingIdiotCampaign(context.Background(), cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestBabblingIdiot(t *testing.T) {
 		t.Error("central guardian blocked no babble")
 	}
 	// Windows authority suffices for containment (blocking, not content).
-	windows, err := BabblingIdiotCampaign(cluster.TopologyStar, guardian.AuthorityTimeWindows, 3, 6)
+	windows, err := BabblingIdiotCampaign(context.Background(), cluster.TopologyStar, guardian.AuthorityTimeWindows, 3, 6)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -23,6 +24,15 @@ type CampaignCell struct {
 	RunsDisrupted   int // runs with ≥1 healthy-node freeze or regression
 	HealthyFreezes  int // total healthy-node freezes across runs
 	GuardianBlocked int // frames window-/semantic-blocked by the couplers
+
+	// Execution-health tallies (see RunStats): zero on a clean campaign,
+	// so they add nothing to the published tables unless something
+	// actually panicked or was cut short.
+	Attempts int // simulation attempts executed
+	Panics   int // attempts that panicked (recovered in their worker)
+	Retried  int // runs that needed a retry on a derived seed stream
+	Failed   int // runs abandoned after exhausting retries
+	Skipped  int // runs never started because the campaign was cancelled
 }
 
 // DisruptionRate returns the fraction of runs with healthy-node disruption.
@@ -60,13 +70,32 @@ func (c *CampaignCell) Merge(o CampaignCell) {
 	c.RunsDisrupted += o.RunsDisrupted
 	c.HealthyFreezes += o.HealthyFreezes
 	c.GuardianBlocked += o.GuardianBlocked
+	c.Attempts += o.Attempts
+	c.Panics += o.Panics
+	c.Retried += o.Retried
+	c.Failed += o.Failed
+	c.Skipped += o.Skipped
 }
 
-// reduceVerdicts builds the campaign aggregate from ordered run verdicts.
-func (c *CampaignCell) reduceVerdicts(vs []RunVerdict) {
-	for _, v := range vs {
+// reduceVerdicts builds the campaign aggregate from ordered run verdicts,
+// folding only runs that completed: skipped and failed slots (non-nil
+// errs entries) hold zero values, not verdicts.
+func (c *CampaignCell) reduceVerdicts(vs []RunVerdict, errs []error) {
+	for i, v := range vs {
+		if errs != nil && errs[i] != nil {
+			continue
+		}
 		c.AddRun(v)
 	}
+}
+
+// noteStats folds the runner's execution-health tallies into the cell.
+func (c *CampaignCell) noteStats(st RunStats) {
+	c.Attempts += st.Attempts
+	c.Panics += st.Panics
+	c.Retried += st.Retried
+	c.Failed += st.Failed
+	c.Skipped += st.Skipped
 }
 
 // verdictFor reads the standard disruption verdict off a finished run:
@@ -89,6 +118,17 @@ func FormatCampaign(cells []CampaignCell) string {
 	for _, c := range cells {
 		fmt.Fprintf(&b, "%-34s %-5s %6d %9.0f%% %9d %9d\n",
 			c.Label, c.Topology, c.Runs, 100*c.DisruptionRate(), c.HealthyFreezes, c.GuardianBlocked)
+	}
+	// Health footers only when something went wrong, so clean campaigns
+	// render the historical byte-identical tables.
+	for _, c := range cells {
+		if c.Panics > 0 || c.Failed > 0 {
+			fmt.Fprintf(&b, "! %s: %d panics across %d attempts, %d runs retried, %d runs failed\n",
+				c.Label, c.Panics, c.Attempts, c.Retried, c.Failed)
+		}
+		if c.Skipped > 0 {
+			fmt.Fprintf(&b, "! %s: partial — %d runs skipped by cancellation\n", c.Label, c.Skipped)
+		}
 	}
 	return b.String()
 }
@@ -170,12 +210,12 @@ func sosConfig(top cluster.Topology, authority guardian.Authority, seed uint64) 
 // about frame validity and the clique machinery expels healthy nodes — on
 // a bus. A small-shifting star coupler re-times the marginal frames and
 // the disagreement never arises ([7]'s result).
-func SOSTimingCampaign(top cluster.Topology, authority guardian.Authority, runs int, seed uint64) (CampaignCell, error) {
+func SOSTimingCampaign(ctx context.Context, top cluster.Topology, authority guardian.Authority, runs int, seed uint64) (CampaignCell, error) {
 	cell := CampaignCell{
 		Label:    fmt.Sprintf("SOS timing (%s)", describeGuard(top, authority, false)),
 		Topology: top,
 	}
-	verdicts, err := RunSeeded(cell.Label, runs, seed, func(r int, s RunSeeds) (RunVerdict, error) {
+	verdicts, errs, st, err := RunSeededContext(ctx, cell.Label, runs, seed, func(r int, s RunSeeds) (RunVerdict, error) {
 		c, err := cluster.New(sosConfig(top, authority, s.Cluster))
 		if err != nil {
 			return RunVerdict{}, fmt.Errorf("experiments: SOS timing cluster: %w", err)
@@ -191,19 +231,20 @@ func SOSTimingCampaign(top cluster.Topology, authority guardian.Authority, runs 
 		c.Run(100 * time.Millisecond)
 		return verdictFor(c, 1), nil
 	})
-	cell.reduceVerdicts(verdicts)
+	cell.reduceVerdicts(verdicts, errs)
+	cell.noteStats(st)
 	return cell, err
 }
 
 // SOSValueCampaign runs E10b: node 1 transmits at marginal signal strength;
 // receivers with staggered sensitivity thresholds disagree. A reshaping
 // coupler re-drives the signal to nominal strength.
-func SOSValueCampaign(top cluster.Topology, authority guardian.Authority, runs int, seed uint64) (CampaignCell, error) {
+func SOSValueCampaign(ctx context.Context, top cluster.Topology, authority guardian.Authority, runs int, seed uint64) (CampaignCell, error) {
 	cell := CampaignCell{
 		Label:    fmt.Sprintf("SOS value (%s)", describeGuard(top, authority, false)),
 		Topology: top,
 	}
-	verdicts, err := RunSeeded(cell.Label, runs, seed, func(r int, s RunSeeds) (RunVerdict, error) {
+	verdicts, errs, st, err := RunSeededContext(ctx, cell.Label, runs, seed, func(r int, s RunSeeds) (RunVerdict, error) {
 		c, err := cluster.New(sosConfig(top, authority, s.Cluster))
 		if err != nil {
 			return RunVerdict{}, fmt.Errorf("experiments: SOS value cluster: %w", err)
@@ -218,7 +259,8 @@ func SOSValueCampaign(top cluster.Topology, authority guardian.Authority, runs i
 		c.Run(100 * time.Millisecond)
 		return verdictFor(c, 1), nil
 	})
-	cell.reduceVerdicts(verdicts)
+	cell.reduceVerdicts(verdicts, errs)
+	cell.noteStats(st)
 	return cell, err
 }
 
@@ -228,12 +270,12 @@ func SOSValueCampaign(top cluster.Topology, authority guardian.Authority, runs i
 // — before synchronization they are open — while a central guardian with
 // semantic analysis knows the claimed identity cannot match the physical
 // port and blocks the frame.
-func MasqueradeCampaign(top cluster.Topology, authority guardian.Authority, semantic bool, runs int, seed uint64) (CampaignCell, error) {
+func MasqueradeCampaign(ctx context.Context, top cluster.Topology, authority guardian.Authority, semantic bool, runs int, seed uint64) (CampaignCell, error) {
 	cell := CampaignCell{
 		Label:    fmt.Sprintf("masquerade start-up (%s)", describeGuard(top, authority, semantic)),
 		Topology: top,
 	}
-	verdicts, err := RunSeeded(cell.Label, runs, seed, func(r int, s RunSeeds) (RunVerdict, error) {
+	verdicts, errs, st, err := RunSeededContext(ctx, cell.Label, runs, seed, func(r int, s RunSeeds) (RunVerdict, error) {
 		c, err := cluster.New(cluster.Config{
 			Topology:         top,
 			Authority:        authority,
@@ -277,7 +319,8 @@ func MasqueradeCampaign(top cluster.Topology, authority guardian.Authority, sema
 		c.Run(60 * time.Millisecond)
 		return verdictFor(c, 4), nil
 	})
-	cell.reduceVerdicts(verdicts)
+	cell.reduceVerdicts(verdicts, errs)
+	cell.noteStats(st)
 	return cell, err
 }
 
@@ -288,12 +331,12 @@ func MasqueradeCampaign(top cluster.Topology, authority guardian.Authority, sema
 // receives (§2.2) and, if that frame is the faulty one, is denied
 // integration — unless a central guardian's semantic analysis filters the
 // frame first.
-func BadCStateCampaign(top cluster.Topology, authority guardian.Authority, semantic bool, runs int, seed uint64) (CampaignCell, error) {
+func BadCStateCampaign(ctx context.Context, top cluster.Topology, authority guardian.Authority, semantic bool, runs int, seed uint64) (CampaignCell, error) {
 	cell := CampaignCell{
 		Label:    fmt.Sprintf("invalid C-state (%s)", describeGuard(top, authority, semantic)),
 		Topology: top,
 	}
-	verdicts, err := RunSeeded(cell.Label, runs, seed, func(r int, s RunSeeds) (RunVerdict, error) {
+	verdicts, errs, st, err := RunSeededContext(ctx, cell.Label, runs, seed, func(r int, s RunSeeds) (RunVerdict, error) {
 		c, err := cluster.New(cluster.Config{
 			Topology:         top,
 			Authority:        authority,
@@ -328,7 +371,8 @@ func BadCStateCampaign(top cluster.Topology, authority guardian.Authority, seman
 		stopRogue()
 		return verdictFor(c, 1), nil
 	})
-	cell.reduceVerdicts(verdicts)
+	cell.reduceVerdicts(verdicts, errs)
+	cell.noteStats(st)
 	return cell, err
 }
 

@@ -1,0 +1,186 @@
+package experiments
+
+// Campaign checkpointing: a JSON store of completed run verdicts keyed by
+// (cell label, run index). When a checkpoint is active, RunSeededContext
+// replays recorded verdicts instead of re-simulating — and because run
+// verdicts are pure values derived from deterministic seed streams, a
+// resumed campaign's tables are byte-identical to an uninterrupted run's.
+//
+// The file is versioned and carries an FNV-64a checksum over the
+// (key-sorted, hence canonical) cells payload; writes are atomic via
+// temp-file + rename.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+const campaignCheckpointVersion = 1
+
+// flushEvery is how many newly recorded runs accumulate between automatic
+// flushes to disk.
+const flushEvery = 64
+
+// ErrBadCheckpoint reports a campaign checkpoint file that failed
+// validation.
+var ErrBadCheckpoint = errors.New("experiments: invalid checkpoint")
+
+// Checkpoint is a persistent store of completed campaign run verdicts.
+// It is safe for concurrent use by the worker pool.
+type Checkpoint struct {
+	mu         sync.Mutex
+	path       string
+	cells      map[string]map[string]json.RawMessage // label → run index → verdict
+	sinceFlush int
+}
+
+type checkpointFile struct {
+	Version  int             `json:"version"`
+	Checksum string          `json:"checksum"`
+	Cells    json.RawMessage `json:"cells"`
+}
+
+func cellsChecksum(cells []byte) string {
+	h := fnv.New64a()
+	h.Write(cells)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// OpenCheckpoint opens the store at path. With resume set, an existing
+// file is loaded and validated (a missing file is not an error — the
+// campaign simply starts fresh); without it any prior progress is
+// ignored and will be overwritten on the first flush.
+func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
+	cp := &Checkpoint{path: path, cells: make(map[string]map[string]json.RawMessage)}
+	if !resume {
+		return cp, nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return cp, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if f.Version != campaignCheckpointVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, f.Version)
+	}
+	if cellsChecksum(f.Cells) != f.Checksum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadCheckpoint)
+	}
+	if err := json.Unmarshal(f.Cells, &cp.cells); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	return cp, nil
+}
+
+// lookup replays the verdict for run r of the named cell into v,
+// reporting whether one was recorded.
+func (cp *Checkpoint) lookup(label string, r int, v any) (bool, error) {
+	cp.mu.Lock()
+	raw, ok := cp.cells[label][strconv.Itoa(r)]
+	cp.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return false, fmt.Errorf("%w: cell %q run %d: %v", ErrBadCheckpoint, label, r, err)
+	}
+	return true, nil
+}
+
+// record stores the verdict for run r of the named cell, flushing to disk
+// every flushEvery new records.
+func (cp *Checkpoint) record(label string, r int, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint: cell %q run %d: %w", label, r, err)
+	}
+	cp.mu.Lock()
+	cell, ok := cp.cells[label]
+	if !ok {
+		cell = make(map[string]json.RawMessage)
+		cp.cells[label] = cell
+	}
+	cell[strconv.Itoa(r)] = raw
+	cp.sinceFlush++
+	flush := cp.sinceFlush >= flushEvery
+	if flush {
+		cp.sinceFlush = 0
+	}
+	cp.mu.Unlock()
+	if flush {
+		return cp.Flush()
+	}
+	return nil
+}
+
+// Flush atomically writes the store to its path (temp-file + rename).
+// encoding/json emits map keys sorted, so equal progress always produces
+// equal bytes.
+func (cp *Checkpoint) Flush() error {
+	cp.mu.Lock()
+	cells, err := json.Marshal(cp.cells)
+	cp.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	data, err := json.Marshal(checkpointFile{
+		Version:  campaignCheckpointVersion,
+		Checksum: cellsChecksum(cells),
+		Cells:    cells,
+	})
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(cp.path), ".campaign-checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), cp.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Remove deletes the checkpoint file — called when a campaign completes
+// conclusively so stale progress can never shadow a finished run.
+func (cp *Checkpoint) Remove() error {
+	err := os.Remove(cp.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// activeCheckpoint is the store RunSeededContext consults; nil disables
+// checkpointing.
+var activeCheckpoint atomic.Pointer[Checkpoint]
+
+// SetCheckpoint installs (or, with nil, clears) the campaign checkpoint
+// store consulted by RunSeededContext.
+func SetCheckpoint(cp *Checkpoint) { activeCheckpoint.Store(cp) }
+
+// ActiveCheckpoint returns the installed store, or nil.
+func ActiveCheckpoint() *Checkpoint { return activeCheckpoint.Load() }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -184,11 +185,11 @@ func TestE9TimedReplay(t *testing.T) {
 // TestE10SOS compares SOS fault handling: the bus topology suffers
 // healthy-node freezes; the reshaping star coupler prevents them ([7]).
 func TestE10SOS(t *testing.T) {
-	busT, err := SOSTimingCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, 3, 1)
+	busT, err := SOSTimingCampaign(context.Background(), cluster.TopologyBus, guardian.AuthoritySmallShift, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	starT, err := SOSTimingCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 1)
+	starT, err := SOSTimingCampaign(context.Background(), cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,11 +200,11 @@ func TestE10SOS(t *testing.T) {
 		t.Errorf("SOS timing on reshaping star disrupted %d runs", starT.RunsDisrupted)
 	}
 
-	busV, err := SOSValueCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, 3, 2)
+	busV, err := SOSValueCampaign(context.Background(), cluster.TopologyBus, guardian.AuthoritySmallShift, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	starV, err := SOSValueCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 2)
+	starV, err := SOSValueCampaign(context.Background(), cluster.TopologyStar, guardian.AuthoritySmallShift, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,11 +226,11 @@ func TestE10SOS(t *testing.T) {
 // TestE11Masquerade: semantic analysis blocks masqueraded cold-start
 // frames; local bus guardians cannot.
 func TestE11Masquerade(t *testing.T) {
-	bus, err := MasqueradeCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, false, 12, 1)
+	bus, err := MasqueradeCampaign(context.Background(), cluster.TopologyBus, guardian.AuthoritySmallShift, false, 12, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	star, err := MasqueradeCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, true, 12, 1)
+	star, err := MasqueradeCampaign(context.Background(), cluster.TopologyStar, guardian.AuthoritySmallShift, true, 12, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,11 +251,11 @@ func TestE11Masquerade(t *testing.T) {
 // TestE11BadCState: a CRC-valid frame with wrong controller state denies
 // integration on a bus, and is filtered by semantic analysis on a star.
 func TestE11BadCState(t *testing.T) {
-	bus, err := BadCStateCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, false, 6, 4)
+	bus, err := BadCStateCampaign(context.Background(), cluster.TopologyBus, guardian.AuthoritySmallShift, false, 6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	star, err := BadCStateCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, true, 6, 4)
+	star, err := BadCStateCampaign(context.Background(), cluster.TopologyStar, guardian.AuthoritySmallShift, true, 6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,94 @@
+package experiments
+
+// E12 — coupler failover. The redundant star coupler must mask a coupler
+// that goes silent mid-operation: zero healthy-node freezes in steady
+// state AND while a node is integrating, with bounded recovery latency on
+// the surviving channel.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ttastar/internal/guardian"
+)
+
+func TestCouplerFailover(t *testing.T) {
+	const runs = 6
+	results, err := CouplerFailoverCampaign(context.Background(), guardian.AuthoritySmallShift, runs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d phases, want steady state + integration", len(results))
+	}
+	for i, phase := range []string{"steady state", "integration"} {
+		r := results[i]
+		if r.Phase != phase {
+			t.Errorf("phase %d named %q, want %q", i, r.Phase, phase)
+		}
+		if r.Runs != runs {
+			t.Errorf("%s: %d/%d runs completed", phase, r.Runs, runs)
+		}
+		if r.Failures != 0 {
+			t.Errorf("%s: %d runs failed to stay/become all-active on the surviving channel", phase, r.Failures)
+		}
+		if r.HealthyFreezes != 0 {
+			t.Errorf("%s: %d healthy-node freezes — the coupler fault was not masked", phase, r.HealthyFreezes)
+		}
+		if r.Disrupted != 0 {
+			t.Errorf("%s: %d disrupted runs", phase, r.Disrupted)
+		}
+		if r.RecoverySlots.N() != runs {
+			t.Errorf("%s: %d recovery samples, want %d", phase, r.RecoverySlots.N(), runs)
+		}
+		if r.RecoverySlots.Max() <= 0 {
+			t.Errorf("%s: non-positive worst-case recovery (%v slots)", phase, r.RecoverySlots.Max())
+		}
+		// Recovery must be bounded: a round per node's next slot in steady
+		// state, a full integration in the worst case — but never hundreds
+		// of slots (that would mean nodes restarted, not failed over).
+		if max := r.RecoverySlots.Max(); max > 200 {
+			t.Errorf("%s: worst-case recovery %v slots is not a failover", phase, max)
+		}
+		if h := r.Health; h.Panics != 0 || h.Failed != 0 || h.Skipped != 0 {
+			t.Errorf("%s: unhealthy execution %+v", phase, h)
+		}
+	}
+	// Steady-state recovery (next frame on the surviving channel) is much
+	// tighter than a fresh integration.
+	if s, in := results[0].RecoverySlots.Max(), results[1].RecoverySlots.Max(); s > in {
+		t.Logf("note: steady worst %v slots exceeds integration worst %v", s, in)
+	}
+	table := FormatFailover(results)
+	for _, phrase := range []string{"steady state", "integration", "worst [slot]"} {
+		if !strings.Contains(table, phrase) {
+			t.Errorf("failover table missing %q:\n%s", phrase, table)
+		}
+	}
+	if strings.Contains(table, "!") {
+		t.Errorf("clean failover campaign rendered health footers:\n%s", table)
+	}
+}
+
+// TestCouplerFailoverDeterministic: the E12 aggregate is identical for any
+// worker count.
+func TestCouplerFailoverDeterministic(t *testing.T) {
+	defer SetParallelism(0)
+	var first string
+	for _, workers := range []int{1, 4} {
+		SetParallelism(workers)
+		results, err := CouplerFailoverCampaign(context.Background(), guardian.AuthoritySmallShift, 4, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table := FormatFailover(results)
+		if first == "" {
+			first = table
+			continue
+		}
+		if table != first {
+			t.Errorf("workers=%d failover table differs:\n%s\nvs\n%s", workers, table, first)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"testing"
@@ -13,28 +14,33 @@ import (
 )
 
 func TestMapRunsOrdered(t *testing.T) {
-	for _, workers := range []int{1, 3, 16} {
-		out, err := mapRuns(50, workers, func(i int) (int, error) { return i * i, nil })
-		if err != nil {
-			t.Fatal(err)
-		}
+	// Degenerate worker counts (0, negative, more workers than runs) must
+	// clamp rather than deadlock or spawn idle goroutines.
+	for _, workers := range []int{-3, 0, 1, 3, 16, 200} {
+		out, errs := mapRuns(context.Background(), 50, workers, func(i int) (int, error) { return i * i, nil })
 		for i, v := range out {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d: run %d errored: %v", workers, i, errs[i])
+			}
 			if v != i*i {
 				t.Fatalf("workers=%d: out[%d] = %d, results out of order", workers, i, v)
 			}
 		}
 	}
-	if out, err := mapRuns(0, 4, func(i int) (int, error) { return 0, nil }); err != nil || out != nil {
+	if out, errs := mapRuns(context.Background(), 0, 4, func(i int) (int, error) { return 0, nil }); out != nil || errs != nil {
 		t.Error("zero runs should be a no-op")
+	}
+	if out, errs := mapRuns(context.Background(), -5, 4, func(i int) (int, error) { return 0, nil }); out != nil || errs != nil {
+		t.Error("negative runs should be a no-op")
 	}
 }
 
-// TestMapRunsFirstError: whatever the scheduling, the reported error is
-// the one from the lowest-indexed failing run.
+// TestMapRunsFirstError: whatever the scheduling, the reported fatal error
+// is the one from the lowest-indexed failing run.
 func TestMapRunsFirstError(t *testing.T) {
 	errLow, errHigh := errors.New("low"), errors.New("high")
 	for _, workers := range []int{1, 4, 16} {
-		_, err := mapRuns(40, workers, func(i int) (struct{}, error) {
+		_, errs := mapRuns(context.Background(), 40, workers, func(i int) (struct{}, error) {
 			switch i {
 			case 7:
 				return struct{}{}, errLow
@@ -43,7 +49,7 @@ func TestMapRunsFirstError(t *testing.T) {
 			}
 			return struct{}{}, nil
 		})
-		if err != errLow {
+		if err := firstError(errs); err != errLow {
 			t.Errorf("workers=%d: got %v, want the run-7 error", workers, err)
 		}
 	}
@@ -94,11 +100,11 @@ func TestCampaignParallelDeterminism(t *testing.T) {
 		if got := Parallelism(); got != workers {
 			t.Fatalf("Parallelism() = %d after SetParallelism(%d)", got, workers)
 		}
-		bus, err := SOSTimingCampaign(cluster.TopologyBus, guardian.AuthoritySmallShift, 4, 1)
+		bus, err := SOSTimingCampaign(context.Background(), cluster.TopologyBus, guardian.AuthoritySmallShift, 4, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		star, err := BabblingIdiotCampaign(cluster.TopologyStar, guardian.AuthoritySmallShift, 4, 1)
+		star, err := BabblingIdiotCampaign(context.Background(), cluster.TopologyStar, guardian.AuthoritySmallShift, 4, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,10 +136,10 @@ func TestCampaignCellMergeAssociative(t *testing.T) {
 		{GuardianBlocked: 3},
 	}
 	var serial CampaignCell
-	serial.reduceVerdicts(verdicts)
+	serial.reduceVerdicts(verdicts, nil)
 	var shard1, shard2 CampaignCell
-	shard1.reduceVerdicts(verdicts[:2])
-	shard2.reduceVerdicts(verdicts[2:])
+	shard1.reduceVerdicts(verdicts[:2], nil)
+	shard2.reduceVerdicts(verdicts[2:], nil)
 	var merged CampaignCell
 	merged.Merge(shard1)
 	merged.Merge(shard2)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -26,6 +27,19 @@ type StartupResult struct {
 	// behaviour when power-on races make cold starters collide; the
 	// startup algorithm backs off and retries.
 	Retries int
+	// Health reports the runner's execution tallies (attempts, panics,
+	// retried/failed/skipped runs); all-zero except Attempts on a clean
+	// sweep.
+	Health RunStats
+}
+
+// startupVerdict is one run's outcome. Fields are exported so a campaign
+// checkpoint can round-trip it through JSON.
+type startupVerdict struct {
+	Failed    bool    `json:"failed"`
+	LatencyMS float64 `json:"latency_ms"`
+	Freezes   int     `json:"freezes"`
+	Retries   int     `json:"retries"`
 }
 
 // StartupLatency measures fault-free startup across randomized staggered
@@ -33,23 +47,17 @@ type StartupResult struct {
 // robustness sweep: every run must converge with no node disrupted,
 // whatever the power-on interleaving (the nondeterminism the model checker
 // explores exhaustively, sampled here in the timed world).
-func StartupLatency(top cluster.Topology, authority guardian.Authority, runs int, seed uint64) (StartupResult, error) {
+func StartupLatency(ctx context.Context, top cluster.Topology, authority guardian.Authority, runs int, seed uint64) (StartupResult, error) {
 	out := StartupResult{Topology: top, Authority: authority}
-	type verdict struct {
-		failed    bool
-		latencyMS float64
-		freezes   int
-		retries   int
-	}
 	label := fmt.Sprintf("startup latency (%v, %v)", top, authority)
-	verdicts, err := RunSeeded(label, runs, seed, func(r int, s RunSeeds) (verdict, error) {
+	verdicts, errs, st, err := RunSeededContext(ctx, label, runs, seed, func(r int, s RunSeeds) (startupVerdict, error) {
 		c, err := cluster.New(cluster.Config{
 			Topology:  top,
 			Authority: authority,
 			Seed:      s.Cluster,
 		})
 		if err != nil {
-			return verdict{}, fmt.Errorf("experiments: startup cluster: %w", err)
+			return startupVerdict{}, fmt.Errorf("experiments: startup cluster: %w", err)
 		}
 		// Random power-on order and spacing, up to two rounds apart.
 		span := int64(2 * c.Schedule.RoundDuration())
@@ -57,25 +65,29 @@ func StartupLatency(top cluster.Topology, authority guardian.Authority, runs int
 			n.Start(time.Duration(s.RNG.Int63n(span)))
 		}
 		if !c.RunUntil(500*time.Millisecond, c.AllActive) {
-			return verdict{failed: true}, nil
+			return startupVerdict{Failed: true}, nil
 		}
-		return verdict{
-			latencyMS: float64(c.Sched.Now()) / 1e6,
-			freezes:   c.HealthyFreezes(),
-			retries:   c.StartupRegressions(),
+		return startupVerdict{
+			LatencyMS: float64(c.Sched.Now()) / 1e6,
+			Freezes:   c.HealthyFreezes(),
+			Retries:   c.StartupRegressions(),
 		}, nil
 	})
 	// Reduce in run-index order: out.Latency is identical to the sample a
-	// serial loop would have built.
-	for _, v := range verdicts {
-		if v.failed {
+	// serial loop would have built. Skipped/failed slots carry no verdict.
+	for i, v := range verdicts {
+		if errs[i] != nil {
+			continue
+		}
+		if v.Failed {
 			out.Failures++
 			continue
 		}
-		out.Latency.Add(v.latencyMS)
-		out.HealthyFreezes += v.freezes
-		out.Retries += v.retries
+		out.Latency.Add(v.LatencyMS)
+		out.HealthyFreezes += v.Freezes
+		out.Retries += v.Retries
 	}
+	out.Health = st
 	return out, err
 }
 
@@ -88,6 +100,17 @@ func FormatStartup(results []StartupResult) string {
 		fmt.Fprintf(&b, "%-28s %6d %12.2f %12.2f %12.2f %9d %8d\n",
 			fmt.Sprintf("%v / %v", r.Topology, r.Authority),
 			r.Latency.N()+r.Failures, r.Latency.Mean(), r.Latency.Min(), r.Latency.Max(), r.Failures, r.Retries)
+	}
+	for _, r := range results {
+		h := r.Health
+		if h.Panics > 0 || h.Failed > 0 {
+			fmt.Fprintf(&b, "! %v / %v: %d panics across %d attempts, %d runs retried, %d runs failed\n",
+				r.Topology, r.Authority, h.Panics, h.Attempts, h.Retried, h.Failed)
+		}
+		if h.Skipped > 0 {
+			fmt.Fprintf(&b, "! %v / %v: partial — %d runs skipped by cancellation\n",
+				r.Topology, r.Authority, h.Skipped)
+		}
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ import (
 func TestStartupRobustness(t *testing.T) {
 	var results []StartupResult
 	for _, top := range []cluster.Topology{cluster.TopologyBus, cluster.TopologyStar} {
-		r, err := StartupLatency(top, guardian.AuthoritySmallShift, 15, 11)
+		r, err := StartupLatency(context.Background(), top, guardian.AuthoritySmallShift, 15, 11)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -45,7 +46,7 @@ func TestStartupRobustness(t *testing.T) {
 }
 
 func TestStartupLatencyPassiveHub(t *testing.T) {
-	r, err := StartupLatency(cluster.TopologyStar, guardian.AuthorityPassive, 8, 5)
+	r, err := StartupLatency(context.Background(), cluster.TopologyStar, guardian.AuthorityPassive, 8, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,9 +23,22 @@ type MatrixRow struct {
 	Result    mc.Result
 }
 
+// rowCheckpointPath derives a per-row checkpoint file from a matrix-wide
+// base path, so the four authorities' searches never clobber one
+// another's snapshots.
+func rowCheckpointPath(base string, a guardian.Authority) string {
+	if base == "" {
+		return ""
+	}
+	return base + "." + strings.ReplaceAll(a.String(), " ", "-")
+}
+
 // VerificationMatrix checks the §5.1 property for all four coupler
 // authority levels — the paper's headline result: the first three hold,
-// full shifting fails.
+// full shifting fails. A cancelled run returns the rows completed so far
+// plus a partial (Interrupted) row for the authority that was cut, along
+// with the checker's error; per-authority checkpoints are derived from
+// opts.CheckpointPath/ResumePath.
 func VerificationMatrix(opts mc.Options) ([]MatrixRow, error) {
 	authorities := []guardian.Authority{
 		guardian.AuthorityPassive,
@@ -37,15 +50,32 @@ func VerificationMatrix(opts mc.Options) ([]MatrixRow, error) {
 	for _, a := range authorities {
 		m, err := model.New(model.Config{Authority: a})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: building model for %v: %w", a, err)
+			return rows, fmt.Errorf("experiments: building model for %v: %w", a, err)
 		}
-		res, err := mc.CheckTransitionInvariant(m, m.Property(), opts)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: checking %v: %w", a, err)
-		}
+		rowOpts := opts
+		rowOpts.CheckpointPath = rowCheckpointPath(opts.CheckpointPath, a)
+		rowOpts.ResumePath = rowCheckpointPath(opts.ResumePath, a)
+		res, err := mc.CheckTransitionInvariant(m, m.Property(), rowOpts)
 		rows = append(rows, MatrixRow{Authority: a, Faults: m.AllowedFaults(), Result: res})
+		if err != nil {
+			return rows, fmt.Errorf("experiments: checking %v: %w", a, err)
+		}
 	}
 	return rows, nil
+}
+
+// matrixVerdict names a row's outcome for the table.
+func matrixVerdict(res mc.Result) string {
+	switch {
+	case !res.Holds:
+		return "FAILS"
+	case res.Interrupted:
+		return "PARTIAL"
+	case res.Inconclusive:
+		return "INCONCL"
+	default:
+		return "HOLDS"
+	}
 }
 
 // FormatMatrix renders the verification matrix as a text table.
@@ -53,10 +83,9 @@ func FormatMatrix(rows []MatrixRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-16s %-40s %-8s %10s %8s\n", "coupler", "fault modes", "property", "states", "trace")
 	for _, r := range rows {
-		verdict := "HOLDS"
+		verdict := matrixVerdict(r.Result)
 		traceLen := "-"
 		if !r.Result.Holds {
-			verdict = "FAILS"
 			traceLen = fmt.Sprint(len(r.Result.Counterexample))
 		}
 		faults := make([]string, len(r.Faults))
@@ -82,10 +111,12 @@ func traceFor(cfg model.Config, opts mc.Options) (TraceResult, error) {
 		return TraceResult{}, fmt.Errorf("experiments: %w", err)
 	}
 	res, err := mc.CheckTransitionInvariant(m, m.Property(), opts)
-	if err != nil {
-		return TraceResult{}, fmt.Errorf("experiments: %w", err)
-	}
 	out := TraceResult{Model: m, Result: res}
+	if err != nil {
+		// A cancelled search still hands back its partial Result so the
+		// caller can report progress-so-far.
+		return out, fmt.Errorf("experiments: %w", err)
+	}
 	if !res.Holds {
 		out.Rendered = trace.Render(m, res.Counterexample)
 	}

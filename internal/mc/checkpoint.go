@@ -1,0 +1,287 @@
+package mc
+
+// Checkpoint codec for the BFS engine.
+//
+// A checkpoint is taken at a level boundary — the only point where the
+// whole search state is a frontier, a visited set, and two counters — so
+// resuming replays the remaining levels exactly as the uninterrupted run
+// would have executed them. Together with the min-claim-key determinism
+// of the parallel engine this makes resumed results byte-identical to
+// uninterrupted ones for any worker count.
+//
+// The on-disk format is versioned, length-guarded and closed by an
+// FNV-64a checksum over the payload; files are written to a temp file in
+// the target directory and renamed into place, so a crash mid-write can
+// never leave a truncated checkpoint where a valid one was.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+const (
+	checkpointMagic   = "TTAMCCP\x00"
+	checkpointVersion = 1
+)
+
+// ErrBadCheckpoint reports a checkpoint file that failed validation:
+// wrong magic, unsupported version, checksum mismatch, or truncation.
+var ErrBadCheckpoint = errors.New("mc: invalid checkpoint")
+
+// Checkpoint is a resumable snapshot of a search at a level boundary.
+type Checkpoint struct {
+	// Depth is the next BFS level to expand.
+	Depth int32
+	// ResultDepth and Transitions carry the Result counters accumulated
+	// by the levels already completed.
+	ResultDepth int
+	Transitions int
+	// Frontier is the next frontier in serial claim-key order.
+	Frontier []State
+	// Visited is every admitted state with its trace-reconstruction
+	// record, in canonical (state-sorted) order.
+	Visited []VisitedEntry
+}
+
+// VisitedEntry is one visited-set record in a checkpoint.
+type VisitedEntry struct {
+	State     State
+	Parent    State
+	Key       uint64
+	Depth     int32
+	HasParent bool
+}
+
+// snapshot captures the engine state between levels as a Checkpoint.
+// Entries are sorted by state encoding so checkpoint bytes are canonical.
+func snapshot(v *visitedSet, res Result, frontier []State, depth int32) *Checkpoint {
+	cp := &Checkpoint{
+		Depth:       depth,
+		ResultDepth: res.Depth,
+		Transitions: res.TransitionsExplored,
+		Frontier:    frontier,
+		Visited:     make([]VisitedEntry, 0, v.count.Load()),
+	}
+	for i := range v.shards {
+		sh := &v.shards[i]
+		sh.mu.Lock()
+		for s, n := range sh.m {
+			cp.Visited = append(cp.Visited, VisitedEntry{
+				State: s, Parent: n.parent, Key: n.key, Depth: n.depth, HasParent: n.hasParent,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(cp.Visited, func(i, j int) bool { return cp.Visited[i].State < cp.Visited[j].State })
+	return cp
+}
+
+// restore loads a checkpoint into the visited set and returns the saved
+// frontier. The restored states are charged against the current budget.
+func (v *visitedSet) restore(cp *Checkpoint) ([]State, error) {
+	if int64(len(cp.Visited)) > v.max {
+		return nil, fmt.Errorf("mc: checkpoint holds %d states, over the %d-state budget: %w",
+			len(cp.Visited), v.max, ErrStateLimit)
+	}
+	for _, e := range cp.Visited {
+		sh := v.shardOf(e.State)
+		sh.m[e.State] = bfsNode{parent: e.Parent, key: e.Key, depth: e.Depth, hasParent: e.HasParent}
+	}
+	v.count.Store(int64(len(cp.Visited)))
+	for _, s := range cp.Frontier {
+		sh := v.shardOf(s)
+		if _, ok := sh.m[s]; !ok {
+			return nil, fmt.Errorf("%w: frontier state missing from visited set", ErrBadCheckpoint)
+		}
+	}
+	return cp.Frontier, nil
+}
+
+// cpWriter serializes with uvarints and a sticky error.
+type cpWriter struct {
+	w       io.Writer
+	scratch [binary.MaxVarintLen64]byte
+	err     error
+}
+
+func (w *cpWriter) raw(b []byte) {
+	if w.err == nil {
+		_, w.err = w.w.Write(b)
+	}
+}
+
+func (w *cpWriter) uvarint(v uint64) {
+	n := binary.PutUvarint(w.scratch[:], v)
+	w.raw(w.scratch[:n])
+}
+
+func (w *cpWriter) str(s State) {
+	w.uvarint(uint64(len(s)))
+	w.raw([]byte(s))
+}
+
+// WriteCheckpoint atomically writes cp to path: the payload goes to a
+// temp file in the same directory, is checksummed, and renamed over the
+// target only once complete.
+func WriteCheckpoint(path string, cp *Checkpoint) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".mc-checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("mc: checkpoint: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+
+	h := fnv.New64a()
+	bw := bufio.NewWriterSize(io.MultiWriter(tmp, h), 1<<16)
+	w := &cpWriter{w: bw}
+	w.raw([]byte(checkpointMagic))
+	w.uvarint(checkpointVersion)
+	w.uvarint(uint64(uint32(cp.Depth)))
+	w.uvarint(uint64(cp.ResultDepth))
+	w.uvarint(uint64(cp.Transitions))
+	w.uvarint(uint64(len(cp.Frontier)))
+	for _, s := range cp.Frontier {
+		w.str(s)
+	}
+	w.uvarint(uint64(len(cp.Visited)))
+	for _, e := range cp.Visited {
+		w.str(e.State)
+		w.str(e.Parent)
+		w.uvarint(e.Key)
+		w.uvarint(uint64(uint32(e.Depth)))
+		flags := byte(0)
+		if e.HasParent {
+			flags = 1
+		}
+		w.raw([]byte{flags})
+	}
+	if w.err == nil {
+		w.err = bw.Flush()
+	}
+	if w.err == nil {
+		var sum [8]byte
+		binary.BigEndian.PutUint64(sum[:], h.Sum64())
+		_, w.err = tmp.Write(sum[:])
+	}
+	if w.err == nil {
+		w.err = tmp.Close()
+	}
+	if w.err != nil {
+		return fmt.Errorf("mc: checkpoint: %w", w.err)
+	}
+	name := tmp.Name()
+	tmp = nil // past the point of no return; the deferred cleanup must not fire
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("mc: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// cpReader parses with uvarints, allocation guards and a sticky error.
+type cpReader struct {
+	r   *bytes.Reader
+	err error
+}
+
+func (r *cpReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = fmt.Errorf("%w: truncated", ErrBadCheckpoint)
+	}
+	return v
+}
+
+func (r *cpReader) str() State {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.r.Len()) {
+		r.err = fmt.Errorf("%w: string length %d exceeds remaining payload", ErrBadCheckpoint, n)
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		r.err = fmt.Errorf("%w: truncated", ErrBadCheckpoint)
+		return ""
+	}
+	return State(buf)
+}
+
+func (r *cpReader) count() int {
+	n := r.uvarint()
+	// Every counted element occupies at least one payload byte.
+	if r.err == nil && n > uint64(r.r.Len()) {
+		r.err = fmt.Errorf("%w: element count %d exceeds remaining payload", ErrBadCheckpoint, n)
+		return 0
+	}
+	return int(n)
+}
+
+// ReadCheckpoint loads and validates a checkpoint file. A missing file
+// surfaces as an error wrapping os.ErrNotExist so callers can treat it as
+// "start fresh".
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("mc: checkpoint: %w", err)
+	}
+	if len(data) < len(checkpointMagic)+8 {
+		return nil, fmt.Errorf("%w: file too short", ErrBadCheckpoint)
+	}
+	payload, trailer := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	h.Write(payload)
+	if h.Sum64() != binary.BigEndian.Uint64(trailer) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadCheckpoint)
+	}
+	if string(payload[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	r := &cpReader{r: bytes.NewReader(payload[len(checkpointMagic):])}
+	if v := r.uvarint(); r.err == nil && v != checkpointVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, v)
+	}
+	cp := &Checkpoint{
+		Depth:       int32(r.uvarint()),
+		ResultDepth: int(r.uvarint()),
+		Transitions: int(r.uvarint()),
+	}
+	cp.Frontier = make([]State, 0, r.count())
+	for i := cap(cp.Frontier); i > 0 && r.err == nil; i-- {
+		cp.Frontier = append(cp.Frontier, r.str())
+	}
+	cp.Visited = make([]VisitedEntry, 0, r.count())
+	for i := cap(cp.Visited); i > 0 && r.err == nil; i-- {
+		e := VisitedEntry{State: r.str(), Parent: r.str(), Key: r.uvarint(), Depth: int32(r.uvarint())}
+		var flags [1]byte
+		if _, err := io.ReadFull(r.r, flags[:]); err != nil {
+			r.err = fmt.Errorf("%w: truncated", ErrBadCheckpoint)
+		}
+		e.HasParent = flags[0] != 0
+		cp.Visited = append(cp.Visited, e)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, r.r.Len())
+	}
+	return cp, nil
+}

@@ -1,0 +1,116 @@
+package mc
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Depth:       7,
+		ResultDepth: 6,
+		Transitions: 1234,
+		Frontier:    []State{"b", "", "c\x00d"},
+		Visited: []VisitedEntry{
+			{State: "", Parent: "", Key: 0, Depth: 0, HasParent: false},
+			{State: "b", Parent: "", Key: 3, Depth: 1, HasParent: true},
+			{State: "c\x00d", Parent: "b", Key: 1 << 30, Depth: 7, HasParent: true},
+		},
+	}
+}
+
+func TestCheckpointCodecRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp")
+	want := sampleCheckpoint()
+	if err := WriteCheckpoint(path, want); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp")
+	if err := WriteCheckpoint(path, sampleCheckpoint()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x40
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadCheckpoint(path); !errors.Is(err, ErrBadCheckpoint) {
+			t.Fatalf("flip at byte %d: got %v, want ErrBadCheckpoint", i, err)
+		}
+	}
+}
+
+func TestCheckpointTruncationDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp")
+	if err := WriteCheckpoint(path, sampleCheckpoint()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, len(checkpointMagic), len(data) / 2, len(data) - 1} {
+		if err := os.WriteFile(path, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadCheckpoint(path); !errors.Is(err, ErrBadCheckpoint) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrBadCheckpoint", n, err)
+		}
+	}
+}
+
+func TestCheckpointVersionMismatch(t *testing.T) {
+	payload := []byte(checkpointMagic)
+	payload = binary.AppendUvarint(payload, 99)
+	h := fnv.New64a()
+	h.Write(payload)
+	payload = binary.BigEndian.AppendUint64(payload, h.Sum64())
+	path := filepath.Join(t.TempDir(), "cp")
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint(path); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("version 99: got %v, want ErrBadCheckpoint", err)
+	}
+}
+
+func TestCheckpointMissingFile(t *testing.T) {
+	if _, err := ReadCheckpoint(filepath.Join(t.TempDir(), "absent")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("got %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestCheckpointAtomicNoTempLeft(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cp")
+	if err := WriteCheckpoint(path, sampleCheckpoint()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "cp" {
+		t.Fatalf("directory holds %d entries, want only the checkpoint", len(entries))
+	}
+}

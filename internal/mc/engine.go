@@ -26,10 +26,15 @@ package mc
 // that substitutes for SMV's counterexamples (DESIGN.md).
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"ttastar/internal/sim"
 )
 
 // numShards is the visited-set shard count; a power of two so the shard
@@ -295,31 +300,54 @@ func nextFrontier(v *visitedSet, out levelOut) []State {
 // CheckTransitionInvariant.
 func check(m Model, stInv StateInvariant, trInv TransitionInvariant, opts Options) (Result, error) {
 	opts = opts.withDefaults()
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	v := newVisitedSet(opts.MaxStates)
 	res := Result{Holds: true}
 
-	// Level 0: admit the initial states in index order — their claim keys
-	// are their indices — counting them against the state budget and
-	// checking the state invariant before any expansion.
-	var frontier []State
-	for i, s := range m.Initial() {
-		switch v.claim(s, bfsNode{key: uint64(i)}) {
-		case claimFull:
-			res.StatesExplored = int(v.count.Load())
-			return res, fmt.Errorf("%d states: %w", res.StatesExplored, ErrStateLimit)
-		case claimDup:
-			continue
-		}
-		if stInv != nil && !stInv(s) {
-			res.Holds = false
-			res.Counterexample = []State{s}
-			res.StatesExplored = int(v.count.Load())
-			return res, nil
-		}
-		frontier = append(frontier, s)
+	resume, err := resolveResume(opts)
+	if err != nil {
+		return res, err
 	}
 
-	for depth := int32(0); len(frontier) > 0; depth++ {
+	var frontier []State
+	startDepth := int32(0)
+	if resume != nil {
+		frontier, err = v.restore(resume)
+		if err != nil {
+			return res, err
+		}
+		startDepth = resume.Depth
+		res.Depth = resume.ResultDepth
+		res.TransitionsExplored = resume.Transitions
+	} else {
+		// Level 0: admit the initial states in index order — their claim
+		// keys are their indices — counting them against the state budget
+		// and checking the state invariant before any expansion.
+		for i, s := range m.Initial() {
+			switch v.claim(s, bfsNode{key: uint64(i)}) {
+			case claimFull:
+				return exhausted(m, v, res, stInv, trInv, opts)
+			case claimDup:
+				continue
+			}
+			if stInv != nil && !stInv(s) {
+				res.Holds = false
+				res.Counterexample = []State{s}
+				res.StatesExplored = int(v.count.Load())
+				return conclusive(res, opts)
+			}
+			frontier = append(frontier, s)
+		}
+	}
+
+	levelsSinceCheckpoint := 0
+	for depth := startDepth; len(frontier) > 0; depth++ {
+		if err := ctx.Err(); err != nil {
+			return interrupted(v, res, frontier, depth, err, opts)
+		}
 		if opts.MaxDepth > 0 && int(depth) >= opts.MaxDepth {
 			res.DepthBounded = true
 			break
@@ -341,7 +369,7 @@ func check(m Model, stInv StateInvariant, trInv TransitionInvariant, opts Option
 			} else {
 				res.Counterexample = append(tracePath(v, viol.from), viol.to)
 			}
-			return res, nil
+			return conclusive(res, opts)
 		}
 
 		for _, c := range lvl.counts {
@@ -352,8 +380,7 @@ func check(m Model, stInv StateInvariant, trInv TransitionInvariant, opts Option
 			full = full || lvl.accs[i].full
 		}
 		if full {
-			res.StatesExplored = int(v.count.Load())
-			return res, fmt.Errorf("%d states: %w", res.StatesExplored, ErrStateLimit)
+			return exhausted(m, v, res, stInv, trInv, opts)
 		}
 
 		frontier = nextFrontier(v, lvl)
@@ -368,9 +395,98 @@ func check(m Model, stInv StateInvariant, trInv TransitionInvariant, opts Option
 				Frontier:    len(frontier),
 			})
 		}
+		levelsSinceCheckpoint++
+		if opts.CheckpointPath != "" && opts.CheckpointEvery > 0 &&
+			levelsSinceCheckpoint >= opts.CheckpointEvery && len(frontier) > 0 {
+			if err := WriteCheckpoint(opts.CheckpointPath, snapshot(v, res, frontier, depth+1)); err != nil {
+				return res, err
+			}
+			levelsSinceCheckpoint = 0
+		}
 	}
 	res.StatesExplored = int(v.count.Load())
+	return conclusive(res, opts)
+}
+
+// resolveResume picks the checkpoint to restore: the in-memory one wins,
+// then ResumePath — where a missing file means "start fresh", so
+// interrupt/resume loops need no existence checks.
+func resolveResume(opts Options) (*Checkpoint, error) {
+	if opts.Resume != nil {
+		return opts.Resume, nil
+	}
+	if opts.ResumePath == "" {
+		return nil, nil
+	}
+	cp, err := ReadCheckpoint(opts.ResumePath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	return cp, err
+}
+
+// conclusive finalizes a search that reached a definite verdict: any
+// checkpoint on disk is now stale and is removed so it can never shadow
+// this result.
+func conclusive(res Result, opts Options) (Result, error) {
+	if opts.CheckpointPath != "" {
+		os.Remove(opts.CheckpointPath)
+	}
 	return res, nil
+}
+
+// interrupted finalizes a cancelled search: the partial Result keeps
+// everything explored so far, a checkpoint is flushed if requested, and
+// the context's cause is surfaced as ErrDeadline or ErrInterrupted.
+func interrupted(v *visitedSet, res Result, frontier []State, depth int32,
+	cause error, opts Options) (Result, error) {
+	res.Interrupted = true
+	res.StatesExplored = int(v.count.Load())
+	if opts.CheckpointPath != "" {
+		if err := WriteCheckpoint(opts.CheckpointPath, snapshot(v, res, frontier, depth)); err != nil {
+			return res, err
+		}
+	}
+	reason := ErrInterrupted
+	if errors.Is(cause, context.DeadlineExceeded) {
+		reason = ErrDeadline
+	}
+	return res, fmt.Errorf("depth %d, %d states: %w", res.Depth, res.StatesExplored, reason)
+}
+
+// fallbackSeedDomain separates the fallback walker's RNG stream from every
+// other seed derivation in the repo.
+const fallbackSeedDomain = 0x5d
+
+// exhausted handles a spent MaxStates budget. Without a fallback it is the
+// historical hard failure; with FallbackWalks set it degrades into seeded
+// random-walk sampling beyond the explored region, yielding either a
+// genuine (non-minimal) counterexample or an explicit Inconclusive verdict
+// with coverage stats.
+func exhausted(m Model, v *visitedSet, res Result, stInv StateInvariant,
+	trInv TransitionInvariant, opts Options) (Result, error) {
+	res.StatesExplored = int(v.count.Load())
+	if opts.FallbackWalks <= 0 {
+		return res, fmt.Errorf("%d states: %w", res.StatesExplored, ErrStateLimit)
+	}
+	rng := sim.NewRNG(sim.Mix(opts.FallbackSeed, fallbackSeedDomain))
+	w := RandomWalker{NextChoice: rng.Intn}
+	var trace []State
+	if trInv != nil {
+		trace = w.Walk(m, trInv, opts.FallbackWalks, opts.FallbackDepth)
+	} else {
+		trace = w.WalkState(m, stInv, opts.FallbackWalks, opts.FallbackDepth)
+	}
+	res.SampledWalks = opts.FallbackWalks
+	res.SampledDepth = opts.FallbackDepth
+	if trace != nil {
+		res.Holds = false
+		res.Counterexample = trace
+		res.Depth = len(trace) - 1
+	} else {
+		res.Inconclusive = true
+	}
+	return conclusive(res, opts)
 }
 
 // tracePath reconstructs the BFS path from an initial state to s inclusive

@@ -16,6 +16,7 @@
 package mc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -73,6 +74,43 @@ type Options struct {
 	// level. It is called from the coordinating goroutine, never
 	// concurrently.
 	Progress func(Progress)
+	// Context cancels the search cooperatively at BFS-generation
+	// granularity (nil = never). A cancelled search returns the partial
+	// Result accumulated so far with Interrupted set, wrapped in
+	// ErrInterrupted — or ErrDeadline when the context's deadline
+	// expired.
+	Context context.Context
+	// CheckpointPath, when non-empty, is where the engine writes a
+	// resumable snapshot of the search: always when the context
+	// interrupts it, and additionally every CheckpointEvery completed
+	// levels. The file is removed again when the search ends
+	// conclusively, so a stale snapshot can never shadow a finished run.
+	CheckpointPath string
+	// CheckpointEvery is the number of completed BFS levels between
+	// periodic snapshots (0 = only on interrupt).
+	CheckpointEvery int
+	// ResumePath, when non-empty, restores the search from the
+	// checkpoint at this path before exploring. A missing file is not an
+	// error — the search simply starts fresh — so interrupt/resume loops
+	// need no existence checks.
+	ResumePath string
+	// Resume restores the search from an in-memory checkpoint; it takes
+	// precedence over ResumePath. A resumed search is byte-identical —
+	// verdict, StatesExplored, TransitionsExplored, Depth and
+	// counterexample — to the uninterrupted run it was split from.
+	Resume *Checkpoint
+	// FallbackWalks > 0 degrades an exhausted MaxStates budget into a
+	// bounded random-walk sampling pass instead of an ErrStateLimit
+	// failure: FallbackWalks seeded walks of at most FallbackDepth steps
+	// search for a violation beyond the explored region. A found
+	// violation is a genuine FAILS (the trace is real, though not
+	// necessarily shortest); otherwise the Result is marked
+	// Inconclusive.
+	FallbackWalks int
+	// FallbackDepth bounds each fallback walk (0 = 1024 steps).
+	FallbackDepth int
+	// FallbackSeed seeds the fallback walker's RNG stream.
+	FallbackSeed uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -82,12 +120,24 @@ func (o Options) withDefaults() Options {
 	if o.Workers < 1 {
 		o.Workers = runtime.NumCPU()
 	}
+	if o.FallbackWalks > 0 && o.FallbackDepth == 0 {
+		o.FallbackDepth = 1024
+	}
 	return o
 }
 
 // ErrStateLimit reports that the state budget was exhausted before the
 // search completed.
 var ErrStateLimit = errors.New("mc: state limit exceeded")
+
+// ErrInterrupted reports that Options.Context was cancelled before the
+// search completed; the returned Result holds everything explored so far
+// and a checkpoint was written if Options.CheckpointPath is set.
+var ErrInterrupted = errors.New("mc: search interrupted")
+
+// ErrDeadline is the ErrInterrupted variant for a context whose deadline
+// expired.
+var ErrDeadline = errors.New("mc: search deadline exceeded")
 
 // Result is the outcome of a check.
 type Result struct {
@@ -102,17 +152,35 @@ type Result struct {
 	Depth int
 	// DepthBounded is set when MaxDepth cut the search off.
 	DepthBounded bool
+	// Interrupted is set when Options.Context cancelled the search: the
+	// counts above cover only the levels completed before the cut.
+	Interrupted bool
+	// Inconclusive is set when the state budget ran out and the fallback
+	// sampling pass found no violation: Holds then covers only the
+	// explored and sampled portion of the state space.
+	Inconclusive bool
+	// SampledWalks and SampledDepth record the fallback sampling
+	// coverage (zero unless the fallback ran).
+	SampledWalks int
+	SampledDepth int
 	// Counterexample is a shortest path of states from an initial state to
-	// the violation (inclusive); empty when Holds.
+	// the violation (inclusive); empty when Holds. A counterexample found
+	// by the fallback sampler is genuine but not necessarily shortest.
 	Counterexample []State
 }
 
 // String summarizes the result.
 func (r Result) String() string {
 	verdict := "HOLDS"
-	if !r.Holds {
+	switch {
+	case !r.Holds:
 		verdict = fmt.Sprintf("FAILS (counterexample length %d)", len(r.Counterexample))
-	} else if r.DepthBounded {
+	case r.Interrupted:
+		verdict = fmt.Sprintf("INTERRUPTED (partial, depth %d)", r.Depth)
+	case r.Inconclusive:
+		verdict = fmt.Sprintf("INCONCLUSIVE (budget exhausted; %d walks ≤%d steps found no violation)",
+			r.SampledWalks, r.SampledDepth)
+	case r.DepthBounded:
 		verdict = fmt.Sprintf("HOLDS (up to depth %d)", r.Depth)
 	}
 	return fmt.Sprintf("%s — %d states, %d transitions explored", verdict, r.StatesExplored, r.TransitionsExplored)
