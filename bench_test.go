@@ -30,6 +30,7 @@ func BenchmarkE1VerificationMatrix(b *testing.B) {
 	for _, workers := range []int{1, runtime.NumCPU()} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rows, err := experiments.VerificationMatrix(mc.Options{Workers: workers})
 				if err != nil {
@@ -57,6 +58,7 @@ func BenchmarkE1VerificationMatrix(b *testing.B) {
 // BenchmarkE2ColdStartReplayTrace regenerates the paper's first trace: one
 // out-of-slot error, failure by duplicated cold-start frame.
 func BenchmarkE2ColdStartReplayTrace(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr, err := experiments.ColdStartReplayTrace(mc.Options{})
 		if err != nil {
@@ -75,6 +77,7 @@ func BenchmarkE2ColdStartReplayTrace(b *testing.B) {
 // BenchmarkE3CStateReplayTrace regenerates the paper's second trace:
 // cold-start replay forbidden, failure by duplicated C-state frame.
 func BenchmarkE3CStateReplayTrace(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr, err := experiments.CStateReplayTrace(mc.Options{})
 		if err != nil {
@@ -302,6 +305,7 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	defer experiments.SetParallelism(0)
 	for _, workers := range []int{1, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			experiments.SetParallelism(workers)
 			for i := 0; i < b.N; i++ {
 				cell, err := experiments.SOSTimingCampaign(
@@ -319,18 +323,22 @@ func BenchmarkCampaignParallel(b *testing.B) {
 }
 
 // BenchmarkModelScaling measures exhaustive verification cost against
-// cluster size (2-5 nodes; 6 nodes verifies in ~5 min / 13.2M states and
-// is left out of the routine run).
+// cluster size (2-5 nodes routinely; the 6-node run — 13.2M states,
+// minutes of wall clock — only without -short).
 func BenchmarkModelScaling(b *testing.B) {
-	for _, n := range []int{2, 3, 4, 5} {
+	for _, n := range []int{2, 3, 4, 5, 6} {
 		n := n
 		b.Run(string(rune('0'+n))+"nodes", func(b *testing.B) {
+			if n >= 6 && testing.Short() {
+				b.Skip("6-node state space (13.2M states) skipped with -short")
+			}
+			b.ReportAllocs()
 			m, err := model.New(model.Config{Authority: guardian.AuthoritySmallShift, Nodes: n})
 			if err != nil {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
-				res, err := mc.CheckTransitionInvariant(m, m.Property(), mc.Options{})
+				res, err := mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(), mc.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -348,12 +356,13 @@ func BenchmarkModelScaling(b *testing.B) {
 // BenchmarkModelCheckerThroughput measures raw checker speed on the
 // small-shifting model (the E1 "holds" rows).
 func BenchmarkModelCheckerThroughput(b *testing.B) {
+	b.ReportAllocs()
 	m, err := model.New(model.Config{Authority: guardian.AuthoritySmallShift})
 	if err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := mc.CheckTransitionInvariant(m, m.Property(), mc.Options{})
+		res, err := mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(), mc.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,181 @@
+// benchjson converts `go test -bench` text output into a stable JSON
+// document, and optionally enforces shape assertions on it — which
+// benchmarks must be present and which metrics each must carry — so CI
+// can fail when a benchmark silently disappears or stops reporting
+// allocations.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson -o BENCH.json \
+//	    -require 'ModelCheckerThroughput' -require 'E1VerificationMatrix' \
+//	    -require-metrics 'ns/op,B/op,allocs/op'
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name string `json:"name"`
+	// Runs is b.N — the iteration count the reported per-op values were
+	// averaged over.
+	Runs int `json:"runs"`
+	// Metrics maps unit → per-op value, e.g. "ns/op", "B/op",
+	// "allocs/op" and any b.ReportMetric custom units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Packages   []string    `json:"packages,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "", "write JSON to this file instead of stdout")
+	var require multiFlag
+	fs.Var(&require, "require", "regexp a benchmark name must match (repeatable); fail if none does")
+	requireMetrics := fs.String("require-metrics", "", "comma-separated metric units every benchmark must report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep, err := parse(stdin)
+	if err != nil {
+		return err
+	}
+	if err := assertShape(rep, require, *requireMetrics); err != nil {
+		return err
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, enc, 0o644)
+	}
+	_, err = stdout.Write(enc)
+	return err
+}
+
+// benchLine matches `BenchmarkName-8   	 5	 94464568 ns/op	...`.
+// The GOMAXPROCS suffix is kept as part of the name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), " \t")
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Packages = append(rep.Packages, strings.TrimPrefix(line, "pkg: "))
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			b, err := parseBench(m)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", line, err)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func parseBench(m []string) (Benchmark, error) {
+	runs, err := strconv.Atoi(m[2])
+	if err != nil {
+		return Benchmark{}, err
+	}
+	b := Benchmark{Name: m[1], Runs: runs, Metrics: map[string]float64{}}
+	fields := strings.Fields(m[3])
+	if len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("odd value/unit field count %d", len(fields))
+	}
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("metric value %q: %w", fields[i], err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}
+
+func assertShape(rep *Report, require []string, requireMetrics string) error {
+	if len(rep.Benchmarks) == 0 {
+		return errors.New("no benchmark lines found in input")
+	}
+	for _, pat := range require {
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return fmt.Errorf("-require %q: %w", pat, err)
+		}
+		found := false
+		for _, b := range rep.Benchmarks {
+			if re.MatchString(b.Name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("shape assertion failed: no benchmark matches %q", pat)
+		}
+	}
+	if requireMetrics != "" {
+		for _, unit := range strings.Split(requireMetrics, ",") {
+			unit = strings.TrimSpace(unit)
+			for _, b := range rep.Benchmarks {
+				if _, ok := b.Metrics[unit]; !ok {
+					return fmt.Errorf("shape assertion failed: %s missing metric %q (run with -benchmem?)", b.Name, unit)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ttastar
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkModelCheckerThroughput-8   	      12	  94464568 ns/op	     243879 states/s	10175144 B/op	    1246 allocs/op
+BenchmarkE1VerificationMatrix/workers-1-8         	       3	 355273626 ns/op	36792056 B/op	    4873 allocs/op
+PASS
+ok  	ttastar	5.123s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", rep.Goos, rep.Goarch)
+	}
+	if len(rep.Packages) != 1 || rep.Packages[0] != "ttastar" {
+		t.Errorf("packages = %v", rep.Packages)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkModelCheckerThroughput-8" || b.Runs != 12 {
+		t.Errorf("benchmark 0 = %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 94464568, "B/op": 10175144, "allocs/op": 1246, "states/s": 243879,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("metric %s = %v, want %v", unit, got, want)
+		}
+	}
+	if got := rep.Benchmarks[1].Name; got != "BenchmarkE1VerificationMatrix/workers-1-8" {
+		t.Errorf("benchmark 1 name = %q", got)
+	}
+}
+
+func TestShapeAssertions(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := assertShape(rep, []string{"Throughput", "E1"}, "ns/op,B/op,allocs/op"); err != nil {
+		t.Errorf("expected shape to pass: %v", err)
+	}
+	if err := assertShape(rep, []string{"NoSuchBenchmark"}, ""); err == nil {
+		t.Error("missing benchmark not caught")
+	}
+	if err := assertShape(rep, nil, "wallclocks/op"); err == nil {
+		t.Error("missing metric not caught")
+	}
+	if err := assertShape(&Report{}, nil, ""); err == nil {
+		t.Error("empty input not caught")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-require", "Throughput", "-require-metrics", "ns/op"},
+		strings.NewReader(sample), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{`"name": "BenchmarkModelCheckerThroughput-8"`, `"ns/op": 94464568`, `"goos": "linux"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %s\n%s", want, s)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"ttastar/internal/analysis"
 	"ttastar/internal/experiments"
+	"ttastar/internal/prof"
 )
 
 func main() {
@@ -39,9 +40,21 @@ func run(args []string) error {
 	step := fs.Int("step", 8, "sweep step [bits]")
 	csv := fs.Bool("csv", false, "emit the Figure 3 series as CSV instead of a plot")
 	simulate := fs.Bool("simulate", false, "validate eq. (1) against the timed simulator (E8)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	traceFile := fs.String("traceprofile", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *traceFile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "ttabuf:", perr)
+		}
+	}()
 	if !*examples && !*figure3 && !*simulate {
 		*examples, *figure3 = true, true
 	}

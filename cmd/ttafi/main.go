@@ -41,6 +41,7 @@ import (
 	"ttastar/internal/cluster"
 	"ttastar/internal/experiments"
 	"ttastar/internal/guardian"
+	"ttastar/internal/prof"
 )
 
 func main() {
@@ -78,9 +79,21 @@ func run(args []string) error {
 	checkpoint := fs.String("checkpoint", "", "record completed run verdicts here so a cut campaign can be resumed")
 	resume := fs.Bool("resume", false, "replay verdicts recorded in the -checkpoint file instead of re-simulating them")
 	retries := fs.Int("retries", experiments.DefaultMaxRetries, "retries for a panicking run before it is recorded as failed")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	traceFile := fs.String("traceprofile", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *traceFile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "ttafi:", perr)
+		}
+	}()
 	// Reject a bad experiment name before any simulation work runs.
 	if !validExperiment(*experiment) {
 		return fmt.Errorf("unknown experiment %q", *experiment)

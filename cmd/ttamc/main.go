@@ -25,6 +25,10 @@
 // checkpoint and produces byte-identical results to an uninterrupted run.
 // -fallback-walks degrades an exhausted -max-states budget into seeded
 // random-walk sampling with an explicit INCONCLUSIVE verdict.
+//
+// Performance is observable: -stats prints per-search throughput and
+// allocation figures, and -cpuprofile/-memprofile/-traceprofile write
+// standard pprof / execution-trace files (see README "Profiling").
 package main
 
 import (
@@ -36,11 +40,13 @@ import (
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"ttastar/internal/experiments"
 	"ttastar/internal/guardian"
 	"ttastar/internal/mc"
 	"ttastar/internal/model"
+	"ttastar/internal/prof"
 	"ttastar/internal/trace"
 )
 
@@ -74,9 +80,23 @@ func run(args []string) error {
 	interruptAfter := fs.Int("interrupt-after", 0, "cancel the search after N completed levels (testing aid; 0 = never)")
 	fallbackWalks := fs.Int("fallback-walks", 0, "on -max-states exhaustion, fall back to this many seeded random walks instead of failing (0 = off)")
 	fallbackDepth := fs.Int("fallback-depth", 0, "step bound per fallback walk (0 = 1024)")
+	statsFlag := fs.Bool("stats", false, "print per-search throughput/allocation stats to stderr")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	traceFile := fs.String("traceprofile", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *traceFile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "ttamc:", perr)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -103,6 +123,14 @@ func run(args []string) error {
 			return errors.New("-resume needs -checkpoint")
 		}
 		opts.ResumePath = *checkpoint
+	}
+	if *statsFlag {
+		opts.Stats = func(st mc.Stats) {
+			fmt.Fprintf(os.Stderr,
+				"ttamc: %d states in %v (%.0f states/s), %d levels, peak frontier %d, %d allocs (%d bytes)\n",
+				st.States, st.Duration.Round(time.Millisecond), st.StatesPerSec,
+				st.Levels, st.PeakFrontier, st.Allocs, st.AllocBytes)
+		}
 	}
 	levels := 0
 	opts.Progress = func(p mc.Progress) {
@@ -163,7 +191,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := mc.CheckTransitionInvariant(m, m.Property(), opts)
+	res, err := mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(), opts)
 	fmt.Printf("property (§5.1) for %v couplers, %d nodes: %v\n", a, *nodes, res)
 	if err != nil {
 		return err

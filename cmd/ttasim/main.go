@@ -37,6 +37,7 @@ import (
 	"ttastar/internal/frame"
 	"ttastar/internal/guardian"
 	"ttastar/internal/medl"
+	"ttastar/internal/prof"
 	"ttastar/internal/sim"
 	"ttastar/internal/stats"
 )
@@ -69,12 +70,24 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 0, "cancel a -runs sweep after this long (0 = none); a partial aggregate is printed")
 	checkpoint := fs.String("checkpoint", "", "record completed replica verdicts here so a cut sweep can be resumed")
 	resume := fs.Bool("resume", false, "replay verdicts recorded in the -checkpoint file instead of re-simulating them")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	traceFile := fs.String("traceprofile", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *resume && *checkpoint == "" {
 		return errors.New("-resume needs -checkpoint")
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *traceFile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "ttasim:", perr)
+		}
+	}()
 
 	var top cluster.Topology
 	switch *topology {

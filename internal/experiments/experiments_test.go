@@ -269,3 +269,57 @@ func TestE11BadCState(t *testing.T) {
 		t.Error("semantic analysis blocked nothing")
 	}
 }
+
+// TestE1toE3PublishedValues pins the published E1–E3 artifacts exactly —
+// verdicts, state/transition counts and counterexample lengths — for
+// worker counts 1, 2 and 8. Any change to successor generation, dedup
+// order, or the visited set that shifts these numbers is a regression,
+// not a refactor.
+func TestE1toE3PublishedValues(t *testing.T) {
+	var refTable string
+	for _, w := range []int{1, 2, 8} {
+		opts := mc.Options{Workers: w}
+
+		rows, err := VerificationMatrix(opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for _, r := range rows[:3] {
+			if !r.Result.Holds || r.Result.StatesExplored != 34920 {
+				t.Errorf("workers=%d %v: holds=%v states=%d, want HOLDS 34920",
+					w, r.Authority, r.Result.Holds, r.Result.StatesExplored)
+			}
+		}
+		full := rows[3].Result
+		if full.Holds || full.StatesExplored != 22994 || len(full.Counterexample) != 13 {
+			t.Errorf("workers=%d full shifting: holds=%v states=%d trace=%d, want FAILS 22994 t13",
+				w, full.Holds, full.StatesExplored, len(full.Counterexample))
+		}
+		table := FormatMatrix(rows)
+		if refTable == "" {
+			refTable = table
+		} else if table != refTable {
+			t.Errorf("workers=%d matrix table differs from serial:\n%s\nvs\n%s", w, table, refTable)
+		}
+
+		e2, err := ColdStartReplayTrace(opts)
+		if err != nil {
+			t.Fatalf("workers=%d E2: %v", w, err)
+		}
+		r2 := e2.Result
+		if r2.StatesExplored != 98401 || r2.TransitionsExplored != 223791 || len(r2.Counterexample) != 18 {
+			t.Errorf("workers=%d E2: states=%d transitions=%d trace=%d, want 98401/223791 t18",
+				w, r2.StatesExplored, r2.TransitionsExplored, len(r2.Counterexample))
+		}
+
+		e3, err := CStateReplayTrace(opts)
+		if err != nil {
+			t.Fatalf("workers=%d E3: %v", w, err)
+		}
+		r3 := e3.Result
+		if r3.StatesExplored != 30458 || r3.TransitionsExplored != 84203 || len(r3.Counterexample) != 19 {
+			t.Errorf("workers=%d E3: states=%d transitions=%d trace=%d, want 30458/84203 t19",
+				w, r3.StatesExplored, r3.TransitionsExplored, len(r3.Counterexample))
+		}
+	}
+}

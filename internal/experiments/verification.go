@@ -55,7 +55,7 @@ func VerificationMatrix(opts mc.Options) ([]MatrixRow, error) {
 		rowOpts := opts
 		rowOpts.CheckpointPath = rowCheckpointPath(opts.CheckpointPath, a)
 		rowOpts.ResumePath = rowCheckpointPath(opts.ResumePath, a)
-		res, err := mc.CheckTransitionInvariant(m, m.Property(), rowOpts)
+		res, err := mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(), rowOpts)
 		rows = append(rows, MatrixRow{Authority: a, Faults: m.AllowedFaults(), Result: res})
 		if err != nil {
 			return rows, fmt.Errorf("experiments: checking %v: %w", a, err)
@@ -110,7 +110,7 @@ func traceFor(cfg model.Config, opts mc.Options) (TraceResult, error) {
 	if err != nil {
 		return TraceResult{}, fmt.Errorf("experiments: %w", err)
 	}
-	res, err := mc.CheckTransitionInvariant(m, m.Property(), opts)
+	res, err := mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(), opts)
 	out := TraceResult{Model: m, Result: res}
 	if err != nil {
 		// A cancelled search still hands back its partial Result so the

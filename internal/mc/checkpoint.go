@@ -60,22 +60,29 @@ type VisitedEntry struct {
 	HasParent bool
 }
 
-// snapshot captures the engine state between levels as a Checkpoint.
-// Entries are sorted by state encoding so checkpoint bytes are canonical.
-func snapshot(v *visitedSet, res Result, frontier []State, depth int32) *Checkpoint {
+// snapshot captures the engine state between levels as a Checkpoint. The
+// engine's packed stateKey values are converted back to opaque States at
+// this boundary — a cold path — so the on-disk format is unchanged from
+// the string-keyed engine. Entries are sorted by state encoding so
+// checkpoint bytes are canonical.
+func snapshot(v *visitedSet, res Result, frontier []stateKey, depth int32) *Checkpoint {
 	cp := &Checkpoint{
 		Depth:       depth,
 		ResultDepth: res.Depth,
 		Transitions: res.TransitionsExplored,
-		Frontier:    frontier,
+		Frontier:    make([]State, len(frontier)),
 		Visited:     make([]VisitedEntry, 0, v.count.Load()),
+	}
+	for i := range frontier {
+		cp.Frontier[i] = v.stateOf(&frontier[i])
 	}
 	for i := range v.shards {
 		sh := &v.shards[i]
 		sh.mu.Lock()
 		for s, n := range sh.m {
+			s, parent := s, n.parent
 			cp.Visited = append(cp.Visited, VisitedEntry{
-				State: s, Parent: n.parent, Key: n.key, Depth: n.depth, HasParent: n.hasParent,
+				State: v.stateOf(&s), Parent: v.stateOf(&parent), Key: n.key, Depth: n.depth, HasParent: n.hasParent,
 			})
 		}
 		sh.mu.Unlock()
@@ -85,24 +92,29 @@ func snapshot(v *visitedSet, res Result, frontier []State, depth int32) *Checkpo
 }
 
 // restore loads a checkpoint into the visited set and returns the saved
-// frontier. The restored states are charged against the current budget.
-func (v *visitedSet) restore(cp *Checkpoint) ([]State, error) {
+// frontier, re-packed into engine keys. The restored states are charged
+// against the current budget.
+func (v *visitedSet) restore(cp *Checkpoint) ([]stateKey, error) {
 	if int64(len(cp.Visited)) > v.max {
 		return nil, fmt.Errorf("mc: checkpoint holds %d states, over the %d-state budget: %w",
 			len(cp.Visited), v.max, ErrStateLimit)
 	}
 	for _, e := range cp.Visited {
-		sh := v.shardOf(e.State)
-		sh.m[e.State] = bfsNode{parent: e.Parent, key: e.Key, depth: e.Depth, hasParent: e.HasParent}
+		k := v.pack([]byte(e.State))
+		sh := v.shardAt(v.hashOf(&k))
+		sh.m[k] = bfsNode{parent: v.pack([]byte(e.Parent)), key: e.Key, depth: e.Depth, hasParent: e.HasParent}
 	}
 	v.count.Store(int64(len(cp.Visited)))
-	for _, s := range cp.Frontier {
-		sh := v.shardOf(s)
-		if _, ok := sh.m[s]; !ok {
+	frontier := make([]stateKey, len(cp.Frontier))
+	for i, s := range cp.Frontier {
+		k := v.pack([]byte(s))
+		sh := v.shardAt(v.hashOf(&k))
+		if _, ok := sh.m[k]; !ok {
 			return nil, fmt.Errorf("%w: frontier state missing from visited set", ErrBadCheckpoint)
 		}
+		frontier[i] = k
 	}
-	return cp.Frontier, nil
+	return frontier, nil
 }
 
 // cpWriter serializes with uvarints and a sticky error.

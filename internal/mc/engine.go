@@ -24,15 +24,27 @@ package mc
 // counterexample ends at the first level containing any violation: the
 // trace is of minimal length, preserving the shortest-trace guarantee
 // that substitutes for SMV's counterexamples (DESIGN.md).
+//
+// The hot path is engineered to be allocation-free at steady state (see
+// DESIGN.md "hot path & memory layout"): states move as packed stateKey
+// values rather than interned strings, every worker owns an Expander plus
+// private accumulators that are reused level over level, the two frontier
+// buffers double-buffer across generations, and the state hash is
+// computed once per successor and passed through claim. Allocation
+// remains only where structures genuinely grow — map rehashes and
+// first-time buffer growth — and on cold paths (violations, checkpoints,
+// traces).
 
 import (
 	"context"
 	"errors"
 	"fmt"
 	"os"
-	"sort"
+	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ttastar/internal/sim"
 )
@@ -57,44 +69,42 @@ func claimKey(slot, succ int) uint64 {
 
 // bfsNode is the per-state record in the visited set.
 type bfsNode struct {
-	parent State
+	parent stateKey
 	// key is the winning (lowest) claim key within the node's level; it
 	// orders the next frontier and resolves violation ties.
 	key uint64
 	// depth is the BFS level the state was first claimed at.
 	depth int32
 	// hasParent distinguishes root states from children explicitly: a
-	// parent encoding that happens to be the empty string must not
-	// terminate trace reconstruction.
+	// parent encoding that happens to be empty must not terminate trace
+	// reconstruction.
 	hasParent bool
 }
 
 type shard struct {
 	mu sync.Mutex
-	m  map[State]bfsNode
+	m  map[stateKey]bfsNode
 }
 
-// visitedSet is the sharded, budget-bounded visited map.
+// visitedSet is the sharded, budget-bounded visited map, keyed on packed
+// stateKey values so probes and inserts never allocate per state.
 type visitedSet struct {
-	shards [numShards]shard
-	count  atomic.Int64 // states admitted; never exceeds max
-	max    int64
+	shards   [numShards]shard
+	count    atomic.Int64 // states admitted; never exceeds max
+	max      int64
+	overflow internTable // encodings too long for a stateKey's inline array
 }
 
 func newVisitedSet(maxStates int) *visitedSet {
 	v := &visitedSet{max: int64(maxStates)}
 	for i := range v.shards {
-		v.shards[i].m = make(map[State]bfsNode)
+		v.shards[i].m = make(map[stateKey]bfsNode)
 	}
 	return v
 }
 
-// shardOf hashes s with FNV-1a and masks the result onto a shard.
-func (v *visitedSet) shardOf(s State) *shard {
-	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h = (h ^ uint32(s[i])) * 16777619
-	}
+// shardAt maps a precomputed state hash onto its shard.
+func (v *visitedSet) shardAt(h uint32) *shard {
 	return &v.shards[h&(numShards-1)]
 }
 
@@ -105,26 +115,28 @@ const (
 	claimFull        // state budget exhausted; state NOT admitted
 )
 
-// claim tries to admit s with node n. The budget is checked before
-// insertion, so the set never holds more than max states. A duplicate
-// claim from the same level with a lower key takes over the parent
-// pointer (min-key reduction); duplicates from earlier levels are
+// claim tries to admit k with node n. h is k's FNV-1a hash, computed once
+// by the caller (the generating worker) and reused here for shard
+// selection, instead of re-hashing under contention. The budget is
+// checked before insertion, so the set never holds more than max states.
+// A duplicate claim from the same level with a lower key takes over the
+// parent pointer (min-key reduction); duplicates from earlier levels are
 // untouched.
-func (v *visitedSet) claim(s State, n bfsNode) int {
-	sh := v.shardOf(s)
+func (v *visitedSet) claim(k stateKey, h uint32, n bfsNode) int {
+	sh := v.shardAt(h)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	old, ok := sh.m[s]
+	old, ok := sh.m[k]
 	if !ok {
 		if v.count.Add(1) > v.max {
 			v.count.Add(-1)
 			return claimFull
 		}
-		sh.m[s] = n
+		sh.m[k] = n
 		return claimNew
 	}
 	if old.depth == n.depth && n.key < old.key {
-		sh.m[s] = n
+		sh.m[k] = n
 	}
 	return claimDup
 }
@@ -132,30 +144,97 @@ func (v *visitedSet) claim(s State, n bfsNode) int {
 // get returns the node for a visited state. It is only called between
 // levels or after the search, when no claims are in flight, but locks
 // anyway so the engine stays race-clean under partial failures.
-func (v *visitedSet) get(s State) bfsNode {
-	sh := v.shardOf(s)
+func (v *visitedSet) get(k stateKey) bfsNode {
+	sh := v.shardAt(v.hashOf(&k))
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.m[s]
+	return sh.m[k]
 }
 
 // violation is a candidate invariant failure found within a level.
 type violation struct {
 	key     uint64
-	from    State // frontier state (transition violations only)
-	to      State // violating successor / violating state
-	isState bool  // state-invariant (vs transition-invariant) violation
+	from    stateKey // frontier state (transition violations only)
+	to      stateKey // violating successor / violating state
+	isState bool     // state-invariant (vs transition-invariant) violation
 }
 
-// levelAcc is one worker's private accumulator for a level.
+// levelAcc is one worker's private accumulator for a level, reused across
+// levels: the slices are truncated, never reallocated, once they reach
+// their high-water capacity.
 type levelAcc struct {
-	claimed []State    // states this worker admitted first
+	claimed []stateKey // states this worker admitted first
 	trBest  *violation // lowest-keyed transition violation seen
-	stViol  []State    // newly admitted states that fail the state invariant
+	stViol  []stateKey // newly admitted states that fail the state invariant
 	full    bool       // the worker hit the state budget
 }
 
-// levelOut is a fully expanded level, before reduction.
+// levelScratch is the per-search reusable exploration state: worker
+// accumulators, per-worker expanders, the double-buffered frontier and
+// the sort scratch. It is what makes the steady-state loop allocation-
+// free — every level borrows these buffers instead of allocating its own.
+type levelScratch struct {
+	accs   []levelAcc
+	counts []int
+	exps   []Expander
+	spare  []stateKey // the frontier buffer not currently being expanded
+	keyed  []keyedState
+}
+
+type keyedState struct {
+	key uint64
+	s   stateKey
+}
+
+// expanderFor returns the model's allocation-free expander when it offers
+// one, else an adapter over Model.Successors.
+func expanderFor(m Model) Expander {
+	if em, ok := m.(ExpanderModel); ok {
+		return em.NewExpander()
+	}
+	return &sliceExpander{m: m}
+}
+
+// sliceExpander adapts a plain Model to the Expander interface. The
+// returned slices reuse a flat buffer, so the adapter itself adds no
+// per-successor allocation beyond what Model.Successors already does.
+type sliceExpander struct {
+	m    Model
+	buf  []byte
+	offs []int
+	out  [][]byte
+}
+
+func (e *sliceExpander) Successors(enc []byte) [][]byte {
+	succs := e.m.Successors(State(enc))
+	e.buf = e.buf[:0]
+	e.offs = e.offs[:0]
+	e.out = e.out[:0]
+	for _, s := range succs {
+		e.buf = append(e.buf, s...)
+		e.offs = append(e.offs, len(e.buf))
+	}
+	start := 0
+	for _, end := range e.offs {
+		e.out = append(e.out, e.buf[start:end:end])
+		start = end
+	}
+	return e.out
+}
+
+func newLevelScratch(m Model, workers int) *levelScratch {
+	sc := &levelScratch{
+		accs: make([]levelAcc, workers),
+		exps: make([]Expander, workers),
+	}
+	for i := range sc.exps {
+		sc.exps[i] = expanderFor(m)
+	}
+	return sc
+}
+
+// levelOut is a fully expanded level, before reduction. Its slices alias
+// the search's levelScratch and are valid until the next runLevel call.
 type levelOut struct {
 	counts  []int // successor count per frontier slot
 	accs    []levelAcc
@@ -166,36 +245,51 @@ type levelOut struct {
 // worker pool. The whole level is always completed — even after a
 // violation or budget hit — because deterministic reduction needs every
 // claim key of the level.
-func runLevel(m Model, v *visitedSet, frontier []State, depth int32,
-	stInv StateInvariant, trInv TransitionInvariant, workers int) levelOut {
+func runLevel(sc *levelScratch, v *visitedSet, frontier []stateKey, depth int32,
+	stInv StateInvariantBytes, trInv TransitionInvariantBytes, workers int) levelOut {
 	n := len(frontier)
 	if workers > n {
 		workers = n
 	}
-	out := levelOut{counts: make([]int, n), accs: make([]levelAcc, workers)}
+	if cap(sc.counts) < n {
+		sc.counts = make([]int, n)
+	}
+	out := levelOut{counts: sc.counts[:n], accs: sc.accs[:workers]}
+	for i := range out.accs {
+		acc := &out.accs[i]
+		acc.claimed = acc.claimed[:0]
+		acc.stViol = acc.stViol[:0]
+		acc.trBest = nil
+		acc.full = false
+	}
 	var nextSlot atomic.Int64
-	work := func(acc *levelAcc) {
+	work := func(w int) {
+		acc := &out.accs[w]
+		exp := sc.exps[w]
 		for {
 			i := int(nextSlot.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			s := frontier[i]
-			succs := m.Successors(s)
+			s := &frontier[i]
+			sb := v.bytesOf(s)
+			succs := exp.Successors(sb)
 			out.counts[i] = len(succs)
 			for j, succ := range succs {
 				key := claimKey(i, j)
-				if trInv != nil && !trInv(s, succ) {
+				if trInv != nil && !trInv(sb, succ) {
 					if acc.trBest == nil || key < acc.trBest.key {
-						acc.trBest = &violation{key: key, from: s, to: succ}
+						acc.trBest = &violation{key: key, from: *s, to: v.pack(succ)}
 					}
 					continue
 				}
-				switch v.claim(succ, bfsNode{parent: s, key: key, depth: depth + 1, hasParent: true}) {
+				h := hashBytes(succ)
+				pk := v.pack(succ)
+				switch v.claim(pk, h, bfsNode{parent: *s, key: key, depth: depth + 1, hasParent: true}) {
 				case claimNew:
-					acc.claimed = append(acc.claimed, succ)
+					acc.claimed = append(acc.claimed, pk)
 					if stInv != nil && !stInv(succ) {
-						acc.stViol = append(acc.stViol, succ)
+						acc.stViol = append(acc.stViol, pk)
 					}
 				case claimFull:
 					acc.full = true
@@ -204,15 +298,15 @@ func runLevel(m Model, v *visitedSet, frontier []State, depth int32,
 		}
 	}
 	if workers <= 1 {
-		work(&out.accs[0])
+		work(0)
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(acc *levelAcc) {
+			go func(w int) {
 				defer wg.Done()
-				work(acc)
-			}(&out.accs[w])
+				work(w)
+			}(w)
 		}
 		wg.Wait()
 	}
@@ -271,35 +365,85 @@ func statesThrough(v *visitedSet, out levelOut, limit uint64) int {
 }
 
 // nextFrontier orders the level's admitted states by their final claim
-// keys — exactly the order a serial sweep would have appended them in.
-func nextFrontier(v *visitedSet, out levelOut) []State {
+// keys — exactly the order a serial sweep would have appended them in —
+// into dst, which is reused level over level.
+func nextFrontier(v *visitedSet, sc *levelScratch, out levelOut, dst []stateKey) []stateKey {
+	dst = dst[:0]
 	if len(out.accs) == 1 {
 		// A single worker claims in ascending key order, so no claim is
 		// ever re-keyed and its list is already the sorted frontier.
-		return out.accs[0].claimed
+		return append(dst, out.accs[0].claimed...)
 	}
-	type keyed struct {
-		key uint64
-		s   State
-	}
-	all := make([]keyed, 0, out.claimed)
+	keyed := sc.keyed[:0]
 	for i := range out.accs {
 		for _, s := range out.accs[i].claimed {
-			all = append(all, keyed{key: v.get(s).key, s: s})
+			keyed = append(keyed, keyedState{key: v.get(s).key, s: s})
 		}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
-	frontier := make([]State, len(all))
-	for i, k := range all {
-		frontier[i] = k.s
+	slices.SortFunc(keyed, func(a, b keyedState) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		default:
+			return 0
+		}
+	})
+	for i := range keyed {
+		dst = append(dst, keyed[i].s)
 	}
-	return frontier
+	sc.keyed = keyed
+	return dst
 }
 
-// check is the engine entry point shared by CheckInvariant and
-// CheckTransitionInvariant.
-func check(m Model, stInv StateInvariant, trInv TransitionInvariant, opts Options) (Result, error) {
+// searchMetrics collects the observability counters surfaced through
+// Options.Stats.
+type searchMetrics struct {
+	levels       int
+	peakFrontier int
+}
+
+func (sm *searchMetrics) frontier(n int) {
+	if sm != nil && n > sm.peakFrontier {
+		sm.peakFrontier = n
+	}
+}
+
+// check is the engine entry point shared by the four Check* functions.
+// It wraps the search with the Options.Stats bookkeeping so the inner
+// loop pays nothing when stats are off.
+func check(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBytes, opts Options) (Result, error) {
 	opts = opts.withDefaults()
+	if opts.Stats == nil {
+		return checkSearch(m, stInv, trInv, opts, nil)
+	}
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	met := &searchMetrics{}
+	res, err := checkSearch(m, stInv, trInv, opts, met)
+	d := time.Since(start)
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	st := Stats{
+		States:       res.StatesExplored,
+		Transitions:  res.TransitionsExplored,
+		Levels:       met.levels,
+		PeakFrontier: met.peakFrontier,
+		Duration:     d,
+		Allocs:       ms1.Mallocs - ms0.Mallocs,
+		AllocBytes:   ms1.TotalAlloc - ms0.TotalAlloc,
+	}
+	if s := d.Seconds(); s > 0 {
+		st.StatesPerSec = float64(res.StatesExplored) / s
+	}
+	opts.Stats(st)
+	return res, err
+}
+
+func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBytes,
+	opts Options, met *searchMetrics) (Result, error) {
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
@@ -312,7 +456,8 @@ func check(m Model, stInv StateInvariant, trInv TransitionInvariant, opts Option
 		return res, err
 	}
 
-	var frontier []State
+	sc := newLevelScratch(m, opts.Workers)
+	var frontier []stateKey
 	startDepth := int32(0)
 	if resume != nil {
 		frontier, err = v.restore(resume)
@@ -327,21 +472,23 @@ func check(m Model, stInv StateInvariant, trInv TransitionInvariant, opts Option
 		// keys are their indices — counting them against the state budget
 		// and checking the state invariant before any expansion.
 		for i, s := range m.Initial() {
-			switch v.claim(s, bfsNode{key: uint64(i)}) {
+			pk := v.pack([]byte(s))
+			switch v.claim(pk, v.hashOf(&pk), bfsNode{key: uint64(i)}) {
 			case claimFull:
 				return exhausted(m, v, res, stInv, trInv, opts)
 			case claimDup:
 				continue
 			}
-			if stInv != nil && !stInv(s) {
+			if stInv != nil && !stInv([]byte(s)) {
 				res.Holds = false
 				res.Counterexample = []State{s}
 				res.StatesExplored = int(v.count.Load())
 				return conclusive(res, opts)
 			}
-			frontier = append(frontier, s)
+			frontier = append(frontier, pk)
 		}
 	}
+	met.frontier(len(frontier))
 
 	levelsSinceCheckpoint := 0
 	for depth := startDepth; len(frontier) > 0; depth++ {
@@ -352,7 +499,10 @@ func check(m Model, stInv StateInvariant, trInv TransitionInvariant, opts Option
 			res.DepthBounded = true
 			break
 		}
-		lvl := runLevel(m, v, frontier, depth, stInv, trInv, opts.Workers)
+		lvl := runLevel(sc, v, frontier, depth, stInv, trInv, opts.Workers)
+		if met != nil {
+			met.levels++
+		}
 
 		if viol := reduceViolation(v, lvl); viol != nil {
 			res.Holds = false
@@ -367,7 +517,7 @@ func check(m Model, stInv StateInvariant, trInv TransitionInvariant, opts Option
 			if viol.isState {
 				res.Counterexample = tracePath(v, viol.to)
 			} else {
-				res.Counterexample = append(tracePath(v, viol.from), viol.to)
+				res.Counterexample = append(tracePath(v, viol.from), v.stateOf(&viol.to))
 			}
 			return conclusive(res, opts)
 		}
@@ -383,7 +533,12 @@ func check(m Model, stInv StateInvariant, trInv TransitionInvariant, opts Option
 			return exhausted(m, v, res, stInv, trInv, opts)
 		}
 
-		frontier = nextFrontier(v, lvl)
+		// Double-buffer the frontier: build the next generation into the
+		// spare buffer, then recycle the one just expanded.
+		next := nextFrontier(v, sc, lvl, sc.spare)
+		sc.spare = frontier[:0]
+		frontier = next
+		met.frontier(len(frontier))
 		if len(frontier) > 0 {
 			res.Depth = int(depth) + 1
 		}
@@ -438,7 +593,7 @@ func conclusive(res Result, opts Options) (Result, error) {
 // interrupted finalizes a cancelled search: the partial Result keeps
 // everything explored so far, a checkpoint is flushed if requested, and
 // the context's cause is surfaced as ErrDeadline or ErrInterrupted.
-func interrupted(v *visitedSet, res Result, frontier []State, depth int32,
+func interrupted(v *visitedSet, res Result, frontier []stateKey, depth int32,
 	cause error, opts Options) (Result, error) {
 	res.Interrupted = true
 	res.StatesExplored = int(v.count.Load())
@@ -463,8 +618,8 @@ const fallbackSeedDomain = 0x5d
 // random-walk sampling beyond the explored region, yielding either a
 // genuine (non-minimal) counterexample or an explicit Inconclusive verdict
 // with coverage stats.
-func exhausted(m Model, v *visitedSet, res Result, stInv StateInvariant,
-	trInv TransitionInvariant, opts Options) (Result, error) {
+func exhausted(m Model, v *visitedSet, res Result, stInv StateInvariantBytes,
+	trInv TransitionInvariantBytes, opts Options) (Result, error) {
 	res.StatesExplored = int(v.count.Load())
 	if opts.FallbackWalks <= 0 {
 		return res, fmt.Errorf("%d states: %w", res.StatesExplored, ErrStateLimit)
@@ -473,9 +628,11 @@ func exhausted(m Model, v *visitedSet, res Result, stInv StateInvariant,
 	w := RandomWalker{NextChoice: rng.Intn}
 	var trace []State
 	if trInv != nil {
-		trace = w.Walk(m, trInv, opts.FallbackWalks, opts.FallbackDepth)
+		trace = w.Walk(m, func(from, to State) bool { return trInv([]byte(from), []byte(to)) },
+			opts.FallbackWalks, opts.FallbackDepth)
 	} else {
-		trace = w.WalkState(m, stInv, opts.FallbackWalks, opts.FallbackDepth)
+		trace = w.WalkState(m, func(s State) bool { return stInv([]byte(s)) },
+			opts.FallbackWalks, opts.FallbackDepth)
 	}
 	res.SampledWalks = opts.FallbackWalks
 	res.SampledDepth = opts.FallbackDepth
@@ -489,23 +646,23 @@ func exhausted(m Model, v *visitedSet, res Result, stInv StateInvariant,
 	return conclusive(res, opts)
 }
 
-// tracePath reconstructs the BFS path from an initial state to s inclusive
+// tracePath reconstructs the BFS path from an initial state to k inclusive
 // by following parent pointers until a root (hasParent == false) — never
 // by inspecting the encoding, so models whose states encode to "" are
 // reconstructed correctly.
-func tracePath(v *visitedSet, s State) []State {
-	var rev []State
+func tracePath(v *visitedSet, k stateKey) []State {
+	var rev []stateKey
 	for {
-		rev = append(rev, s)
-		n := v.get(s)
+		rev = append(rev, k)
+		n := v.get(k)
 		if !n.hasParent {
 			break
 		}
-		s = n.parent
+		k = n.parent
 	}
 	out := make([]State, len(rev))
-	for i, st := range rev {
-		out[len(rev)-1-i] = st
+	for i := range rev {
+		out[len(rev)-1-i] = v.stateOf(&rev[i])
 	}
 	return out
 }

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 )
 
 // State is an opaque, canonical encoding of one model state. Equal states
@@ -35,12 +36,43 @@ type Model interface {
 	Successors(s State) []State
 }
 
+// Expander is a per-worker successor generator with reusable scratch:
+// Successors returns the packed encodings of enc's successors. The
+// returned slice and the byte slices it holds are owned by the Expander
+// and are valid only until the next call — callers must copy what they
+// keep. Implementations need not be safe for concurrent use; the engine
+// gives every exploration worker its own Expander.
+type Expander interface {
+	Successors(enc []byte) [][]byte
+}
+
+// ExpanderModel is an optional Model extension for models whose successor
+// generation runs allocation-free against per-worker scratch. When a
+// Model implements it, the engine expands frontiers through NewExpander
+// instances instead of Successors; results are identical, only
+// allocation behaviour changes.
+type ExpanderModel interface {
+	Model
+	NewExpander() Expander
+}
+
 // TransitionInvariant is a predicate over a transition; the checker
 // searches for a reachable transition where it is false.
 type TransitionInvariant func(from, to State) bool
 
 // StateInvariant is a predicate over single states.
 type StateInvariant func(s State) bool
+
+// TransitionInvariantBytes is a TransitionInvariant over raw encodings.
+// The engine evaluates it once per generated transition without
+// materializing State strings, so implementations that probe the packed
+// encoding directly keep the hot path allocation-free. The slices are
+// scratch — valid only for the duration of the call.
+type TransitionInvariantBytes func(from, to []byte) bool
+
+// StateInvariantBytes is a StateInvariant over raw encodings; the same
+// scratch rules as TransitionInvariantBytes apply.
+type StateInvariantBytes func(enc []byte) bool
 
 // Progress is a per-level observability snapshot handed to
 // Options.Progress after each completed BFS generation.
@@ -111,6 +143,31 @@ type Options struct {
 	FallbackDepth int
 	// FallbackSeed seeds the fallback walker's RNG stream.
 	FallbackSeed uint64
+	// Stats, when non-nil, receives a summary of the completed search —
+	// throughput, allocation churn, peak frontier — from the coordinating
+	// goroutine, after the Result is final. It is observability only:
+	// enabling it never changes the Result.
+	Stats func(Stats)
+}
+
+// Stats is the per-search observability summary handed to Options.Stats.
+type Stats struct {
+	// States and Transitions mirror the Result counters.
+	States      int
+	Transitions int
+	// Levels is the number of completed BFS generations.
+	Levels int
+	// PeakFrontier is the largest frontier produced by any level.
+	PeakFrontier int
+	// Duration is the wall-clock search time.
+	Duration time.Duration
+	// StatesPerSec is States/Duration.
+	StatesPerSec float64
+	// Allocs and AllocBytes are the process-wide heap allocation deltas
+	// (runtime.MemStats Mallocs/TotalAlloc) across the search — a
+	// whole-process measure, exact only when nothing else runs.
+	Allocs     uint64
+	AllocBytes uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -191,13 +248,44 @@ func (r Result) String() string {
 // search is breadth-first, a returned counterexample is of minimal length,
 // like SMV's shortest error traces.
 func CheckTransitionInvariant(m Model, inv TransitionInvariant, opts Options) (Result, error) {
-	return check(m, nil, inv, opts)
+	return check(m, nil, wrapTransitionInvariant(inv), opts)
 }
 
 // CheckInvariant explores the reachable state space and reports whether inv
 // holds in every reachable state.
 func CheckInvariant(m Model, inv StateInvariant, opts Options) (Result, error) {
+	return check(m, wrapStateInvariant(inv), nil, opts)
+}
+
+// CheckTransitionInvariantBytes is CheckTransitionInvariant for an
+// invariant over raw encodings — the allocation-free form of the hot
+// path. Results are identical to the string form for equivalent
+// predicates.
+func CheckTransitionInvariantBytes(m Model, inv TransitionInvariantBytes, opts Options) (Result, error) {
+	return check(m, nil, inv, opts)
+}
+
+// CheckInvariantBytes is CheckInvariant for an invariant over raw
+// encodings.
+func CheckInvariantBytes(m Model, inv StateInvariantBytes, opts Options) (Result, error) {
 	return check(m, inv, nil, opts)
+}
+
+// wrapTransitionInvariant adapts a string-form invariant to the engine's
+// byte-oriented hot path. The State conversions allocate; callers that
+// care use the Bytes entry points directly.
+func wrapTransitionInvariant(inv TransitionInvariant) TransitionInvariantBytes {
+	if inv == nil {
+		return nil
+	}
+	return func(from, to []byte) bool { return inv(State(from), State(to)) }
+}
+
+func wrapStateInvariant(inv StateInvariant) StateInvariantBytes {
+	if inv == nil {
+		return nil
+	}
+	return func(enc []byte) bool { return inv(State(enc)) }
 }
 
 // RandomWalker explores by seeded random simulation — a cheap falsification

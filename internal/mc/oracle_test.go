@@ -1,0 +1,182 @@
+package mc
+
+import (
+	"reflect"
+	"testing"
+)
+
+// oracleResult is what the reference checker reports — the fields the
+// engine guarantees are byte-identical for any worker count.
+type oracleResult struct {
+	Holds               bool
+	StatesExplored      int
+	TransitionsExplored int
+	Depth               int
+	Counterexample      []State
+}
+
+// stringOracleCheck is an independent reference implementation of the
+// engine's contract: a plain serial breadth-first sweep over a
+// string-keyed visited map, examining successors strictly left to right
+// and stopping at the first violation. It shares no code with the packed
+// engine — no stateKey, no shards, no claim keys — so agreement between
+// the two is evidence the packed visited set preserved semantics, not
+// just self-consistency.
+func stringOracleCheck(m Model, trInv TransitionInvariant, stInv StateInvariant) oracleResult {
+	type rec struct {
+		parent    State
+		hasParent bool
+	}
+	visited := map[State]rec{}
+	trace := func(s State) []State {
+		var rev []State
+		for {
+			rev = append(rev, s)
+			r := visited[s]
+			if !r.hasParent {
+				break
+			}
+			s = r.parent
+		}
+		out := make([]State, len(rev))
+		for i := range rev {
+			out[len(rev)-1-i] = rev[i]
+		}
+		return out
+	}
+
+	res := oracleResult{Holds: true}
+	var frontier []State
+	for _, s := range m.Initial() {
+		if _, ok := visited[s]; ok {
+			continue
+		}
+		visited[s] = rec{}
+		if stInv != nil && !stInv(s) {
+			res.Holds = false
+			res.StatesExplored = len(visited)
+			res.Counterexample = []State{s}
+			return res
+		}
+		frontier = append(frontier, s)
+	}
+	for depth := 0; len(frontier) > 0; depth++ {
+		var next []State
+		for _, s := range frontier {
+			for _, t := range m.Successors(s) {
+				res.TransitionsExplored++
+				if trInv != nil && !trInv(s, t) {
+					res.Holds = false
+					res.Depth = depth + 1
+					res.StatesExplored = len(visited)
+					res.Counterexample = append(trace(s), t)
+					return res
+				}
+				if _, ok := visited[t]; ok {
+					continue
+				}
+				visited[t] = rec{parent: s, hasParent: true}
+				if stInv != nil && !stInv(t) {
+					res.Holds = false
+					res.Depth = depth + 1
+					res.StatesExplored = len(visited)
+					res.Counterexample = trace(t)
+					return res
+				}
+				next = append(next, t)
+			}
+		}
+		frontier = next
+		if len(frontier) > 0 {
+			res.Depth = depth + 1
+		}
+	}
+	res.StatesExplored = len(visited)
+	return res
+}
+
+// compareWithOracle runs the engine at workers 1/2/8 and asserts every
+// result matches the string-keyed serial oracle exactly.
+func compareWithOracle(t *testing.T, m Model, trInv TransitionInvariant, stInv StateInvariant) {
+	t.Helper()
+	want := stringOracleCheck(m, trInv, stInv)
+	for _, w := range workerCounts {
+		var res Result
+		var err error
+		if trInv != nil {
+			res, err = CheckTransitionInvariant(m, trInv, Options{Workers: w})
+		} else {
+			res, err = CheckInvariant(m, stInv, Options{Workers: w})
+		}
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		got := oracleResult{
+			Holds:               res.Holds,
+			StatesExplored:      res.StatesExplored,
+			TransitionsExplored: res.TransitionsExplored,
+			Depth:               res.Depth,
+			Counterexample:      res.Counterexample,
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: engine %+v\n  oracle %+v", w, got, want)
+		}
+	}
+}
+
+// TestPackedEngineMatchesStringOracleDiamond pits the packed-key engine
+// against the string-keyed oracle on the diamond lattice — the fixture
+// where same-level parents race for every interior state — for a holding
+// invariant, a transition violation and a state violation.
+func TestPackedEngineMatchesStringOracleDiamond(t *testing.T) {
+	t.Run("holds", func(t *testing.T) {
+		compareWithOracle(t, diamondModel{k: 24},
+			func(from, to State) bool { return true }, nil)
+	})
+	t.Run("transition-violation", func(t *testing.T) {
+		compareWithOracle(t, diamondModel{k: 24},
+			func(from, to State) bool { return to != encodeXY(13, 11) }, nil)
+	})
+	t.Run("state-violation", func(t *testing.T) {
+		compareWithOracle(t, diamondModel{k: 24}, nil,
+			func(s State) bool { return s != encodeXY(7, 15) })
+	})
+}
+
+// overflowModel is a chain whose encodings exceed the stateKey inline
+// capacity, forcing every state through the intern-table overflow path.
+type overflowModel struct{ n int }
+
+func (m overflowModel) pad(i int) State {
+	b := make([]byte, inlineStateBytes+8)
+	for j := range b {
+		b[j] = byte('a' + i%26)
+	}
+	b[0] = byte(i >> 8)
+	b[1] = byte(i)
+	return State(b)
+}
+
+func (m overflowModel) Initial() []State { return []State{m.pad(0)} }
+
+func (m overflowModel) Successors(s State) []State {
+	i := int(s[0])<<8 | int(s[1])
+	if i >= m.n {
+		return nil
+	}
+	return []State{m.pad(i + 1), m.pad(i)} // forward edge plus a self-loop
+}
+
+// TestPackedEngineMatchesStringOracleOverflow exercises the overflow
+// (interned) key representation end to end, including the counterexample
+// path.
+func TestPackedEngineMatchesStringOracleOverflow(t *testing.T) {
+	m := overflowModel{n: 40}
+	bad := m.pad(33)
+	t.Run("holds", func(t *testing.T) {
+		compareWithOracle(t, m, func(from, to State) bool { return true }, nil)
+	})
+	t.Run("transition-violation", func(t *testing.T) {
+		compareWithOracle(t, m, func(from, to State) bool { return to != bad }, nil)
+	})
+}

@@ -1,0 +1,137 @@
+package mc
+
+// The visited set's packed state key. State is an opaque string, but
+// interning every successor as a fresh string allocation was the single
+// biggest cost of the exploration hot path: one heap object per state,
+// plus a second FNV pass per claim. stateKey instead copies the canonical
+// encoding into a fixed-size comparable array — the paper's models pack a
+// 7-node cluster into 20 bytes — so claims, parent pointers and frontier
+// slots move by value, allocation-free, and the visited maps hold no
+// pointers at all (the GC never scans them). Encodings longer than the
+// inline array are interned once in a side table owned by the visited
+// set, and the key stores their table index — still a correct comparable
+// key, just not allocation-free — so arbitrary models keep working.
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// inlineStateBytes is the inline capacity of a stateKey: the packed codec
+// needs 20 bytes for the largest (7-node) model, and test fixtures stay
+// well under it.
+const inlineStateBytes = 20
+
+// overflowLen marks a stateKey whose encoding lives in the intern table;
+// b[:4] then holds the table index.
+const overflowLen = ^uint8(0)
+
+// stateKey is a model state as a comparable, pointer-free, fixed-size
+// value: the visited-set key, parent pointer and frontier element of the
+// engine. Keys are only meaningful relative to the visitedSet that packed
+// them (overflow indices resolve through its intern table).
+type stateKey struct {
+	n uint8
+	b [inlineStateBytes]byte
+}
+
+func (k *stateKey) overflowIdx() uint32 {
+	return binary.LittleEndian.Uint32(k.b[:4])
+}
+
+// internTable deduplicates encodings too long for a stateKey's inline
+// array. It is a cold path: the repo's own models never reach it.
+type internTable struct {
+	mu    sync.Mutex
+	index map[string]uint32
+	strs  []string
+}
+
+func (t *internTable) intern(enc []byte) uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx, ok := t.index[string(enc)]; ok {
+		return idx
+	}
+	if t.index == nil {
+		t.index = make(map[string]uint32)
+	}
+	idx := uint32(len(t.strs))
+	s := string(enc)
+	t.strs = append(t.strs, s)
+	t.index[s] = idx
+	return idx
+}
+
+func (t *internTable) lookup(idx uint32) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.strs[idx]
+}
+
+// pack copies enc into a stateKey. Inline for encodings up to
+// inlineStateBytes (the steady-state path: no allocation); longer
+// encodings intern into v's table, so equal encodings always yield equal
+// keys.
+func (v *visitedSet) pack(enc []byte) stateKey {
+	var k stateKey
+	if len(enc) <= inlineStateBytes {
+		k.n = uint8(len(enc))
+		copy(k.b[:], enc)
+		return k
+	}
+	k.n = overflowLen
+	binary.LittleEndian.PutUint32(k.b[:4], v.overflow.intern(enc))
+	return k
+}
+
+// bytesOf returns the encoding held by k. The inline path aliases k's
+// array — the caller must not retain the slice past k's lifetime; the
+// overflow path allocates a copy.
+func (v *visitedSet) bytesOf(k *stateKey) []byte {
+	if k.n == overflowLen {
+		return []byte(v.overflow.lookup(k.overflowIdx()))
+	}
+	return k.b[:k.n]
+}
+
+// stateOf converts k back to the opaque State form (allocates on the
+// inline path; used only on cold paths: traces, checkpoints, fallback
+// sampling).
+func (v *visitedSet) stateOf(k *stateKey) State {
+	if k.n == overflowLen {
+		return State(v.overflow.lookup(k.overflowIdx()))
+	}
+	return State(k.b[:k.n])
+}
+
+// FNV-1a, the engine's state hash. It is computed once per generated
+// successor and passed through claim for both shard selection and the map
+// probe — the old shardOf recomputed it under the shard lock on every
+// claim.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func hashBytes(b []byte) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(b); i++ {
+		h = (h ^ uint32(b[i])) * fnvPrime32
+	}
+	return h
+}
+
+// hashOf hashes the encoding held by k — identical to hashBytes over
+// bytesOf, without materializing the overflow copy.
+func (v *visitedSet) hashOf(k *stateKey) uint32 {
+	if k.n == overflowLen {
+		s := v.overflow.lookup(k.overflowIdx())
+		h := uint32(fnvOffset32)
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint32(s[i])) * fnvPrime32
+		}
+		return h
+	}
+	return hashBytes(k.b[:k.n])
+}

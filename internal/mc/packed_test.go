@@ -1,0 +1,88 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestPackRoundTrip covers both key representations: inline (≤ 20 bytes)
+// and intern-table overflow.
+func TestPackRoundTrip(t *testing.T) {
+	v := newVisitedSet(100)
+	cases := []string{
+		"", "a", "exactly-twenty-byte!", // 0, 1, inlineStateBytes
+		strings.Repeat("x", inlineStateBytes+1),
+		strings.Repeat("y", 100),
+	}
+	for _, s := range cases {
+		k := v.pack([]byte(s))
+		if got := string(v.bytesOf(&k)); got != s {
+			t.Errorf("bytesOf(pack(%q)) = %q", s, got)
+		}
+		if got := v.stateOf(&k); got != State(s) {
+			t.Errorf("stateOf(pack(%q)) = %q", s, got)
+		}
+		if h := v.hashOf(&k); h != hashBytes([]byte(s)) {
+			t.Errorf("hashOf(pack(%q)) = %#x, want %#x", s, h, hashBytes([]byte(s)))
+		}
+		// Packing the same encoding twice must yield identical keys (the
+		// overflow path must intern, not append blindly).
+		if k2 := v.pack([]byte(s)); k2 != k {
+			t.Errorf("pack(%q) not deterministic: %+v vs %+v", s, k, k2)
+		}
+	}
+	// Distinct overflow encodings must yield distinct keys.
+	a := v.pack([]byte(strings.Repeat("a", 30)))
+	b := v.pack([]byte(strings.Repeat("b", 30)))
+	if a == b {
+		t.Error("distinct overflow encodings packed to equal keys")
+	}
+}
+
+// TestWarmClaimDoesNotAllocate is the visited-set half of the PR's
+// zero-allocation contract: once a state is in the set, re-claiming it
+// (the overwhelmingly common case during exploration — every duplicate
+// successor) performs no heap allocation. The bound is generous (0.5
+// allocs averaged over 100 rounds) so GC bookkeeping noise cannot flake
+// CI.
+func TestWarmClaimDoesNotAllocate(t *testing.T) {
+	v := newVisitedSet(1 << 20)
+	const n = 64
+	keys := make([]stateKey, n)
+	hashes := make([]uint32, n)
+	for i := range keys {
+		enc := []byte(fmt.Sprintf("state-%02d", i))
+		keys[i] = v.pack(enc)
+		hashes[i] = hashBytes(enc)
+		if got := v.claim(keys[i], hashes[i], bfsNode{key: uint64(i), depth: 1}); got != claimNew {
+			t.Fatalf("initial claim %d = %d, want claimNew", i, got)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := range keys {
+			if v.claim(keys[i], hashes[i], bfsNode{key: uint64(i), depth: 1}) != claimDup {
+				t.Fatal("expected duplicate claim")
+			}
+		}
+	})
+	if avg > 0.5 {
+		t.Errorf("warm claim allocates %.2f times per %d-claim round, want 0", avg, n)
+	}
+}
+
+// TestPackInlineDoesNotAllocate: packing and hashing an inline-sized
+// encoding — the per-successor hot path — is allocation-free.
+func TestPackInlineDoesNotAllocate(t *testing.T) {
+	v := newVisitedSet(100)
+	enc := []byte("a-20-byte-state-key!")
+	sink := uint32(0)
+	avg := testing.AllocsPerRun(100, func() {
+		k := v.pack(enc)
+		sink += v.hashOf(&k)
+	})
+	if avg > 0.5 {
+		t.Errorf("inline pack+hash allocates %.2f per run, want 0", avg)
+	}
+	_ = sink
+}

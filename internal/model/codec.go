@@ -89,7 +89,13 @@ func (r *bitReader) get(bits uint) uint64 {
 // encode to equal byte strings, so the result is usable directly as the
 // checker's interned visited-set key.
 func (m *Model) EncodeBinary(s State) mc.State {
-	w := bitWriter{buf: make([]byte, 0, binarySize(m.cfg.Nodes))}
+	return mc.State(m.appendBinary(make([]byte, 0, binarySize(m.cfg.Nodes)), &s))
+}
+
+// appendBinary packs s onto dst — the allocation-free form of
+// EncodeBinary the Expander's hot path packs successors with.
+func (m *Model) appendBinary(dst []byte, s *State) []byte {
+	w := bitWriter{buf: dst}
 	for _, n := range s.Nodes {
 		bb := uint64(0)
 		if n.BigBang {
@@ -108,16 +114,27 @@ func (m *Model) EncodeBinary(s State) mc.State {
 	}
 	w.put(uint64(s.OutOfSlotUsed), bitsOOS)
 	w.flush()
-	return mc.State(w.buf)
+	return w.buf
 }
 
 // DecodeBinary is the inverse of EncodeBinary.
 func (m *Model) DecodeBinary(enc mc.State) State {
+	var s State
+	m.decodeInto([]byte(enc), &s)
+	return s
+}
+
+// decodeInto is the scratch-reusing form of DecodeBinary: it unpacks enc
+// into s, reusing s.Nodes when it has the capacity.
+func (m *Model) decodeInto(enc []byte, s *State) {
 	if len(enc) != binarySize(m.cfg.Nodes) {
 		panic(fmt.Sprintf("model: binary state is %d bytes, want %d", len(enc), binarySize(m.cfg.Nodes)))
 	}
-	r := bitReader{buf: []byte(enc)}
-	s := State{Nodes: make([]NodeState, m.cfg.Nodes)}
+	r := bitReader{buf: enc}
+	if cap(s.Nodes) < m.cfg.Nodes {
+		s.Nodes = make([]NodeState, m.cfg.Nodes)
+	}
+	s.Nodes = s.Nodes[:m.cfg.Nodes]
 	for i := range s.Nodes {
 		s.Nodes[i] = NodeState{
 			Phase:   Phase(r.get(bitsPhase)),
@@ -135,5 +152,17 @@ func (m *Model) DecodeBinary(enc mc.State) State {
 		}
 	}
 	s.OutOfSlotUsed = uint8(r.get(bitsOOS))
-	return s
+}
+
+// phaseBits reads node i's phase field straight out of a packed encoding
+// without decoding the rest of the state. The phase is the leading 4-bit
+// field of each 20-bit node record, so its bit offset modulo 8 is always
+// 0 or 4 — the field never straddles a byte boundary.
+func phaseBits(enc []byte, i int) uint8 {
+	bit := bitsPerNode * i
+	b := enc[bit>>3]
+	if bit&7 == 0 {
+		return b >> 4
+	}
+	return b & 0x0F
 }

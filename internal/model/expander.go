@@ -1,0 +1,238 @@
+package model
+
+// Expander is the allocation-free successor generator behind mc's hot
+// path. Each exploration worker owns one; every piece of working storage
+// a single expansion needs — the decoded state, the per-node choice
+// lists, the successor accumulator, the packed output buffer and the
+// dedup index — lives in the Expander and is reused call over call, so a
+// steady-state Successors call performs no heap allocation at all
+// (asserted by the AllocsPerRun regression tests).
+//
+// Scratch ownership rules (see DESIGN.md "hot path & memory layout"):
+// the returned [][]byte and the encodings it points into belong to the
+// Expander and are valid only until the next Successors or explain call.
+// An Expander is not safe for concurrent use; Model.NewExpander mints an
+// independent one per worker.
+
+import (
+	"bytes"
+
+	"ttastar/internal/mc"
+)
+
+// Expander generates packed successor encodings against reusable
+// per-worker scratch. Zero value is not usable; obtain one from
+// Model.NewExpander.
+type Expander struct {
+	m *Model
+
+	s    State // decoded source state; Nodes reused across calls
+	next State // successor accumulator; Nodes reused across calls
+
+	fas []faultAssignment // fault choices for the current source state
+
+	// Per-node choice lists, stored flat: node i's choices are
+	// choiceBuf[choiceEnd[i-1]:choiceEnd[i]].
+	choiceBuf []NodeState
+	choiceEnd []int
+
+	buf  []byte   // packed successors, appended back to back
+	offs []int    // end offset of each accepted successor in buf
+	idx  []int32  // start offsets into buf, sorted by encoding bytes (dedup)
+	out  [][]byte // the returned slice headers, rebuilt each call
+}
+
+var _ mc.Expander = (*Expander)(nil)
+
+// NewExpander implements mc.ExpanderModel: the engine calls it once per
+// exploration worker.
+func (m *Model) NewExpander() mc.Expander { return m.newExpander() }
+
+func (m *Model) newExpander() *Expander {
+	return &Expander{
+		m:    m,
+		s:    State{Nodes: make([]NodeState, m.cfg.Nodes)},
+		next: State{Nodes: make([]NodeState, m.cfg.Nodes)},
+	}
+}
+
+// Successors returns the packed encodings of enc's successor states,
+// deduplicated in first-occurrence order — exactly the slice the old
+// map-based Model.Successors produced, minus its allocations. The result
+// aliases the Expander's scratch.
+func (e *Expander) Successors(enc []byte) [][]byte {
+	m := e.m
+	m.decodeInto(enc, &e.s)
+	e.buf = e.buf[:0]
+	e.offs = e.offs[:0]
+	e.idx = e.idx[:0]
+
+	nominal, sendersPresent := m.nominalContent(&e.s)
+	e.fas = m.appendFaultAssignments(e.fas[:0], &e.s)
+	for fi := range e.fas {
+		e.prepare(fi, nominal, sendersPresent)
+		e.emitAll(0, 0)
+	}
+
+	e.out = e.out[:0]
+	start := 0
+	for _, end := range e.offs {
+		e.out = append(e.out, e.buf[start:end:end])
+		start = end
+	}
+	return e.out
+}
+
+// prepare computes, for fault assignment fi, the channel contents, the
+// per-node choice lists and the successor's coupler/out-of-slot tail
+// (everything of e.next except Nodes), leaving the scratch ready for
+// enumeration. It returns the channel contents for trace explanation.
+func (e *Expander) prepare(fi int, nominal Content, sendersPresent bool) [NumCouplers]Content {
+	m := e.m
+	fa := &e.fas[fi]
+
+	// Channel contents under this fault choice (§4.4): silence blanks the
+	// channel, a bad frame replaces it, out-of-slot replays the coupler's
+	// buffered frame, and a fault-free coupler relays the nominal frame.
+	var ch [NumCouplers]Content
+	oosThisStep := uint8(0)
+	for c := 0; c < NumCouplers; c++ {
+		switch fa[c] {
+		case FaultSilence:
+			ch[c] = Content{Kind: FrameNone}
+		case FaultBadFrame:
+			ch[c] = Content{Kind: FrameBad}
+		case FaultOutOfSlot:
+			ch[c] = Content{Kind: e.s.Couplers[c].BufferedKind, ID: e.s.Couplers[c].BufferedID}
+			oosThisStep++
+		default:
+			ch[c] = nominal
+		}
+	}
+	// A replayed frame is real channel activity even in a silent slot.
+	activity := sendersPresent
+	for c := 0; c < NumCouplers; c++ {
+		if fa[c] == FaultOutOfSlot && ch[c].Kind != FrameNone {
+			activity = true
+		}
+	}
+
+	// Per-node next-state choices; freeze/init nodes are nondeterministic.
+	e.choiceBuf = e.choiceBuf[:0]
+	e.choiceEnd = e.choiceEnd[:0]
+	for i := range e.s.Nodes {
+		e.choiceBuf = m.appendNodeChoices(e.choiceBuf, e.s.Nodes[i], uint8(i+1), ch, activity)
+		e.choiceEnd = append(e.choiceEnd, len(e.choiceBuf))
+	}
+
+	// Coupler buffers track the frame on their channel (§4.4: updated
+	// whenever the id on the channel is non-zero).
+	for c := 0; c < NumCouplers; c++ {
+		e.next.Couplers[c] = e.s.Couplers[c]
+		if ch[c].ID != 0 {
+			e.next.Couplers[c] = CouplerState{BufferedID: ch[c].ID, BufferedKind: ch[c].Kind}
+		}
+	}
+	oosUsed := e.s.OutOfSlotUsed
+	if m.cfg.MaxOutOfSlot > 0 {
+		oosUsed += oosThisStep
+		if int(oosUsed) > m.cfg.MaxOutOfSlot {
+			oosUsed = uint8(m.cfg.MaxOutOfSlot) // saturate (choice already vetoed)
+		}
+	}
+	e.next.OutOfSlotUsed = oosUsed
+	return ch
+}
+
+// emitAll enumerates the cartesian product of the choice lists into
+// e.next.Nodes — the last node varies fastest, matching the serial
+// recursion the checker's counts are pinned to — and packs each complete
+// assignment. lo is the start of node's range in choiceBuf.
+func (e *Expander) emitAll(node, lo int) {
+	if node == len(e.next.Nodes) {
+		e.emit()
+		return
+	}
+	hi := e.choiceEnd[node]
+	for i := lo; i < hi; i++ {
+		e.next.Nodes[node] = e.choiceBuf[i]
+		e.emitAll(node+1, hi)
+	}
+}
+
+// emit packs e.next onto the output buffer, keeping it only if the
+// encoding is new. Duplicates — the common case, since distinct fault
+// choices often coincide — are rewound without ever allocating.
+func (e *Expander) emit() {
+	start := len(e.buf)
+	e.buf = e.m.appendBinary(e.buf, &e.next)
+	if e.dedupInsert(start) {
+		e.offs = append(e.offs, len(e.buf))
+	} else {
+		e.buf = e.buf[:start]
+	}
+}
+
+// dedupInsert reports whether the encoding at e.buf[start:] is new,
+// inserting its offset into the sorted index if so. A sorted slice with
+// binary search beats the old per-call map: no allocation, no hashing,
+// and successor counts are small (tens), so the O(n) insert memmove is
+// noise.
+func (e *Expander) dedupInsert(start int) bool {
+	cand := e.buf[start:]
+	lo, hi := 0, len(e.idx)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		o := int(e.idx[mid])
+		switch bytes.Compare(e.buf[o:o+len(cand)], cand) {
+		case 0:
+			return false
+		case -1:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	e.idx = append(e.idx, 0)
+	copy(e.idx[lo+1:], e.idx[lo:])
+	e.idx[lo] = int32(start)
+	return true
+}
+
+// explain searches for a fault/channel assignment under which from steps
+// to target — the cold-path twin of Successors used for trace rendering.
+func (e *Expander) explain(from, target []byte) (StepInfo, bool) {
+	m := e.m
+	m.decodeInto(from, &e.s)
+	e.buf = e.buf[:0]
+
+	nominal, sendersPresent := m.nominalContent(&e.s)
+	e.fas = m.appendFaultAssignments(e.fas[:0], &e.s)
+	for fi := range e.fas {
+		ch := e.prepare(fi, nominal, sendersPresent)
+		if e.findTarget(0, 0, target) {
+			return StepInfo{Faults: e.fas[fi], Channels: ch}, true
+		}
+	}
+	return StepInfo{}, false
+}
+
+// findTarget is emitAll's searching twin: it reports whether any choice
+// assignment encodes to target.
+func (e *Expander) findTarget(node, lo int, target []byte) bool {
+	if node == len(e.next.Nodes) {
+		start := len(e.buf)
+		e.buf = e.m.appendBinary(e.buf, &e.next)
+		eq := bytes.Equal(e.buf[start:], target)
+		e.buf = e.buf[:start]
+		return eq
+	}
+	hi := e.choiceEnd[node]
+	for i := lo; i < hi; i++ {
+		e.next.Nodes[node] = e.choiceBuf[i]
+		if e.findTarget(node+1, hi, target) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,229 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+
+	"ttastar/internal/guardian"
+	"ttastar/internal/mc"
+)
+
+// collectLevels walks the first depth BFS levels of m through an
+// Expander, returning distinct states in discovery order.
+func collectLevels(t *testing.T, m *Model, e *Expander, depth int) [][]byte {
+	t.Helper()
+	seen := map[string]bool{}
+	var all, frontier [][]byte
+	for _, s := range m.Initial() {
+		b := []byte(s)
+		seen[string(b)] = true
+		all = append(all, b)
+		frontier = append(frontier, b)
+	}
+	for d := 0; d < depth; d++ {
+		var next [][]byte
+		for _, s := range frontier {
+			for _, succ := range e.Successors(s) {
+				if !seen[string(succ)] {
+					seen[string(succ)] = true
+					cp := append([]byte(nil), succ...)
+					all = append(all, cp)
+					next = append(next, cp)
+				}
+			}
+		}
+		frontier = next
+	}
+	return all
+}
+
+// TestExpanderSteadyStateZeroAlloc is the successor-generation half of
+// the PR's zero-allocation contract: once an Expander's scratch has
+// grown to its high-water capacity, expanding states allocates nothing.
+// The bound is generous (0.5 allocs per expansion averaged over 50
+// rounds) so incidental growth or GC noise cannot flake CI.
+func TestExpanderSteadyStateZeroAlloc(t *testing.T) {
+	// Full shifting exercises the widest expansion (out-of-slot replay).
+	m := mustModel(t, Config{Authority: guardian.AuthorityFullShift})
+	e := m.newExpander()
+	states := collectLevels(t, m, e, 3)
+	// Warm pass: let every buffer reach the capacity this state set needs.
+	for _, s := range states {
+		e.Successors(s)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		for _, s := range states {
+			e.Successors(s)
+		}
+	})
+	if avg > 0.5 {
+		t.Errorf("steady-state Successors allocates %.2f per %d-state round, want 0", avg, len(states))
+	}
+}
+
+// TestExpanderMatchesModelSuccessors: the engine-facing Expander and the
+// public Successors wrapper agree state by state (same successors, same
+// first-occurrence order, no duplicates), and independent Expanders are
+// deterministic.
+func TestExpanderMatchesModelSuccessors(t *testing.T) {
+	m := mustModel(t, Config{Authority: guardian.AuthorityFullShift, MaxOutOfSlot: 1})
+	e1 := m.newExpander()
+	e2 := m.newExpander()
+	states := collectLevels(t, m, e1, 4)
+	for _, s := range states {
+		viaWrapper := m.Successors(mc.State(s))
+		viaExpander := e2.Successors(s)
+		if len(viaWrapper) != len(viaExpander) {
+			t.Fatalf("state %x: wrapper %d successors, expander %d", s, len(viaWrapper), len(viaExpander))
+		}
+		seen := map[string]bool{}
+		for i := range viaExpander {
+			if string(viaWrapper[i]) != string(viaExpander[i]) {
+				t.Fatalf("state %x successor %d: wrapper %x, expander %x", s, i, viaWrapper[i], viaExpander[i])
+			}
+			if seen[string(viaExpander[i])] {
+				t.Fatalf("state %x: duplicate successor %x", s, viaExpander[i])
+			}
+			seen[string(viaExpander[i])] = true
+		}
+	}
+}
+
+// TestPropertyBytesMatchesProperty: the nibble-probing byte invariant and
+// the decoding string invariant agree on every reachable transition of
+// the failing (full-shifting) model — including the violating ones.
+func TestPropertyBytesMatchesProperty(t *testing.T) {
+	m := mustModel(t, Config{Authority: guardian.AuthorityFullShift, MaxOutOfSlot: 1})
+	strInv := m.Property()
+	byteInv := m.PropertyBytes()
+	e := m.newExpander()
+	states := collectLevels(t, m, e, 6)
+	checked := 0
+	for _, s := range states {
+		for _, succ := range e.Successors(s) {
+			want := strInv(mc.State(s), mc.State(succ))
+			if got := byteInv(s, succ); got != want {
+				t.Fatalf("PropertyBytes(%x -> %x) = %v, Property = %v", s, succ, got, want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no transitions checked")
+	}
+	// The shallow walk above only sees holding transitions; cover the
+	// violating side with the checker's own counterexample.
+	res, err := mc.CheckTransitionInvariantBytes(m, byteInv, mc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds || len(res.Counterexample) < 2 {
+		t.Fatalf("expected a counterexample, got holds=%v len=%d", res.Holds, len(res.Counterexample))
+	}
+	from := res.Counterexample[len(res.Counterexample)-2]
+	to := res.Counterexample[len(res.Counterexample)-1]
+	if strInv(from, to) || byteInv([]byte(from), []byte(to)) {
+		t.Errorf("counterexample transition not judged violating by both forms: Property=%v PropertyBytes=%v",
+			strInv(from, to), byteInv([]byte(from), []byte(to)))
+	}
+}
+
+// stringOracleCheck is an independent serial BFS over a string-keyed
+// visited map — the pre-packed-engine semantics, reimplemented without
+// any engine code — used to cross-check the checker on the real model.
+func stringOracleCheck(m *Model, inv mc.TransitionInvariant) (mc.Result, []mc.State) {
+	type rec struct {
+		parent    mc.State
+		hasParent bool
+	}
+	visited := map[mc.State]rec{}
+	trace := func(s mc.State) []mc.State {
+		var rev []mc.State
+		for {
+			rev = append(rev, s)
+			r := visited[s]
+			if !r.hasParent {
+				break
+			}
+			s = r.parent
+		}
+		out := make([]mc.State, len(rev))
+		for i := range rev {
+			out[len(rev)-1-i] = rev[i]
+		}
+		return out
+	}
+	var res mc.Result
+	res.Holds = true
+	var frontier []mc.State
+	for _, s := range m.Initial() {
+		visited[s] = rec{}
+		frontier = append(frontier, s)
+	}
+	for depth := 0; len(frontier) > 0; depth++ {
+		var next []mc.State
+		for _, s := range frontier {
+			for _, succ := range m.Successors(s) {
+				res.TransitionsExplored++
+				if !inv(s, succ) {
+					res.Holds = false
+					res.Depth = depth + 1
+					res.StatesExplored = len(visited)
+					return res, append(trace(s), succ)
+				}
+				if _, ok := visited[succ]; ok {
+					continue
+				}
+				visited[succ] = rec{parent: s, hasParent: true}
+				next = append(next, succ)
+			}
+		}
+		frontier = next
+		if len(frontier) > 0 {
+			res.Depth = depth + 1
+		}
+	}
+	res.StatesExplored = len(visited)
+	return res, nil
+}
+
+// TestEngineMatchesStringOracleE1Matrix checks the packed-key engine
+// against the string-keyed serial oracle on the full E1 matrix — all
+// four coupler authorities, verdicts, counts, depths and counterexample
+// traces — at workers 1, 2 and 8.
+func TestEngineMatchesStringOracleE1Matrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E1 oracle sweep skipped with -short")
+	}
+	authorities := []guardian.Authority{
+		guardian.AuthorityPassive,
+		guardian.AuthorityTimeWindows,
+		guardian.AuthoritySmallShift,
+		guardian.AuthorityFullShift,
+	}
+	for _, a := range authorities {
+		a := a
+		t.Run(a.String(), func(t *testing.T) {
+			m := mustModel(t, Config{Authority: a})
+			want, wantTrace := stringOracleCheck(m, m.Property())
+			for _, workers := range []int{1, 2, 8} {
+				res, err := mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(), mc.Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if res.Holds != want.Holds ||
+					res.StatesExplored != want.StatesExplored ||
+					res.TransitionsExplored != want.TransitionsExplored ||
+					res.Depth != want.Depth {
+					t.Errorf("workers=%d: engine holds=%v states=%d transitions=%d depth=%d; oracle holds=%v states=%d transitions=%d depth=%d",
+						workers, res.Holds, res.StatesExplored, res.TransitionsExplored, res.Depth,
+						want.Holds, want.StatesExplored, want.TransitionsExplored, want.Depth)
+				}
+				if !reflect.DeepEqual(res.Counterexample, wantTrace) {
+					t.Errorf("workers=%d: counterexample differs from oracle (len %d vs %d)",
+						workers, len(res.Counterexample), len(wantTrace))
+				}
+			}
+		})
+	}
+}

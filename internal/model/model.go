@@ -11,6 +11,7 @@ package model
 
 import (
 	"fmt"
+	"sync"
 
 	"ttastar/internal/guardian"
 	"ttastar/internal/mc"
@@ -198,9 +199,13 @@ type State struct {
 // Model is the checkable transition system.
 type Model struct {
 	cfg Config
+	// expanders pools per-call Expander scratch for the public
+	// Successors/Explain wrappers; the checker bypasses it and holds one
+	// Expander per worker via NewExpander.
+	expanders sync.Pool
 }
 
-var _ mc.Model = (*Model)(nil)
+var _ mc.ExpanderModel = (*Model)(nil)
 
 // New builds a model from cfg.
 func New(cfg Config) (*Model, error) {
@@ -216,7 +221,9 @@ func New(cfg Config) (*Model, error) {
 			return nil, fmt.Errorf("model: data slot %d outside [1,%d]", s, cfg.Nodes)
 		}
 	}
-	return &Model{cfg: cfg}, nil
+	m := &Model{cfg: cfg}
+	m.expanders.New = func() any { return m.newExpander() }
+	return m, nil
 }
 
 // Config returns the model's configuration (with defaults applied).
@@ -297,6 +304,23 @@ func (m *Model) Property() mc.TransitionInvariant {
 		t := m.Decode(to)
 		for i := range f.Nodes {
 			if f.Nodes[i].Phase.Integrated() && t.Nodes[i].Phase == PhaseFreeze {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// PropertyBytes is Property over raw packed encodings: it reads each
+// node's phase nibble straight out of the encoding, so evaluating it per
+// transition decodes nothing and allocates nothing. Equivalent to
+// Property for all valid encodings (asserted by the model tests).
+func (m *Model) PropertyBytes() mc.TransitionInvariantBytes {
+	nodes := m.cfg.Nodes
+	return func(from, to []byte) bool {
+		for i := 0; i < nodes; i++ {
+			f := Phase(phaseBits(from, i))
+			if f.Integrated() && Phase(phaseBits(to, i)) == PhaseFreeze {
 				return false
 			}
 		}

@@ -338,7 +338,7 @@ func TestNominalContentCollision(t *testing.T) {
 	s.Nodes[1] = NodeState{Phase: PhaseActive, Slot: 2}
 	// Both believe it is their own slot: collision.
 	s.Nodes[1].Slot = 2
-	c, present := m.nominalContent(s)
+	c, present := m.nominalContent(&s)
 	if !present || c.Kind != FrameColdStart {
 		// only node 1 transmits (slot 1 == own); node 2's slot==own too!
 		t.Logf("content=%v present=%v", c, present)
@@ -346,7 +346,7 @@ func TestNominalContentCollision(t *testing.T) {
 	// Make them genuinely collide: node 2 also at its own slot.
 	s.Nodes[0] = NodeState{Phase: PhaseColdStart, Slot: 1}
 	s.Nodes[1] = NodeState{Phase: PhaseActive, Slot: 2}
-	c, present = m.nominalContent(s)
+	c, present = m.nominalContent(&s)
 	if c.Kind != FrameBad || !present {
 		t.Errorf("two senders: content = %v, want bad_frame", c)
 	}

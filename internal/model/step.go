@@ -23,154 +23,80 @@ type StepInfo struct {
 }
 
 // Successors implements mc.Model: all states reachable in one TDMA slot.
+// It borrows a pooled Expander for the expansion and copies the results
+// out of its scratch; the engine's hot path uses NewExpander directly and
+// skips both the pool round-trip and the copies.
 func (m *Model) Successors(enc mc.State) []mc.State {
-	var out []mc.State
-	seen := make(map[mc.State]bool)
-	m.expand(m.Decode(enc), func(e mc.State, _ StepInfo) bool {
-		if !seen[e] {
-			seen[e] = true
-			out = append(out, e)
-		}
-		return false
-	})
+	e := m.expanders.Get().(*Expander)
+	succs := e.Successors([]byte(enc))
+	out := make([]mc.State, len(succs))
+	for i, sb := range succs {
+		out[i] = mc.State(sb)
+	}
+	m.expanders.Put(e)
 	return out
 }
 
 // Explain finds a fault/channel assignment under which 'from' steps to
 // 'to'. It re-enumerates the single transition, which is cheap.
 func (m *Model) Explain(from, to mc.State) (StepInfo, bool) {
-	var found StepInfo
-	ok := false
-	m.expand(m.Decode(from), func(e mc.State, info StepInfo) bool {
-		if e == to {
-			found, ok = info, true
-			return true
-		}
-		return false
-	})
-	return found, ok
+	e := m.expanders.Get().(*Expander)
+	info, ok := e.explain([]byte(from), []byte(to))
+	m.expanders.Put(e)
+	return info, ok
 }
 
-// expand enumerates every successor of s, invoking visit with the encoded
-// state and the step description; visit returns true to stop early.
-func (m *Model) expand(s State, visit func(mc.State, StepInfo) bool) {
-	// The frame each sending node puts on both channels this slot (§4.3's
-	// frame_sent): cold-starting nodes send cold-start frames, active
-	// nodes send frames with explicit C-state.
-	nominal, sendersPresent := m.nominalContent(s)
-
-	for _, fa := range m.faultAssignments(s) {
-		var ch [NumCouplers]Content
-		oosThisStep := uint8(0)
-		for c := 0; c < NumCouplers; c++ {
-			switch fa[c] {
-			case FaultSilence:
-				ch[c] = Content{Kind: FrameNone}
-			case FaultBadFrame:
-				ch[c] = Content{Kind: FrameBad}
-			case FaultOutOfSlot:
-				ch[c] = Content{Kind: s.Couplers[c].BufferedKind, ID: s.Couplers[c].BufferedID}
-				oosThisStep++
-			default:
-				ch[c] = nominal
-			}
-		}
-		// A replayed frame is real channel activity even in a silent slot.
-		activity := sendersPresent
-		for c := 0; c < NumCouplers; c++ {
-			if fa[c] == FaultOutOfSlot && ch[c].Kind != FrameNone {
-				activity = true
-			}
-		}
-
-		// Per-node next states; freeze/init nodes are nondeterministic.
-		choices := make([][]NodeState, m.cfg.Nodes)
-		for i := range choices {
-			choices[i] = m.stepNode(s.Nodes[i], uint8(i+1), ch, activity)
-		}
-
-		// Coupler buffers track the frame on their channel (§4.4: updated
-		// whenever the id on the channel is non-zero).
-		var couplers [NumCouplers]CouplerState
-		for c := 0; c < NumCouplers; c++ {
-			couplers[c] = s.Couplers[c]
-			if ch[c].ID != 0 {
-				couplers[c] = CouplerState{BufferedID: ch[c].ID, BufferedKind: ch[c].Kind}
-			}
-		}
-		oosUsed := s.OutOfSlotUsed
-		if m.cfg.MaxOutOfSlot > 0 {
-			oosUsed += oosThisStep
-			if int(oosUsed) > m.cfg.MaxOutOfSlot {
-				oosUsed = uint8(m.cfg.MaxOutOfSlot) // saturate (choice already vetoed)
-			}
-		}
-
-		info := StepInfo{Faults: fa, Channels: ch}
-		next := State{Nodes: make([]NodeState, m.cfg.Nodes), Couplers: couplers, OutOfSlotUsed: oosUsed}
-		stop := false
-		m.enumerate(choices, 0, &next, func(st *State) {
-			if stop {
-				return
-			}
-			if visit(m.Encode(*st), info) {
-				stop = true
-			}
-		})
-		if stop {
-			return
-		}
-	}
-}
-
-func (m *Model) enumerate(choices [][]NodeState, i int, acc *State, emit func(*State)) {
-	if i == len(choices) {
-		emit(acc)
-		return
-	}
-	for _, c := range choices[i] {
-		acc.Nodes[i] = c
-		m.enumerate(choices, i+1, acc, emit)
-	}
-}
-
-// nominalContent computes the fault-free channel content for this slot and
-// whether any real sender transmitted.
-func (m *Model) nominalContent(s State) (Content, bool) {
-	var frames []Content
-	for i, n := range s.Nodes {
+// nominalContent computes the fault-free channel content for this slot —
+// the frame each sending node puts on both channels (§4.3's frame_sent):
+// cold-starting nodes send cold-start frames, active nodes send frames
+// with explicit C-state — and whether any real sender transmitted.
+func (m *Model) nominalContent(s *State) (Content, bool) {
+	var first Content
+	senders := 0
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
 		own := uint8(i + 1)
 		if n.Slot != own {
 			continue
 		}
 		switch n.Phase {
 		case PhaseColdStart:
-			frames = append(frames, Content{Kind: FrameColdStart, ID: own})
-		case PhaseActive:
-			kind := FrameCState
-			if m.isDataSlot(int(own)) {
-				kind = FrameOther
+			if senders == 0 {
+				first = Content{Kind: FrameColdStart, ID: own}
 			}
-			frames = append(frames, Content{Kind: kind, ID: own})
+			senders++
+		case PhaseActive:
+			if senders == 0 {
+				kind := FrameCState
+				if m.isDataSlot(int(own)) {
+					kind = FrameOther
+				}
+				first = Content{Kind: kind, ID: own}
+			}
+			senders++
 		}
 	}
-	switch len(frames) {
+	switch senders {
 	case 0:
 		return Content{Kind: FrameNone}, false
 	case 1:
-		return frames[0], true
+		return first, true
 	default:
 		// Simultaneous transmissions collide into a bad frame.
 		return Content{Kind: FrameBad}, true
 	}
 }
 
-// faultAssignments enumerates the per-step coupler fault choices: fault-free
-// plus each single-coupler fault allowed by the configuration.
-func (m *Model) faultAssignments(s State) []faultAssignment {
-	out := []faultAssignment{{FaultNone, FaultNone}}
+// injectableFaults is the per-coupler fault menu, in enumeration order.
+var injectableFaults = [...]Fault{FaultSilence, FaultBadFrame, FaultOutOfSlot}
+
+// appendFaultAssignments appends the per-step coupler fault choices to
+// dst: fault-free first, then each single-coupler fault allowed by the
+// configuration ("at most one coupler has a fault at a given time").
+func (m *Model) appendFaultAssignments(dst []faultAssignment, s *State) []faultAssignment {
+	dst = append(dst, faultAssignment{FaultNone, FaultNone})
 	for c := 0; c < NumCouplers; c++ {
-		for _, f := range []Fault{FaultSilence, FaultBadFrame, FaultOutOfSlot} {
+		for _, f := range injectableFaults {
 			if f == FaultOutOfSlot {
 				if !m.cfg.Authority.CanBufferFrames() {
 					continue // §4.4: only full shifting can replay
@@ -185,70 +111,79 @@ func (m *Model) faultAssignments(s State) []faultAssignment {
 					continue // the paper's first-trace constraint
 				}
 			}
-			var fa faultAssignment
-			for k := range fa {
-				fa[k] = FaultNone
-			}
+			fa := faultAssignment{FaultNone, FaultNone}
 			fa[c] = f
-			out = append(out, fa)
+			dst = append(dst, fa)
 		}
 	}
-	return out
+	return dst
 }
 
-// stepNode computes node i's possible next states given the channel
-// contents. Only freeze and init nodes are nondeterministic.
-func (m *Model) stepNode(n NodeState, own uint8, ch [NumCouplers]Content, activity bool) []NodeState {
+// faultAssignments is appendFaultAssignments without caller-owned scratch;
+// the model tests enumerate fault menus through it.
+func (m *Model) faultAssignments(s State) []faultAssignment {
+	return m.appendFaultAssignments(nil, &s)
+}
+
+// appendNodeChoices appends node i's possible next states given the
+// channel contents. Only freeze and init nodes are nondeterministic.
+func (m *Model) appendNodeChoices(dst []NodeState, n NodeState, own uint8, ch [NumCouplers]Content, activity bool) []NodeState {
 	switch n.Phase {
 	case PhaseFreeze:
 		// §4.3: from freeze the node may re-initialize or, with host
 		// states enabled, detour via await or test.
-		next := []NodeState{
-			{Phase: PhaseFreeze},
-			{Phase: PhaseInit},
-		}
+		dst = append(dst,
+			NodeState{Phase: PhaseFreeze},
+			NodeState{Phase: PhaseInit},
+		)
 		if m.cfg.AllowHostStates {
-			next = append(next,
+			dst = append(dst,
 				NodeState{Phase: PhaseAwait},
 				NodeState{Phase: PhaseTest},
 			)
 		}
-		return next
+		return dst
 
 	case PhaseInit:
-		next := []NodeState{
-			{Phase: PhaseInit},
+		dst = append(dst,
+			NodeState{Phase: PhaseInit},
 			m.enterListen(own),
-		}
+		)
 		if m.cfg.AllowInitFreeze {
-			next = append(next, NodeState{Phase: PhaseFreeze})
+			dst = append(dst, NodeState{Phase: PhaseFreeze})
 		}
-		return next
+		return dst
 
 	case PhaseAwait:
 		// Awaiting host decisions: stay, download a configuration, or
 		// return to freeze.
-		return []NodeState{
-			{Phase: PhaseAwait},
-			{Phase: PhaseDownload},
-			{Phase: PhaseFreeze},
-		}
+		return append(dst,
+			NodeState{Phase: PhaseAwait},
+			NodeState{Phase: PhaseDownload},
+			NodeState{Phase: PhaseFreeze},
+		)
 
 	case PhaseTest, PhaseDownload:
-		return []NodeState{
-			{Phase: n.Phase},
-			{Phase: PhaseFreeze},
-		}
+		return append(dst,
+			NodeState{Phase: n.Phase},
+			NodeState{Phase: PhaseFreeze},
+		)
 
 	case PhaseListen:
-		return []NodeState{m.stepListen(n, own, ch)}
+		return append(dst, m.stepListen(n, own, ch))
 
 	case PhaseColdStart, PhaseActive, PhasePassive:
-		return []NodeState{m.stepOperational(n, own, ch, activity)}
+		return append(dst, m.stepOperational(n, own, ch, activity))
 
 	default:
-		return []NodeState{n}
+		return append(dst, n)
 	}
+}
+
+// stepNode is appendNodeChoices without caller-owned scratch; the model
+// tests enumerate choice sets through it.
+func (m *Model) stepNode(n NodeState, own uint8, ch [NumCouplers]Content, activity bool) []NodeState {
+	return m.appendNodeChoices(nil, n, own, ch, activity)
 }
 
 // enterListen is the listen-state entry: timeout = node_id + N (§4.3).

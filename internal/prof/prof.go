@@ -1,0 +1,84 @@
+// Package prof wires the runtime's CPU, heap and execution-trace
+// profilers behind one Start call, so every command exposes the same
+// -cpuprofile/-memprofile/-trace flags with identical semantics: empty
+// paths are free (no profiler touched), and the returned stop function
+// flushes whatever was started. Outputs are standard pprof / `go tool
+// trace` files.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Start begins the profilers whose output paths are non-empty and
+// returns a stop function that finishes them and flushes the files. The
+// heap profile is written at stop time (after a final GC, so it reflects
+// live data, not transient garbage). On error nothing is left running.
+func Start(cpuPath, memPath, tracePath string) (func() error, error) {
+	var stops []func() error
+	fail := func(err error) (func() error, error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		return nil, err
+	}
+
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fail(fmt.Errorf("prof: cpu profile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("prof: cpu profile: %w", err))
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fail(fmt.Errorf("prof: trace: %w", err))
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("prof: trace: %w", err))
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+
+	if memPath != "" {
+		stops = append(stops, func() error {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: mem profile: %w", err)
+			}
+			runtime.GC() // report live allocations, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("prof: mem profile: %w", err)
+			}
+			return f.Close()
+		})
+	}
+
+	return func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite and emits a machine-readable JSON report via
+# cmd/benchjson, with shape assertions so a silently-vanishing benchmark
+# or a missing -benchmem metric fails the run.
+#
+# Usage:
+#   scripts/bench.sh                 # full suite -> BENCH_pr4.json
+#   BENCH_FILTER='E1|Throughput' BENCHTIME=1x scripts/bench.sh  # CI smoke
+#
+# Environment:
+#   BENCH_FILTER  -bench regexp            (default: all top-level benches)
+#   BENCHTIME     -benchtime value         (default: 1x — each bench once)
+#   BENCH_OUT     output JSON path         (default: BENCH_pr4.json)
+#   BENCH_COUNT   -count value             (default: 1)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCH_FILTER=${BENCH_FILTER:-.}
+BENCHTIME=${BENCHTIME:-1x}
+BENCH_OUT=${BENCH_OUT:-BENCH_pr4.json}
+BENCH_COUNT=${BENCH_COUNT:-1}
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+# -short skips the 13.2M-state 6-node scaling point; drop it deliberately
+# by exporting BENCH_LONG=1 when you want the full sweep.
+short_flag="-short"
+if [[ "${BENCH_LONG:-}" == "1" ]]; then
+  short_flag=""
+fi
+
+go test -run '^$' -bench "$BENCH_FILTER" -benchtime "$BENCHTIME" \
+  -count "$BENCH_COUNT" -benchmem $short_flag -timeout 60m . | tee "$raw"
+
+require_args=(-require-metrics 'ns/op,B/op,allocs/op')
+# The two acceptance-tracked benches must be present whenever the filter
+# admits them.
+for name in ModelCheckerThroughput E1VerificationMatrix; do
+  if [[ "$BENCH_FILTER" == "." ]] || grep -qE "$BENCH_FILTER" <<<"$name"; then
+    require_args+=(-require "$name")
+  fi
+done
+
+go run ./cmd/benchjson "${require_args[@]}" -o "$BENCH_OUT" < "$raw"
+echo "wrote $BENCH_OUT ($(grep -c '"name"' "$BENCH_OUT") benchmarks)"
