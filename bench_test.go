@@ -323,15 +323,13 @@ func BenchmarkCampaignParallel(b *testing.B) {
 }
 
 // BenchmarkModelScaling measures exhaustive verification cost against
-// cluster size (2-5 nodes routinely; the 6-node run — 13.2M states,
-// minutes of wall clock — only without -short).
+// cluster size, 2 through 6 nodes. The 6-node space (13.2M states) runs
+// unconditionally: with the flat visited set it is a routine run, and
+// bench-smoke CI exercises it on every push.
 func BenchmarkModelScaling(b *testing.B) {
 	for _, n := range []int{2, 3, 4, 5, 6} {
 		n := n
 		b.Run(string(rune('0'+n))+"nodes", func(b *testing.B) {
-			if n >= 6 && testing.Short() {
-				b.Skip("6-node state space (13.2M states) skipped with -short")
-			}
 			b.ReportAllocs()
 			m, err := model.New(model.Config{Authority: guardian.AuthoritySmallShift, Nodes: n})
 			if err != nil {

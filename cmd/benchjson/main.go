@@ -9,6 +9,14 @@
 //	go test -bench . -benchmem ./... | benchjson -o BENCH.json \
 //	    -require 'ModelCheckerThroughput' -require 'E1VerificationMatrix' \
 //	    -require-metrics 'ns/op,B/op,allocs/op'
+//
+// It can also diff two of its own JSON documents and gate on regression:
+//
+//	benchjson -compare -fail-above 2.0 BENCH_pr4.json BENCH_pr5.json
+//
+// which prints a per-benchmark delta table for ns/op, B/op and
+// allocs/op (override with -metrics) and exits non-zero if any ratio
+// new/old exceeds the threshold.
 package main
 
 import (
@@ -66,8 +74,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	var require multiFlag
 	fs.Var(&require, "require", "regexp a benchmark name must match (repeatable); fail if none does")
 	requireMetrics := fs.String("require-metrics", "", "comma-separated metric units every benchmark must report")
+	compareMode := fs.Bool("compare", false, "compare two benchjson files: benchjson -compare old.json new.json")
+	failAbove := fs.Float64("fail-above", 0, "with -compare: fail if any new/old metric ratio exceeds this (0 disables)")
+	metrics := fs.String("metrics", "ns/op,B/op,allocs/op", "with -compare: comma-separated metrics to diff")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *compareMode {
+		if fs.NArg() != 2 {
+			return errors.New("-compare needs exactly two positional arguments: old.json new.json")
+		}
+		return compare(fs.Arg(0), fs.Arg(1), strings.Split(*metrics, ","), *failAbove, *out, stdout)
 	}
 
 	rep, err := parse(stdin)
@@ -145,6 +163,110 @@ func parseBench(m []string) (Benchmark, error) {
 		b.Metrics[fields[i+1]] = v
 	}
 	return b, nil
+}
+
+// stripProcs removes the -N GOMAXPROCS suffix go test appends to
+// benchmark names, so runs recorded on machines with different core
+// counts still pair up.
+var stripProcs = regexp.MustCompile(`-\d+$`)
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return rep, nil
+}
+
+// compare diffs two benchjson documents over the requested metrics and,
+// when failAbove > 0, errors if any new/old ratio exceeds it. Only the
+// intersection of benchmark names is compared — CI runs filtered subsets,
+// so a benchmark missing from the new file is not a regression — with a
+// GOMAXPROCS-suffix-insensitive fallback match.
+func compare(oldPath, newPath string, metrics []string, failAbove float64, outPath string, stdout io.Writer) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]*Benchmark{}
+	for i := range oldRep.Benchmarks {
+		b := &oldRep.Benchmarks[i]
+		oldBy[b.Name] = b
+		if norm := stripProcs.ReplaceAllString(b.Name, ""); norm != b.Name {
+			if _, dup := oldBy[norm]; !dup {
+				oldBy[norm] = b
+			}
+		}
+	}
+
+	var buf strings.Builder
+	fmt.Fprintf(&buf, "%-44s %-10s %14s %14s %8s\n", "benchmark", "metric", "old", "new", "ratio")
+	matched := 0
+	var failures []string
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			ob, ok = oldBy[stripProcs.ReplaceAllString(nb.Name, "")]
+		}
+		if !ok {
+			fmt.Fprintf(&buf, "%-44s %-10s %14s %14s %8s\n", nb.Name, "-", "(absent)", "-", "-")
+			continue
+		}
+		matched++
+		for _, unit := range metrics {
+			unit = strings.TrimSpace(unit)
+			nv, nok := nb.Metrics[unit]
+			ov, ook := ob.Metrics[unit]
+			if !nok || !ook {
+				continue
+			}
+			ratioStr := "inf"
+			ratio := 0.0
+			switch {
+			case ov == 0 && nv == 0:
+				ratioStr = "1.00"
+				ratio = 1
+			case ov == 0:
+				// A metric growing from zero is an unbounded regression.
+				ratio = failAbove + 1
+			default:
+				ratio = nv / ov
+				ratioStr = strconv.FormatFloat(ratio, 'f', 2, 64)
+			}
+			fmt.Fprintf(&buf, "%-44s %-10s %14.0f %14.0f %8s\n", nb.Name, unit, ov, nv, ratioStr)
+			if failAbove > 0 && ratio > failAbove {
+				failures = append(failures,
+					fmt.Sprintf("%s %s: %.0f -> %.0f (%sx > %gx)", nb.Name, unit, ov, nv, ratioStr, failAbove))
+			}
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmark in %s matches any in %s", newPath, oldPath)
+	}
+
+	report := buf.String()
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(report), 0o644); err != nil {
+			return err
+		}
+	} else if _, err := io.WriteString(stdout, report); err != nil {
+		return err
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("regression gate (-fail-above %g) tripped:\n  %s", failAbove, strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 func assertShape(rep *Report, require []string, requireMetrics string) error {

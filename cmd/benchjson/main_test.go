@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -62,6 +64,112 @@ func TestShapeAssertions(t *testing.T) {
 	}
 	if err := assertShape(&Report{}, nil, ""); err == nil {
 		t.Error("empty input not caught")
+	}
+}
+
+// writeReport round-trips bench text through parse and writes the JSON
+// document a real `benchjson -o` run would have produced.
+func writeReport(t *testing.T, dir, name, benchText string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(benchText), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldBench = `goos: linux
+BenchmarkModelCheckerThroughput-8   	      12	  100000000 ns/op	10000000 B/op	    1000 allocs/op
+BenchmarkModelScaling/2nodes-8      	     500	     200000 ns/op	   40000 B/op	     150 allocs/op
+BenchmarkRetired-8                  	       1	      50000 ns/op	    1000 B/op	      10 allocs/op
+`
+
+// The new run uses a different GOMAXPROCS suffix (-1) and omits the
+// retired benchmark entirely: both must still compare cleanly.
+const newBench = `goos: linux
+BenchmarkModelCheckerThroughput-1   	      12	   50000000 ns/op	 3500000 B/op	    1100 allocs/op
+BenchmarkModelScaling/2nodes-1      	     500	     340000 ns/op	   70000 B/op	     100 allocs/op
+`
+
+const regressedBench = `goos: linux
+BenchmarkModelCheckerThroughput-1   	      12	  250000000 ns/op	10000000 B/op	    1000 allocs/op
+`
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", oldBench)
+	newPath := writeReport(t, dir, "new.json", newBench)
+
+	var out bytes.Buffer
+	if err := run([]string{"-compare", "-fail-above", "2.0", oldPath, newPath}, nil, &out); err != nil {
+		t.Fatalf("clean compare failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"ns/op", "0.50", "1.70", "allocs/op"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("compare report missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "Retired") {
+		t.Errorf("benchmark absent from new run should not appear as a row:\n%s", s)
+	}
+}
+
+func TestCompareGateTrips(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", oldBench)
+	badPath := writeReport(t, dir, "bad.json", regressedBench)
+
+	var out bytes.Buffer
+	err := run([]string{"-compare", "-fail-above", "2.0", oldPath, badPath}, nil, &out)
+	if err == nil || !strings.Contains(err.Error(), "regression gate") {
+		t.Fatalf("2.5x ns/op regression not caught: %v", err)
+	}
+	// Without a threshold the same diff must pass.
+	if err := run([]string{"-compare", oldPath, badPath}, nil, &out); err != nil {
+		t.Fatalf("ungated compare failed: %v", err)
+	}
+}
+
+func TestCompareReportFile(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", oldBench)
+	newPath := writeReport(t, dir, "new.json", newBench)
+	repPath := filepath.Join(dir, "compare.txt")
+
+	var out bytes.Buffer
+	if err := run([]string{"-compare", "-o", repPath, oldPath, newPath}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "BenchmarkModelCheckerThroughput") {
+		t.Errorf("report file missing table:\n%s", data)
+	}
+	if out.Len() != 0 {
+		t.Errorf("-o should route the report to the file, got stdout %q", out.String())
+	}
+}
+
+func TestCompareArgErrors(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", oldBench)
+	if err := run([]string{"-compare", oldPath}, nil, &bytes.Buffer{}); err == nil {
+		t.Error("single positional arg not rejected")
+	}
+	if err := run([]string{"-compare", oldPath, filepath.Join(dir, "absent.json")}, nil, &bytes.Buffer{}); err == nil {
+		t.Error("missing new file not rejected")
+	}
+	// Disjoint name sets: nothing to compare must be an error, not a silent pass.
+	disjoint := writeReport(t, dir, "disjoint.json", "BenchmarkSomethingElse-8 \t 1\t 5 ns/op\n")
+	if err := run([]string{"-compare", oldPath, disjoint}, nil, &bytes.Buffer{}); err == nil {
+		t.Error("disjoint benchmark sets not rejected")
 	}
 }
 

@@ -23,8 +23,9 @@
 // cooperatively at level granularity, flush a checkpoint (-checkpoint),
 // print the partial result and exit nonzero; -resume continues from the
 // checkpoint and produces byte-identical results to an uninterrupted run.
-// -fallback-walks degrades an exhausted -max-states budget into seeded
-// random-walk sampling with an explicit INCONCLUSIVE verdict.
+// -fallback-walks degrades an exhausted -max-states or -mem-budget
+// budget into seeded random-walk sampling with an explicit INCONCLUSIVE
+// verdict.
 //
 // Performance is observable: -stats prints per-search throughput and
 // allocation figures, and -cpuprofile/-memprofile/-traceprofile write
@@ -78,7 +79,8 @@ func run(args []string) error {
 	checkpointEvery := fs.Int("checkpoint-every", 10, "levels between periodic checkpoint snapshots (needs -checkpoint)")
 	resume := fs.Bool("resume", false, "restore the search from the -checkpoint file if it exists")
 	interruptAfter := fs.Int("interrupt-after", 0, "cancel the search after N completed levels (testing aid; 0 = never)")
-	fallbackWalks := fs.Int("fallback-walks", 0, "on -max-states exhaustion, fall back to this many seeded random walks instead of failing (0 = off)")
+	memBudget := fs.Int64("mem-budget", 0, "visited-set resident byte budget, checked at level boundaries (0 = unlimited); exhaustion degrades like -max-states")
+	fallbackWalks := fs.Int("fallback-walks", 0, "on -max-states or -mem-budget exhaustion, fall back to this many seeded random walks instead of failing (0 = off)")
 	fallbackDepth := fs.Int("fallback-depth", 0, "step bound per fallback walk (0 = 1024)")
 	statsFlag := fs.Bool("stats", false, "print per-search throughput/allocation stats to stderr")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -111,6 +113,7 @@ func run(args []string) error {
 
 	opts := mc.Options{
 		MaxStates:       *maxStates,
+		MemBudget:       *memBudget,
 		Workers:         *parallel,
 		Context:         ctx,
 		CheckpointPath:  *checkpoint,
@@ -130,6 +133,9 @@ func run(args []string) error {
 				"ttamc: %d states in %v (%.0f states/s), %d levels, peak frontier %d, %d allocs (%d bytes)\n",
 				st.States, st.Duration.Round(time.Millisecond), st.StatesPerSec,
 				st.Levels, st.PeakFrontier, st.Allocs, st.AllocBytes)
+			fmt.Fprintf(os.Stderr,
+				"ttamc: visited set: load factor %.2f, resident %d bytes (peak %d), probe lengths %v\n",
+				st.LoadFactor, st.ResidentBytes, st.PeakResidentBytes, st.ProbeHist)
 		}
 	}
 	levels := 0

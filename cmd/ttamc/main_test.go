@@ -95,3 +95,18 @@ func TestRunFallbackFlags(t *testing.T) {
 		t.Errorf("fallback sampling: %v", err)
 	}
 }
+
+func TestRunMemBudgetFlag(t *testing.T) {
+	// An impossibly small -mem-budget trips the same degradation path as
+	// -max-states: hard failure without fallback, inconclusive with it.
+	if err := run([]string{"-authority", "smallshift", "-nodes", "2", "-mem-budget", "1024"}); err == nil {
+		t.Error("exhausted memory budget without fallback did not error")
+	}
+	if err := run([]string{"-authority", "smallshift", "-nodes", "2", "-mem-budget", "1024", "-fallback-walks", "4", "-fallback-depth", "32"}); err != nil {
+		t.Errorf("fallback sampling under memory budget: %v", err)
+	}
+	// A generous budget must not perturb the verdict.
+	if err := run([]string{"-authority", "smallshift", "-nodes", "2", "-mem-budget", "1073741824", "-stats"}); err != nil {
+		t.Errorf("generous memory budget: %v", err)
+	}
+}

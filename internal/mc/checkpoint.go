@@ -9,6 +9,15 @@ package mc
 // of the parallel engine this makes resumed results byte-identical to
 // uninterrupted ones for any worker count.
 //
+// Format version 2 stores one record per visited state: encoding, parent
+// encoding, and a root flag. The claim key and depth that version 1
+// carried are dead weight under the engine's globally monotone claim
+// keys — a restored entry only ever needs to order *before* the resumed
+// levels, which any key does once the resumed base starts past it — so
+// v2 drops them. Version 1 files still load (the reader parses and
+// discards the two fields), so checkpoints taken by older builds resume
+// cleanly.
+//
 // The on-disk format is versioned, length-guarded and closed by an
 // FNV-64a checksum over the payload; files are written to a temp file in
 // the target directory and renamed into place, so a crash mid-write can
@@ -28,8 +37,11 @@ import (
 )
 
 const (
-	checkpointMagic   = "TTAMCCP\x00"
-	checkpointVersion = 1
+	checkpointMagic = "TTAMCCP\x00"
+	// checkpointVersion is the written format; checkpointLegacyVersion
+	// is the oldest format the reader still accepts.
+	checkpointVersion       = 2
+	checkpointLegacyVersion = 1
 )
 
 // ErrBadCheckpoint reports a checkpoint file that failed validation:
@@ -55,17 +67,15 @@ type Checkpoint struct {
 type VisitedEntry struct {
 	State     State
 	Parent    State
-	Key       uint64
-	Depth     int32
 	HasParent bool
 }
 
 // snapshot captures the engine state between levels as a Checkpoint. The
-// engine's packed stateKey values are converted back to opaque States at
-// this boundary — a cold path — so the on-disk format is unchanged from
-// the string-keyed engine. Entries are sorted by state encoding so
-// checkpoint bytes are canonical.
-func snapshot(v *visitedSet, res Result, frontier []stateKey, depth int32) *Checkpoint {
+// engine's slot refs are converted back to opaque States at this
+// boundary — a cold path. Entries are sorted by state encoding so
+// checkpoint bytes are canonical regardless of insertion order or worker
+// count.
+func snapshot(v *visitedSet, res Result, frontier []uint32, depth int32) *Checkpoint {
 	cp := &Checkpoint{
 		Depth:       depth,
 		ResultDepth: res.Depth,
@@ -74,16 +84,19 @@ func snapshot(v *visitedSet, res Result, frontier []stateKey, depth int32) *Chec
 		Visited:     make([]VisitedEntry, 0, v.count.Load()),
 	}
 	for i := range frontier {
-		cp.Frontier[i] = v.stateOf(&frontier[i])
+		cp.Frontier[i] = v.stateOf(frontier[i])
 	}
-	for i := range v.shards {
-		sh := &v.shards[i]
+	for si := range v.shards {
+		sh := &v.shards[si]
 		sh.mu.Lock()
-		for s, n := range sh.m {
-			s, parent := s, n.parent
-			cp.Visited = append(cp.Visited, VisitedEntry{
-				State: v.stateOf(&s), Parent: v.stateOf(&parent), Key: n.key, Depth: n.depth, HasParent: n.hasParent,
-			})
+		for o := uint32(0); o < sh.ordCount; o++ {
+			ref := makeRef(uint32(si), o)
+			e := VisitedEntry{State: v.stateOf(ref)}
+			if p, ok := v.parentOf(ref); ok {
+				e.Parent = v.stateOf(p)
+				e.HasParent = true
+			}
+			cp.Visited = append(cp.Visited, e)
 		}
 		sh.mu.Unlock()
 	}
@@ -92,27 +105,43 @@ func snapshot(v *visitedSet, res Result, frontier []stateKey, depth int32) *Chec
 }
 
 // restore loads a checkpoint into the visited set and returns the saved
-// frontier, re-packed into engine keys. The restored states are charged
-// against the current budget.
-func (v *visitedSet) restore(cp *Checkpoint) ([]stateKey, error) {
+// frontier as engine refs. It runs in two passes: admit every state
+// (with key 0 — any resumed level's base orders past it), then resolve
+// parent encodings to slot refs by probing. The restored states are
+// charged against the current budget.
+func (v *visitedSet) restore(cp *Checkpoint) ([]uint32, error) {
 	if int64(len(cp.Visited)) > v.max {
 		return nil, fmt.Errorf("mc: checkpoint holds %d states, over the %d-state budget: %w",
 			len(cp.Visited), v.max, ErrStateLimit)
 	}
-	for _, e := range cp.Visited {
-		k := v.pack([]byte(e.State))
-		sh := v.shardAt(v.hashOf(&k))
-		sh.m[k] = bfsNode{parent: v.pack([]byte(e.Parent)), key: e.Key, depth: e.Depth, hasParent: e.HasParent}
+	refs := make([]uint32, len(cp.Visited))
+	for i, e := range cp.Visited {
+		enc := []byte(e.State)
+		st, ref := v.claim(enc, hashBytes(enc), 0, 0, e.HasParent, 1, nil)
+		if st != claimNew {
+			return nil, fmt.Errorf("%w: duplicate visited state", ErrBadCheckpoint)
+		}
+		refs[i] = ref
 	}
-	v.count.Store(int64(len(cp.Visited)))
-	frontier := make([]stateKey, len(cp.Frontier))
+	for i, e := range cp.Visited {
+		if !e.HasParent {
+			continue
+		}
+		penc := []byte(e.Parent)
+		pref, ok := v.find(penc, hashBytes(penc))
+		if !ok {
+			return nil, fmt.Errorf("%w: parent state missing from visited set", ErrBadCheckpoint)
+		}
+		v.entryOf(refs[i]).parent = pref
+	}
+	frontier := make([]uint32, len(cp.Frontier))
 	for i, s := range cp.Frontier {
-		k := v.pack([]byte(s))
-		sh := v.shardAt(v.hashOf(&k))
-		if _, ok := sh.m[k]; !ok {
+		enc := []byte(s)
+		ref, ok := v.find(enc, hashBytes(enc))
+		if !ok {
 			return nil, fmt.Errorf("%w: frontier state missing from visited set", ErrBadCheckpoint)
 		}
-		frontier[i] = k
+		frontier[i] = ref
 	}
 	return frontier, nil
 }
@@ -171,8 +200,6 @@ func WriteCheckpoint(path string, cp *Checkpoint) error {
 	for _, e := range cp.Visited {
 		w.str(e.State)
 		w.str(e.Parent)
-		w.uvarint(e.Key)
-		w.uvarint(uint64(uint32(e.Depth)))
 		flags := byte(0)
 		if e.HasParent {
 			flags = 1
@@ -246,9 +273,11 @@ func (r *cpReader) count() int {
 	return int(n)
 }
 
-// ReadCheckpoint loads and validates a checkpoint file. A missing file
-// surfaces as an error wrapping os.ErrNotExist so callers can treat it as
-// "start fresh".
+// ReadCheckpoint loads and validates a checkpoint file. Both the current
+// version-2 format and legacy version-1 files (whose per-entry claim key
+// and depth are parsed and discarded) are accepted. A missing file
+// surfaces as an error wrapping os.ErrNotExist so callers can treat it
+// as "start fresh".
 func ReadCheckpoint(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -267,8 +296,9 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
 	}
 	r := &cpReader{r: bytes.NewReader(payload[len(checkpointMagic):])}
-	if v := r.uvarint(); r.err == nil && v != checkpointVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, v)
+	version := r.uvarint()
+	if r.err == nil && version != checkpointVersion && version != checkpointLegacyVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, version)
 	}
 	cp := &Checkpoint{
 		Depth:       int32(r.uvarint()),
@@ -281,7 +311,11 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 	}
 	cp.Visited = make([]VisitedEntry, 0, r.count())
 	for i := cap(cp.Visited); i > 0 && r.err == nil; i-- {
-		e := VisitedEntry{State: r.str(), Parent: r.str(), Key: r.uvarint(), Depth: int32(r.uvarint())}
+		e := VisitedEntry{State: r.str(), Parent: r.str()}
+		if version == checkpointLegacyVersion {
+			r.uvarint() // claim key: superseded by monotone level bases
+			r.uvarint() // depth: implied by the resumed level structure
+		}
 		var flags [1]byte
 		if _, err := io.ReadFull(r.r, flags[:]); err != nil {
 			r.err = fmt.Errorf("%w: truncated", ErrBadCheckpoint)

@@ -17,9 +17,9 @@ func sampleCheckpoint() *Checkpoint {
 		Transitions: 1234,
 		Frontier:    []State{"b", "", "c\x00d"},
 		Visited: []VisitedEntry{
-			{State: "", Parent: "", Key: 0, Depth: 0, HasParent: false},
-			{State: "b", Parent: "", Key: 3, Depth: 1, HasParent: true},
-			{State: "c\x00d", Parent: "b", Key: 1 << 30, Depth: 7, HasParent: true},
+			{State: "", Parent: "", HasParent: false},
+			{State: "b", Parent: "", HasParent: true},
+			{State: "c\x00d", Parent: "b", HasParent: true},
 		},
 	}
 }
@@ -91,6 +91,54 @@ func TestCheckpointVersionMismatch(t *testing.T) {
 	}
 	if _, err := ReadCheckpoint(path); !errors.Is(err, ErrBadCheckpoint) {
 		t.Fatalf("version 99: got %v, want ErrBadCheckpoint", err)
+	}
+}
+
+// TestCheckpointLegacyV1Load hand-builds a version-1 file — whose
+// visited entries carry the claim key and depth fields the current
+// format dropped — and proves the reader still loads it, discarding the
+// two legacy fields.
+func TestCheckpointLegacyV1Load(t *testing.T) {
+	want := sampleCheckpoint()
+	payload := []byte(checkpointMagic)
+	payload = binary.AppendUvarint(payload, checkpointLegacyVersion)
+	payload = binary.AppendUvarint(payload, uint64(uint32(want.Depth)))
+	payload = binary.AppendUvarint(payload, uint64(want.ResultDepth))
+	payload = binary.AppendUvarint(payload, uint64(want.Transitions))
+	str := func(s State) {
+		payload = binary.AppendUvarint(payload, uint64(len(s)))
+		payload = append(payload, s...)
+	}
+	payload = binary.AppendUvarint(payload, uint64(len(want.Frontier)))
+	for _, s := range want.Frontier {
+		str(s)
+	}
+	payload = binary.AppendUvarint(payload, uint64(len(want.Visited)))
+	for i, e := range want.Visited {
+		str(e.State)
+		str(e.Parent)
+		payload = binary.AppendUvarint(payload, uint64(i*3)) // legacy claim key
+		payload = binary.AppendUvarint(payload, uint64(i))   // legacy depth
+		flags := byte(0)
+		if e.HasParent {
+			flags = 1
+		}
+		payload = append(payload, flags)
+	}
+	h := fnv.New64a()
+	h.Write(payload)
+	payload = binary.BigEndian.AppendUint64(payload, h.Sum64())
+
+	path := filepath.Join(t.TempDir(), "cp-v1")
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("legacy v1 read: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy v1 mismatch:\n got %+v\nwant %+v", got, want)
 	}
 }
 

@@ -2,23 +2,40 @@ package mc
 
 // The exploration engine: a level-synchronous parallel BFS.
 //
-// Each BFS generation (all states at one depth) is partitioned across a
-// bounded worker pool. Workers claim successors through a sharded visited
-// set — numShards maps, each behind its own mutex, with the shard chosen
-// by an FNV-1a hash of the state — so there is no global lock on the hot
-// path. Determinism for any worker count comes from two reductions:
+// Each BFS generation (all states at one depth) is expanded by a bounded
+// worker pool. Workers claim successors through the flat sharded visited
+// set (flatset.go) — open-addressing probe tables over append-only entry
+// logs, with a lock-free duplicate fast path — so there is no global
+// lock on the hot path. Determinism for any worker count comes from two
+// reductions:
 //
 //   - Claim keys. Every generated successor carries the key
-//     (frontier slot index, successor index) — the order the serial loop
-//     would examine it in. When two frontier slots generate the same new
-//     state concurrently, the lower key wins the parent pointer
-//     (re-keying), so BFS parents — and therefore counterexample paths —
-//     are exactly the ones a serial left-to-right sweep would record.
+//     levelBase + (frontier slot << 24 | successor index) — the order
+//     the serial loop would examine it in. When two frontier slots
+//     generate the same new state concurrently, the lower key wins the
+//     parent pointer (re-keying), so BFS parents — and therefore
+//     counterexample paths — are exactly the ones a serial
+//     left-to-right sweep would record.
 //   - Violation reduction. Invariant violations found within a level are
-//     collected and the lowest-keyed one wins; states and transitions are
-//     then counted up to that key only. The reported Result is therefore
-//     byte-identical to the serial sweep's, which stops at the first
-//     violation it meets.
+//     collected and the lowest-keyed one wins; states and transitions
+//     are then counted up to that key only. The reported Result is
+//     therefore byte-identical to the serial sweep's, which stops at the
+//     first violation it meets.
+//
+// Claim keys are globally monotone: each level's keys start at a
+// levelBase past every key minted before it (the base advances by
+// len(frontier) << 24 per level). That single ordering both replaces the
+// per-state depth field the visited set used to store — "claimed in the
+// current level" is simply key >= levelBase — and lets the claim fast
+// path resolve earlier-level duplicates without locking, because an
+// entry with key < levelBase can never be re-keyed again.
+//
+// Work distribution within a level is chunked work-stealing: workers
+// repeatedly grab the next fixed-size chunk of frontier slots from an
+// atomic cursor, so a skewed level (one slot fanning out 10× the
+// others') keeps every worker busy instead of serializing on a static
+// partition. Stealing order is irrelevant to the result: claims reduce
+// by min key and the level barrier is unchanged.
 //
 // Because every level is fully expanded before the next begins, a
 // counterexample ends at the first level containing any violation: the
@@ -26,14 +43,13 @@ package mc
 // that substitutes for SMV's counterexamples (DESIGN.md).
 //
 // The hot path is engineered to be allocation-free at steady state (see
-// DESIGN.md "hot path & memory layout"): states move as packed stateKey
-// values rather than interned strings, every worker owns an Expander plus
-// private accumulators that are reused level over level, the two frontier
-// buffers double-buffer across generations, and the state hash is
-// computed once per successor and passed through claim. Allocation
-// remains only where structures genuinely grow — map rehashes and
-// first-time buffer growth — and on cold paths (violations, checkpoints,
-// traces).
+// DESIGN.md "hot path & memory layout"): states move as 32-bit refs into
+// the visited set's stable slots, every worker owns an Expander plus
+// private accumulators that are reused level over level, the two
+// frontier buffers double-buffer across generations, and the state hash
+// is computed once per successor and passed through claim. Allocation
+// remains only where structures genuinely grow — slab and probe-index
+// growth — and on cold paths (violations, checkpoints, traces).
 
 import (
 	"context"
@@ -49,141 +65,62 @@ import (
 	"ttastar/internal/sim"
 )
 
-// numShards is the visited-set shard count; a power of two so the shard
-// index is a mask of the state hash.
-const numShards = 64
-
 // Claim keys pack (frontier slot, successor index) into one comparable
-// word: lower key == earlier in serial examination order.
+// word on top of the level's base: lower key == earlier in serial
+// examination order.
 const (
 	keySuccBits = 24 // successor index: up to ~16.7M successors per state
 	keySuccMask = 1<<keySuccBits - 1
 )
 
-func claimKey(slot, succ int) uint64 {
+func claimKey(base uint64, slot, succ int) uint64 {
 	if succ > keySuccMask {
 		panic(fmt.Sprintf("mc: state with more than %d successors", keySuccMask))
 	}
-	return uint64(slot)<<keySuccBits | uint64(succ)
+	return base + uint64(slot)<<keySuccBits + uint64(succ)
 }
 
-// bfsNode is the per-state record in the visited set.
-type bfsNode struct {
-	parent stateKey
-	// key is the winning (lowest) claim key within the node's level; it
-	// orders the next frontier and resolves violation ties.
-	key uint64
-	// depth is the BFS level the state was first claimed at.
-	depth int32
-	// hasParent distinguishes root states from children explicitly: a
-	// parent encoding that happens to be empty must not terminate trace
-	// reconstruction.
-	hasParent bool
-}
-
-type shard struct {
-	mu sync.Mutex
-	m  map[stateKey]bfsNode
-}
-
-// visitedSet is the sharded, budget-bounded visited map, keyed on packed
-// stateKey values so probes and inserts never allocate per state.
-type visitedSet struct {
-	shards   [numShards]shard
-	count    atomic.Int64 // states admitted; never exceeds max
-	max      int64
-	overflow internTable // encodings too long for a stateKey's inline array
-}
-
-func newVisitedSet(maxStates int) *visitedSet {
-	v := &visitedSet{max: int64(maxStates)}
-	for i := range v.shards {
-		v.shards[i].m = make(map[stateKey]bfsNode)
-	}
-	return v
-}
-
-// shardAt maps a precomputed state hash onto its shard.
-func (v *visitedSet) shardAt(h uint32) *shard {
-	return &v.shards[h&(numShards-1)]
-}
-
-// Claim outcomes.
-const (
-	claimNew  = iota // state admitted for the first time
-	claimDup         // state already visited (possibly re-keyed)
-	claimFull        // state budget exhausted; state NOT admitted
-)
-
-// claim tries to admit k with node n. h is k's FNV-1a hash, computed once
-// by the caller (the generating worker) and reused here for shard
-// selection, instead of re-hashing under contention. The budget is
-// checked before insertion, so the set never holds more than max states.
-// A duplicate claim from the same level with a lower key takes over the
-// parent pointer (min-key reduction); duplicates from earlier levels are
-// untouched.
-func (v *visitedSet) claim(k stateKey, h uint32, n bfsNode) int {
-	sh := v.shardAt(h)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	old, ok := sh.m[k]
-	if !ok {
-		if v.count.Add(1) > v.max {
-			v.count.Add(-1)
-			return claimFull
-		}
-		sh.m[k] = n
-		return claimNew
-	}
-	if old.depth == n.depth && n.key < old.key {
-		sh.m[k] = n
-	}
-	return claimDup
-}
-
-// get returns the node for a visited state. It is only called between
-// levels or after the search, when no claims are in flight, but locks
-// anyway so the engine stays race-clean under partial failures.
-func (v *visitedSet) get(k stateKey) bfsNode {
-	sh := v.shardAt(v.hashOf(&k))
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.m[k]
-}
+// stealChunk is the number of frontier slots a worker takes per grab of
+// the level cursor — large enough to amortize the atomic add, small
+// enough that a skewed tail redistributes.
+const stealChunk = 32
 
 // violation is a candidate invariant failure found within a level.
 type violation struct {
 	key     uint64
-	from    stateKey // frontier state (transition violations only)
-	to      stateKey // violating successor / violating state
-	isState bool     // state-invariant (vs transition-invariant) violation
+	fromRef uint32 // frontier state (transition violations only)
+	to      State  // violating successor (transition violations only)
+	toRef   uint32 // violating admitted state (state violations only)
+	isState bool   // state-invariant (vs transition-invariant) violation
 }
 
 // levelAcc is one worker's private accumulator for a level, reused across
 // levels: the slices are truncated, never reallocated, once they reach
 // their high-water capacity.
 type levelAcc struct {
-	claimed []stateKey // states this worker admitted first
+	claimed []uint32   // states this worker admitted first
 	trBest  *violation // lowest-keyed transition violation seen
-	stViol  []stateKey // newly admitted states that fail the state invariant
+	stViol  []uint32   // newly admitted states that fail the state invariant
 	full    bool       // the worker hit the state budget
 }
 
 // levelScratch is the per-search reusable exploration state: worker
-// accumulators, per-worker expanders, the double-buffered frontier and
-// the sort scratch. It is what makes the steady-state loop allocation-
-// free — every level borrows these buffers instead of allocating its own.
+// accumulators, per-worker expanders and probe counters, the
+// double-buffered frontier and the sort scratch. It is what makes the
+// steady-state loop allocation-free — every level borrows these buffers
+// instead of allocating its own.
 type levelScratch struct {
 	accs   []levelAcc
 	counts []int
 	exps   []Expander
-	spare  []stateKey // the frontier buffer not currently being expanded
-	keyed  []keyedState
+	probes []probeCounter
+	spare  []uint32 // the frontier buffer not currently being expanded
+	keyed  []keyedRef
 }
 
-type keyedState struct {
+type keyedRef struct {
 	key uint64
-	s   stateKey
+	ref uint32
 }
 
 // expanderFor returns the model's allocation-free expander when it offers
@@ -224,8 +161,9 @@ func (e *sliceExpander) Successors(enc []byte) [][]byte {
 
 func newLevelScratch(m Model, workers int) *levelScratch {
 	sc := &levelScratch{
-		accs: make([]levelAcc, workers),
-		exps: make([]Expander, workers),
+		accs:   make([]levelAcc, workers),
+		exps:   make([]Expander, workers),
+		probes: make([]probeCounter, workers),
 	}
 	for i := range sc.exps {
 		sc.exps[i] = expanderFor(m)
@@ -241,11 +179,11 @@ type levelOut struct {
 	claimed int // total states admitted this level
 }
 
-// runLevel expands every frontier slot at the given depth across the
-// worker pool. The whole level is always completed — even after a
-// violation or budget hit — because deterministic reduction needs every
-// claim key of the level.
-func runLevel(sc *levelScratch, v *visitedSet, frontier []stateKey, depth int32,
+// runLevel expands every frontier slot across the worker pool; base is
+// the levelBase the minted claim keys start at. The whole level is
+// always completed — even after a violation or budget hit — because
+// deterministic reduction needs every claim key of the level.
+func runLevel(sc *levelScratch, v *visitedSet, frontier []uint32, base uint64,
 	stInv StateInvariantBytes, trInv TransitionInvariantBytes, workers int) levelOut {
 	n := len(frontier)
 	if workers > n {
@@ -262,50 +200,59 @@ func runLevel(sc *levelScratch, v *visitedSet, frontier []stateKey, depth int32,
 		acc.trBest = nil
 		acc.full = false
 	}
-	var nextSlot atomic.Int64
-	work := func(w int) {
-		acc := &out.accs[w]
-		exp := sc.exps[w]
-		for {
-			i := int(nextSlot.Add(1)) - 1
-			if i >= n {
-				return
+	expand := func(acc *levelAcc, exp Expander, pc *probeCounter, i int) {
+		ref := frontier[i]
+		sb := v.bytesOf(ref)
+		succs := exp.Successors(sb)
+		out.counts[i] = len(succs)
+		for j, succ := range succs {
+			key := claimKey(base, i, j)
+			if trInv != nil && !trInv(sb, succ) {
+				if acc.trBest == nil || key < acc.trBest.key {
+					acc.trBest = &violation{key: key, fromRef: ref, to: State(succ)}
+				}
+				continue
 			}
-			s := &frontier[i]
-			sb := v.bytesOf(s)
-			succs := exp.Successors(sb)
-			out.counts[i] = len(succs)
-			for j, succ := range succs {
-				key := claimKey(i, j)
-				if trInv != nil && !trInv(sb, succ) {
-					if acc.trBest == nil || key < acc.trBest.key {
-						acc.trBest = &violation{key: key, from: *s, to: v.pack(succ)}
-					}
-					continue
+			st, sref := v.claim(succ, hashBytes(succ), ref, key, true, base, pc)
+			switch st {
+			case claimNew:
+				acc.claimed = append(acc.claimed, sref)
+				if stInv != nil && !stInv(succ) {
+					acc.stViol = append(acc.stViol, sref)
 				}
-				h := hashBytes(succ)
-				pk := v.pack(succ)
-				switch v.claim(pk, h, bfsNode{parent: *s, key: key, depth: depth + 1, hasParent: true}) {
-				case claimNew:
-					acc.claimed = append(acc.claimed, pk)
-					if stInv != nil && !stInv(succ) {
-						acc.stViol = append(acc.stViol, pk)
-					}
-				case claimFull:
-					acc.full = true
-				}
+			case claimFull:
+				acc.full = true
 			}
 		}
 	}
 	if workers <= 1 {
-		work(0)
+		for i := 0; i < n; i++ {
+			expand(&out.accs[0], sc.exps[0], &sc.probes[0], i)
+		}
 	} else {
+		// Chunked work-stealing: each worker repeatedly claims the next
+		// stealChunk frontier slots from the shared cursor, so slow
+		// chunks never pin the rest of the level to one worker.
+		var cursor atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				work(w)
+				acc, exp, pc := &out.accs[w], sc.exps[w], &sc.probes[w]
+				for {
+					start := int(cursor.Add(stealChunk)) - stealChunk
+					if start >= n {
+						return
+					}
+					end := start + stealChunk
+					if end > n {
+						end = n
+					}
+					for i := start; i < end; i++ {
+						expand(acc, exp, pc, i)
+					}
+				}
 			}(w)
 		}
 		wg.Wait()
@@ -329,8 +276,8 @@ func reduceViolation(v *visitedSet, out levelOut) *violation {
 		if tr := out.accs[i].trBest; tr != nil && better(tr) {
 			best = tr
 		}
-		for _, s := range out.accs[i].stViol {
-			c := &violation{key: v.get(s).key, to: s, isState: true}
+		for _, ref := range out.accs[i].stViol {
+			c := &violation{key: v.keyOf(ref), toRef: ref, isState: true}
 			if better(c) {
 				best = c
 			}
@@ -340,10 +287,11 @@ func reduceViolation(v *visitedSet, out levelOut) *violation {
 }
 
 // transitionsThrough counts the transitions a serial sweep would have
-// examined up to and including the winning key.
-func transitionsThrough(counts []int, key uint64) int {
-	slot := int(key >> keySuccBits)
-	total := int(key&keySuccMask) + 1
+// examined up to and including the winning key, given the key relative
+// to the level's base.
+func transitionsThrough(counts []int, relKey uint64) int {
+	slot := int(relKey >> keySuccBits)
+	total := int(relKey&keySuccMask) + 1
 	for i := 0; i < slot; i++ {
 		total += counts[i]
 	}
@@ -355,8 +303,8 @@ func transitionsThrough(counts []int, key uint64) int {
 func statesThrough(v *visitedSet, out levelOut, limit uint64) int {
 	n := 0
 	for i := range out.accs {
-		for _, s := range out.accs[i].claimed {
-			if v.get(s).key < limit {
+		for _, ref := range out.accs[i].claimed {
+			if v.keyOf(ref) < limit {
 				n++
 			}
 		}
@@ -367,7 +315,7 @@ func statesThrough(v *visitedSet, out levelOut, limit uint64) int {
 // nextFrontier orders the level's admitted states by their final claim
 // keys — exactly the order a serial sweep would have appended them in —
 // into dst, which is reused level over level.
-func nextFrontier(v *visitedSet, sc *levelScratch, out levelOut, dst []stateKey) []stateKey {
+func nextFrontier(v *visitedSet, sc *levelScratch, out levelOut, dst []uint32) []uint32 {
 	dst = dst[:0]
 	if len(out.accs) == 1 {
 		// A single worker claims in ascending key order, so no claim is
@@ -376,11 +324,11 @@ func nextFrontier(v *visitedSet, sc *levelScratch, out levelOut, dst []stateKey)
 	}
 	keyed := sc.keyed[:0]
 	for i := range out.accs {
-		for _, s := range out.accs[i].claimed {
-			keyed = append(keyed, keyedState{key: v.get(s).key, s: s})
+		for _, ref := range out.accs[i].claimed {
+			keyed = append(keyed, keyedRef{key: v.keyOf(ref), ref: ref})
 		}
 	}
-	slices.SortFunc(keyed, func(a, b keyedState) int {
+	slices.SortFunc(keyed, func(a, b keyedRef) int {
 		switch {
 		case a.key < b.key:
 			return -1
@@ -391,7 +339,7 @@ func nextFrontier(v *visitedSet, sc *levelScratch, out levelOut, dst []stateKey)
 		}
 	})
 	for i := range keyed {
-		dst = append(dst, keyed[i].s)
+		dst = append(dst, keyed[i].ref)
 	}
 	sc.keyed = keyed
 	return dst
@@ -402,12 +350,32 @@ func nextFrontier(v *visitedSet, sc *levelScratch, out levelOut, dst []stateKey)
 type searchMetrics struct {
 	levels       int
 	peakFrontier int
+	probeHist    [probeBuckets]uint64
+	loadFactor   float64
+	resident     int64
+	peakResident int64
 }
 
 func (sm *searchMetrics) frontier(n int) {
 	if sm != nil && n > sm.peakFrontier {
 		sm.peakFrontier = n
 	}
+}
+
+// collect folds the visited set's table statistics and the per-worker
+// probe histograms into the metrics at search end.
+func (sm *searchMetrics) collect(v *visitedSet, sc *levelScratch) {
+	if sm == nil {
+		return
+	}
+	for i := range sc.probes {
+		for b, c := range sc.probes[i].hist {
+			sm.probeHist[b] += c
+		}
+	}
+	sm.loadFactor = v.loadFactor()
+	sm.resident = v.resident.Load()
+	sm.peakResident = v.peak.Load()
 }
 
 // check is the engine entry point shared by the four Check* functions.
@@ -427,13 +395,17 @@ func check(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBytes, o
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)
 	st := Stats{
-		States:       res.StatesExplored,
-		Transitions:  res.TransitionsExplored,
-		Levels:       met.levels,
-		PeakFrontier: met.peakFrontier,
-		Duration:     d,
-		Allocs:       ms1.Mallocs - ms0.Mallocs,
-		AllocBytes:   ms1.TotalAlloc - ms0.TotalAlloc,
+		States:            res.StatesExplored,
+		Transitions:       res.TransitionsExplored,
+		Levels:            met.levels,
+		PeakFrontier:      met.peakFrontier,
+		Duration:          d,
+		Allocs:            ms1.Mallocs - ms0.Mallocs,
+		AllocBytes:        ms1.TotalAlloc - ms0.TotalAlloc,
+		LoadFactor:        met.loadFactor,
+		ProbeHist:         met.probeHist,
+		ResidentBytes:     met.resident,
+		PeakResidentBytes: met.peakResident,
 	}
 	if s := d.Seconds(); s > 0 {
 		st.StatesPerSec = float64(res.StatesExplored) / s
@@ -457,8 +429,13 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 	}
 
 	sc := newLevelScratch(m, opts.Workers)
-	var frontier []stateKey
+	defer met.collect(v, sc)
+	var frontier []uint32
 	startDepth := int32(0)
+	// nextBase is the levelBase the next level's claim keys start at;
+	// it advances by len(frontier) << keySuccBits per level, keeping
+	// claim keys globally monotone across the whole search.
+	var nextBase uint64
 	if resume != nil {
 		frontier, err = v.restore(resume)
 		if err != nil {
@@ -467,26 +444,32 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 		startDepth = resume.Depth
 		res.Depth = resume.ResultDepth
 		res.TransitionsExplored = resume.Transitions
+		// Restored entries carry key 0; any positive base orders every
+		// one of them strictly before the first resumed level.
+		nextBase = 1 << keySuccBits
 	} else {
 		// Level 0: admit the initial states in index order — their claim
 		// keys are their indices — counting them against the state budget
 		// and checking the state invariant before any expansion.
-		for i, s := range m.Initial() {
-			pk := v.pack([]byte(s))
-			switch v.claim(pk, v.hashOf(&pk), bfsNode{key: uint64(i)}) {
+		inits := m.Initial()
+		for i, s := range inits {
+			enc := []byte(s)
+			st, ref := v.claim(enc, hashBytes(enc), 0, uint64(i), false, 0, &sc.probes[0])
+			switch st {
 			case claimFull:
 				return exhausted(m, v, res, stInv, trInv, opts)
 			case claimDup:
 				continue
 			}
-			if stInv != nil && !stInv([]byte(s)) {
+			if stInv != nil && !stInv(enc) {
 				res.Holds = false
 				res.Counterexample = []State{s}
 				res.StatesExplored = int(v.count.Load())
 				return conclusive(res, opts)
 			}
-			frontier = append(frontier, pk)
+			frontier = append(frontier, ref)
 		}
+		nextBase = uint64(len(inits)) << keySuccBits
 	}
 	met.frontier(len(frontier))
 
@@ -499,7 +482,17 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 			res.DepthBounded = true
 			break
 		}
-		lvl := runLevel(sc, v, frontier, depth, stInv, trInv, opts.Workers)
+		// The memory budget is enforced at level boundaries, where the
+		// resident footprint is a deterministic function of the admitted
+		// state set — so a budget trip is identical for any worker count.
+		if opts.MemBudget > 0 && v.resident.Load() > opts.MemBudget {
+			return exhausted(m, v, res, stInv, trInv, opts)
+		}
+		if nextBase+(uint64(len(frontier))+1)<<keySuccBits > keyMask {
+			return res, fmt.Errorf("mc: claim-key space exhausted at depth %d (%d states): %w",
+				depth, v.count.Load(), ErrStateLimit)
+		}
+		lvl := runLevel(sc, v, frontier, nextBase, stInv, trInv, opts.Workers)
 		if met != nil {
 			met.levels++
 		}
@@ -513,11 +506,11 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 			}
 			prior := int(v.count.Load()) - lvl.claimed
 			res.StatesExplored = prior + statesThrough(v, lvl, limit)
-			res.TransitionsExplored += transitionsThrough(lvl.counts, viol.key)
+			res.TransitionsExplored += transitionsThrough(lvl.counts, viol.key-nextBase)
 			if viol.isState {
-				res.Counterexample = tracePath(v, viol.to)
+				res.Counterexample = tracePath(v, viol.toRef)
 			} else {
-				res.Counterexample = append(tracePath(v, viol.from), v.stateOf(&viol.to))
+				res.Counterexample = append(tracePath(v, viol.fromRef), viol.to)
 			}
 			return conclusive(res, opts)
 		}
@@ -533,6 +526,7 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 			return exhausted(m, v, res, stInv, trInv, opts)
 		}
 
+		nextBase += uint64(len(frontier)) << keySuccBits
 		// Double-buffer the frontier: build the next generation into the
 		// spare buffer, then recycle the one just expanded.
 		next := nextFrontier(v, sc, lvl, sc.spare)
@@ -593,7 +587,7 @@ func conclusive(res Result, opts Options) (Result, error) {
 // interrupted finalizes a cancelled search: the partial Result keeps
 // everything explored so far, a checkpoint is flushed if requested, and
 // the context's cause is surfaced as ErrDeadline or ErrInterrupted.
-func interrupted(v *visitedSet, res Result, frontier []stateKey, depth int32,
+func interrupted(v *visitedSet, res Result, frontier []uint32, depth int32,
 	cause error, opts Options) (Result, error) {
 	res.Interrupted = true
 	res.StatesExplored = int(v.count.Load())
@@ -613,11 +607,11 @@ func interrupted(v *visitedSet, res Result, frontier []stateKey, depth int32,
 // other seed derivation in the repo.
 const fallbackSeedDomain = 0x5d
 
-// exhausted handles a spent MaxStates budget. Without a fallback it is the
-// historical hard failure; with FallbackWalks set it degrades into seeded
-// random-walk sampling beyond the explored region, yielding either a
-// genuine (non-minimal) counterexample or an explicit Inconclusive verdict
-// with coverage stats.
+// exhausted handles a spent MaxStates or MemBudget budget. Without a
+// fallback it is the historical hard failure; with FallbackWalks set it
+// degrades into seeded random-walk sampling beyond the explored region,
+// yielding either a genuine (non-minimal) counterexample or an explicit
+// Inconclusive verdict with coverage stats.
 func exhausted(m Model, v *visitedSet, res Result, stInv StateInvariantBytes,
 	trInv TransitionInvariantBytes, opts Options) (Result, error) {
 	res.StatesExplored = int(v.count.Load())
@@ -646,23 +640,23 @@ func exhausted(m Model, v *visitedSet, res Result, stInv StateInvariantBytes,
 	return conclusive(res, opts)
 }
 
-// tracePath reconstructs the BFS path from an initial state to k inclusive
-// by following parent pointers until a root (hasParent == false) — never
-// by inspecting the encoding, so models whose states encode to "" are
-// reconstructed correctly.
-func tracePath(v *visitedSet, k stateKey) []State {
-	var rev []stateKey
+// tracePath reconstructs the BFS path from an initial state to ref
+// inclusive by following parent refs until a root (hasParent == false) —
+// never by inspecting the encoding, so models whose states encode to ""
+// are reconstructed correctly.
+func tracePath(v *visitedSet, ref uint32) []State {
+	var rev []uint32
 	for {
-		rev = append(rev, k)
-		n := v.get(k)
-		if !n.hasParent {
+		rev = append(rev, ref)
+		p, ok := v.parentOf(ref)
+		if !ok {
 			break
 		}
-		k = n.parent
+		ref = p
 	}
 	out := make([]State, len(rev))
 	for i := range rev {
-		out[len(rev)-1-i] = v.stateOf(&rev[i])
+		out[len(rev)-1-i] = v.stateOf(rev[i])
 	}
 	return out
 }

@@ -1,0 +1,446 @@
+package mc
+
+// The flat open-addressing visited set.
+//
+// PR 4 removed the per-state heap object; this layer removes the Go map
+// around it. Each of the 64 shards now owns two structures:
+//
+//   - An append-only entry log of fixed-width 32-byte slots (20 inline
+//     encoding bytes + parent ref + packed meta word), allocated in
+//     power-of-two-growing chunks so entries NEVER move once written.
+//     That stability is what lets a parent pointer be a plain 32-bit
+//     ref (shard | insertion ordinal) instead of a 21-byte key copy.
+//   - An open-addressing probe index of uint64 cells
+//     [hash fragment:32 | ordinal+1:32] with linear probing, grown by
+//     allocate-and-rehash swap behind an atomic pointer. Rehashing moves
+//     only 8-byte cells, never entry bytes.
+//
+// The claim fast path is lock-free: load the index pointer, probe cells
+// with atomic loads, and resolve duplicates from earlier BFS levels
+// without touching the shard mutex — safe because a cell is published
+// with a release store only after its entry bytes are fully written, and
+// an entry's meta word (the only mutable field a concurrent reader
+// inspects) is accessed atomically. Only a miss, or a duplicate claimed
+// within the current level (where a min-key takeover may race), takes
+// the shard lock.
+//
+// Both slots and cells are pointer-free, so the GC never scans the set,
+// and the resident footprint is exact: chunks × 32B + cells × 8B +
+// interned overflow bytes, tracked in visitedSet.resident for
+// Options.MemBudget and Stats.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards is the visited-set shard count; a power of two so the shard
+// index is a mask of the state hash.
+const numShards = 64
+
+const (
+	shardBits = 6 // log2(numShards)
+	// ordBits bounds the per-shard entry count: refs pack
+	// (ordinal << shardBits | shard) into 32 bits.
+	ordBits    = 32 - shardBits
+	maxOrdinal = 1<<ordBits - 1
+
+	// Entry chunks grow as 16, 32, 64, ... entries; chunk c spans
+	// ordinals [16·(2^c−1), 16·(2^(c+1)−1)). 23 chunks cover every
+	// ordinal ref bits can address.
+	entryChunkBase = 16
+	maxEntryChunks = 23
+
+	// initialIndexCells is the probe index's starting size per shard —
+	// small, because tiny test models touch most shards with a handful
+	// of states each. The index quadruples while small and doubles once
+	// past growDoubleAt cells, and grows when count exceeds 3/4 of
+	// capacity.
+	initialIndexCells = 32
+	growDoubleAt      = 2048
+)
+
+// entry is one visited state: a 32-byte pointer-free slot.
+//
+// meta packs [spare:6 | nfield:5 | hasParent:1 | key:52]:
+//
+//	nfield    0 = unpublished, 1..21 = inline length+1, 31 = overflow
+//	          (data[:4] then holds an intern-table index)
+//	hasParent distinguishes root states from children explicitly
+//	key       the state's winning (lowest) claim key — globally
+//	          monotone across levels, see claimKey in engine.go
+//
+// data and parent are written before the index cell that publishes the
+// entry and are immutable afterwards, except parent + meta which a
+// same-level min-key takeover rewrites under the shard lock; meta is
+// therefore accessed atomically wherever a lock-free probe can observe
+// it.
+type entry struct {
+	data   [inlineStateBytes]byte
+	parent uint32
+	meta   uint64
+}
+
+const (
+	keyBits        = 52
+	keyMask        = 1<<keyBits - 1
+	hasParentBit   = 1 << keyBits
+	nfieldShift    = keyBits + 1
+	nfieldOverflow = 31
+)
+
+func packMeta(nfield uint64, hasParent bool, key uint64) uint64 {
+	m := nfield<<nfieldShift | key
+	if hasParent {
+		m |= hasParentBit
+	}
+	return m
+}
+
+func metaNfield(m uint64) uint64 { return m >> nfieldShift & 31 }
+func metaKey(m uint64) uint64    { return m & keyMask }
+
+// chunkOf locates ordinal o in the chunked entry log.
+func chunkOf(o uint32) (c int, off uint32) {
+	c = bits.Len32(o/entryChunkBase+1) - 1
+	off = o - entryChunkBase*(1<<c-1)
+	return c, off
+}
+
+// flatShard is one visited-set shard: the entry log, its probe index,
+// and the mutex serializing inserts and same-level takeovers.
+type flatShard struct {
+	mu       sync.Mutex
+	index    atomic.Pointer[[]uint64]
+	chunks   [maxEntryChunks]atomic.Pointer[[]entry]
+	ordCount uint32 // entries appended; written only under mu
+}
+
+// entryAt returns the (stable) entry for ordinal o. Callers must have
+// observed o's publication: either through an index cell load or a
+// happens-before edge such as the level barrier.
+func (sh *flatShard) entryAt(o uint32) *entry {
+	c, off := chunkOf(o)
+	return &(*sh.chunks[c].Load())[off]
+}
+
+// visitedSet is the sharded, budget-bounded flat visited set.
+type visitedSet struct {
+	shards   [numShards]flatShard
+	count    atomic.Int64 // states admitted; never exceeds max
+	max      int64
+	resident atomic.Int64 // exact live bytes: chunks + index cells + intern
+	peak     atomic.Int64 // high-water resident, including growth transients
+	overflow internTable  // encodings too long for a slot's inline array
+}
+
+func newVisitedSet(maxStates int) *visitedSet {
+	v := &visitedSet{max: int64(maxStates)}
+	// Seed every shard's initial probe index and first entry chunk from
+	// two shared backing arrays: four allocations for the whole set
+	// instead of two per touched shard, which is what a 64-shard layout
+	// would otherwise cost even a 100-state model.
+	indexBacking := make([]uint64, numShards*initialIndexCells)
+	chunkBacking := make([]entry, numShards*entryChunkBase)
+	idxHeaders := make([][]uint64, numShards)
+	chunkHeaders := make([][]entry, numShards)
+	for i := range v.shards {
+		lo, hi := i*initialIndexCells, (i+1)*initialIndexCells
+		idxHeaders[i] = indexBacking[lo:hi:hi]
+		v.shards[i].index.Store(&idxHeaders[i])
+		lo, hi = i*entryChunkBase, (i+1)*entryChunkBase
+		chunkHeaders[i] = chunkBacking[lo:hi:hi]
+		v.shards[i].chunks[0].Store(&chunkHeaders[i])
+	}
+	v.resident.Store(numShards * (initialIndexCells*8 + entryChunkBase*32))
+	v.bumpPeak()
+	return v
+}
+
+func (v *visitedSet) bumpPeak() {
+	r := v.resident.Load()
+	for {
+		p := v.peak.Load()
+		if r <= p || v.peak.CompareAndSwap(p, r) {
+			return
+		}
+	}
+}
+
+// Refs: a visited state is addressed by (ordinal << shardBits | shard).
+
+func makeRef(shard, ord uint32) uint32 { return ord<<shardBits | shard }
+
+func (v *visitedSet) entryOf(ref uint32) *entry {
+	return v.shards[ref&(numShards-1)].entryAt(ref >> shardBits)
+}
+
+// bytesOf returns the encoding of a visited state. The inline path
+// aliases the entry's slot — stable for the set's lifetime because
+// entries never move.
+func (v *visitedSet) bytesOf(ref uint32) []byte {
+	e := v.entryOf(ref)
+	m := atomic.LoadUint64(&e.meta)
+	if nf := metaNfield(m); nf != nfieldOverflow {
+		return e.data[:nf-1]
+	}
+	return []byte(v.overflow.lookup(binary.LittleEndian.Uint32(e.data[:4])))
+}
+
+// stateOf converts a visited state back to the opaque State form
+// (allocates; used only on cold paths: traces, checkpoints).
+func (v *visitedSet) stateOf(ref uint32) State {
+	return State(v.bytesOf(ref))
+}
+
+// keyOf returns the state's current (winning) claim key.
+func (v *visitedSet) keyOf(ref uint32) uint64 {
+	return metaKey(atomic.LoadUint64(&v.entryOf(ref).meta))
+}
+
+// parentOf returns the state's BFS parent ref, if it has one. Only
+// called between levels or after the search.
+func (v *visitedSet) parentOf(ref uint32) (uint32, bool) {
+	e := v.entryOf(ref)
+	return e.parent, atomic.LoadUint64(&e.meta)&hasParentBit != 0
+}
+
+// probeBuckets sizes the probe-length histogram: buckets for lengths
+// 1..7, plus a tail bucket for 8+.
+const probeBuckets = 8
+
+// probeCounter accumulates a probe-length histogram; each worker owns
+// one (persistent across levels) so the hot path never shares a cache
+// line.
+type probeCounter struct {
+	hist [probeBuckets]uint64
+}
+
+func (p *probeCounter) add(n int) {
+	if p == nil {
+		return
+	}
+	if n > probeBuckets {
+		n = probeBuckets
+	}
+	p.hist[n-1]++
+}
+
+// keyFields splits an encoding into the slot-comparable form: the
+// nfield tag and the bytes actually stored in the slot (the encoding
+// itself, or a 4-byte intern index for overflow encodings). Interning
+// before the probe keeps comparison a fixed-size byte compare; equal
+// encodings always intern to equal indexes.
+func (v *visitedSet) keyFields(enc []byte, scratch *[4]byte) (nfield uint64, kb []byte) {
+	if len(enc) <= inlineStateBytes {
+		return uint64(len(enc)) + 1, enc
+	}
+	idx, added := v.overflow.intern(enc)
+	if added > 0 {
+		v.resident.Add(added)
+		v.bumpPeak()
+	}
+	binary.LittleEndian.PutUint32(scratch[:], idx)
+	return nfieldOverflow, scratch[:]
+}
+
+// Claim outcomes.
+const (
+	claimNew  = iota // state admitted for the first time
+	claimDup         // state already visited (possibly re-keyed)
+	claimFull        // state budget exhausted; state NOT admitted
+)
+
+// claim tries to admit enc with the given parent ref and claim key. h is
+// enc's 64-bit FNV-1a hash, computed once by the generating worker: the
+// low bits select the shard, the high 32 bits drive the probe sequence
+// and serve as the in-cell compare filter.
+//
+// levelBase is the lowest claim key minted in the current level: an
+// existing entry with key < levelBase was claimed in an earlier level
+// and can never be re-keyed, so such duplicates resolve entirely
+// lock-free. A miss, or a duplicate from the current level (min-key
+// takeover), re-probes under the shard lock. The state budget is checked
+// before insertion, so the set never holds more than max states.
+func (v *visitedSet) claim(enc []byte, h uint64, parent uint32, key uint64,
+	hasParent bool, levelBase uint64, pc *probeCounter) (int, uint32) {
+	var scratch [4]byte
+	nfield, kb := v.keyFields(enc, &scratch)
+	shardIdx := uint32(h) & (numShards - 1)
+	sh := &v.shards[shardIdx]
+	ph := uint32(h >> 32)
+
+	if ip := sh.index.Load(); ip != nil {
+		cells := *ip
+		mask := uint32(len(cells) - 1)
+		i := ph & mask
+		for n := 1; ; n++ {
+			cell := atomic.LoadUint64(&cells[i])
+			if cell == 0 {
+				break // not present in this snapshot: insert under lock
+			}
+			if uint32(cell>>32) == ph {
+				e := sh.entryAt(uint32(cell) - 1)
+				m := atomic.LoadUint64(&e.meta)
+				if metaNfield(m) == nfield && bytes.Equal(e.data[:len(kb)], kb) {
+					if metaKey(m) < levelBase {
+						pc.add(n)
+						return claimDup, 0
+					}
+					break // current-level duplicate: takeover under lock
+				}
+			}
+			i = (i + 1) & mask
+		}
+	}
+
+	sh.mu.Lock()
+	cells := v.indexLocked(sh)
+	mask := uint32(len(cells) - 1)
+	i := ph & mask
+	for n := 1; ; n++ {
+		cell := atomic.LoadUint64(&cells[i])
+		if cell == 0 {
+			if v.count.Add(1) > v.max {
+				v.count.Add(-1)
+				sh.mu.Unlock()
+				return claimFull, 0
+			}
+			ord := sh.ordCount
+			if ord >= maxOrdinal {
+				sh.mu.Unlock()
+				panic(fmt.Sprintf("mc: visited-set shard exceeds %d entries", maxOrdinal))
+			}
+			e := v.entrySlotLocked(sh, ord)
+			copy(e.data[:], kb)
+			e.parent = parent
+			atomic.StoreUint64(&e.meta, packMeta(nfield, hasParent, key))
+			sh.ordCount = ord + 1
+			// Release-store the cell: the entry above is now visible to
+			// any lock-free probe that observes the cell.
+			atomic.StoreUint64(&cells[i], uint64(ph)<<32|uint64(ord+1))
+			if uint64(sh.ordCount)*4 > uint64(len(cells))*3 {
+				v.growIndexLocked(sh, cells)
+			}
+			sh.mu.Unlock()
+			pc.add(n)
+			return claimNew, makeRef(shardIdx, ord)
+		}
+		if uint32(cell>>32) == ph {
+			e := sh.entryAt(uint32(cell) - 1)
+			m := atomic.LoadUint64(&e.meta)
+			if metaNfield(m) == nfield && bytes.Equal(e.data[:len(kb)], kb) {
+				if k := metaKey(m); k >= levelBase && key < k {
+					// Same-level duplicate with a lower key: take over
+					// the parent pointer (min-key reduction).
+					e.parent = parent
+					atomic.StoreUint64(&e.meta, packMeta(nfield, hasParent, key))
+				}
+				sh.mu.Unlock()
+				pc.add(n)
+				return claimDup, 0
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// find probes for an already-admitted encoding. Only called between
+// levels (restore, tests), but uses the same atomic loads as claim so it
+// stays race-clean anywhere.
+func (v *visitedSet) find(enc []byte, h uint64) (uint32, bool) {
+	var scratch [4]byte
+	nfield, kb := v.keyFields(enc, &scratch)
+	shardIdx := uint32(h) & (numShards - 1)
+	sh := &v.shards[shardIdx]
+	ip := sh.index.Load()
+	if ip == nil {
+		return 0, false
+	}
+	cells := *ip
+	mask := uint32(len(cells) - 1)
+	ph := uint32(h >> 32)
+	for i := ph & mask; ; i = (i + 1) & mask {
+		cell := atomic.LoadUint64(&cells[i])
+		if cell == 0 {
+			return 0, false
+		}
+		if uint32(cell>>32) == ph {
+			e := sh.entryAt(uint32(cell) - 1)
+			m := atomic.LoadUint64(&e.meta)
+			if metaNfield(m) == nfield && bytes.Equal(e.data[:len(kb)], kb) {
+				return makeRef(shardIdx, uint32(cell)-1), true
+			}
+		}
+	}
+}
+
+// indexLocked returns the shard's probe index. Caller holds sh.mu.
+func (v *visitedSet) indexLocked(sh *flatShard) []uint64 {
+	return *sh.index.Load()
+}
+
+// growIndexLocked swaps in a larger probe index, rehashing only the
+// 8-byte cells. Caller holds sh.mu. The old index stays valid for
+// concurrent lock-free probes until they re-load the pointer; a stale
+// probe can only miss recent inserts, which the locked re-probe
+// corrects.
+func (v *visitedSet) growIndexLocked(sh *flatShard, cells []uint64) {
+	newLen := len(cells) * 2
+	if newLen < growDoubleAt {
+		newLen = len(cells) * 4
+	}
+	next := make([]uint64, newLen)
+	// Both generations are live during the rehash; peak captures that.
+	v.resident.Add(int64(newLen * 8))
+	v.bumpPeak()
+	mask := uint32(newLen - 1)
+	for _, cell := range cells {
+		if cell == 0 {
+			continue
+		}
+		i := uint32(cell>>32) & mask
+		for next[i] != 0 {
+			i = (i + 1) & mask
+		}
+		next[i] = cell
+	}
+	sh.index.Store(&next)
+	// The very first index lives in the set-wide shared backing array,
+	// which stays resident for the set's lifetime; only individually
+	// allocated generations are released by the swap.
+	if len(cells) > initialIndexCells {
+		v.resident.Add(int64(-len(cells) * 8))
+	}
+}
+
+// entrySlotLocked returns the slot for the next ordinal, allocating its
+// chunk on first touch. Caller holds sh.mu.
+func (v *visitedSet) entrySlotLocked(sh *flatShard, ord uint32) *entry {
+	c, off := chunkOf(ord)
+	if off == 0 && sh.chunks[c].Load() == nil {
+		chunk := make([]entry, entryChunkBase<<c)
+		v.resident.Add(int64(len(chunk)) * 32)
+		v.bumpPeak()
+		sh.chunks[c].Store(&chunk)
+	}
+	return &(*sh.chunks[c].Load())[off]
+}
+
+// loadFactor is the admitted-state count over total probe cells.
+func (v *visitedSet) loadFactor() float64 {
+	cells := 0
+	for i := range v.shards {
+		if ip := v.shards[i].index.Load(); ip != nil {
+			cells += len(*ip)
+		}
+	}
+	if cells == 0 {
+		return 0
+	}
+	return float64(v.count.Load()) / float64(cells)
+}

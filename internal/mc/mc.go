@@ -94,6 +94,15 @@ type Options struct {
 	// 20 million). The budget is checked before insertion, so at most
 	// MaxStates states are ever held.
 	MaxStates int
+	// MemBudget caps the visited set's resident memory in bytes (0 =
+	// unlimited): entry slabs, probe indexes and the overflow intern
+	// table, tracked exactly by the flat set's own accounting. The
+	// budget is checked at level boundaries — where the footprint is a
+	// deterministic function of the admitted state set, so a trip is
+	// identical for any worker count — and trips the same degradation
+	// path as MaxStates: ErrStateLimit, or FallbackWalks sampling when
+	// configured.
+	MemBudget int64
 	// MaxDepth limits the BFS depth (0 = unbounded). With a depth limit
 	// the verdict "holds" only covers traces up to that length.
 	MaxDepth int
@@ -164,10 +173,26 @@ type Stats struct {
 	// StatesPerSec is States/Duration.
 	StatesPerSec float64
 	// Allocs and AllocBytes are the process-wide heap allocation deltas
-	// (runtime.MemStats Mallocs/TotalAlloc) across the search — a
-	// whole-process measure, exact only when nothing else runs.
+	// across the search — a whole-process measure, exact only when
+	// nothing else runs. Both derive from runtime.MemStats' monotonic
+	// counters (Mallocs, TotalAlloc), never from HeapAlloc, so the
+	// deltas cannot go negative when the GC runs mid-search.
 	Allocs     uint64
 	AllocBytes uint64
+	// LoadFactor is the visited set's final occupancy: admitted states
+	// over total probe-index cells.
+	LoadFactor float64
+	// ProbeHist is the claim probe-length histogram: ProbeHist[i] counts
+	// claims resolved in i+1 probe steps, with the last bucket holding
+	// everything at probeBuckets steps or more.
+	ProbeHist [8]uint64
+	// ResidentBytes is the visited set's exact resident footprint at
+	// search end (entry slabs + probe indexes + interned overflow);
+	// PeakResidentBytes is its high-water mark, including the transients
+	// where an old and a grown probe index are briefly both live. This
+	// is the number Options.MemBudget is enforced against.
+	ResidentBytes     int64
+	PeakResidentBytes int64
 }
 
 func (o Options) withDefaults() Options {

@@ -1,45 +1,19 @@
 package mc
 
-// The visited set's packed state key. State is an opaque string, but
-// interning every successor as a fresh string allocation was the single
-// biggest cost of the exploration hot path: one heap object per state,
-// plus a second FNV pass per claim. stateKey instead copies the canonical
-// encoding into a fixed-size comparable array — the paper's models pack a
-// 7-node cluster into 20 bytes — so claims, parent pointers and frontier
-// slots move by value, allocation-free, and the visited maps hold no
-// pointers at all (the GC never scans them). Encodings longer than the
-// inline array are interned once in a side table owned by the visited
-// set, and the key stores their table index — still a correct comparable
-// key, just not allocation-free — so arbitrary models keep working.
+// Supporting pieces of the flat visited set's key handling (flatset.go):
+// the inline slot capacity, the overflow intern table, and the state
+// hash. PR 4's packed stateKey value type is gone — the flat set stores
+// the canonical encoding directly in its 32-byte slots, and states move
+// through the engine as 32-bit refs into those slots.
 
-import (
-	"encoding/binary"
-	"sync"
-)
+import "sync"
 
-// inlineStateBytes is the inline capacity of a stateKey: the packed codec
-// needs 20 bytes for the largest (7-node) model, and test fixtures stay
-// well under it.
+// inlineStateBytes is the inline capacity of a visited-set slot: the
+// packed codec needs 20 bytes for the largest (7-node) model, and test
+// fixtures stay well under it.
 const inlineStateBytes = 20
 
-// overflowLen marks a stateKey whose encoding lives in the intern table;
-// b[:4] then holds the table index.
-const overflowLen = ^uint8(0)
-
-// stateKey is a model state as a comparable, pointer-free, fixed-size
-// value: the visited-set key, parent pointer and frontier element of the
-// engine. Keys are only meaningful relative to the visitedSet that packed
-// them (overflow indices resolve through its intern table).
-type stateKey struct {
-	n uint8
-	b [inlineStateBytes]byte
-}
-
-func (k *stateKey) overflowIdx() uint32 {
-	return binary.LittleEndian.Uint32(k.b[:4])
-}
-
-// internTable deduplicates encodings too long for a stateKey's inline
+// internTable deduplicates encodings too long for a slot's inline
 // array. It is a cold path: the repo's own models never reach it.
 type internTable struct {
 	mu    sync.Mutex
@@ -47,11 +21,14 @@ type internTable struct {
 	strs  []string
 }
 
-func (t *internTable) intern(enc []byte) uint32 {
+// intern returns the table index for enc, plus the number of bytes newly
+// retained (0 when enc was already present) so the visited set can keep
+// its resident accounting exact.
+func (t *internTable) intern(enc []byte) (uint32, int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if idx, ok := t.index[string(enc)]; ok {
-		return idx
+		return idx, 0
 	}
 	if t.index == nil {
 		t.index = make(map[string]uint32)
@@ -60,7 +37,7 @@ func (t *internTable) intern(enc []byte) uint32 {
 	s := string(enc)
 	t.strs = append(t.strs, s)
 	t.index[s] = idx
-	return idx
+	return idx, int64(len(s))
 }
 
 func (t *internTable) lookup(idx uint32) string {
@@ -69,69 +46,21 @@ func (t *internTable) lookup(idx uint32) string {
 	return t.strs[idx]
 }
 
-// pack copies enc into a stateKey. Inline for encodings up to
-// inlineStateBytes (the steady-state path: no allocation); longer
-// encodings intern into v's table, so equal encodings always yield equal
-// keys.
-func (v *visitedSet) pack(enc []byte) stateKey {
-	var k stateKey
-	if len(enc) <= inlineStateBytes {
-		k.n = uint8(len(enc))
-		copy(k.b[:], enc)
-		return k
-	}
-	k.n = overflowLen
-	binary.LittleEndian.PutUint32(k.b[:4], v.overflow.intern(enc))
-	return k
-}
-
-// bytesOf returns the encoding held by k. The inline path aliases k's
-// array — the caller must not retain the slice past k's lifetime; the
-// overflow path allocates a copy.
-func (v *visitedSet) bytesOf(k *stateKey) []byte {
-	if k.n == overflowLen {
-		return []byte(v.overflow.lookup(k.overflowIdx()))
-	}
-	return k.b[:k.n]
-}
-
-// stateOf converts k back to the opaque State form (allocates on the
-// inline path; used only on cold paths: traces, checkpoints, fallback
-// sampling).
-func (v *visitedSet) stateOf(k *stateKey) State {
-	if k.n == overflowLen {
-		return State(v.overflow.lookup(k.overflowIdx()))
-	}
-	return State(k.b[:k.n])
-}
-
-// FNV-1a, the engine's state hash. It is computed once per generated
-// successor and passed through claim for both shard selection and the map
-// probe — the old shardOf recomputed it under the shard lock on every
-// claim.
+// FNV-1a (64-bit), the engine's state hash. It is computed once per
+// generated successor and passed through claim: the low bits select the
+// shard, the high 32 bits drive the probe sequence and the in-cell
+// compare filter. 64 bits matter now — a 13M-state run probes
+// million-cell tables, where a 32-bit hash split between shard and
+// filter would collide constantly.
 const (
-	fnvOffset32 = 2166136261
-	fnvPrime32  = 16777619
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
 )
 
-func hashBytes(b []byte) uint32 {
-	h := uint32(fnvOffset32)
+func hashBytes(b []byte) uint64 {
+	h := uint64(fnvOffset64)
 	for i := 0; i < len(b); i++ {
-		h = (h ^ uint32(b[i])) * fnvPrime32
+		h = (h ^ uint64(b[i])) * fnvPrime64
 	}
 	return h
-}
-
-// hashOf hashes the encoding held by k — identical to hashBytes over
-// bytesOf, without materializing the overflow copy.
-func (v *visitedSet) hashOf(k *stateKey) uint32 {
-	if k.n == overflowLen {
-		s := v.overflow.lookup(k.overflowIdx())
-		h := uint32(fnvOffset32)
-		for i := 0; i < len(s); i++ {
-			h = (h ^ uint32(s[i])) * fnvPrime32
-		}
-		return h
-	}
-	return hashBytes(k.b[:k.n])
 }

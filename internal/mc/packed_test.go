@@ -6,62 +6,82 @@ import (
 	"testing"
 )
 
-// TestPackRoundTrip covers both key representations: inline (≤ 20 bytes)
-// and intern-table overflow.
-func TestPackRoundTrip(t *testing.T) {
+// TestClaimRoundTrip covers both slot representations: inline (≤ 20
+// bytes) and intern-table overflow. A claimed encoding must read back
+// bytewise through its ref, re-claiming must dedup (the overflow path
+// must intern, not append blindly), and find must resolve to the same
+// ref.
+func TestClaimRoundTrip(t *testing.T) {
 	v := newVisitedSet(100)
 	cases := []string{
 		"", "a", "exactly-twenty-byte!", // 0, 1, inlineStateBytes
 		strings.Repeat("x", inlineStateBytes+1),
 		strings.Repeat("y", 100),
 	}
-	for _, s := range cases {
-		k := v.pack([]byte(s))
-		if got := string(v.bytesOf(&k)); got != s {
-			t.Errorf("bytesOf(pack(%q)) = %q", s, got)
+	refs := make([]uint32, len(cases))
+	for i, s := range cases {
+		enc := []byte(s)
+		st, ref := v.claim(enc, hashBytes(enc), 0, uint64(i), false, 0, nil)
+		if st != claimNew {
+			t.Fatalf("claim(%q) = %d, want claimNew", s, st)
 		}
-		if got := v.stateOf(&k); got != State(s) {
-			t.Errorf("stateOf(pack(%q)) = %q", s, got)
+		refs[i] = ref
+		if got := string(v.bytesOf(ref)); got != s {
+			t.Errorf("bytesOf(claim(%q)) = %q", s, got)
 		}
-		if h := v.hashOf(&k); h != hashBytes([]byte(s)) {
-			t.Errorf("hashOf(pack(%q)) = %#x, want %#x", s, h, hashBytes([]byte(s)))
+		if got := v.stateOf(ref); got != State(s) {
+			t.Errorf("stateOf(claim(%q)) = %q", s, got)
 		}
-		// Packing the same encoding twice must yield identical keys (the
-		// overflow path must intern, not append blindly).
-		if k2 := v.pack([]byte(s)); k2 != k {
-			t.Errorf("pack(%q) not deterministic: %+v vs %+v", s, k, k2)
+		if got := v.keyOf(ref); got != uint64(i) {
+			t.Errorf("keyOf(claim(%q)) = %d, want %d", s, got, i)
+		}
+		if st, _ := v.claim(enc, hashBytes(enc), 0, uint64(i), false, 0, nil); st != claimDup {
+			t.Errorf("second claim(%q) = %d, want claimDup", s, st)
+		}
+		fref, ok := v.find(enc, hashBytes(enc))
+		if !ok || fref != ref {
+			t.Errorf("find(%q) = (%d, %v), want (%d, true)", s, fref, ok, ref)
 		}
 	}
-	// Distinct overflow encodings must yield distinct keys.
-	a := v.pack([]byte(strings.Repeat("a", 30)))
-	b := v.pack([]byte(strings.Repeat("b", 30)))
-	if a == b {
-		t.Error("distinct overflow encodings packed to equal keys")
+	// Distinct overflow encodings must resolve to distinct refs.
+	a := []byte(strings.Repeat("a", 30))
+	b := []byte(strings.Repeat("b", 30))
+	_, ra := v.claim(a, hashBytes(a), 0, 90, false, 0, nil)
+	_, rb := v.claim(b, hashBytes(b), 0, 91, false, 0, nil)
+	if ra == rb || string(v.bytesOf(ra)) == string(v.bytesOf(rb)) {
+		t.Error("distinct overflow encodings claimed to equal slots")
+	}
+	if got := int(v.count.Load()); got != len(cases)+2 {
+		t.Errorf("count = %d, want %d", got, len(cases)+2)
 	}
 }
 
 // TestWarmClaimDoesNotAllocate is the visited-set half of the PR's
 // zero-allocation contract: once a state is in the set, re-claiming it
 // (the overwhelmingly common case during exploration — every duplicate
-// successor) performs no heap allocation. The bound is generous (0.5
-// allocs averaged over 100 rounds) so GC bookkeeping noise cannot flake
-// CI.
+// successor) performs no heap allocation. The duplicates here carry a
+// levelBase above every stored key, so they resolve on the lock-free
+// earlier-level path, exactly as steady-state exploration does. The
+// bound is generous (0.5 allocs averaged over 100 rounds) so GC
+// bookkeeping noise cannot flake CI.
 func TestWarmClaimDoesNotAllocate(t *testing.T) {
 	v := newVisitedSet(1 << 20)
+	var pc probeCounter
 	const n = 64
-	keys := make([]stateKey, n)
-	hashes := make([]uint32, n)
-	for i := range keys {
-		enc := []byte(fmt.Sprintf("state-%02d", i))
-		keys[i] = v.pack(enc)
-		hashes[i] = hashBytes(enc)
-		if got := v.claim(keys[i], hashes[i], bfsNode{key: uint64(i), depth: 1}); got != claimNew {
-			t.Fatalf("initial claim %d = %d, want claimNew", i, got)
+	encs := make([][]byte, n)
+	hashes := make([]uint64, n)
+	for i := range encs {
+		encs[i] = []byte(fmt.Sprintf("state-%02d", i))
+		hashes[i] = hashBytes(encs[i])
+		if st, _ := v.claim(encs[i], hashes[i], 0, uint64(i), false, 0, &pc); st != claimNew {
+			t.Fatalf("initial claim %d = %d, want claimNew", i, st)
 		}
 	}
+	const base = uint64(1) << keySuccBits
 	avg := testing.AllocsPerRun(100, func() {
-		for i := range keys {
-			if v.claim(keys[i], hashes[i], bfsNode{key: uint64(i), depth: 1}) != claimDup {
+		for i := range encs {
+			st, _ := v.claim(encs[i], hashes[i], 0, base+uint64(i), true, base, &pc)
+			if st != claimDup {
 				t.Fatal("expected duplicate claim")
 			}
 		}
@@ -71,18 +91,25 @@ func TestWarmClaimDoesNotAllocate(t *testing.T) {
 	}
 }
 
-// TestPackInlineDoesNotAllocate: packing and hashing an inline-sized
-// encoding — the per-successor hot path — is allocation-free.
-func TestPackInlineDoesNotAllocate(t *testing.T) {
+// TestHashInlineDoesNotAllocate: hashing and duplicate-claiming an
+// inline-sized encoding — the per-successor hot path — is
+// allocation-free.
+func TestHashInlineDoesNotAllocate(t *testing.T) {
 	v := newVisitedSet(100)
 	enc := []byte("a-20-byte-state-key!")
-	sink := uint32(0)
+	if st, _ := v.claim(enc, hashBytes(enc), 0, 0, false, 0, nil); st != claimNew {
+		t.Fatal("setup claim failed")
+	}
+	sink := uint64(0)
 	avg := testing.AllocsPerRun(100, func() {
-		k := v.pack(enc)
-		sink += v.hashOf(&k)
+		h := hashBytes(enc)
+		sink += h
+		if _, ok := v.find(enc, h); !ok {
+			t.Fatal("claimed state not found")
+		}
 	})
 	if avg > 0.5 {
-		t.Errorf("inline pack+hash allocates %.2f per run, want 0", avg)
+		t.Errorf("inline hash+find allocates %.2f per run, want 0", avg)
 	}
 	_ = sink
 }

@@ -89,6 +89,71 @@ func TestExpanderMatchesModelSuccessors(t *testing.T) {
 	}
 }
 
+// referenceSuccessors re-implements the pre-incremental-encoder
+// enumeration: assemble each successor State choice by choice, pack it
+// with appendBinary (the reference bit writer), and dedup with a map,
+// keeping first-occurrence order. No fault-assignment signature skipping
+// — every assignment is enumerated.
+func referenceSuccessors(m *Model, e *Expander, enc []byte) [][]byte {
+	m.decodeInto(enc, &e.s)
+	nominal, sendersPresent := m.nominalContent(&e.s)
+	e.fas = m.appendFaultAssignments(e.fas[:0], &e.s)
+	seen := map[string]bool{}
+	var out [][]byte
+	var rec func(node, lo int)
+	rec = func(node, lo int) {
+		if node == len(e.next.Nodes) {
+			b := m.appendBinary(nil, &e.next)
+			if !seen[string(b)] {
+				seen[string(b)] = true
+				out = append(out, b)
+			}
+			return
+		}
+		for i := lo; i < e.choiceEnd[node]; i++ {
+			e.next.Nodes[node] = e.choiceBuf[i]
+			rec(node+1, e.choiceEnd[node])
+		}
+	}
+	for fi := range e.fas {
+		ch, activity := e.prepareChannels(fi, nominal, sendersPresent)
+		e.prepareChoices(ch, activity)
+		rec(0, 0)
+	}
+	return out
+}
+
+// TestIncrementalEncoderMatchesReference pins the hot path's two
+// shortcuts — the pre-packed 20-bit word encoder and the
+// fault-assignment signature dedup — against the straightforward
+// enumeration: assemble every successor State, pack it with
+// appendBinary, dedup with a map. Byte-for-byte, order included.
+func TestIncrementalEncoderMatchesReference(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Authority: guardian.AuthorityFullShift},
+		{Authority: guardian.AuthorityFullShift, MaxOutOfSlot: 1},
+		{Nodes: 6, Authority: guardian.AuthoritySmallShift, MaxOutOfSlot: 1},
+	} {
+		m := mustModel(t, cfg)
+		fast := m.newExpander()
+		ref := m.newExpander()
+		states := collectLevels(t, m, fast, 4)
+		for _, s := range states {
+			got := fast.Successors(s)
+			want := referenceSuccessors(m, ref, s)
+			if len(got) != len(want) {
+				t.Fatalf("cfg %+v state %x: %d successors, reference %d", cfg, s, len(got), len(want))
+			}
+			for i := range want {
+				if string(got[i]) != string(want[i]) {
+					t.Fatalf("cfg %+v state %x successor %d: got %x, reference %x", cfg, s, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 // TestPropertyBytesMatchesProperty: the nibble-probing byte invariant and
 // the decoding string invariant agree on every reachable transition of
 // the failing (full-shifting) model — including the violating ones.

@@ -1,38 +1,41 @@
 #!/usr/bin/env bash
 # Runs the benchmark suite and emits a machine-readable JSON report via
 # cmd/benchjson, with shape assertions so a silently-vanishing benchmark
-# or a missing -benchmem metric fails the run.
+# or a missing -benchmem metric fails the run. If BENCH_BASELINE points
+# at a previous report, also emits a regression comparison against it.
 #
 # Usage:
-#   scripts/bench.sh                 # full suite -> BENCH_pr4.json
+#   scripts/bench.sh                 # full suite -> BENCH_pr5.json
 #   BENCH_FILTER='E1|Throughput' BENCHTIME=1x scripts/bench.sh  # CI smoke
+#   BENCH_BASELINE=BENCH_pr4.json BENCH_FAIL_ABOVE=2.0 scripts/bench.sh
 #
 # Environment:
-#   BENCH_FILTER  -bench regexp            (default: all top-level benches)
-#   BENCHTIME     -benchtime value         (default: 1x — each bench once)
-#   BENCH_OUT     output JSON path         (default: BENCH_pr4.json)
-#   BENCH_COUNT   -count value             (default: 1)
+#   BENCH_FILTER      -bench regexp        (default: all top-level benches)
+#   BENCHTIME         -benchtime value     (default: 1x — each bench once)
+#   BENCH_OUT         output JSON path     (default: BENCH_pr5.json)
+#   BENCH_COUNT       -count value         (default: 1)
+#   BENCH_BASELINE    old JSON to compare against (default: none)
+#   BENCH_FAIL_ABOVE  fail if any new/old ratio exceeds this (default: 0 = report only)
+#   BENCH_COMPARE_OUT comparison report path (default: BENCH_compare.txt)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BENCH_FILTER=${BENCH_FILTER:-.}
 BENCHTIME=${BENCHTIME:-1x}
-BENCH_OUT=${BENCH_OUT:-BENCH_pr4.json}
+BENCH_OUT=${BENCH_OUT:-BENCH_pr5.json}
 BENCH_COUNT=${BENCH_COUNT:-1}
+BENCH_BASELINE=${BENCH_BASELINE:-}
+BENCH_FAIL_ABOVE=${BENCH_FAIL_ABOVE:-0}
+BENCH_COMPARE_OUT=${BENCH_COMPARE_OUT:-BENCH_compare.txt}
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-# -short skips the 13.2M-state 6-node scaling point; drop it deliberately
-# by exporting BENCH_LONG=1 when you want the full sweep.
-short_flag="-short"
-if [[ "${BENCH_LONG:-}" == "1" ]]; then
-  short_flag=""
-fi
-
+# The full sweep includes the 13.2M-state 6-node scaling point; with the
+# flat visited set it is a routine run, so no -short gating remains.
 go test -run '^$' -bench "$BENCH_FILTER" -benchtime "$BENCHTIME" \
-  -count "$BENCH_COUNT" -benchmem $short_flag -timeout 60m . | tee "$raw"
+  -count "$BENCH_COUNT" -benchmem -timeout 60m . | tee "$raw"
 
 require_args=(-require-metrics 'ns/op,B/op,allocs/op')
 # The two acceptance-tracked benches must be present whenever the filter
@@ -45,3 +48,10 @@ done
 
 go run ./cmd/benchjson "${require_args[@]}" -o "$BENCH_OUT" < "$raw"
 echo "wrote $BENCH_OUT ($(grep -c '"name"' "$BENCH_OUT") benchmarks)"
+
+if [[ -n "$BENCH_BASELINE" ]]; then
+  go run ./cmd/benchjson -compare -fail-above "$BENCH_FAIL_ABOVE" \
+    -o "$BENCH_COMPARE_OUT" "$BENCH_BASELINE" "$BENCH_OUT"
+  cat "$BENCH_COMPARE_OUT"
+  echo "wrote $BENCH_COMPARE_OUT (vs $BENCH_BASELINE)"
+fi
