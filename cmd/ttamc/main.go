@@ -8,6 +8,7 @@
 //	ttamc -trace coldstart        # E2: the duplicated cold-start trace
 //	ttamc -trace cstate           # E3: the duplicated C-state trace
 //	ttamc -trace unconstrained    # shortest trace, replays unrestricted
+//	ttamc -reduction -nodes 5     # reduced-vs-oracle state counts, E1-E3 + scaling
 //	ttamc -authority fullshift -nodes 4 -max-oos 1 -states
 //	ttamc -matrix -parallel 8 -v  # 8 exploration workers, per-level progress
 //	ttamc -matrix -timeout 30s -checkpoint /tmp/e1.mc   # bounded, resumable
@@ -18,6 +19,12 @@
 // counterexample traces are byte-identical for any -parallel value; -v
 // streams per-level progress (depth/states/transitions/frontier) to
 // stderr.
+//
+// Direct (non-matrix, non-trace) checks of reducible configurations
+// explore the model's reduction quotient by default — same verdicts,
+// far fewer states. -no-reduce is the oracle mode: every concrete state
+// is enumerated and the counts match the published §5 numbers (the
+// -matrix and -trace experiments always report oracle counts).
 //
 // Long runs are resilient: -timeout, SIGINT and SIGTERM cancel the search
 // cooperatively at level granularity, flush a checkpoint (-checkpoint),
@@ -65,11 +72,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ttamc", flag.ContinueOnError)
 	matrix := fs.Bool("matrix", false, "print the E1 verification matrix (all four coupler authorities)")
+	reduction := fs.Bool("reduction", false, "print reduced-vs-oracle state counts for E1-E3 plus small-shifting scaling up to -nodes")
 	traceKind := fs.String("trace", "", "print a counterexample trace: coldstart | cstate | unconstrained")
 	authority := fs.String("authority", "smallshift", "coupler authority: passive | windows | smallshift | fullshift")
 	nodes := fs.Int("nodes", 4, "cluster size (2-7)")
 	maxOOS := fs.Int("max-oos", 0, "limit total out-of-slot errors (0 = unlimited)")
 	noCSReplay := fs.Bool("no-cs-replay", false, "forbid replaying cold-start frames")
+	noReduce := fs.Bool("no-reduce", false, "disable the state-space reduction (oracle mode: concrete states, published counts)")
 	states := fs.Bool("states", false, "also dump raw state variables of the trace")
 	maxStates := fs.Int("max-states", 0, "state budget (0 = default)")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "exploration worker-pool size (results are identical for any value)")
@@ -120,6 +129,7 @@ func run(args []string) error {
 		CheckpointEvery: *checkpointEvery,
 		FallbackWalks:   *fallbackWalks,
 		FallbackDepth:   *fallbackDepth,
+		NoReduce:        *noReduce,
 	}
 	if *resume {
 		if *checkpoint == "" {
@@ -154,6 +164,20 @@ func run(args []string) error {
 		rows, err := experiments.VerificationMatrix(opts)
 		if len(rows) > 0 {
 			fmt.Print(experiments.FormatMatrix(rows))
+		}
+		return err
+	}
+
+	if *reduction {
+		var scale []int
+		for n := 2; n <= *nodes; n++ {
+			if n != 4 { // 4 nodes is already the E1 "small shifting" row
+				scale = append(scale, n)
+			}
+		}
+		rows, err := experiments.ReductionFactors(opts, scale...)
+		if len(rows) > 0 {
+			fmt.Print(experiments.FormatReduction(rows))
 		}
 		return err
 	}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ttastar/internal/guardian"
+	"ttastar/internal/mc"
+	"ttastar/internal/model"
+)
+
+// ReductionRow compares one configuration's reduced search against the
+// oracle (concrete, -no-reduce) enumeration of the same space.
+type ReductionRow struct {
+	Label   string
+	Reduced mc.Result
+	Oracle  mc.Result
+}
+
+// Factor is the state-count reduction factor (oracle / reduced); 1 for
+// configurations the canonicalizer leaves alone.
+func (r ReductionRow) Factor() float64 {
+	if r.Reduced.StatesExplored == 0 {
+		return 0
+	}
+	return float64(r.Oracle.StatesExplored) / float64(r.Reduced.StatesExplored)
+}
+
+// reductionRow runs one configuration both ways. Both runs share opts
+// (workers, limits); checkpoint paths are dropped — these runs exist to
+// be compared, not resumed.
+func reductionRow(label string, cfg model.Config, opts mc.Options) (ReductionRow, error) {
+	m, err := model.New(cfg)
+	if err != nil {
+		return ReductionRow{}, fmt.Errorf("experiments: building model for %s: %w", label, err)
+	}
+	opts.CheckpointPath = ""
+	opts.ResumePath = ""
+	row := ReductionRow{Label: label}
+	opts.NoReduce = false
+	if row.Reduced, err = mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(), opts); err != nil {
+		return row, fmt.Errorf("experiments: reduced %s: %w", label, err)
+	}
+	opts.NoReduce = true
+	if row.Oracle, err = mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(), opts); err != nil {
+		return row, fmt.Errorf("experiments: oracle %s: %w", label, err)
+	}
+	if row.Reduced.Holds != row.Oracle.Holds {
+		return row, fmt.Errorf("experiments: %s: reduced verdict %v disagrees with oracle %v",
+			label, row.Reduced.Holds, row.Oracle.Holds)
+	}
+	return row, nil
+}
+
+// ReductionFactors quantifies the state-space reduction: the E1 matrix
+// configurations and the E2/E3 trace setups, plus a small-shifting
+// scaling point per entry of scaleNodes. The full-shifting rows are the
+// soundness control — their couplers read the frame buffers, so the
+// reduction must stand down and report factor 1 with byte-identical
+// results.
+func ReductionFactors(opts mc.Options, scaleNodes ...int) ([]ReductionRow, error) {
+	type entry struct {
+		label string
+		cfg   model.Config
+	}
+	entries := []entry{
+		{"passive", model.Config{Authority: guardian.AuthorityPassive}},
+		{"time windows", model.Config{Authority: guardian.AuthorityTimeWindows}},
+		{"small shifting", model.Config{Authority: guardian.AuthoritySmallShift}},
+		{"full shifting", model.Config{Authority: guardian.AuthorityFullShift}},
+		{"E2 cold-start replay", model.Config{Authority: guardian.AuthorityFullShift, MaxOutOfSlot: 1}},
+		{"E3 C-state replay", model.Config{Authority: guardian.AuthorityFullShift, NoColdStartReplay: true}},
+	}
+	for _, n := range scaleNodes {
+		entries = append(entries, entry{
+			fmt.Sprintf("small shifting %dn", n),
+			model.Config{Authority: guardian.AuthoritySmallShift, Nodes: n},
+		})
+	}
+	rows := make([]ReductionRow, 0, len(entries))
+	for _, e := range entries {
+		row, err := reductionRow(e.label, e.cfg, opts)
+		rows = append(rows, row)
+		if err != nil {
+			return rows, err
+		}
+	}
+	return rows, nil
+}
+
+// FormatReduction renders the reduction table.
+func FormatReduction(rows []ReductionRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-8s %12s %12s %8s\n",
+		"configuration", "property", "oracle", "reduced", "factor")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %-8s %12d %12d %7.1fx\n",
+			r.Label, matrixVerdict(r.Reduced), r.Oracle.StatesExplored,
+			r.Reduced.StatesExplored, r.Factor())
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ttastar/internal/mc"
+)
+
+// TestReductionFactors pins the reduction table: the reducible E1 rows
+// shrink well past the 3x bar while keeping their verdicts, the
+// full-shifting rows (E1 fourth row, E2, E3) are byte-identical to the
+// published oracle numbers, and the scaling points hold their measured
+// quotient sizes.
+func TestReductionFactors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reduction sweep runs every E1-E3 search twice")
+	}
+	rows, err := ReductionFactors(mc.Options{}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	byLabel := make(map[string]ReductionRow, len(rows))
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+
+	// Reducible 4-node rows: oracle is the published 34920, reduced is
+	// the measured quotient, factor > 3.
+	for _, label := range []string{"passive", "time windows", "small shifting"} {
+		r := byLabel[label]
+		if !r.Reduced.Holds || !r.Oracle.Holds {
+			t.Errorf("%s: verdict flipped: reduced=%v oracle=%v", label, r.Reduced.Holds, r.Oracle.Holds)
+		}
+		if r.Oracle.StatesExplored != 34920 {
+			t.Errorf("%s: oracle states = %d, want 34920", label, r.Oracle.StatesExplored)
+		}
+		if !r.Reduced.Reduced {
+			t.Errorf("%s: reduced run not marked Reduced", label)
+		}
+		if r.Reduced.StatesExplored != 5533 || r.Reduced.TransitionsExplored != 14905 {
+			t.Errorf("%s: reduced space = %d/%d, want 5533/14905",
+				label, r.Reduced.StatesExplored, r.Reduced.TransitionsExplored)
+		}
+		if r.Factor() < 3 {
+			t.Errorf("%s: factor %.1f below the 3x bar", label, r.Factor())
+		}
+	}
+
+	// Full-shifting rows: identity reduction, published numbers exact.
+	for _, want := range []struct {
+		label         string
+		states, trans int
+		traceLen      int
+	}{
+		{"full shifting", 22994, 55477, 13},
+		{"E2 cold-start replay", 98401, 223791, 18},
+		{"E3 C-state replay", 30458, 84203, 19},
+	} {
+		r := byLabel[want.label]
+		if r.Reduced.Holds || r.Oracle.Holds {
+			t.Errorf("%s: should FAIL both ways", want.label)
+		}
+		if r.Reduced.Reduced {
+			t.Errorf("%s: full shifting must not reduce", want.label)
+		}
+		if r.Reduced.StatesExplored != want.states || r.Reduced.TransitionsExplored != want.trans ||
+			len(r.Reduced.Counterexample) != want.traceLen {
+			t.Errorf("%s: reduced-mode run = %d/%d t%d, want %d/%d t%d",
+				want.label, r.Reduced.StatesExplored, r.Reduced.TransitionsExplored,
+				len(r.Reduced.Counterexample), want.states, want.trans, want.traceLen)
+		}
+		if r.Oracle.StatesExplored != want.states ||
+			len(r.Oracle.Counterexample) != len(r.Reduced.Counterexample) {
+			t.Errorf("%s: oracle diverged from reduced identity run", want.label)
+		}
+		if r.Factor() != 1 {
+			t.Errorf("%s: factor %.2f, want exactly 1", want.label, r.Factor())
+		}
+	}
+
+	// Scaling points: the measured quotient sizes.
+	for _, want := range []struct {
+		label           string
+		reduced, oracle int
+	}{
+		{"small shifting 2n", 25, 147},
+		{"small shifting 3n", 361, 2249},
+	} {
+		r := byLabel[want.label]
+		if !r.Reduced.Holds {
+			t.Errorf("%s: property fails reduced", want.label)
+		}
+		if r.Reduced.StatesExplored != want.reduced || r.Oracle.StatesExplored != want.oracle {
+			t.Errorf("%s: %d/%d states, want %d/%d",
+				want.label, r.Reduced.StatesExplored, r.Oracle.StatesExplored, want.reduced, want.oracle)
+		}
+	}
+
+	table := FormatReduction(rows)
+	for _, needle := range []string{"34920", "5533", "6.3x", "1.0x", "full shifting"} {
+		if !strings.Contains(table, needle) {
+			t.Errorf("reduction table missing %q:\n%s", needle, table)
+		}
+	}
+}

@@ -14,9 +14,12 @@ package mc
 // carried are dead weight under the engine's globally monotone claim
 // keys — a restored entry only ever needs to order *before* the resumed
 // levels, which any key does once the resumed base starts past it — so
-// v2 drops them. Version 1 files still load (the reader parses and
-// discards the two fields), so checkpoints taken by older builds resume
-// cleanly.
+// v2 drops them. Version 3 adds one search-flags uvarint after the
+// Transitions counter (bit 0: the search ran reduced — its states are
+// canonical representatives, so it must be resumed reduced). Versions 1
+// and 2 still load (their missing fields are discarded or defaulted:
+// a pre-reduction checkpoint is by construction non-reduced), so
+// checkpoints taken by older builds resume cleanly.
 //
 // The on-disk format is versioned, length-guarded and closed by an
 // FNV-64a checksum over the payload; files are written to a temp file in
@@ -40,9 +43,13 @@ const (
 	checkpointMagic = "TTAMCCP\x00"
 	// checkpointVersion is the written format; checkpointLegacyVersion
 	// is the oldest format the reader still accepts.
-	checkpointVersion       = 2
+	checkpointVersion       = 3
 	checkpointLegacyVersion = 1
 )
+
+// checkpointFlagReduced marks a snapshot of a reduced (quotient) search
+// in the version-3 flags word.
+const checkpointFlagReduced = 1 << 0
 
 // ErrBadCheckpoint reports a checkpoint file that failed validation:
 // wrong magic, unsupported version, checksum mismatch, or truncation.
@@ -56,6 +63,11 @@ type Checkpoint struct {
 	// by the levels already completed.
 	ResultDepth int
 	Transitions int
+	// Reduced records whether the snapshot belongs to a reduced search:
+	// its states are canonical representatives, meaningless to a
+	// non-reduced resume (and vice versa), so the engine refuses a
+	// mode-mismatched resume.
+	Reduced bool
 	// Frontier is the next frontier in serial claim-key order.
 	Frontier []State
 	// Visited is every admitted state with its trace-reconstruction
@@ -80,6 +92,7 @@ func snapshot(v *visitedSet, res Result, frontier []uint32, depth int32) *Checkp
 		Depth:       depth,
 		ResultDepth: res.Depth,
 		Transitions: res.TransitionsExplored,
+		Reduced:     res.Reduced,
 		Frontier:    make([]State, len(frontier)),
 		Visited:     make([]VisitedEntry, 0, v.count.Load()),
 	}
@@ -192,6 +205,11 @@ func WriteCheckpoint(path string, cp *Checkpoint) error {
 	w.uvarint(uint64(uint32(cp.Depth)))
 	w.uvarint(uint64(cp.ResultDepth))
 	w.uvarint(uint64(cp.Transitions))
+	flags := uint64(0)
+	if cp.Reduced {
+		flags |= checkpointFlagReduced
+	}
+	w.uvarint(flags)
 	w.uvarint(uint64(len(cp.Frontier)))
 	for _, s := range cp.Frontier {
 		w.str(s)
@@ -273,9 +291,11 @@ func (r *cpReader) count() int {
 	return int(n)
 }
 
-// ReadCheckpoint loads and validates a checkpoint file. Both the current
-// version-2 format and legacy version-1 files (whose per-entry claim key
-// and depth are parsed and discarded) are accepted. A missing file
+// ReadCheckpoint loads and validates a checkpoint file. The current
+// version-3 format and both legacy formats are accepted: version 2 lacks
+// the search-flags word (defaulted to a non-reduced search) and version
+// 1 additionally carries a per-entry claim key and depth that are parsed
+// and discarded. A missing file
 // surfaces as an error wrapping os.ErrNotExist so callers can treat it
 // as "start fresh".
 func ReadCheckpoint(path string) (*Checkpoint, error) {
@@ -297,13 +317,16 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 	}
 	r := &cpReader{r: bytes.NewReader(payload[len(checkpointMagic):])}
 	version := r.uvarint()
-	if r.err == nil && version != checkpointVersion && version != checkpointLegacyVersion {
+	if r.err == nil && (version < checkpointLegacyVersion || version > checkpointVersion) {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, version)
 	}
 	cp := &Checkpoint{
 		Depth:       int32(r.uvarint()),
 		ResultDepth: int(r.uvarint()),
 		Transitions: int(r.uvarint()),
+	}
+	if version >= 3 {
+		cp.Reduced = r.uvarint()&checkpointFlagReduced != 0
 	}
 	cp.Frontier = make([]State, 0, r.count())
 	for i := cap(cp.Frontier); i > 0 && r.err == nil; i-- {

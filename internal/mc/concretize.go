@@ -1,0 +1,84 @@
+package mc
+
+// Decanonicalization: turning a counterexample found in the reduction
+// quotient back into a concrete witness trace.
+//
+// A reduced search's BFS tree runs through canonical representatives, so
+// the path tracePath reconstructs is a path of the quotient graph — its
+// states need not be reachable concrete states, and its steps need not
+// be concrete transitions. What the quotient does guarantee (that is
+// what soundness means) is that some concrete reachable state maps to
+// the canonical source of the violating transition and has a violating
+// successor of its own. concretize finds one by oracle-semantics BFS:
+// the result is a genuine trace of the concrete system, independently
+// re-verified against the invariant, so a reduced FAILS verdict can
+// never rest on the reduction alone. The concrete witness is shortest
+// among paths to the chosen preimage but, unlike an unreduced search's
+// counterexample, not necessarily globally shortest (the quotient's
+// violation level orders by canonical depth, which fast-forwarding
+// compresses).
+
+import "fmt"
+
+// concretize maps the canonical counterexample canonTrace (BFS path of
+// canonical states plus the raw violating successor) to a concrete
+// witness: a path of concrete states from an initial state, whose last
+// transition violates trInv. Exploration uses the model's oracle
+// successor semantics; the canonicalizer is only used to recognize
+// preimages of the violating transition's canonical source.
+func concretize(m Model, rm ReducibleModel, trInv TransitionInvariantBytes, canonTrace []State) ([]State, error) {
+	if len(canonTrace) < 2 {
+		return nil, fmt.Errorf("mc: cannot concretize a %d-state counterexample", len(canonTrace))
+	}
+	target := canonTrace[len(canonTrace)-2]
+	can := rm.NewReducedExpander() // used only for Canonicalize
+	var buf []byte
+	canonOf := func(s State) State {
+		buf = append(buf[:0], s...)
+		can.Canonicalize(buf)
+		return State(buf) // string conversion copies; buf stays reusable
+	}
+
+	type node struct {
+		s      State
+		parent int // queue index, -1 for initial states
+	}
+	var queue []node
+	seen := make(map[State]struct{})
+	for _, s := range m.Initial() {
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		queue = append(queue, node{s: s, parent: -1})
+	}
+	for i := 0; i < len(queue); i++ {
+		x := queue[i]
+		succs := m.Successors(x.s)
+		if canonOf(x.s) == target {
+			for _, y := range succs {
+				if !trInv([]byte(x.s), []byte(y)) {
+					var rev []State
+					for j := i; j >= 0; j = queue[j].parent {
+						rev = append(rev, queue[j].s)
+					}
+					out := make([]State, 0, len(rev)+1)
+					for k := len(rev) - 1; k >= 0; k-- {
+						out = append(out, rev[k])
+					}
+					return append(out, y), nil
+				}
+			}
+			// This preimage has no violating successor; keep searching —
+			// soundness only promises that some preimage does.
+		}
+		for _, y := range succs {
+			if _, dup := seen[y]; dup {
+				continue
+			}
+			seen[y] = struct{}{}
+			queue = append(queue, node{s: y, parent: i})
+		}
+	}
+	return nil, fmt.Errorf("mc: reduced counterexample has no concrete witness — the reduction is unsound for this model; rerun with NoReduce (-no-reduce)")
+}

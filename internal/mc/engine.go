@@ -113,6 +113,7 @@ type levelScratch struct {
 	accs   []levelAcc
 	counts []int
 	exps   []Expander
+	canons []CanonicalExpander // paired with exps; non-nil only in reduced searches
 	probes []probeCounter
 	spare  []uint32 // the frontier buffer not currently being expanded
 	keyed  []keyedRef
@@ -159,14 +160,24 @@ func (e *sliceExpander) Successors(enc []byte) [][]byte {
 	return e.out
 }
 
-func newLevelScratch(m Model, workers int) *levelScratch {
+// newLevelScratch builds the per-search worker state. rm is non-nil only
+// when the search runs reduced: each worker then gets a reduced expander
+// whose canonicalizer the claim path applies to every admitted successor.
+func newLevelScratch(m Model, workers int, rm ReducibleModel) *levelScratch {
 	sc := &levelScratch{
 		accs:   make([]levelAcc, workers),
 		exps:   make([]Expander, workers),
+		canons: make([]CanonicalExpander, workers),
 		probes: make([]probeCounter, workers),
 	}
 	for i := range sc.exps {
-		sc.exps[i] = expanderFor(m)
+		if rm != nil {
+			ce := rm.NewReducedExpander()
+			sc.exps[i] = ce
+			sc.canons[i] = ce
+		} else {
+			sc.exps[i] = expanderFor(m)
+		}
 	}
 	return sc
 }
@@ -200,18 +211,27 @@ func runLevel(sc *levelScratch, v *visitedSet, frontier []uint32, base uint64,
 		acc.trBest = nil
 		acc.full = false
 	}
-	expand := func(acc *levelAcc, exp Expander, pc *probeCounter, i int) {
+	expand := func(acc *levelAcc, exp Expander, can CanonicalExpander, pc *probeCounter, i int) {
 		ref := frontier[i]
 		sb := v.bytesOf(ref)
 		succs := exp.Successors(sb)
 		out.counts[i] = len(succs)
 		for j, succ := range succs {
 			key := claimKey(base, i, j)
+			// The invariant sees the raw successor — canonicalization may
+			// rewrite exactly the components a violation lives in (e.g. a
+			// freeze phase) — and only then is the survivor folded onto its
+			// class representative for claiming. Each succ is a disjoint
+			// window of the worker-owned output buffer, so the in-place
+			// rewrite cannot disturb the successors still to be examined.
 			if trInv != nil && !trInv(sb, succ) {
 				if acc.trBest == nil || key < acc.trBest.key {
 					acc.trBest = &violation{key: key, fromRef: ref, to: State(succ)}
 				}
 				continue
+			}
+			if can != nil {
+				can.Canonicalize(succ)
 			}
 			st, sref := v.claim(succ, hashBytes(succ), ref, key, true, base, pc)
 			switch st {
@@ -227,7 +247,7 @@ func runLevel(sc *levelScratch, v *visitedSet, frontier []uint32, base uint64,
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			expand(&out.accs[0], sc.exps[0], &sc.probes[0], i)
+			expand(&out.accs[0], sc.exps[0], sc.canons[0], &sc.probes[0], i)
 		}
 	} else {
 		// Chunked work-stealing: each worker repeatedly claims the next
@@ -239,7 +259,7 @@ func runLevel(sc *levelScratch, v *visitedSet, frontier []uint32, base uint64,
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				acc, exp, pc := &out.accs[w], sc.exps[w], &sc.probes[w]
+				acc, exp, can, pc := &out.accs[w], sc.exps[w], sc.canons[w], &sc.probes[w]
 				for {
 					start := int(cursor.Add(stealChunk)) - stealChunk
 					if start >= n {
@@ -250,7 +270,7 @@ func runLevel(sc *levelScratch, v *visitedSet, frontier []uint32, base uint64,
 						end = n
 					}
 					for i := start; i < end; i++ {
-						expand(acc, exp, pc, i)
+						expand(acc, exp, can, pc, i)
 					}
 				}
 			}(w)
@@ -423,12 +443,27 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 	v := newVisitedSet(opts.MaxStates)
 	res := Result{Holds: true}
 
+	// Reduction gate: the quotient is explored only when the model offers
+	// one, the configuration admits it, the caller did not ask for the
+	// oracle, and the predicate is a transition invariant alone — a state
+	// invariant is evaluated per concrete state, which a class
+	// representative cannot answer for.
+	rm, _ := m.(ReducibleModel)
+	if rm != nil && (opts.NoReduce || stInv != nil || trInv == nil || !rm.Reducible()) {
+		rm = nil
+	}
+	res.Reduced = rm != nil
+
 	resume, err := resolveResume(opts)
 	if err != nil {
 		return res, err
 	}
+	if resume != nil && resume.Reduced != res.Reduced {
+		return res, fmt.Errorf("mc: checkpoint is from a %s search but this search is %s; match the NoReduce option (-no-reduce) of the original run",
+			reductionMode(resume.Reduced), reductionMode(res.Reduced))
+	}
 
-	sc := newLevelScratch(m, opts.Workers)
+	sc := newLevelScratch(m, opts.Workers, rm)
 	defer met.collect(v, sc)
 	var frontier []uint32
 	startDepth := int32(0)
@@ -453,7 +488,10 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 		// and checking the state invariant before any expansion.
 		inits := m.Initial()
 		for i, s := range inits {
-			enc := []byte(s)
+			enc := []byte(s) // fresh copy, safe to canonicalize in place
+			if rm != nil {
+				sc.canons[0].Canonicalize(enc)
+			}
 			st, ref := v.claim(enc, hashBytes(enc), 0, uint64(i), false, 0, &sc.probes[0])
 			switch st {
 			case claimFull:
@@ -511,6 +549,18 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 				res.Counterexample = tracePath(v, viol.toRef)
 			} else {
 				res.Counterexample = append(tracePath(v, viol.fromRef), viol.to)
+				if rm != nil {
+					// The quotient trace runs through canonical
+					// representatives; decanonicalize it into a concrete
+					// witness (and re-verify the violation against the
+					// oracle semantics in the process).
+					cex, cerr := concretize(m, rm, trInv, res.Counterexample)
+					if cerr != nil {
+						return res, cerr
+					}
+					res.Counterexample = cex
+					res.Depth = len(cex) - 1
+				}
 			}
 			return conclusive(res, opts)
 		}
@@ -574,12 +624,27 @@ func resolveResume(opts Options) (*Checkpoint, error) {
 	return cp, err
 }
 
+// reductionMode names a search mode in user-facing errors.
+func reductionMode(reduced bool) string {
+	if reduced {
+		return "reduced"
+	}
+	return "non-reduced"
+}
+
 // conclusive finalizes a search that reached a definite verdict: any
 // checkpoint on disk is now stale and is removed so it can never shadow
-// this result.
+// this result. An Inconclusive verdict is NOT definite — the budget ran
+// out and the sampling pass proved nothing — so its checkpoint survives
+// for a re-run with a larger budget. A failed removal is surfaced rather
+// than swallowed: a stale checkpoint a later -resume run silently picks
+// up would shadow the fresh search.
 func conclusive(res Result, opts Options) (Result, error) {
-	if opts.CheckpointPath != "" {
-		os.Remove(opts.CheckpointPath)
+	if opts.CheckpointPath == "" || res.Inconclusive {
+		return res, nil
+	}
+	if err := os.Remove(opts.CheckpointPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return res, fmt.Errorf("mc: removing stale checkpoint after conclusive verdict: %w", err)
 	}
 	return res, nil
 }

@@ -56,6 +56,39 @@ type ExpanderModel interface {
 	NewExpander() Expander
 }
 
+// CanonicalExpander is an Expander that can additionally rewrite an
+// encoding in place to the canonical representative of its reduction
+// equivalence class. Canonicalize must be idempotent and
+// length-preserving, and — like Successors — may use the Expander's
+// scratch, so it must not be called while a previous Successors result
+// is still being read from another worker's buffers it aliases.
+type CanonicalExpander interface {
+	Expander
+	Canonicalize(enc []byte)
+}
+
+// ReducibleModel is an optional ExpanderModel extension for models that
+// define a sound state-space reduction: exploring only canonical
+// representatives preserves transition-invariant verdicts for
+// class-invariant predicates (ones that agree on every member of an
+// equivalence class, such as the per-role §5.1 property).
+//
+// The engine applies the reduction only when checking a transition
+// invariant with no state invariant (state invariants are evaluated per
+// state, and a representative says nothing about the class members it
+// shadows), only when Reducible reports the current configuration admits
+// it, and never when Options.NoReduce asks for the oracle semantics.
+type ReducibleModel interface {
+	ExpanderModel
+	// Reducible reports whether the reduction is sound for the model's
+	// current configuration.
+	Reducible() bool
+	// NewReducedExpander returns a per-worker expander whose successor
+	// filtering may work modulo the reduction, paired with the
+	// canonicalizer the engine applies before claiming each successor.
+	NewReducedExpander() CanonicalExpander
+}
+
 // TransitionInvariant is a predicate over a transition; the checker
 // searches for a reachable transition where it is false.
 type TransitionInvariant func(from, to State) bool
@@ -124,8 +157,10 @@ type Options struct {
 	// CheckpointPath, when non-empty, is where the engine writes a
 	// resumable snapshot of the search: always when the context
 	// interrupts it, and additionally every CheckpointEvery completed
-	// levels. The file is removed again when the search ends
-	// conclusively, so a stale snapshot can never shadow a finished run.
+	// levels. The file is removed again when the search ends with a
+	// definite verdict, so a stale snapshot can never shadow a finished
+	// run; an Inconclusive degraded verdict keeps it, so the search can
+	// be resumed with a larger budget.
 	CheckpointPath string
 	// CheckpointEvery is the number of completed BFS levels between
 	// periodic snapshots (0 = only on interrupt).
@@ -152,6 +187,11 @@ type Options struct {
 	FallbackDepth int
 	// FallbackSeed seeds the fallback walker's RNG stream.
 	FallbackSeed uint64
+	// NoReduce disables the state-space reduction for ReducibleModel
+	// models — the oracle mode: every concrete state is explored, counts
+	// and depths match the published enumeration exactly. It has no
+	// effect on models without a reduction.
+	NoReduce bool
 	// Stats, when non-nil, receives a summary of the completed search —
 	// throughput, allocation churn, peak frontier — from the coordinating
 	// goroutine, after the Result is final. It is observability only:
@@ -245,9 +285,16 @@ type Result struct {
 	// coverage (zero unless the fallback ran).
 	SampledWalks int
 	SampledDepth int
+	// Reduced is set when the search explored the model's reduction
+	// quotient instead of the concrete space: StatesExplored,
+	// TransitionsExplored and Depth then count canonical representatives.
+	// The verdict is the same either way, and a counterexample is always
+	// a concrete trace (decanonicalized when found in the quotient).
+	Reduced bool
 	// Counterexample is a shortest path of states from an initial state to
 	// the violation (inclusive); empty when Holds. A counterexample found
-	// by the fallback sampler is genuine but not necessarily shortest.
+	// by the fallback sampler is genuine but not necessarily shortest — as
+	// is a decanonicalized one from a Reduced search.
 	Counterexample []State
 }
 

@@ -1,0 +1,287 @@
+package model
+
+// State-space reduction: a canonical representative function over the
+// packed encoding, plus the reduced Expander mode that pairs with it.
+//
+// The §5.1 property is per-role — it reads node phases only — and for
+// every coupler authority except full shifting the model's state carries
+// components that provably cannot influence any phase a node will ever
+// reach. The canonicalizer maps each state to a fixed representative of
+// its equivalence class; the checker then explores the quotient instead
+// of the concrete space. Three collapses compose (soundness argument in
+// DESIGN.md "State-space reduction"):
+//
+//  1. Dead coupler tail. The buffered frame and out-of-slot counter are
+//     read only by the out-of-slot replay fault, which exists only for
+//     full-shifting couplers (guardian.CanBufferFrames). Under every
+//     other authority the tail is write-only state: reset it to the
+//     empty value.
+//  2. Freeze → init collapse. A frozen node's only choices are to stay
+//     frozen or re-initialize; an init node may stay or enter listen.
+//     Both are silent (no frames, no influence on other nodes), and
+//     every behaviour available from freeze is available from init one
+//     step sooner. Mapping freeze records to fresh init records yields a
+//     quotient whose successor images are exactly preserved.
+//  3. Deterministic fast-forward. In a state where every node is in
+//     listen or cold_start, every permitted fault assignment produces
+//     the same successor modulo the dead tail: a single faulty coupler
+//     cannot suppress a cold-start frame (the other channel still
+//     carries it), listeners ignore bad frames, and a bad frame on a
+//     silent bus is judged null. The masked successor chain is therefore
+//     a deterministic stutter sequence, and the whole chain collapses to
+//     a single representative: the last all-{listen, cold_start} state
+//     when the chain exits the region — the exit transition is left to
+//     the checker, so property checks on it are unaffected — or, when
+//     the chain never exits, the minimal-encoding state of the cycle it
+//     settles into (such silent livelocks are real: N simultaneous cold
+//     starters collide every round and rotate forever). Either way no
+//     state inside the chain has an integrated node, so the §5.1
+//     property is vacuous across everything skipped.
+//
+// The quotient is valid only when the coupler tail is dead and the
+// phase graph has no host-state detours (a freeze → await/test choice
+// has no init counterpart); Reducible gates on exactly that. The
+// reduction preserves verdicts and — via the checker's decanonicalization
+// pass — concrete counterexample traces; it does not preserve BFS depth
+// (fast-forwarding collapses startup time), which is why the published
+// E1 matrix numbers are reported in oracle mode.
+
+import (
+	"bytes"
+
+	"ttastar/internal/mc"
+)
+
+var _ mc.ReducibleModel = (*Model)(nil)
+
+// Reducible implements mc.ReducibleModel: the quotient applies when the
+// coupler tail is dead (no out-of-slot replay, so no authority below
+// full shifting ever reads its buffers) and the host-state detours are
+// off (freeze → await/test has no init-side counterpart, so the
+// freeze → init collapse would lose behaviours).
+func (m *Model) Reducible() bool {
+	return !m.cfg.Authority.CanBufferFrames() && !m.cfg.AllowHostStates
+}
+
+// NewReducedExpander implements mc.ReducibleModel: a per-worker expander
+// whose fault-assignment filter works modulo the reduction's observable
+// projection, paired with the in-place canonicalizer. Successor
+// enumeration itself stays concrete — the engine checks the invariant on
+// raw successors first and canonicalizes before claiming.
+func (m *Model) NewReducedExpander() mc.CanonicalExpander {
+	e := m.newExpander()
+	e.reduce = m.Reducible()
+	return e
+}
+
+// Canonicalize returns the canonical representative of enc's reduction
+// class; enc itself when the configuration is not Reducible. It is the
+// allocating convenience form of Expander.Canonicalize for tests and
+// trace tooling.
+func (m *Model) Canonicalize(enc mc.State) mc.State {
+	e := m.expanders.Get().(*Expander)
+	buf := append(make([]byte, 0, len(enc)), enc...)
+	e.Canonicalize(buf)
+	m.expanders.Put(e)
+	return mc.State(buf)
+}
+
+// ffCap bounds the fast-forward chain walk. Reachable silent chains are
+// short — a full listen-timeout countdown plus a couple of cold-start
+// rounds, well under a hundred slots — but the walk must terminate on
+// any input bytes, and truncating merely yields a finer (still sound)
+// quotient: the truncated representative is still a deterministic
+// function of the input state.
+const ffCap = 1024
+
+// Canonicalize rewrites enc in place to its class representative. It
+// reuses the Expander's decode scratch, so like Successors it performs
+// no steady-state allocation; enc must not alias a state the caller
+// still needs in concrete form. Safe between Successors calls on the
+// same Expander (the scratch is dead at that point), not during them.
+func (e *Expander) Canonicalize(enc []byte) {
+	m := e.m
+	if !m.Reducible() {
+		return
+	}
+	m.decodeInto(enc, &e.s)
+	cur := &e.s
+	allLC := true
+	for i := range cur.Nodes {
+		switch cur.Nodes[i].Phase {
+		case PhaseFreeze:
+			cur.Nodes[i] = NodeState{Phase: PhaseInit}
+			allLC = false
+		case PhaseListen, PhaseColdStart:
+		default:
+			allLC = false
+		}
+	}
+	clearTail(cur)
+	if allLC {
+		cur = e.fastForward(cur)
+	}
+	e.canonBuf = m.appendBinary(e.canonBuf[:0], cur)
+	copy(enc, e.canonBuf)
+}
+
+// fastForward chases the deterministic masked chain from the
+// all-{listen, cold_start} state cur until it exits the region —
+// returning the last in-region state, whose exit transition the checker
+// then explores normally — or, when the chain settles into an in-region
+// cycle, returns the cycle's minimal-encoding state. The cycle case uses
+// Brent's algorithm so only two extra state scratches are needed: both
+// outcomes are fixed points of the procedure, which makes Canonicalize
+// idempotent. cur must be one of e.s/e.next; the returned pointer is one
+// of the Expander's four state scratches.
+func (e *Expander) fastForward(cur *State) *State {
+	m := e.m
+	spare := &e.next
+	if cur == spare {
+		spare = &e.s
+	}
+	n := len(cur.Nodes)
+	growNodes(spare, n)
+	growNodes(&e.ffTort, n)
+	growNodes(&e.ffMin, n)
+	clearTail(spare)
+	clearTail(&e.ffTort)
+	clearTail(&e.ffMin)
+
+	// Brent's cycle detection over f = stepSilentChain: the tortoise
+	// holds a checkpoint at the last power of two, the chain itself is
+	// the hare. An exit at any point wins immediately.
+	tort := &e.ffTort
+	copy(tort.Nodes, cur.Nodes)
+	lam, power := 0, 1
+	for steps := 0; ; steps++ {
+		if steps >= ffCap {
+			return cur
+		}
+		if !m.stepSilentChain(cur, spare) {
+			return cur // chain exits the region: keep the last state inside
+		}
+		cur, spare = spare, cur
+		lam++
+		if sameNodes(cur, tort) {
+			break // in a cycle of length lam
+		}
+		if lam == power {
+			copy(tort.Nodes, cur.Nodes)
+			power *= 2
+			lam = 0
+		}
+	}
+
+	// Walk the cycle once and keep its minimal encoding — the one
+	// representative every chain feeding this cycle agrees on.
+	min := &e.ffMin
+	copy(min.Nodes, cur.Nodes)
+	e.ffBuf = m.appendBinary(e.ffBuf[:0], min)
+	for i := 1; i < lam; i++ {
+		if !m.stepSilentChain(cur, spare) {
+			return cur // unreachable: a detected cycle stays in-region
+		}
+		cur, spare = spare, cur
+		e.canonBuf = m.appendBinary(e.canonBuf[:0], cur)
+		if bytes.Compare(e.canonBuf, e.ffBuf) < 0 {
+			copy(min.Nodes, cur.Nodes)
+			e.ffBuf = append(e.ffBuf[:0], e.canonBuf...)
+		}
+	}
+	return min
+}
+
+// growNodes ensures s.Nodes holds n records.
+func growNodes(s *State, n int) {
+	if cap(s.Nodes) < n {
+		s.Nodes = make([]NodeState, n)
+	}
+	s.Nodes = s.Nodes[:n]
+}
+
+// sameNodes reports whether two states agree on their node records; the
+// fast-forward scratches keep their tails identically empty, so this is
+// full state equality there.
+func sameNodes(a, b *State) bool {
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// clearTail resets the dead coupler/out-of-slot tail to its empty value.
+func clearTail(s *State) {
+	for c := range s.Couplers {
+		s.Couplers[c] = CouplerState{BufferedKind: FrameNone}
+	}
+	s.OutOfSlotUsed = 0
+}
+
+// stepSilentChain advances an all-{listen, cold_start} state by one slot
+// under the fault-free assignment, writing the successor into dst with
+// the tail kept empty, and reports whether the successor is still inside
+// the all-{listen, cold_start} region. By the fault-invisibility lemma
+// (see the package comment above and TestSilentRegionFaultInvisibility)
+// this is the unique masked successor of the whole fault menu.
+func (m *Model) stepSilentChain(src, dst *State) bool {
+	nominal, activity := m.nominalContent(src)
+	var ch [NumCouplers]Content
+	for c := range ch {
+		ch[c] = nominal
+	}
+	inRegion := true
+	for i := range src.Nodes {
+		own := uint8(i + 1)
+		var n NodeState
+		if src.Nodes[i].Phase == PhaseListen {
+			n = m.stepListen(src.Nodes[i], own, ch)
+		} else {
+			n = m.stepOperational(src.Nodes[i], own, ch, activity)
+		}
+		dst.Nodes[i] = n
+		if n.Phase != PhaseListen && n.Phase != PhaseColdStart {
+			inRegion = false
+		}
+	}
+	clearTail(dst)
+	return inRegion
+}
+
+// reducedFaSignature is faSignature under the reduction's observable
+// projection, turning the repeat-skip into a partial-order filter over
+// fault assignments: two assignments are equivalent when every consumer
+// of their channel outcomes behaves identically modulo the dead tail.
+//
+//   - A bad frame on a bus with no real activity is judged null by
+//     operational nodes and ignored by listeners — observationally the
+//     empty channel — so it normalizes to none.
+//   - With the buffers dead, the two couplers are interchangeable: at
+//     most one channel differs from the nominal content (single-fault
+//     hypothesis), listeners select frames by kind, and judges take the
+//     max over channels, so the channel pair sorts.
+//
+// The out-of-slot counter is dropped: it never moves without replay.
+// Only reduced-mode expanders use this signature; the oracle mode keeps
+// faSignature byte for byte, so published enumeration counts are
+// untouched.
+func reducedFaSignature(ch [NumCouplers]Content, activity bool) uint32 {
+	var w [NumCouplers]uint32
+	for c := 0; c < NumCouplers; c++ {
+		k, id := ch[c].Kind, ch[c].ID
+		if !activity && k == FrameBad {
+			k, id = FrameNone, 0
+		}
+		w[c] = uint32(k)<<bitsBufID | uint32(id)
+	}
+	if w[0] > w[1] {
+		w[0], w[1] = w[1], w[0]
+	}
+	sig := (w[0]<<(bitsKind+bitsBufID) | w[1]) << 1
+	if activity {
+		sig |= 1
+	}
+	return sig
+}

@@ -64,6 +64,17 @@ type Expander struct {
 	fas    []faultAssignment // fault choices for the current source state
 	faSigs []uint32          // (channels, activity, oos) signatures already enumerated
 
+	// reduce switches the fault-assignment repeat-skip to the commutation
+	// filter (reducedFaSignature); set only by NewReducedExpander, and only
+	// when the configuration is Reducible. canonBuf/ffBuf are
+	// Canonicalize's re-encode scratch; ffTort/ffMin are fastForward's
+	// cycle-detection state scratches (grown on first use).
+	reduce   bool
+	canonBuf []byte
+	ffBuf    []byte
+	ffTort   State
+	ffMin    State
+
 	// Per-node choice lists, stored flat: node i's choices are
 	// choiceBuf[choiceEnd[i-1]:choiceEnd[i]]. choiceWords holds each
 	// choice pre-packed into its 20-bit encoding word.
@@ -132,6 +143,12 @@ func (e *Expander) Successors(enc []byte) [][]byte {
 		// stays exhaustive (explain below) so rendered fault labels
 		// are unchanged.
 		sig := faSignature(ch, activity, e.next.OutOfSlotUsed)
+		if e.reduce {
+			// Commutation filter: skip fault assignments whose channel
+			// outcomes are equivalent modulo the reduction's observable
+			// projection, not just byte-identical (see reducedFaSignature).
+			sig = reducedFaSignature(ch, activity)
+		}
 		if seenSig(e.faSigs, sig) {
 			continue
 		}

@@ -272,7 +272,11 @@ func TestEngineMatchesStringOracleE1Matrix(t *testing.T) {
 			m := mustModel(t, Config{Authority: a})
 			want, wantTrace := stringOracleCheck(m, m.Property())
 			for _, workers := range []int{1, 2, 8} {
-				res, err := mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(), mc.Options{Workers: workers})
+				// The string oracle enumerates concrete states, so the
+				// engine must run in oracle mode too; reduced-vs-oracle
+				// equivalence is covered by canon_test.go.
+				res, err := mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(),
+					mc.Options{Workers: workers, NoReduce: true})
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}

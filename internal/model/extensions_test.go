@@ -178,8 +178,24 @@ func TestScalingFiveNodes(t *testing.T) {
 	if !res.Holds {
 		t.Error("property fails at 5 nodes")
 	}
-	if res.StatesExplored < 400_000 {
-		t.Errorf("suspiciously small 5-node space: %d", res.StatesExplored)
+	if !res.Reduced {
+		t.Error("5-node small-shift check did not run reduced")
+	}
+	m := mustModel(t, Config{Authority: guardian.AuthoritySmallShift, Nodes: 5})
+	resO, err := mc.CheckTransitionInvariant(m, m.Property(), mc.Options{NoReduce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resO.Holds {
+		t.Error("property fails at 5 nodes in oracle mode")
+	}
+	if resO.StatesExplored < 400_000 {
+		t.Errorf("suspiciously small 5-node space: %d", resO.StatesExplored)
+	}
+	// The reduction must pay for itself well past the acceptance bar.
+	if resO.StatesExplored < 3*res.StatesExplored {
+		t.Errorf("reduction below 3x at 5 nodes: %d reduced vs %d oracle states",
+			res.StatesExplored, resO.StatesExplored)
 	}
 	resF := checkProperty(t, Config{Authority: guardian.AuthorityFullShift, Nodes: 5})
 	if resF.Holds {
