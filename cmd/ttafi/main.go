@@ -57,7 +57,8 @@ func main() {
 
 var experimentNames = []string{
 	"sos-timing", "sos-value", "masquerade", "badcstate", "babbling",
-	"failover", "replay", "startup", "ablation", "all",
+	"failover", "replay", "startup", "ablation",
+	"drift", "restart", "montecarlo", "all",
 }
 
 func validExperiment(name string) bool {
@@ -71,7 +72,7 @@ func validExperiment(name string) bool {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ttafi", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "sos-timing | sos-value | masquerade | badcstate | babbling | failover | replay | startup | ablation | all")
+	experiment := fs.String("experiment", "all", "sos-timing | sos-value | masquerade | badcstate | babbling | failover | replay | startup | ablation | drift | restart | montecarlo | all")
 	runs := fs.Int("runs", 20, "seeded runs per campaign cell")
 	seed := fs.Uint64("seed", 1, "base seed")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "campaign worker-pool size (results are identical for any value)")
@@ -256,6 +257,38 @@ func run(args []string) error {
 		}
 		if startupErr != nil {
 			return finish(startupErr)
+		}
+	}
+	if want("drift") {
+		results, err := experiments.DriftStressCampaign(ctx, cluster.TopologyStar, small,
+			[]float64{100, 1000, 4000, 8000, 16000}, *runs, *seed+700)
+		if len(results) > 0 {
+			fmt.Println("drift-adversary clock-sync stress (E13, ±ppm oscillator split):")
+			fmt.Print(experiments.FormatDriftStress(results))
+		}
+		if err != nil {
+			return finish(err)
+		}
+	}
+	if want("restart") {
+		r, err := experiments.RestartRecoveryCampaign(ctx, small, *runs, *seed+800)
+		if r.Reintegrated.Trials > 0 || err == nil {
+			fmt.Println("restart recovery (E14, one node rebooted mid-round):")
+			fmt.Print(experiments.FormatRestart(r))
+		}
+		if err != nil {
+			return finish(err)
+		}
+	}
+	if want("montecarlo") {
+		results, err := experiments.MonteCarloCampaign(ctx, small,
+			[]float64{0.001, 0.005, 0.01, 0.05, 0.1}, *runs, *seed+900)
+		if len(results) > 0 {
+			fmt.Println("Monte-Carlo transient-fault-rate sweep (per-slot probability, Wilson 95%):")
+			fmt.Print(experiments.FormatMonteCarlo(results))
+		}
+		if err != nil {
+			return finish(err)
 		}
 	}
 	if want("ablation") {

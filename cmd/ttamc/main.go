@@ -47,6 +47,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -73,9 +74,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ttamc", flag.ContinueOnError)
 	matrix := fs.Bool("matrix", false, "print the E1 verification matrix (all four coupler authorities)")
 	reduction := fs.Bool("reduction", false, "print reduced-vs-oracle state counts for E1-E3 plus small-shifting scaling up to -nodes")
+	surface := fs.Bool("surface", false, "print the topology verification surface (N×couplers×authority up to -nodes) and the Figure-3 buffer surface")
 	traceKind := fs.String("trace", "", "print a counterexample trace: coldstart | cstate | unconstrained")
 	authority := fs.String("authority", "smallshift", "coupler authority: passive | windows | smallshift | fullshift")
 	nodes := fs.Int("nodes", 4, "cluster size (2-7)")
+	couplers := fs.Int("couplers", 2, "replicated channels (1-3); 1 disables the reduction (needs channel redundancy)")
+	couplerFaults := fs.String("coupler-faults", "", "comma-separated per-coupler fault-mode masks, e.g. all,silence+bad_frame (empty = all faults on every coupler)")
 	maxOOS := fs.Int("max-oos", 0, "limit total out-of-slot errors (0 = unlimited)")
 	noCSReplay := fs.Bool("no-cs-replay", false, "forbid replaying cold-start frames")
 	noReduce := fs.Bool("no-reduce", false, "disable the state-space reduction (oracle mode: concrete states, published counts)")
@@ -182,6 +186,35 @@ func run(args []string) error {
 		return err
 	}
 
+	if *surface {
+		var ns []int
+		for n := 3; n <= *nodes; n++ {
+			ns = append(ns, n)
+		}
+		if len(ns) == 0 {
+			ns = []int{*nodes}
+		}
+		cells, err := experiments.TopologySweep(opts, ns, []int{1, 2, 3},
+			[]guardian.Authority{
+				guardian.AuthorityPassive, guardian.AuthorityTimeWindows,
+				guardian.AuthoritySmallShift, guardian.AuthorityFullShift,
+			})
+		if len(cells) > 0 {
+			fmt.Println("topology verification surface (§5.1 property across N×couplers×authority):")
+			fmt.Print(experiments.FormatTopologySweep(cells))
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Println("Figure-3 buffer surface (allowable clock ratio; b = f_min−1 = 27 is the published curve):")
+		fmt.Print(experiments.FormatFigure3Surface(
+			[]int{76, 128, 256, 512, 1024, 2076},
+			[]int{8, 12, 16, 20, 27},
+		))
+		return nil
+	}
+
 	if *traceKind != "" {
 		var tr experiments.TraceResult
 		var err error
@@ -212,8 +245,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	masks, err := parseCouplerFaults(*couplerFaults)
+	if err != nil {
+		return err
+	}
 	m, err := model.New(model.Config{
 		Nodes:             *nodes,
+		Couplers:          *couplers,
+		CouplerFaults:     masks,
 		Authority:         a,
 		MaxOutOfSlot:      *maxOOS,
 		NoColdStartReplay: *noCSReplay,
@@ -222,7 +261,16 @@ func run(args []string) error {
 		return err
 	}
 	res, err := mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(), opts)
-	fmt.Printf("property (§5.1) for %v couplers, %d nodes: %v\n", a, *nodes, res)
+	topo := fmt.Sprintf("%d×%v couplers", *couplers, a)
+	if masks != nil {
+		topo += fmt.Sprintf(" (faults %s)", *couplerFaults)
+	}
+	// A search that never started (e.g. a refused mismatched resume) has
+	// no result line to print — a bare "HOLDS — 0 states" would read as
+	// success to anything scraping stdout.
+	if err == nil || res.Interrupted {
+		fmt.Printf("property (§5.1) for %s, %d nodes: %v\n", topo, *nodes, res)
+	}
 	if err != nil {
 		return err
 	}
@@ -233,6 +281,24 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// parseCouplerFaults parses the -coupler-faults value: a comma-separated
+// list of per-coupler fault masks in model.ParseFaultSet syntax. An empty
+// value means no restriction (nil).
+func parseCouplerFaults(s string) ([]model.FaultSet, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var masks []model.FaultSet
+	for _, part := range strings.Split(s, ",") {
+		fs, err := model.ParseFaultSet(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		masks = append(masks, fs)
+	}
+	return masks, nil
 }
 
 func parseAuthority(s string) (guardian.Authority, error) {

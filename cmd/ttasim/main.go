@@ -59,6 +59,7 @@ func run(args []string) error {
 	authority := fs.String("authority", "smallshift", "star coupler authority: passive | windows | smallshift | fullshift")
 	semantic := fs.Bool("semantic", false, "enable coupler semantic analysis")
 	nodes := fs.Int("nodes", 4, "cluster size")
+	couplers := fs.Int("couplers", 2, "populated channels: 2 = redundant pair, 1 = degraded single channel")
 	duration := fs.Duration("duration", 100*time.Millisecond, "simulated time to run")
 	driftPPM := fs.Float64("drift-ppm", 100, "alternating ±drift of node oscillators")
 	seed := fs.Uint64("seed", 1, "simulation seed")
@@ -103,7 +104,10 @@ func run(args []string) error {
 		return err
 	}
 
-	sched := medl.Build(medl.Config{Nodes: *nodes, Kind: frame.KindI})
+	sched, err := medl.Build(medl.Config{Nodes: *nodes, Kind: frame.KindI})
+	if err != nil {
+		return err
+	}
 	if *medlPath != "" {
 		loaded, err := loadMEDL(*medlPath)
 		if err != nil {
@@ -130,6 +134,7 @@ func run(args []string) error {
 		Authority:        a,
 		SemanticAnalysis: *semantic,
 		NodeDrifts:       drifts,
+		Couplers:         *couplers,
 	}
 	if *runs > 1 {
 		experiments.SetParallelism(*parallel)
@@ -180,7 +185,7 @@ func run(args []string) error {
 			st.Integrations, st.CliqueErrors, st.SlotsCorrect, st.SlotsIncorrect, st.SlotsInvalid, st.SlotsNull)
 	}
 	if top == cluster.TopologyStar {
-		for ch := channel.ID(0); ch < channel.NumChannels; ch++ {
+		for ch := channel.ID(0); ch < c.Channels(); ch++ {
 			s := c.Coupler(ch).Stats()
 			fmt.Printf("coupler%d: forwarded=%d reshaped=%d windowBlocked=%d wrongSlot=%d semanticBlocked=%d peakBuffer=%.1f bits\n",
 				ch, s.Forwarded, s.Reshaped, s.WindowBlocked, s.WrongSlot, s.SemanticBlocked, s.PeakBufferBits)

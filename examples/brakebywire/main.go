@@ -49,7 +49,7 @@ func main() {
 func run() error {
 	// Slot 1: the pedal's X-frame (data + explicit C-state, so joining
 	// wheels can integrate on it). Slots 2-5: wheel N-frames.
-	sched := medl.Build(medl.Config{
+	sched := medl.MustBuild(medl.Config{
 		Nodes:    1 + numWheels,
 		Kind:     frame.KindN,
 		DataBits: payloadBit,

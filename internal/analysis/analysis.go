@@ -78,6 +78,19 @@ func ClockRatio(fMax, fMin, le int) float64 {
 	return float64(fMax) / float64(den)
 }
 
+// ClockRatioAtBuffer generalizes eq. (10) over the guardian's actual
+// buffer size b: eq. (1) gives b = le + Δ·f_max, so the largest allowable
+// clock ratio is ρmax/ρmin = f_max/(f_max − b + le). Figure 3's curve is
+// the b = B_max = f_min − 1 slice of this surface; smaller (cheaper)
+// buffers allow proportionally less clock disagreement.
+func ClockRatioAtBuffer(fMax, le, buffer int) float64 {
+	den := fMax - buffer + le
+	if den <= 0 || buffer <= le {
+		return 0
+	}
+	return float64(fMax) / float64(den)
+}
+
 // RatioPoint is one Figure 3 sample.
 type RatioPoint struct {
 	FMax  int     `json:"fMax"`

@@ -57,6 +57,12 @@ type Config struct {
 	// BufferBits overrides the couplers' forwarding-buffer capacity
 	// (0 = authority-specific default).
 	BufferBits int
+	// Couplers is the number of replicated channels actually populated
+	// (star couplers, or guardian/bus pairs on the bus topology); default
+	// and maximum channel.NumChannels. With Couplers == 1 the cluster
+	// loses channel redundancy: nodes transmit and receive on channel A
+	// only, which is the degraded single-channel configuration of §2.
+	Couplers int
 	// NodeDrifts gives per-node oscillator deviations (indexed by node-1);
 	// missing entries are perfect clocks.
 	NodeDrifts []sim.PPB
@@ -95,6 +101,7 @@ type Cluster struct {
 	locals   map[cstate.NodeID][channel.NumChannels]*guardian.Local
 	media    [channel.NumChannels]*channel.Medium
 	topology Topology
+	channels channel.ID
 	rng      *sim.RNG
 	events   []StateEvent
 }
@@ -113,11 +120,18 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Authority == 0 {
 		cfg.Authority = guardian.AuthoritySmallShift
 	}
+	if cfg.Couplers == 0 {
+		cfg.Couplers = int(channel.NumChannels)
+	}
+	if cfg.Couplers < 1 || cfg.Couplers > int(channel.NumChannels) {
+		return nil, fmt.Errorf("cluster: %d couplers, want 1..%d", cfg.Couplers, channel.NumChannels)
+	}
 
 	c := &Cluster{
 		Sched:    sim.NewScheduler(),
 		Schedule: cfg.Schedule,
 		topology: cfg.Topology,
+		channels: channel.ID(cfg.Couplers),
 		rng:      sim.NewRNG(cfg.Seed + 1),
 		locals:   make(map[cstate.NodeID][channel.NumChannels]*guardian.Local),
 	}
@@ -129,13 +143,13 @@ func New(cfg Config) (*Cluster, error) {
 		tracer = c.Recorder
 	}
 
-	for ch := channel.ID(0); ch < channel.NumChannels; ch++ {
+	for ch := channel.ID(0); ch < c.channels; ch++ {
 		c.media[ch] = channel.NewMedium(c.Sched, ch, ch.String())
 	}
 
 	switch cfg.Topology {
 	case TopologyStar:
-		for ch := channel.ID(0); ch < channel.NumChannels; ch++ {
+		for ch := channel.ID(0); ch < c.channels; ch++ {
 			g, err := guardian.NewCentral(c.Sched, guardian.CentralConfig{
 				Name:             fmt.Sprintf("coupler%d", ch),
 				Authority:        cfg.Authority,
@@ -180,13 +194,13 @@ func New(cfg Config) (*Cluster, error) {
 
 		switch cfg.Topology {
 		case TopologyStar:
-			for ch := channel.ID(0); ch < channel.NumChannels; ch++ {
+			for ch := channel.ID(0); ch < c.channels; ch++ {
 				n.SetWire(ch, c.couplers[ch].InputPort(id))
 				c.media[ch].Attach(n)
 			}
 		case TopologyBus:
 			var pair [channel.NumChannels]*guardian.Local
-			for ch := channel.ID(0); ch < channel.NumChannels; ch++ {
+			for ch := channel.ID(0); ch < c.channels; ch++ {
 				g, err := guardian.NewLocal(c.Sched, guardian.LocalConfig{
 					Node:     id,
 					Schedule: cfg.Schedule,
@@ -209,6 +223,10 @@ func New(cfg Config) (*Cluster, error) {
 
 // Topology returns the cluster interconnect type.
 func (c *Cluster) Topology() Topology { return c.topology }
+
+// Channels returns the number of populated channels; Coupler, Medium and
+// LocalGuardian return nil for ids at or beyond it.
+func (c *Cluster) Channels() channel.ID { return c.channels }
 
 // Nodes returns the cluster nodes in slot order.
 func (c *Cluster) Nodes() []*node.Node { return c.nodes }

@@ -35,7 +35,7 @@ func BufferTruncationAblation() (TruncationResult, error) {
 	const deltaPPM = 40_000.0 // 4 % mismatch: eq. (1) demand ≈ 7 bits
 	var out TruncationResult
 
-	sched := medl.Build(medl.Config{
+	sched := medl.MustBuild(medl.Config{
 		Nodes:     4,
 		Kind:      frame.KindI,
 		Precision: 120 * time.Microsecond, // windows must absorb tracker lag at 4 %

@@ -53,7 +53,7 @@ func measureOccupancy(deltaPPM float64, frameBits int) (OccupancyPoint, error) {
 	half := deltaPPM / 2 // nodes +half, guardians −half
 	txTime := time.Duration(frameBits) * time.Microsecond
 	build := func(precision time.Duration) *medl.Schedule {
-		return medl.Build(medl.Config{
+		return medl.MustBuild(medl.Config{
 			Nodes:     2,
 			Kind:      frame.KindX,
 			DataBits:  frameBits - xOverhead,

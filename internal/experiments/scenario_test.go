@@ -1,0 +1,160 @@
+package experiments
+
+// E13 (drift-adversary clock-sync stress), E14 (restart recovery) and the
+// Monte-Carlo transient-fault-rate sweep: physics sanity plus the runner's
+// determinism guarantee at several worker-pool sizes.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ttastar/internal/cluster"
+	"ttastar/internal/guardian"
+)
+
+func TestDriftStress(t *testing.T) {
+	const runs = 6
+	results, err := DriftStressCampaign(context.Background(), cluster.TopologyStar,
+		guardian.AuthoritySmallShift, []float64{100, 16000}, runs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d levels, want 2", len(results))
+	}
+	mild, harsh := results[0], results[1]
+	if mild.AllActive.Successes != runs {
+		t.Errorf("±100ppm: %s all-active, want every run", mild.AllActive.String())
+	}
+	if mild.HealthyFreezes != 0 {
+		t.Errorf("±100ppm: %d healthy freezes", mild.HealthyFreezes)
+	}
+	// ±16000ppm splits the ensemble past the sync limit: the worst
+	// correction would exceed the precision, so runs must degrade.
+	if harsh.AllActive.Successes == runs {
+		t.Errorf("±16000ppm: all %d runs stayed active — drift adversary had no effect", runs)
+	}
+	if mild.WorstCorrectionUS.N() == 0 || mild.WorstCorrectionUS.Max() <= 0 {
+		t.Errorf("±100ppm: no worst-correction samples (%v)", mild.WorstCorrectionUS)
+	}
+	for _, r := range results {
+		if h := r.Health; h.Panics != 0 || h.Failed != 0 || h.Skipped != 0 {
+			t.Errorf("±%.0fppm: unhealthy execution %+v", r.DriftPPM, h)
+		}
+	}
+	table := FormatDriftStress(results)
+	for _, phrase := range []string{"ppm", "all-active", "worst corr"} {
+		if !strings.Contains(table, phrase) {
+			t.Errorf("drift table missing %q:\n%s", phrase, table)
+		}
+	}
+}
+
+func TestRestartRecovery(t *testing.T) {
+	const runs = 8
+	r, err := RestartRecoveryCampaign(context.Background(), guardian.AuthoritySmallShift, runs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reintegrated.Trials != runs {
+		t.Fatalf("%d trials recorded, want %d", r.Reintegrated.Trials, runs)
+	}
+	if r.Reintegrated.Successes != runs {
+		t.Errorf("%s reintegrated, want every run", r.Reintegrated.String())
+	}
+	if r.HealthyFreezes != 0 {
+		t.Errorf("%d freezes among the surviving nodes — a reboot must not disturb them", r.HealthyFreezes)
+	}
+	if r.BoundSlots <= 0 {
+		t.Fatalf("BoundSlots = %v, want positive", r.BoundSlots)
+	}
+	if r.DeadlineMisses != 0 {
+		t.Errorf("%d reintegrations exceeded the %.0f-slot bound (worst %.1f)",
+			r.DeadlineMisses, r.BoundSlots, r.RecoverySlots.Max())
+	}
+	if r.RecoverySlots.N() != runs || r.RecoverySlots.Max() <= 0 {
+		t.Errorf("recovery samples %d (max %v), want %d positive samples",
+			r.RecoverySlots.N(), r.RecoverySlots.Max(), runs)
+	}
+	table := FormatRestart(r)
+	for _, phrase := range []string{"reintegrated", "bound"} {
+		if !strings.Contains(table, phrase) {
+			t.Errorf("restart table missing %q:\n%s", phrase, table)
+		}
+	}
+}
+
+func TestMonteCarloSweep(t *testing.T) {
+	const runs = 6
+	results, err := MonteCarloCampaign(context.Background(), guardian.AuthoritySmallShift,
+		[]float64{0, 0.05}, runs, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d levels, want 2", len(results))
+	}
+	clean, noisy := results[0], results[1]
+	if clean.Disrupted.Successes != 0 || clean.FaultsInjected.Max() != 0 {
+		t.Errorf("p=0: %s disrupted, %v faults injected — fault-free baseline broke",
+			clean.Disrupted.String(), clean.FaultsInjected.Max())
+	}
+	if noisy.FaultsInjected.Mean() <= 0 {
+		t.Errorf("p=0.05: no faults injected (mean %v)", noisy.FaultsInjected.Mean())
+	}
+	for _, r := range results {
+		if r.Disrupted.Trials != runs {
+			t.Errorf("p=%v: %d trials, want %d", r.PerSlotFaultProb, r.Disrupted.Trials, runs)
+		}
+		if h := r.Health; h.Panics != 0 || h.Failed != 0 || h.Skipped != 0 {
+			t.Errorf("p=%v: unhealthy execution %+v", r.PerSlotFaultProb, h)
+		}
+	}
+	table := FormatMonteCarlo(results)
+	for _, phrase := range []string{"p/slot", "disrupted"} {
+		if !strings.Contains(table, phrase) {
+			t.Errorf("monte-carlo table missing %q:\n%s", phrase, table)
+		}
+	}
+}
+
+// TestScenarioPackDeterminism: E13, E14 and the Monte-Carlo sweep render
+// byte-identical tables at 1, 2 and 8 workers — the runner's seed-stream
+// and ordered-merge guarantee extends to the new campaigns.
+func TestScenarioPackDeterminism(t *testing.T) {
+	defer SetParallelism(0)
+	render := func() string {
+		ctx := context.Background()
+		var sb strings.Builder
+		drift, err := DriftStressCampaign(ctx, cluster.TopologyStar,
+			guardian.AuthoritySmallShift, []float64{1000, 16000}, 4, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(FormatDriftStress(drift))
+		restart, err := RestartRecoveryCampaign(ctx, guardian.AuthoritySmallShift, 4, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(FormatRestart(restart))
+		mcr, err := MonteCarloCampaign(ctx, guardian.AuthoritySmallShift, []float64{0.01, 0.1}, 4, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(FormatMonteCarlo(mcr))
+		return sb.String()
+	}
+	var first string
+	for _, workers := range []int{1, 2, 8} {
+		SetParallelism(workers)
+		out := render()
+		if first == "" {
+			first = out
+			continue
+		}
+		if out != first {
+			t.Errorf("workers=%d scenario tables differ:\n%s\nvs workers=1:\n%s", workers, out, first)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+// E7b — the Figure-3 surface. The paper's Figure 3 plots the largest
+// allowable clock ratio against the maximum frame size for the *maximum
+// safe* guardian buffer (B_max = f_min − 1). Lifting the buffer size into
+// an axis via eq. (1) turns the curve into a surface: ratio(f_max, b) =
+// f_max/(f_max − b + le); the published curve is the b = f_min − 1 edge.
+//
+// The verification side of the same question is the topology sweep: with
+// coupler count and channel asymmetry now model parameters, the §5.1
+// property can be checked across N × couplers × authority instead of only
+// at the paper's fixed 4-node/2-coupler point. One coupler removes channel
+// redundancy — a single coupler fault is then visible to every node and
+// the property collapses for every active authority — which the sweep
+// exhibits as the couplers=1 column of the surface.
+
+import (
+	"fmt"
+	"strings"
+
+	"ttastar/internal/analysis"
+	"ttastar/internal/guardian"
+	"ttastar/internal/mc"
+	"ttastar/internal/model"
+)
+
+// Figure3Surface samples ratio(f_max, b) on the fMaxs × buffers grid for
+// minimum frame size fMin (le = 4 as in the figure). Row i corresponds to
+// fMaxs[i], column j to buffers[j]; entries where the buffer is illegal
+// (b ≤ le, or b large enough to make the denominator vanish) are 0.
+func Figure3Surface(fMaxs, buffers []int) [][]float64 {
+	out := make([][]float64, len(fMaxs))
+	for i, f := range fMaxs {
+		row := make([]float64, len(buffers))
+		for j, b := range buffers {
+			row[j] = analysis.ClockRatioAtBuffer(f, analysis.PaperLineEncodingBits, b)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// FormatFigure3Surface renders the surface as a table with one row per
+// f_max and one column per buffer size.
+func FormatFigure3Surface(fMaxs, buffers []int) string {
+	surface := Figure3Surface(fMaxs, buffers)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "f_max\\buffer")
+	for _, buf := range buffers {
+		fmt.Fprintf(&b, " %9d", buf)
+	}
+	b.WriteByte('\n')
+	for i, f := range fMaxs {
+		fmt.Fprintf(&b, "%-12d", f)
+		for _, r := range surface[i] {
+			if r == 0 {
+				fmt.Fprintf(&b, " %9s", "-")
+			} else {
+				fmt.Fprintf(&b, " %9.3f", r)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TopologyCell is one point of the N × couplers × authority verification
+// sweep.
+type TopologyCell struct {
+	Nodes     int
+	Couplers  int
+	Authority guardian.Authority
+	Result    mc.Result
+	// Reduced reports whether the point was explored through the
+	// reduction quotient (1-coupler models always run concrete).
+	Reduced bool
+}
+
+// TopologySweep checks the §5.1 property at every (nodes, couplers,
+// authority) point. Reducible points run through the quotient unless
+// opts.NoReduce is set; 1-coupler points are never reducible. Rows come
+// back in sweep order (nodes outermost, authority innermost).
+func TopologySweep(opts mc.Options, nodes, couplers []int, authorities []guardian.Authority) ([]TopologyCell, error) {
+	var cells []TopologyCell
+	for _, n := range nodes {
+		for _, c := range couplers {
+			for _, a := range authorities {
+				m, err := model.New(model.Config{Nodes: n, Couplers: c, Authority: a})
+				if err != nil {
+					return cells, fmt.Errorf("experiments: topology sweep model n=%d c=%d %v: %w", n, c, a, err)
+				}
+				res, err := mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(), opts)
+				cells = append(cells, TopologyCell{
+					Nodes: n, Couplers: c, Authority: a, Result: res,
+					Reduced: !opts.NoReduce && m.Reducible(),
+				})
+				if err != nil {
+					return cells, fmt.Errorf("experiments: topology sweep n=%d c=%d %v: %w", n, c, a, err)
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// FormatTopologySweep renders the sweep as a table.
+func FormatTopologySweep(cells []TopologyCell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s %8s %-15s %-8s %12s %14s %8s\n",
+		"nodes", "couplers", "authority", "verdict", "states", "transitions", "mode")
+	for _, c := range cells {
+		verdict := "HOLDS"
+		if !c.Result.Holds {
+			verdict = "FAILS"
+		}
+		mode := "oracle"
+		if c.Reduced {
+			mode = "reduced"
+		}
+		fmt.Fprintf(&b, "%5d %8d %-15v %-8s %12d %14d %8s\n",
+			c.Nodes, c.Couplers, c.Authority, verdict,
+			c.Result.StatesExplored, c.Result.TransitionsExplored, mode)
+	}
+	return b.String()
+}

@@ -16,9 +16,15 @@ package mc
 // levels, which any key does once the resumed base starts past it — so
 // v2 drops them. Version 3 adds one search-flags uvarint after the
 // Transitions counter (bit 0: the search ran reduced — its states are
-// canonical representatives, so it must be resumed reduced). Versions 1
-// and 2 still load (their missing fields are discarded or defaulted:
-// a pre-reduction checkpoint is by construction non-reduced), so
+// canonical representatives, so it must be resumed reduced). Version 4
+// adds the model fingerprint after the flags word: a digest of the model
+// configuration the snapshot's encodings were packed under, so a resume
+// against a differently-parameterized model (other node or coupler
+// count, authority, option bits) fails loudly instead of silently
+// decoding garbage. Versions 1–3 still load (their missing fields are
+// discarded or defaulted: a pre-reduction checkpoint is by construction
+// non-reduced, and a zero fingerprint makes the identity check
+// best-effort — it is enforced only when both sides carry one), so
 // checkpoints taken by older builds resume cleanly.
 //
 // The on-disk format is versioned, length-guarded and closed by an
@@ -43,7 +49,7 @@ const (
 	checkpointMagic = "TTAMCCP\x00"
 	// checkpointVersion is the written format; checkpointLegacyVersion
 	// is the oldest format the reader still accepts.
-	checkpointVersion       = 3
+	checkpointVersion       = 4
 	checkpointLegacyVersion = 1
 )
 
@@ -54,6 +60,12 @@ const checkpointFlagReduced = 1 << 0
 // ErrBadCheckpoint reports a checkpoint file that failed validation:
 // wrong magic, unsupported version, checksum mismatch, or truncation.
 var ErrBadCheckpoint = errors.New("mc: invalid checkpoint")
+
+// ErrModelMismatch reports a structurally valid checkpoint whose model
+// fingerprint differs from the resuming search's model: the snapshot's
+// packed encodings were produced under a different configuration and
+// would decode as garbage.
+var ErrModelMismatch = errors.New("mc: checkpoint model mismatch")
 
 // Checkpoint is a resumable snapshot of a search at a level boundary.
 type Checkpoint struct {
@@ -68,6 +80,12 @@ type Checkpoint struct {
 	// non-reduced resume (and vice versa), so the engine refuses a
 	// mode-mismatched resume.
 	Reduced bool
+	// Fingerprint is the digest of the model configuration the snapshot
+	// was taken under (FingerprintedModel); 0 when the model carries none
+	// or the file predates format v4. The engine refuses a resume whose
+	// model fingerprint differs — best-effort: enforced only when both
+	// sides are nonzero.
+	Fingerprint uint64
 	// Frontier is the next frontier in serial claim-key order.
 	Frontier []State
 	// Visited is every admitted state with its trace-reconstruction
@@ -87,12 +105,13 @@ type VisitedEntry struct {
 // boundary — a cold path. Entries are sorted by state encoding so
 // checkpoint bytes are canonical regardless of insertion order or worker
 // count.
-func snapshot(v *visitedSet, res Result, frontier []uint32, depth int32) *Checkpoint {
+func snapshot(v *visitedSet, res Result, frontier []uint32, depth int32, fingerprint uint64) *Checkpoint {
 	cp := &Checkpoint{
 		Depth:       depth,
 		ResultDepth: res.Depth,
 		Transitions: res.TransitionsExplored,
 		Reduced:     res.Reduced,
+		Fingerprint: fingerprint,
 		Frontier:    make([]State, len(frontier)),
 		Visited:     make([]VisitedEntry, 0, v.count.Load()),
 	}
@@ -210,6 +229,7 @@ func WriteCheckpoint(path string, cp *Checkpoint) error {
 		flags |= checkpointFlagReduced
 	}
 	w.uvarint(flags)
+	w.uvarint(cp.Fingerprint)
 	w.uvarint(uint64(len(cp.Frontier)))
 	for _, s := range cp.Frontier {
 		w.str(s)
@@ -292,12 +312,13 @@ func (r *cpReader) count() int {
 }
 
 // ReadCheckpoint loads and validates a checkpoint file. The current
-// version-3 format and both legacy formats are accepted: version 2 lacks
-// the search-flags word (defaulted to a non-reduced search) and version
-// 1 additionally carries a per-entry claim key and depth that are parsed
-// and discarded. A missing file
-// surfaces as an error wrapping os.ErrNotExist so callers can treat it
-// as "start fresh".
+// version-4 format and every legacy format are accepted: version 3 lacks
+// the model fingerprint (defaulted to 0, which disables the identity
+// check), version 2 additionally lacks the search-flags word (defaulted
+// to a non-reduced search) and version 1 additionally carries a
+// per-entry claim key and depth that are parsed and discarded. A missing
+// file surfaces as an error wrapping os.ErrNotExist so callers can treat
+// it as "start fresh".
 func ReadCheckpoint(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -327,6 +348,9 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 	}
 	if version >= 3 {
 		cp.Reduced = r.uvarint()&checkpointFlagReduced != 0
+	}
+	if version >= 4 {
+		cp.Fingerprint = r.uvarint()
 	}
 	cp.Frontier = make([]State, 0, r.count())
 	for i := cap(cp.Frontier); i > 0 && r.err == nil; i-- {

@@ -15,6 +15,7 @@ func sampleCheckpoint() *Checkpoint {
 		Depth:       7,
 		ResultDepth: 6,
 		Transitions: 1234,
+		Fingerprint: 0xdeadbeefcafef00d,
 		Frontier:    []State{"b", "", "c\x00d"},
 		Visited: []VisitedEntry{
 			{State: "", Parent: "", HasParent: false},
@@ -100,6 +101,7 @@ func TestCheckpointVersionMismatch(t *testing.T) {
 // two legacy fields.
 func TestCheckpointLegacyV1Load(t *testing.T) {
 	want := sampleCheckpoint()
+	want.Fingerprint = 0 // v1 predates the fingerprint word
 	payload := []byte(checkpointMagic)
 	payload = binary.AppendUvarint(payload, checkpointLegacyVersion)
 	payload = binary.AppendUvarint(payload, uint64(uint32(want.Depth)))

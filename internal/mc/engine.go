@@ -454,6 +454,15 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 	}
 	res.Reduced = rm != nil
 
+	// The checkpoint identity: snapshots record the model's configuration
+	// fingerprint so a resume against a differently-parameterized model
+	// (other node/coupler count, authority, option bits — and therefore a
+	// different packed encoding) fails loudly instead of decoding garbage.
+	fingerprint := uint64(0)
+	if fm, ok := m.(FingerprintedModel); ok {
+		fingerprint = fm.Fingerprint()
+	}
+
 	resume, err := resolveResume(opts)
 	if err != nil {
 		return res, err
@@ -461,6 +470,10 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 	if resume != nil && resume.Reduced != res.Reduced {
 		return res, fmt.Errorf("mc: checkpoint is from a %s search but this search is %s; match the NoReduce option (-no-reduce) of the original run",
 			reductionMode(resume.Reduced), reductionMode(res.Reduced))
+	}
+	if resume != nil && resume.Fingerprint != 0 && fingerprint != 0 && resume.Fingerprint != fingerprint {
+		return res, fmt.Errorf("%w: checkpoint is from a model with fingerprint %016x but this model's is %016x; match the -nodes/-couplers/-authority and option flags of the original run",
+			ErrModelMismatch, resume.Fingerprint, fingerprint)
 	}
 
 	sc := newLevelScratch(m, opts.Workers, rm)
@@ -514,7 +527,7 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 	levelsSinceCheckpoint := 0
 	for depth := startDepth; len(frontier) > 0; depth++ {
 		if err := ctx.Err(); err != nil {
-			return interrupted(v, res, frontier, depth, err, opts)
+			return interrupted(v, res, frontier, depth, fingerprint, err, opts)
 		}
 		if opts.MaxDepth > 0 && int(depth) >= opts.MaxDepth {
 			res.DepthBounded = true
@@ -597,7 +610,7 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 		levelsSinceCheckpoint++
 		if opts.CheckpointPath != "" && opts.CheckpointEvery > 0 &&
 			levelsSinceCheckpoint >= opts.CheckpointEvery && len(frontier) > 0 {
-			if err := WriteCheckpoint(opts.CheckpointPath, snapshot(v, res, frontier, depth+1)); err != nil {
+			if err := WriteCheckpoint(opts.CheckpointPath, snapshot(v, res, frontier, depth+1, fingerprint)); err != nil {
 				return res, err
 			}
 			levelsSinceCheckpoint = 0
@@ -653,11 +666,11 @@ func conclusive(res Result, opts Options) (Result, error) {
 // everything explored so far, a checkpoint is flushed if requested, and
 // the context's cause is surfaced as ErrDeadline or ErrInterrupted.
 func interrupted(v *visitedSet, res Result, frontier []uint32, depth int32,
-	cause error, opts Options) (Result, error) {
+	fingerprint uint64, cause error, opts Options) (Result, error) {
 	res.Interrupted = true
 	res.StatesExplored = int(v.count.Load())
 	if opts.CheckpointPath != "" {
-		if err := WriteCheckpoint(opts.CheckpointPath, snapshot(v, res, frontier, depth)); err != nil {
+		if err := WriteCheckpoint(opts.CheckpointPath, snapshot(v, res, frontier, depth, fingerprint)); err != nil {
 			return res, err
 		}
 	}

@@ -89,6 +89,20 @@ type ReducibleModel interface {
 	NewReducedExpander() CanonicalExpander
 }
 
+// FingerprintedModel is optionally implemented by models that can digest
+// their configuration into a stable identity. The engine stamps the
+// fingerprint into every checkpoint it writes and refuses to resume a
+// checkpoint whose fingerprint differs from the current model's — the
+// snapshot's packed encodings would otherwise silently decode as garbage.
+// A fingerprint must be nonzero; zero is the "unknown" sentinel carried
+// by models without one and by pre-v4 checkpoint files, and disables the
+// check (best-effort compatibility).
+type FingerprintedModel interface {
+	// Fingerprint digests everything that determines the state encoding
+	// and the transition relation.
+	Fingerprint() uint64
+}
+
 // TransitionInvariant is a predicate over a transition; the checker
 // searches for a reachable transition where it is false.
 type TransitionInvariant func(from, to State) bool

@@ -1,6 +1,7 @@
 package medl
 
 import (
+	"fmt"
 	"time"
 
 	"ttastar/internal/cstate"
@@ -45,9 +46,17 @@ func (c Config) withDefaults() Config {
 }
 
 // Build constructs a uniform one-slot-per-node schedule from the config.
-// The result always validates.
-func Build(c Config) *Schedule {
+// The result always validates. Nodes == 0 defaults to 4; any other value
+// below 2 is rejected — a TDMA round needs at least two slot owners, and
+// a negative count used to silently build an empty schedule.
+func Build(c Config) (*Schedule, error) {
 	c = c.withDefaults()
+	if c.Nodes < 2 {
+		return nil, fmt.Errorf("medl: %d nodes, need at least 2 (0 defaults to 4)", c.Nodes)
+	}
+	if c.BitRate < 0 || c.DataBits < 0 || c.Precision < 0 || c.Gap < 0 {
+		return nil, fmt.Errorf("medl: negative timing parameter in %+v", c)
+	}
 	s := &Schedule{BitRate: c.BitRate, Precision: c.Precision}
 	for i := 1; i <= c.Nodes; i++ {
 		sl := Slot{
@@ -66,11 +75,21 @@ func Build(c Config) *Schedule {
 		sl.Duration = sl.ActionOffset + tx + c.Precision + c.Gap
 		s.Slots = append(s.Slots, sl)
 	}
+	return s, nil
+}
+
+// MustBuild is Build for statically known-good configurations; it panics
+// on a validation error.
+func MustBuild(c Config) *Schedule {
+	s, err := Build(c)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
 // Default4Node returns the schedule the paper's model corresponds to: four
 // nodes, one I-frame slot each.
 func Default4Node() *Schedule {
-	return Build(Config{})
+	return MustBuild(Config{})
 }

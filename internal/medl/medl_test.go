@@ -149,10 +149,31 @@ func TestBuildVariants(t *testing.T) {
 		{Nodes: 8, Kind: frame.KindX, DataBits: 256},
 		{Nodes: 4, BitRate: 10_000_000, Precision: time.Microsecond, Gap: 5 * time.Microsecond},
 	} {
-		s := Build(cfg)
+		s, err := Build(cfg)
+		if err != nil {
+			t.Fatalf("Build(%+v): %v", cfg, err)
+		}
 		if err := s.Validate(); err != nil {
 			t.Errorf("Build(%+v) does not validate: %v", cfg, err)
 		}
+	}
+}
+
+// TestBuildRejectsBadNodeCounts: Nodes == 0 defaults to 4, but negative
+// and single-node counts used to silently build nonsense schedules —
+// Build must reject them.
+func TestBuildRejectsBadNodeCounts(t *testing.T) {
+	for _, n := range []int{-3, -1, 1} {
+		if s, err := Build(Config{Nodes: n}); err == nil {
+			t.Errorf("Build(Nodes: %d) = %d slots, want error", n, s.NumSlots())
+		}
+	}
+	s, err := Build(Config{})
+	if err != nil {
+		t.Fatalf("Build(Nodes: 0): %v", err)
+	}
+	if s.NumSlots() != 4 {
+		t.Errorf("Build(Nodes: 0) = %d slots, want the 4-node default", s.NumSlots())
 	}
 }
 

@@ -56,11 +56,14 @@ var _ mc.ReducibleModel = (*Model)(nil)
 
 // Reducible implements mc.ReducibleModel: the quotient applies when the
 // coupler tail is dead (no out-of-slot replay, so no authority below
-// full shifting ever reads its buffers) and the host-state detours are
+// full shifting ever reads its buffers), the host-state detours are
 // off (freeze → await/test has no init-side counterpart, so the
-// freeze → init collapse would lose behaviours).
+// freeze → init collapse would lose behaviours), and at least two
+// redundant channels exist — the fast-forward fault-invisibility lemma
+// needs a second coupler to carry the frame a single faulty coupler
+// suppresses, so 1-coupler models always explore the concrete space.
 func (m *Model) Reducible() bool {
-	return !m.cfg.Authority.CanBufferFrames() && !m.cfg.AllowHostStates
+	return !m.cfg.Authority.CanBufferFrames() && !m.cfg.AllowHostStates && m.cfg.Couplers >= 2
 }
 
 // NewReducedExpander implements mc.ReducibleModel: a per-worker expander
@@ -117,7 +120,7 @@ func (e *Expander) Canonicalize(enc []byte) {
 			allLC = false
 		}
 	}
-	clearTail(cur)
+	clearTail(cur, m.cfg.Couplers)
 	if allLC {
 		cur = e.fastForward(cur)
 	}
@@ -144,9 +147,9 @@ func (e *Expander) fastForward(cur *State) *State {
 	growNodes(spare, n)
 	growNodes(&e.ffTort, n)
 	growNodes(&e.ffMin, n)
-	clearTail(spare)
-	clearTail(&e.ffTort)
-	clearTail(&e.ffMin)
+	clearTail(spare, e.nc)
+	clearTail(&e.ffTort, e.nc)
+	clearTail(&e.ffMin, e.nc)
 
 	// Brent's cycle detection over f = stepSilentChain: the tortoise
 	// holds a checkpoint at the last power of two, the chain itself is
@@ -212,10 +215,15 @@ func sameNodes(a, b *State) bool {
 	return true
 }
 
-// clearTail resets the dead coupler/out-of-slot tail to its empty value.
-func clearTail(s *State) {
-	for c := range s.Couplers {
+// clearTail resets the dead coupler/out-of-slot tail to its empty value:
+// FrameNone for the model's nc couplers (the decoded form of the encoded
+// empty tail), zero for the padding entries past them.
+func clearTail(s *State, nc int) {
+	for c := 0; c < nc; c++ {
 		s.Couplers[c] = CouplerState{BufferedKind: FrameNone}
+	}
+	for c := nc; c < MaxCouplers; c++ {
+		s.Couplers[c] = CouplerState{}
 	}
 	s.OutOfSlotUsed = 0
 }
@@ -228,8 +236,8 @@ func clearTail(s *State) {
 // this is the unique masked successor of the whole fault menu.
 func (m *Model) stepSilentChain(src, dst *State) bool {
 	nominal, activity := m.nominalContent(src)
-	var ch [NumCouplers]Content
-	for c := range ch {
+	var ch [MaxCouplers]Content
+	for c := 0; c < m.cfg.Couplers; c++ {
 		ch[c] = nominal
 	}
 	inRegion := true
@@ -246,7 +254,7 @@ func (m *Model) stepSilentChain(src, dst *State) bool {
 			inRegion = false
 		}
 	}
-	clearTail(dst)
+	clearTail(dst, m.cfg.Couplers)
 	return inRegion
 }
 
@@ -258,28 +266,39 @@ func (m *Model) stepSilentChain(src, dst *State) bool {
 //   - A bad frame on a bus with no real activity is judged null by
 //     operational nodes and ignored by listeners — observationally the
 //     empty channel — so it normalizes to none.
-//   - With the buffers dead, the two couplers are interchangeable: at
-//     most one channel differs from the nominal content (single-fault
-//     hypothesis), listeners select frames by kind, and judges take the
-//     max over channels, so the channel pair sorts.
+//   - With the buffers dead, the couplers are interchangeable: at most
+//     one channel differs from the nominal content (single-fault
+//     hypothesis), so every channel of a given real kind carries the
+//     identical nominal content, listeners select frames by kind, and
+//     judges take the max over channels — the channel tuple sorts.
+//     Per-coupler fault masks restrict which assignments are enumerated
+//     but not how their outcomes are consumed, so asymmetric channels
+//     still sort soundly.
 //
 // The out-of-slot counter is dropped: it never moves without replay.
 // Only reduced-mode expanders use this signature; the oracle mode keeps
 // faSignature byte for byte, so published enumeration counts are
 // untouched.
-func reducedFaSignature(ch [NumCouplers]Content, activity bool) uint32 {
-	var w [NumCouplers]uint32
-	for c := 0; c < NumCouplers; c++ {
+func reducedFaSignature(ch [MaxCouplers]Content, nc int, activity bool) uint32 {
+	var w [MaxCouplers]uint32
+	for c := 0; c < nc; c++ {
 		k, id := ch[c].Kind, ch[c].ID
 		if !activity && k == FrameBad {
 			k, id = FrameNone, 0
 		}
 		w[c] = uint32(k)<<bitsBufID | uint32(id)
 	}
-	if w[0] > w[1] {
-		w[0], w[1] = w[1], w[0]
+	// Insertion-sort the nc-entry prefix (nc <= 3).
+	for i := 1; i < nc; i++ {
+		for j := i; j > 0 && w[j-1] > w[j]; j-- {
+			w[j-1], w[j] = w[j], w[j-1]
+		}
 	}
-	sig := (w[0]<<(bitsKind+bitsBufID) | w[1]) << 1
+	sig := uint32(0)
+	for c := 0; c < nc; c++ {
+		sig = sig<<(bitsKind+bitsBufID) | w[c]
+	}
+	sig <<= 1
 	if activity {
 		sig |= 1
 	}

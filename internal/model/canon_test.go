@@ -51,7 +51,7 @@ func TestCanonicalFormInvariants(t *testing.T) {
 				t.Fatalf("canonical state keeps node %d frozen: %v", i, cs)
 			}
 		}
-		for ci, cp := range cs.Couplers {
+		for ci, cp := range cs.Couplers[:m.Config().Couplers] {
 			if cp.BufferedKind != FrameNone || cp.BufferedID != 0 {
 				t.Fatalf("canonical state keeps coupler %d buffer: %v", ci, cs)
 			}
@@ -284,20 +284,20 @@ func TestReducedFaSignature(t *testing.T) {
 	cs := Content{Kind: FrameCState, ID: 2}
 	bad := Content{Kind: FrameBad}
 	none := Content{Kind: FrameNone}
-	if reducedFaSignature([NumCouplers]Content{cs, bad}, true) !=
-		reducedFaSignature([NumCouplers]Content{bad, cs}, true) {
+	if reducedFaSignature([MaxCouplers]Content{cs, bad}, 2, true) !=
+		reducedFaSignature([MaxCouplers]Content{bad, cs}, 2, true) {
 		t.Error("channel swap not identified")
 	}
-	if reducedFaSignature([NumCouplers]Content{bad, none}, false) !=
-		reducedFaSignature([NumCouplers]Content{none, none}, false) {
+	if reducedFaSignature([MaxCouplers]Content{bad, none}, 2, false) !=
+		reducedFaSignature([MaxCouplers]Content{none, none}, 2, false) {
 		t.Error("bad frame on a silent bus not absorbed")
 	}
-	if reducedFaSignature([NumCouplers]Content{bad, cs}, true) ==
-		reducedFaSignature([NumCouplers]Content{none, cs}, true) {
+	if reducedFaSignature([MaxCouplers]Content{bad, cs}, 2, true) ==
+		reducedFaSignature([MaxCouplers]Content{none, cs}, 2, true) {
 		t.Error("bad frame on an active bus wrongly absorbed")
 	}
-	if reducedFaSignature([NumCouplers]Content{cs, cs}, true) ==
-		reducedFaSignature([NumCouplers]Content{none, cs}, true) {
+	if reducedFaSignature([MaxCouplers]Content{cs, cs}, 2, true) ==
+		reducedFaSignature([MaxCouplers]Content{none, cs}, 2, true) {
 		t.Error("distinct channel outcomes identified")
 	}
 }

@@ -36,9 +36,10 @@ const (
 	bitsPerCoupler = bitsKind + bitsBufID
 )
 
-// binarySize is the fixed encoding width in bytes for an n-node model.
-func binarySize(n int) int {
-	return (bitsPerNode*n + bitsPerCoupler*NumCouplers + bitsOOS + 7) / 8
+// binarySize is the fixed encoding width in bytes for an n-node, c-coupler
+// model.
+func binarySize(n, c int) int {
+	return (bitsPerNode*n + bitsPerCoupler*c + bitsOOS + 7) / 8
 }
 
 // bitWriter packs values MSB-first into a byte slice.
@@ -89,7 +90,7 @@ func (r *bitReader) get(bits uint) uint64 {
 // encode to equal byte strings, so the result is usable directly as the
 // checker's interned visited-set key.
 func (m *Model) EncodeBinary(s State) mc.State {
-	return mc.State(m.appendBinary(make([]byte, 0, binarySize(m.cfg.Nodes)), &s))
+	return mc.State(m.appendBinary(make([]byte, 0, binarySize(m.cfg.Nodes, m.cfg.Couplers)), &s))
 }
 
 // appendBinary packs s onto dst — the allocation-free form of
@@ -108,7 +109,7 @@ func (m *Model) appendBinary(dst []byte, s *State) []byte {
 		w.put(uint64(n.Failed), bitsFailed)
 		w.put(uint64(n.Timeout), bitsTimeout)
 	}
-	for _, c := range s.Couplers {
+	for _, c := range s.Couplers[:m.cfg.Couplers] {
 		w.put(uint64(c.BufferedKind), bitsKind)
 		w.put(uint64(c.BufferedID), bitsBufID)
 	}
@@ -127,8 +128,8 @@ func (m *Model) DecodeBinary(enc mc.State) State {
 // decodeInto is the scratch-reusing form of DecodeBinary: it unpacks enc
 // into s, reusing s.Nodes when it has the capacity.
 func (m *Model) decodeInto(enc []byte, s *State) {
-	if len(enc) != binarySize(m.cfg.Nodes) {
-		panic(fmt.Sprintf("model: binary state is %d bytes, want %d", len(enc), binarySize(m.cfg.Nodes)))
+	if len(enc) != binarySize(m.cfg.Nodes, m.cfg.Couplers) {
+		panic(fmt.Sprintf("model: binary state is %d bytes, want %d", len(enc), binarySize(m.cfg.Nodes, m.cfg.Couplers)))
 	}
 	r := bitReader{buf: enc}
 	if cap(s.Nodes) < m.cfg.Nodes {
@@ -145,11 +146,14 @@ func (m *Model) decodeInto(enc []byte, s *State) {
 			Timeout: uint8(r.get(bitsTimeout)),
 		}
 	}
-	for c := range s.Couplers {
+	for c := 0; c < m.cfg.Couplers; c++ {
 		s.Couplers[c] = CouplerState{
 			BufferedKind: FrameKind(r.get(bitsKind)),
 			BufferedID:   uint8(r.get(bitsBufID)),
 		}
+	}
+	for c := m.cfg.Couplers; c < MaxCouplers; c++ {
+		s.Couplers[c] = CouplerState{}
 	}
 	s.OutOfSlotUsed = uint8(r.get(bitsOOS))
 }

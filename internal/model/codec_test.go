@@ -52,7 +52,7 @@ func statesEqual(a, b State) bool {
 func TestMCBinaryCodecRoundTrip(t *testing.T) {
 	for _, nodes := range []int{2, 4, 7} {
 		m := mustModel(t, Config{Nodes: nodes})
-		wantLen := binarySize(nodes)
+		wantLen := binarySize(nodes, NumCouplers)
 		f := func(phases, slots, agreed, failed, timeout [7]uint8, bb [7]bool,
 			bufID, bufKind [NumCouplers]uint8, oos uint8) bool {
 			s := randomState(nodes, phases[:], slots[:], agreed[:], failed[:], timeout[:], bb[:], bufID, bufKind, oos)

@@ -43,20 +43,19 @@ import (
 	"ttastar/internal/mc"
 )
 
-// tailBits is the width of the per-fault-assignment encoding tail: the
-// coupler buffers plus the out-of-slot counter.
-const tailBits = bitsPerCoupler*NumCouplers + bitsOOS
-
-// candBytes bounds a packed encoding: binarySize(7) = 20 for the largest
-// configurable cluster, padded so the dedup hash can read whole words.
+// candBytes bounds a packed encoding: binarySize(7, MaxCouplers) = 21 for
+// the largest configurable cluster, padded so the dedup hash can read
+// whole words.
 const candBytes = 24
 
 // Expander generates packed successor encodings against reusable
 // per-worker scratch. Zero value is not usable; obtain one from
 // Model.NewExpander.
 type Expander struct {
-	m    *Model
-	size int // binarySize(nodes): every emitted encoding is this wide
+	m        *Model
+	size     int   // binarySize(nodes, couplers): every emitted encoding is this wide
+	nc       int   // the model's coupler count
+	tailBits int32 // width of the per-fault-assignment tail: nc coupler buffers + out-of-slot counter
 
 	s    State // decoded source state; Nodes reused across calls
 	next State // successor accumulator; Nodes reused across calls
@@ -103,17 +102,19 @@ var _ mc.Expander = (*Expander)(nil)
 func (m *Model) NewExpander() mc.Expander { return m.newExpander() }
 
 func (m *Model) newExpander() *Expander {
-	size := binarySize(m.cfg.Nodes)
+	size := binarySize(m.cfg.Nodes, m.cfg.Couplers)
 	if size > candBytes {
 		panic(fmt.Sprintf("model: %d-node encoding (%d bytes) exceeds expander scratch", m.cfg.Nodes, size))
 	}
 	return &Expander{
-		m:      m,
-		size:   size,
-		s:      State{Nodes: make([]NodeState, m.cfg.Nodes)},
-		next:   State{Nodes: make([]NodeState, m.cfg.Nodes)},
-		dcells: make([]uint64, 64),
-		dgen:   1,
+		m:        m,
+		size:     size,
+		nc:       m.cfg.Couplers,
+		tailBits: int32(bitsPerCoupler*m.cfg.Couplers + bitsOOS),
+		s:        State{Nodes: make([]NodeState, m.cfg.Nodes)},
+		next:     State{Nodes: make([]NodeState, m.cfg.Nodes)},
+		dcells:   make([]uint64, 64),
+		dgen:     1,
 	}
 }
 
@@ -142,12 +143,12 @@ func (e *Expander) Successors(enc []byte) [][]byte {
 		// would replay byte for byte, so skip it. Trace explanation
 		// stays exhaustive (explain below) so rendered fault labels
 		// are unchanged.
-		sig := faSignature(ch, activity, e.next.OutOfSlotUsed)
+		sig := faSignature(ch, e.nc, activity, e.next.OutOfSlotUsed)
 		if e.reduce {
 			// Commutation filter: skip fault assignments whose channel
 			// outcomes are equivalent modulo the reduction's observable
 			// projection, not just byte-identical (see reducedFaSignature).
-			sig = reducedFaSignature(ch, activity)
+			sig = reducedFaSignature(ch, e.nc, activity)
 		}
 		if seenSig(e.faSigs, sig) {
 			continue
@@ -169,9 +170,9 @@ func (e *Expander) Successors(enc []byte) [][]byte {
 // faSignature packs the successor-determining channel outcome of a fault
 // assignment: per-coupler contents, the activity bit, and the saturated
 // out-of-slot counter.
-func faSignature(ch [NumCouplers]Content, activity bool, oosUsed uint8) uint32 {
+func faSignature(ch [MaxCouplers]Content, nc int, activity bool, oosUsed uint8) uint32 {
 	sig := uint32(0)
-	for c := 0; c < NumCouplers; c++ {
+	for c := 0; c < nc; c++ {
 		sig = sig<<(bitsKind+bitsBufID) | uint32(ch[c].Kind)<<bitsBufID | uint32(ch[c].ID)
 	}
 	sig <<= bitsOOS + 1
@@ -196,16 +197,17 @@ func seenSig(sigs []uint32, sig uint32) bool {
 // contents, the activity bit, and the successor's coupler/out-of-slot
 // tail (everything of e.next except Nodes), including the pre-packed
 // tail word.
-func (e *Expander) prepareChannels(fi int, nominal Content, sendersPresent bool) ([NumCouplers]Content, bool) {
+func (e *Expander) prepareChannels(fi int, nominal Content, sendersPresent bool) ([MaxCouplers]Content, bool) {
 	m := e.m
 	fa := &e.fas[fi]
 
 	// Channel contents under this fault choice (§4.4): silence blanks the
 	// channel, a bad frame replaces it, out-of-slot replays the coupler's
 	// buffered frame, and a fault-free coupler relays the nominal frame.
-	var ch [NumCouplers]Content
+	// Entries at or past e.nc stay zero — inert for every consumer.
+	var ch [MaxCouplers]Content
 	oosThisStep := uint8(0)
-	for c := 0; c < NumCouplers; c++ {
+	for c := 0; c < e.nc; c++ {
 		switch fa[c] {
 		case FaultSilence:
 			ch[c] = Content{Kind: FrameNone}
@@ -220,7 +222,7 @@ func (e *Expander) prepareChannels(fi int, nominal Content, sendersPresent bool)
 	}
 	// A replayed frame is real channel activity even in a silent slot.
 	activity := sendersPresent
-	for c := 0; c < NumCouplers; c++ {
+	for c := 0; c < e.nc; c++ {
 		if fa[c] == FaultOutOfSlot && ch[c].Kind != FrameNone {
 			activity = true
 		}
@@ -228,7 +230,7 @@ func (e *Expander) prepareChannels(fi int, nominal Content, sendersPresent bool)
 
 	// Coupler buffers track the frame on their channel (§4.4: updated
 	// whenever the id on the channel is non-zero).
-	for c := 0; c < NumCouplers; c++ {
+	for c := 0; c < e.nc; c++ {
 		e.next.Couplers[c] = e.s.Couplers[c]
 		if ch[c].ID != 0 {
 			e.next.Couplers[c] = CouplerState{BufferedID: ch[c].ID, BufferedKind: ch[c].Kind}
@@ -244,7 +246,7 @@ func (e *Expander) prepareChannels(fi int, nominal Content, sendersPresent bool)
 	e.next.OutOfSlotUsed = oosUsed
 
 	tw := uint32(0)
-	for c := 0; c < NumCouplers; c++ {
+	for c := 0; c < e.nc; c++ {
 		cs := &e.next.Couplers[c]
 		if uint32(cs.BufferedKind) >= 1<<bitsKind || uint32(cs.BufferedID) >= 1<<bitsBufID {
 			panic(fmt.Sprintf("model: coupler state %+v overflows its fields", *cs))
@@ -258,7 +260,7 @@ func (e *Expander) prepareChannels(fi int, nominal Content, sendersPresent bool)
 // prepareChoices builds the per-node next-state choice lists for the
 // given channel contents, plus each choice's pre-packed 20-bit encoding
 // word; freeze/init nodes are nondeterministic.
-func (e *Expander) prepareChoices(ch [NumCouplers]Content, activity bool) {
+func (e *Expander) prepareChoices(ch [MaxCouplers]Content, activity bool) {
 	m := e.m
 	e.choiceBuf = e.choiceBuf[:0]
 	e.choiceEnd = e.choiceEnd[:0]
@@ -299,14 +301,14 @@ func nodeWord(n *NodeState) uint32 {
 // recursion level's snapshot free — backtracking costs nothing.
 type encCursor struct {
 	pos int32  // next byte to write in e.cand
-	acc uint32 // pending bits, right-aligned
+	acc uint64 // pending bits, right-aligned (64-wide: ≤7 pending + a 26-bit 3-coupler tail)
 	nb  int32  // number of pending bits (always < 8 between pushes)
 }
 
 // push appends a bits-wide word to the encoding, spilling completed
 // bytes into e.cand, MSB-first like bitWriter.
 func (e *Expander) push(st encCursor, w uint32, bits int32) encCursor {
-	acc := st.acc<<bits | w
+	acc := st.acc<<bits | uint64(w)
 	nb := st.nb + bits
 	pos := st.pos
 	for nb >= 8 {
@@ -336,7 +338,7 @@ func (e *Expander) emitAll(node, lo int, st encCursor) {
 // keeps it only if new. Duplicates — the common case, since distinct
 // choice combinations often coincide — cost one hash probe.
 func (e *Expander) emit(st encCursor) {
-	st = e.push(st, e.tailWord, tailBits)
+	st = e.push(st, e.tailWord, e.tailBits)
 	if st.nb > 0 {
 		e.cand[st.pos] = byte(st.acc << (8 - st.nb)) // flush, zero-padded like bitWriter
 	}

@@ -11,6 +11,8 @@ package model
 
 import (
 	"fmt"
+	"hash/fnv"
+	"strings"
 	"sync"
 
 	"ttastar/internal/guardian"
@@ -123,14 +125,117 @@ func (f Fault) String() string {
 	}
 }
 
-// NumCouplers is the number of redundant star couplers (channels).
+// NumCouplers is the default number of redundant star couplers (channels)
+// — the paper's cluster. Config.Couplers overrides it per model.
 const NumCouplers = 2
+
+// MaxCouplers bounds Config.Couplers: coupler buffer ids must fit the
+// packed layout and State.Couplers is a fixed array sized for the worst
+// case. Entries at or past a model's coupler count stay zero-valued.
+const MaxCouplers = 3
+
+// FaultSet is a bitmask over the injectable coupler fault modes; it
+// expresses per-channel asymmetry (e.g. a silence-only channel A next to
+// a full-fault channel B).
+type FaultSet uint8
+
+// FaultSet bits, one per injectable fault mode.
+const (
+	FaultSetSilence FaultSet = 1 << iota
+	FaultSetBadFrame
+	FaultSetOutOfSlot
+)
+
+// FaultSetAll permits every fault mode (subject to the authority gates).
+const FaultSetAll = FaultSetSilence | FaultSetBadFrame | FaultSetOutOfSlot
+
+// Allows reports whether the set permits injecting f.
+func (fs FaultSet) Allows(f Fault) bool {
+	switch f {
+	case FaultSilence:
+		return fs&FaultSetSilence != 0
+	case FaultBadFrame:
+		return fs&FaultSetBadFrame != 0
+	case FaultOutOfSlot:
+		return fs&FaultSetOutOfSlot != 0
+	default:
+		return f == FaultNone
+	}
+}
+
+// String renders the set as a +-joined fault list ("silence+bad_frame"),
+// "all" for the full set, or "none" for the empty one — the same syntax
+// ParseFaultSet accepts.
+func (fs FaultSet) String() string {
+	if fs == 0 {
+		return "none"
+	}
+	if fs&FaultSetAll == FaultSetAll {
+		return "all"
+	}
+	s := ""
+	for _, b := range [...]struct {
+		bit  FaultSet
+		name string
+	}{{FaultSetSilence, "silence"}, {FaultSetBadFrame, "bad_frame"}, {FaultSetOutOfSlot, "out_of_slot"}} {
+		if fs&b.bit != 0 {
+			if s != "" {
+				s += "+"
+			}
+			s += b.name
+		}
+	}
+	return s
+}
+
+// ParseFaultSet parses a +-joined fault list in String's syntax.
+func ParseFaultSet(s string) (FaultSet, error) {
+	switch s {
+	case "none":
+		return 0, nil
+	case "all":
+		return FaultSetAll, nil
+	}
+	var fs FaultSet
+	for len(s) > 0 {
+		part := s
+		if i := strings.IndexByte(s, '+'); i >= 0 {
+			part, s = s[:i], s[i+1:]
+		} else {
+			s = ""
+		}
+		switch part {
+		case "silence":
+			fs |= FaultSetSilence
+		case "bad_frame", "badframe":
+			fs |= FaultSetBadFrame
+		case "out_of_slot", "outofslot":
+			fs |= FaultSetOutOfSlot
+		default:
+			return 0, fmt.Errorf("model: unknown fault mode %q (want silence, bad_frame, out_of_slot, all or none)", part)
+		}
+	}
+	return fs, nil
+}
 
 // Config parameterizes the model.
 type Config struct {
 	// Nodes is the cluster size; node i owns slot i. Default 4 (the
 	// paper's cluster), maximum 7 (listen timeouts must fit 4 bits).
 	Nodes int
+	// Couplers is the number of redundant star couplers (channels).
+	// Default NumCouplers (2, the paper's cluster); range [1, MaxCouplers].
+	// With a single coupler the model loses channel redundancy — and with
+	// it the reduction quotient's fault-invisibility lemma, so 1-coupler
+	// models always explore the concrete space.
+	Couplers int
+	// CouplerFaults, when non-nil, restricts the fault modes coupler c may
+	// exhibit to CouplerFaults[c] — per-channel asymmetry, e.g. a
+	// silence-only channel next to a full-fault one. Must have exactly
+	// Couplers entries; a zero set makes that coupler fault-free. nil
+	// permits every mode on every coupler (subject to the authority
+	// gates, which still apply on top of the mask).
+	CouplerFaults []FaultSet
 	// Authority is the couplers' feature set. Out-of-slot faults exist
 	// only for full-shifting couplers; the other §4.4 faults exist for
 	// every feature set.
@@ -167,6 +272,9 @@ func (c Config) withDefaults() Config {
 	if c.Nodes == 0 {
 		c.Nodes = 4
 	}
+	if c.Couplers == 0 {
+		c.Couplers = NumCouplers
+	}
 	if c.Authority == 0 {
 		c.Authority = guardian.AuthoritySmallShift
 	}
@@ -189,10 +297,12 @@ type CouplerState struct {
 	BufferedKind FrameKind // buffered_frame
 }
 
-// State is the full model state.
+// State is the full model state. Couplers is sized for the largest
+// configuration; entries at or past the model's coupler count are
+// zero-valued and never encoded.
 type State struct {
 	Nodes         []NodeState
-	Couplers      [NumCouplers]CouplerState
+	Couplers      [MaxCouplers]CouplerState
 	OutOfSlotUsed uint8 // tracked only when MaxOutOfSlot > 0
 }
 
@@ -212,6 +322,17 @@ func New(cfg Config) (*Model, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Nodes < 2 || cfg.Nodes > 7 {
 		return nil, fmt.Errorf("model: %d nodes outside [2,7]", cfg.Nodes)
+	}
+	if cfg.Couplers < 1 || cfg.Couplers > MaxCouplers {
+		return nil, fmt.Errorf("model: %d couplers outside [1,%d]", cfg.Couplers, MaxCouplers)
+	}
+	if cfg.CouplerFaults != nil && len(cfg.CouplerFaults) != cfg.Couplers {
+		return nil, fmt.Errorf("model: %d coupler fault sets for %d couplers", len(cfg.CouplerFaults), cfg.Couplers)
+	}
+	for _, fs := range cfg.CouplerFaults {
+		if fs&^FaultSetAll != 0 {
+			return nil, fmt.Errorf("model: unknown bits in coupler fault set %#x", uint8(fs))
+		}
 	}
 	if cfg.Authority < guardian.AuthorityPassive || cfg.Authority > guardian.AuthorityFullShift {
 		return nil, fmt.Errorf("model: unknown authority %d", cfg.Authority)
@@ -240,7 +361,7 @@ func (m *Model) Decode(enc mc.State) State { return m.DecodeBinary(enc) }
 // field pair, 3·N+3 bytes for N nodes). It is retained as an independent
 // oracle for the binary codec's round-trip tests.
 func (m *Model) EncodeString(s State) mc.State {
-	buf := make([]byte, 0, 3*m.cfg.Nodes+NumCouplers+1)
+	buf := make([]byte, 0, 3*m.cfg.Nodes+m.cfg.Couplers+1)
 	for _, n := range s.Nodes {
 		bb := byte(0)
 		if n.BigBang {
@@ -252,7 +373,7 @@ func (m *Model) EncodeString(s State) mc.State {
 			n.Failed<<4|n.Timeout,
 		)
 	}
-	for _, c := range s.Couplers {
+	for _, c := range s.Couplers[:m.cfg.Couplers] {
 		buf = append(buf, byte(c.BufferedKind)<<4|c.BufferedID)
 	}
 	buf = append(buf, s.OutOfSlotUsed)
@@ -274,7 +395,7 @@ func (m *Model) DecodeString(enc mc.State) State {
 			Timeout: b[o+2] & 0xF,
 		}
 	}
-	for c := 0; c < NumCouplers; c++ {
+	for c := 0; c < m.cfg.Couplers; c++ {
 		v := b[3*m.cfg.Nodes+c]
 		s.Couplers[c] = CouplerState{BufferedKind: FrameKind(v >> 4), BufferedID: v & 0xF}
 	}
@@ -289,7 +410,7 @@ func (m *Model) Initial() []mc.State {
 	for i := range s.Nodes {
 		s.Nodes[i] = NodeState{Phase: PhaseFreeze}
 	}
-	for c := range s.Couplers {
+	for c := 0; c < m.cfg.Couplers; c++ {
 		s.Couplers[c] = CouplerState{BufferedKind: FrameNone}
 	}
 	return []mc.State{m.Encode(s)}
@@ -309,6 +430,58 @@ func (m *Model) Property() mc.TransitionInvariant {
 		}
 		return true
 	}
+}
+
+// couplerAllows reports whether coupler c's fault mask permits injecting
+// f; with no masks configured every mode is permitted.
+func (m *Model) couplerAllows(c int, f Fault) bool {
+	if m.cfg.CouplerFaults == nil {
+		return true
+	}
+	return m.cfg.CouplerFaults[c].Allows(f)
+}
+
+// Fingerprint implements mc.FingerprintedModel: a digest of everything
+// that determines the packed encoding and the transition relation —
+// nodes, couplers, authority, the option bits, the data-slot set and the
+// per-coupler fault masks. Two models agree on it exactly when a
+// checkpoint written against one can be resumed against the other.
+func (m *Model) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var b []byte
+	b = append(b, "ttastar/model\x00"...)
+	b = append(b, byte(m.cfg.Nodes), byte(m.cfg.Couplers), byte(m.cfg.Authority), byte(m.cfg.MaxOutOfSlot))
+	opts := byte(0)
+	if m.cfg.NoColdStartReplay {
+		opts |= 1
+	}
+	if m.cfg.AllowInitFreeze {
+		opts |= 2
+	}
+	if m.cfg.AllowHostStates {
+		opts |= 4
+	}
+	if m.cfg.DisableBigBang {
+		opts |= 8
+	}
+	b = append(b, opts, byte(len(m.cfg.DataSlots)))
+	for _, s := range m.cfg.DataSlots {
+		b = append(b, byte(s))
+	}
+	if m.cfg.CouplerFaults == nil {
+		b = append(b, 0xFF)
+	} else {
+		b = append(b, byte(len(m.cfg.CouplerFaults)))
+		for _, fs := range m.cfg.CouplerFaults {
+			b = append(b, byte(fs))
+		}
+	}
+	h.Write(b)
+	fp := h.Sum64()
+	if fp == 0 {
+		fp = 1 // zero is the "unknown fingerprint" sentinel in checkpoints
+	}
+	return fp
 }
 
 // PropertyBytes is Property over raw packed encodings: it reads each

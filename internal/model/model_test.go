@@ -80,7 +80,7 @@ func TestInitialState(t *testing.T) {
 			t.Errorf("node %d initial phase %v", i, n.Phase)
 		}
 	}
-	for _, c := range s.Couplers {
+	for _, c := range s.Couplers[:m.Config().Couplers] {
 		if c.BufferedKind != FrameNone || c.BufferedID != 0 {
 			t.Errorf("coupler initial buffer %+v", c)
 		}
@@ -257,20 +257,20 @@ func TestAllActiveReachable(t *testing.T) {
 func TestJudge(t *testing.T) {
 	cases := []struct {
 		name     string
-		ch       [NumCouplers]Content
+		ch       [MaxCouplers]Content
 		slot     uint8
 		activity bool
 		want     FrameKind
 	}{
-		{"bothSilent", [NumCouplers]Content{{Kind: FrameNone}, {Kind: FrameNone}}, 2, false, FrameNone},
-		{"correct", [NumCouplers]Content{{Kind: FrameCState, ID: 2}, {Kind: FrameCState, ID: 2}}, 2, true, FrameCState},
-		{"wrongID", [NumCouplers]Content{{Kind: FrameCState, ID: 1}, {Kind: FrameCState, ID: 1}}, 2, true, FrameBad},
-		{"oneChannelSaves", [NumCouplers]Content{{Kind: FrameBad}, {Kind: FrameCState, ID: 2}}, 2, true, FrameCState},
-		{"silencePlusCorrect", [NumCouplers]Content{{Kind: FrameNone}, {Kind: FrameCState, ID: 2}}, 2, true, FrameCState},
-		{"noiseWithActivity", [NumCouplers]Content{{Kind: FrameBad}, {Kind: FrameNone}}, 2, true, FrameBad},
-		{"noiseDeadSlot", [NumCouplers]Content{{Kind: FrameBad}, {Kind: FrameNone}}, 2, false, FrameNone},
-		{"coldStartIsWrongKind", [NumCouplers]Content{{Kind: FrameColdStart, ID: 2}, {Kind: FrameNone}}, 2, true, FrameBad},
-		{"otherCorrect", [NumCouplers]Content{{Kind: FrameOther, ID: 3}, {Kind: FrameNone}}, 3, true, FrameCState},
+		{"bothSilent", [MaxCouplers]Content{{Kind: FrameNone}, {Kind: FrameNone}}, 2, false, FrameNone},
+		{"correct", [MaxCouplers]Content{{Kind: FrameCState, ID: 2}, {Kind: FrameCState, ID: 2}}, 2, true, FrameCState},
+		{"wrongID", [MaxCouplers]Content{{Kind: FrameCState, ID: 1}, {Kind: FrameCState, ID: 1}}, 2, true, FrameBad},
+		{"oneChannelSaves", [MaxCouplers]Content{{Kind: FrameBad}, {Kind: FrameCState, ID: 2}}, 2, true, FrameCState},
+		{"silencePlusCorrect", [MaxCouplers]Content{{Kind: FrameNone}, {Kind: FrameCState, ID: 2}}, 2, true, FrameCState},
+		{"noiseWithActivity", [MaxCouplers]Content{{Kind: FrameBad}, {Kind: FrameNone}}, 2, true, FrameBad},
+		{"noiseDeadSlot", [MaxCouplers]Content{{Kind: FrameBad}, {Kind: FrameNone}}, 2, false, FrameNone},
+		{"coldStartIsWrongKind", [MaxCouplers]Content{{Kind: FrameColdStart, ID: 2}, {Kind: FrameNone}}, 2, true, FrameBad},
+		{"otherCorrect", [MaxCouplers]Content{{Kind: FrameOther, ID: 3}, {Kind: FrameNone}}, 3, true, FrameCState},
 	}
 	for _, tc := range cases {
 		if got := judge(tc.ch, tc.slot, tc.activity); got != tc.want {
@@ -281,8 +281,8 @@ func TestJudge(t *testing.T) {
 
 func TestStepListenBigBang(t *testing.T) {
 	m := mustModel(t, Config{})
-	cs := [NumCouplers]Content{{Kind: FrameColdStart, ID: 1}, {Kind: FrameColdStart, ID: 1}}
-	silent := [NumCouplers]Content{{Kind: FrameNone}, {Kind: FrameNone}}
+	cs := [MaxCouplers]Content{{Kind: FrameColdStart, ID: 1}, {Kind: FrameColdStart, ID: 1}}
+	silent := [MaxCouplers]Content{{Kind: FrameNone}, {Kind: FrameNone}}
 
 	// First cold-start frame arms big bang without integrating.
 	n := m.enterListen(2)
@@ -307,7 +307,7 @@ func TestStepListenBigBang(t *testing.T) {
 
 func TestStepListenCStateIntegratesImmediately(t *testing.T) {
 	m := mustModel(t, Config{})
-	ch := [NumCouplers]Content{{Kind: FrameCState, ID: 4}, {Kind: FrameNone}}
+	ch := [MaxCouplers]Content{{Kind: FrameCState, ID: 4}, {Kind: FrameNone}}
 	n := m.stepListen(m.enterListen(2), 2, ch)
 	if n.Phase != PhasePassive || n.Slot != 1 { // slot 4 wraps to 1
 		t.Errorf("C-state integration: %+v", n)
@@ -316,7 +316,7 @@ func TestStepListenCStateIntegratesImmediately(t *testing.T) {
 
 func TestStepListenTimeoutToColdStart(t *testing.T) {
 	m := mustModel(t, Config{})
-	silent := [NumCouplers]Content{{Kind: FrameNone}, {Kind: FrameNone}}
+	silent := [MaxCouplers]Content{{Kind: FrameNone}, {Kind: FrameNone}}
 	n := NodeState{Phase: PhaseListen, Timeout: 0}
 	got := m.stepListen(n, 3, silent)
 	if got.Phase != PhaseColdStart || got.Slot != 3 || got.Agreed != 1 {
@@ -324,7 +324,7 @@ func TestStepListenTimeoutToColdStart(t *testing.T) {
 	}
 	// A cold-start frame on the channel keeps the node in listen even at
 	// timeout zero (§4.3).
-	cs := [NumCouplers]Content{{Kind: FrameColdStart, ID: 1}, {Kind: FrameNone}}
+	cs := [MaxCouplers]Content{{Kind: FrameColdStart, ID: 1}, {Kind: FrameNone}}
 	got = m.stepListen(n, 3, cs)
 	if got.Phase != PhaseListen {
 		t.Errorf("cold-start frame did not hold node in listen: %+v", got)
@@ -436,7 +436,7 @@ func TestPhaseAndFrameStrings(t *testing.T) {
 func TestAllowInitFreeze(t *testing.T) {
 	m := mustModel(t, Config{AllowInitFreeze: true})
 	n := NodeState{Phase: PhaseInit}
-	ch := [NumCouplers]Content{{Kind: FrameNone}, {Kind: FrameNone}}
+	ch := [MaxCouplers]Content{{Kind: FrameNone}, {Kind: FrameNone}}
 	next := m.stepNode(n, 1, ch, false)
 	if len(next) != 3 {
 		t.Errorf("init successors with AllowInitFreeze = %d, want 3", len(next))

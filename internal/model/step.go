@@ -13,13 +13,15 @@ type Content struct {
 
 // faultAssignment is one per-step choice of coupler faults, honouring the
 // fault hypothesis "at most one coupler has a fault at a given time".
-type faultAssignment [NumCouplers]Fault
+// Entries at or past the model's coupler count stay zero-valued.
+type faultAssignment [MaxCouplers]Fault
 
 // StepInfo describes how one transition happened: the fault choice and the
-// resulting channel contents. Trace rendering uses it.
+// resulting channel contents. Trace rendering uses it. Entries at or past
+// the model's coupler count are zero-valued (not FaultNone/FrameNone).
 type StepInfo struct {
-	Faults   [NumCouplers]Fault
-	Channels [NumCouplers]Content
+	Faults   [MaxCouplers]Fault
+	Channels [MaxCouplers]Content
 }
 
 // Successors implements mc.Model: all states reachable in one TDMA slot.
@@ -94,9 +96,16 @@ var injectableFaults = [...]Fault{FaultSilence, FaultBadFrame, FaultOutOfSlot}
 // dst: fault-free first, then each single-coupler fault allowed by the
 // configuration ("at most one coupler has a fault at a given time").
 func (m *Model) appendFaultAssignments(dst []faultAssignment, s *State) []faultAssignment {
-	dst = append(dst, faultAssignment{FaultNone, FaultNone})
-	for c := 0; c < NumCouplers; c++ {
+	var faultFree faultAssignment
+	for c := 0; c < m.cfg.Couplers; c++ {
+		faultFree[c] = FaultNone
+	}
+	dst = append(dst, faultFree)
+	for c := 0; c < m.cfg.Couplers; c++ {
 		for _, f := range injectableFaults {
+			if !m.couplerAllows(c, f) {
+				continue // channel asymmetry: mode masked off on this coupler
+			}
 			if f == FaultOutOfSlot {
 				if !m.cfg.Authority.CanBufferFrames() {
 					continue // §4.4: only full shifting can replay
@@ -111,7 +120,7 @@ func (m *Model) appendFaultAssignments(dst []faultAssignment, s *State) []faultA
 					continue // the paper's first-trace constraint
 				}
 			}
-			fa := faultAssignment{FaultNone, FaultNone}
+			fa := faultFree
 			fa[c] = f
 			dst = append(dst, fa)
 		}
@@ -127,7 +136,7 @@ func (m *Model) faultAssignments(s State) []faultAssignment {
 
 // appendNodeChoices appends node i's possible next states given the
 // channel contents. Only freeze and init nodes are nondeterministic.
-func (m *Model) appendNodeChoices(dst []NodeState, n NodeState, own uint8, ch [NumCouplers]Content, activity bool) []NodeState {
+func (m *Model) appendNodeChoices(dst []NodeState, n NodeState, own uint8, ch [MaxCouplers]Content, activity bool) []NodeState {
 	switch n.Phase {
 	case PhaseFreeze:
 		// §4.3: from freeze the node may re-initialize or, with host
@@ -182,7 +191,7 @@ func (m *Model) appendNodeChoices(dst []NodeState, n NodeState, own uint8, ch [N
 
 // stepNode is appendNodeChoices without caller-owned scratch; the model
 // tests enumerate choice sets through it.
-func (m *Model) stepNode(n NodeState, own uint8, ch [NumCouplers]Content, activity bool) []NodeState {
+func (m *Model) stepNode(n NodeState, own uint8, ch [MaxCouplers]Content, activity bool) []NodeState {
 	return m.appendNodeChoices(nil, n, own, ch, activity)
 }
 
@@ -192,9 +201,10 @@ func (m *Model) enterListen(own uint8) NodeState {
 }
 
 // firstFrame returns the first channel content of the wanted kind,
-// preferring channel 0 (the paper's id_on_bus).
-func firstFrame(ch [NumCouplers]Content, kind FrameKind) (Content, bool) {
-	for c := 0; c < NumCouplers; c++ {
+// preferring channel 0 (the paper's id_on_bus). Entries past the model's
+// coupler count carry the zero FrameKind, which matches no real kind.
+func firstFrame(ch [MaxCouplers]Content, kind FrameKind) (Content, bool) {
+	for c := 0; c < MaxCouplers; c++ {
 		if ch[c].Kind == kind {
 			return ch[c], true
 		}
@@ -202,13 +212,13 @@ func firstFrame(ch [NumCouplers]Content, kind FrameKind) (Content, bool) {
 	return Content{}, false
 }
 
-func anyKind(ch [NumCouplers]Content, kind FrameKind) bool {
+func anyKind(ch [MaxCouplers]Content, kind FrameKind) bool {
 	_, ok := firstFrame(ch, kind)
 	return ok
 }
 
 // stepListen transcribes the §4.3 LISTEN constraints.
-func (m *Model) stepListen(n NodeState, own uint8, ch [NumCouplers]Content) NodeState {
+func (m *Model) stepListen(n NodeState, own uint8, ch [MaxCouplers]Content) NodeState {
 	cs, hasCS := firstFrame(ch, FrameColdStart)
 	cst, hasCState := firstFrame(ch, FrameCState)
 
@@ -254,11 +264,13 @@ func (m *Model) stepListen(n NodeState, own uint8, ch [NumCouplers]Content) Node
 // TTP/C validity/correctness rules. A bad frame counts against the
 // receiver only when there was real channel activity to misreceive (see
 // DESIGN.md on the membership abstraction).
-func judge(ch [NumCouplers]Content, slot uint8, activity bool) FrameKind {
+func judge(ch [MaxCouplers]Content, slot uint8, activity bool) FrameKind {
 	// Return the dominant judgement encoded as a FrameKind-ish verdict:
 	// we reduce to three outcomes below.
 	best := 0 // 0 null, 1 failed, 2 agreed
-	for c := 0; c < NumCouplers; c++ {
+	for c := 0; c < MaxCouplers; c++ {
+		// The zero FrameKind (past-coupler padding) matches no case and
+		// judges null, so iterating the full array is harmless.
 		v := 0
 		switch ch[c].Kind {
 		case FrameNone:
@@ -293,7 +305,7 @@ func judge(ch [NumCouplers]Content, slot uint8, activity bool) FrameKind {
 // stepOperational advances a cold-start, active or passive node by one
 // slot: judge the current slot, advance the slot counter, and run the
 // end-of-round tests when the node's own slot comes up next (§4.3).
-func (m *Model) stepOperational(n NodeState, own uint8, ch [NumCouplers]Content, activity bool) NodeState {
+func (m *Model) stepOperational(n NodeState, own uint8, ch [MaxCouplers]Content, activity bool) NodeState {
 	agreed, failed := n.Agreed, n.Failed
 	if n.Slot != own {
 		switch judge(ch, n.Slot, activity) {
@@ -367,12 +379,20 @@ func (m *Model) nextSlot(s uint8) uint8 {
 	return s + 1
 }
 
-// AllowedFaults lists the fault modes the configuration permits, for
-// reporting in the verification matrix.
+// AllowedFaults lists the fault modes the configuration permits on at
+// least one coupler, for reporting in the verification matrix.
 func (m *Model) AllowedFaults() []Fault {
-	out := []Fault{FaultNone, FaultSilence, FaultBadFrame}
-	if m.cfg.Authority == guardian.AuthorityFullShift {
-		out = append(out, FaultOutOfSlot)
+	out := []Fault{FaultNone}
+	for _, f := range injectableFaults {
+		if f == FaultOutOfSlot && m.cfg.Authority != guardian.AuthorityFullShift {
+			continue
+		}
+		for c := 0; c < m.cfg.Couplers; c++ {
+			if m.couplerAllows(c, f) {
+				out = append(out, f)
+				break
+			}
+		}
 	}
 	return out
 }

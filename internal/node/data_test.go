@@ -37,7 +37,7 @@ func newDataCluster(t *testing.T, sched *medl.Schedule) *testCluster {
 // (the periodic explicit C-state the protocol needs) and slots 2-4 carry
 // N-frames with payload.
 func mixedSchedule() *medl.Schedule {
-	s := medl.Build(medl.Config{Nodes: 4, Kind: frame.KindN, DataBits: 32})
+	s := medl.MustBuild(medl.Config{Nodes: 4, Kind: frame.KindN, DataBits: 32})
 	s.Slots[0].Kind = frame.KindI
 	s.Slots[0].DataBits = 0
 	return s
@@ -106,7 +106,7 @@ func TestNFrameClusterDeliversData(t *testing.T) {
 // I-frames, and the timed counterpart of the model-level
 // TestAllDataSlotsBlockIntegration.
 func TestAllNFrameClusterBlocksLateIntegration(t *testing.T) {
-	sched := medl.Build(medl.Config{Nodes: 4, Kind: frame.KindN, DataBits: 32})
+	sched := medl.MustBuild(medl.Config{Nodes: 4, Kind: frame.KindN, DataBits: 32})
 	tc := newDataCluster(t, sched)
 
 	for i := 0; i < 3; i++ {
@@ -152,7 +152,7 @@ func TestMixedScheduleLateJoinerIntegrates(t *testing.T) {
 }
 
 func TestXFrameSchedule(t *testing.T) {
-	sched := medl.Build(medl.Config{Nodes: 3, Kind: frame.KindX, DataBits: 128})
+	sched := medl.MustBuild(medl.Config{Nodes: 3, Kind: frame.KindX, DataBits: 128})
 	tc := newDataCluster(t, sched)
 
 	var payloads int

@@ -10,7 +10,7 @@ import (
 
 func TestModeChangePropagates(t *testing.T) {
 	// X-frames carry the full C-state, so mode agreement is CRC-enforced.
-	sched := medl.Build(medl.Config{Nodes: 4, Kind: frame.KindX, DataBits: 32})
+	sched := medl.MustBuild(medl.Config{Nodes: 4, Kind: frame.KindX, DataBits: 32})
 	tc := newDataCluster(t, sched)
 	tc.startAll()
 	tc.run(20 * time.Millisecond)
@@ -46,7 +46,7 @@ func TestModeChangePropagates(t *testing.T) {
 }
 
 func TestModeChangeSequence(t *testing.T) {
-	sched := medl.Build(medl.Config{Nodes: 2, Kind: frame.KindX, DataBits: 16})
+	sched := medl.MustBuild(medl.Config{Nodes: 2, Kind: frame.KindX, DataBits: 16})
 	tc := newDataCluster(t, sched)
 	tc.startAll()
 	tc.run(15 * time.Millisecond)

@@ -24,7 +24,7 @@ func newTestCluster(t *testing.T, count int, drifts ...sim.PPB) *testCluster {
 	t.Helper()
 	tc := &testCluster{
 		sched: sim.NewScheduler(),
-		medl:  medl.Build(medl.Config{Nodes: count}),
+		medl:  medl.MustBuild(medl.Config{Nodes: count}),
 	}
 	for ch := channel.ID(0); ch < channel.NumChannels; ch++ {
 		tc.media[ch] = channel.NewMedium(tc.sched, ch, ch.String())

@@ -98,6 +98,70 @@ func (s *Sample) CI95() (lo, hi float64) {
 	return m - half, m + half
 }
 
+// Proportion is a success count out of a number of Bernoulli trials, for
+// rate cells like "all-active replicas" or "agreement reached". Use it
+// instead of feeding 0/1 observations to Sample: the normal approximation
+// behind Sample.CI95 degenerates near 0 and 1 (a 0/100 cell would report
+// the absurd interval [0, 0]), while the Wilson score interval stays
+// inside [0, 1] and keeps honest coverage at the extremes.
+type Proportion struct {
+	Successes int
+	Trials    int
+}
+
+// Add records one trial.
+func (p *Proportion) Add(success bool) {
+	p.Trials++
+	if success {
+		p.Successes++
+	}
+}
+
+// Merge accumulates another proportion's counts.
+func (p *Proportion) Merge(o Proportion) {
+	p.Successes += o.Successes
+	p.Trials += o.Trials
+}
+
+// Rate returns the point estimate successes/trials (0 for no trials).
+func (p *Proportion) Rate() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// CI95 returns the 95% Wilson score interval for the underlying success
+// probability. For zero trials both bounds are 0. Unlike the Wald
+// (normal) interval the bounds are always within [0, 1] and are non-empty
+// even for 0/n and n/n cells.
+func (p *Proportion) CI95() (lo, hi float64) {
+	n := float64(p.Trials)
+	if p.Trials == 0 {
+		return 0, 0
+	}
+	const z = 1.96
+	z2 := z * z
+	phat := float64(p.Successes) / n
+	denom := 1 + z2/n
+	center := (phat + z2/(2*n)) / denom
+	half := z * math.Sqrt(phat*(1-phat)/n+z2/(4*n*n)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// String summarizes the proportion with its Wilson interval.
+func (p *Proportion) String() string {
+	lo, hi := p.CI95()
+	return fmt.Sprintf("%d/%d rate=%.3f ±95%%[%.3f,%.3f]", p.Successes, p.Trials, p.Rate(), lo, hi)
+}
+
 // String summarizes the sample.
 func (s *Sample) String() string {
 	lo, hi := s.CI95()

@@ -146,3 +146,51 @@ func TestHistogramPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestProportionWilson(t *testing.T) {
+	var p Proportion
+	if lo, hi := p.CI95(); lo != 0 || hi != 0 || p.Rate() != 0 {
+		t.Errorf("empty proportion: rate=%v CI=[%v,%v]", p.Rate(), lo, hi)
+	}
+	for i := 0; i < 100; i++ {
+		p.Add(i < 95)
+	}
+	if p.Successes != 95 || p.Trials != 100 {
+		t.Fatalf("counts = %d/%d", p.Successes, p.Trials)
+	}
+	lo, hi := p.CI95()
+	// Wilson interval for 95/100 at z=1.96 is roughly [0.887, 0.977].
+	if lo < 0.88 || lo > 0.90 || hi < 0.97 || hi > 0.985 {
+		t.Errorf("Wilson CI95(95/100) = [%v,%v]", lo, hi)
+	}
+	if lo >= p.Rate() || hi <= p.Rate() {
+		t.Errorf("interval [%v,%v] excludes point estimate %v", lo, hi, p.Rate())
+	}
+}
+
+func TestProportionExtremes(t *testing.T) {
+	// The Wald interval collapses to [0,0] and [1,1] at the extremes;
+	// Wilson must not.
+	zero := Proportion{Successes: 0, Trials: 50}
+	lo, hi := zero.CI95()
+	if lo != 0 || hi <= 0 || hi > 0.2 {
+		t.Errorf("CI95(0/50) = [%v,%v]", lo, hi)
+	}
+	all := Proportion{Successes: 50, Trials: 50}
+	lo, hi = all.CI95()
+	if hi != 1 || lo >= 1 || lo < 0.8 {
+		t.Errorf("CI95(50/50) = [%v,%v]", lo, hi)
+	}
+}
+
+func TestProportionMergeAndString(t *testing.T) {
+	a := Proportion{Successes: 3, Trials: 10}
+	b := Proportion{Successes: 2, Trials: 5}
+	a.Merge(b)
+	if a.Successes != 5 || a.Trials != 15 {
+		t.Errorf("merged = %d/%d", a.Successes, a.Trials)
+	}
+	if s := a.String(); !strings.Contains(s, "5/15") || !strings.Contains(s, "rate=0.333") {
+		t.Errorf("String() = %q", s)
+	}
+}
