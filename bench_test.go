@@ -6,6 +6,7 @@ package ttastar
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"runtime"
@@ -13,11 +14,28 @@ import (
 
 	"ttastar/internal/analysis"
 	"ttastar/internal/cluster"
+	"ttastar/internal/dist"
 	"ttastar/internal/experiments"
 	"ttastar/internal/guardian"
 	"ttastar/internal/mc"
 	"ttastar/internal/model"
 )
+
+// The benchmark binary embeds pipe workers, so it needs the same model
+// registration cmd/ttamc installs for subprocess workers.
+func init() {
+	dist.RegisterModel("tta", func(payload string) (dist.ModelSpec, error) {
+		var cfg model.Config
+		if err := json.Unmarshal([]byte(payload), &cfg); err != nil {
+			return dist.ModelSpec{}, fmt.Errorf("tta spec: %w", err)
+		}
+		m, err := model.New(cfg)
+		if err != nil {
+			return dist.ModelSpec{}, fmt.Errorf("tta spec: %w", err)
+		}
+		return dist.ModelSpec{Model: m, TrInv: m.PropertyBytes()}, nil
+	})
+}
 
 // BenchmarkE1VerificationMatrix regenerates the §5.2 verification matrix:
 // the property holds for passive/time-windows/small-shifting couplers and
@@ -374,5 +392,47 @@ func BenchmarkModelCheckerThroughput(b *testing.B) {
 		if i == 0 {
 			b.ReportMetric(float64(res.TransitionsExplored), "transitions")
 		}
+	}
+}
+
+// BenchmarkDistThroughput measures the distributed checker on the same
+// small-shifting model (reduced mode, 5533 states): the full
+// coordinator/worker protocol — shard routing, level barriers, per-level
+// snapshots — over in-process pipe workers, so the number isolates
+// protocol overhead from fork cost. The verdict contract (byte-identical
+// to the in-process engine) is asserted on every iteration.
+func BenchmarkDistThroughput(b *testing.B) {
+	m, err := model.New(model.Config{Authority: guardian.AuthoritySmallShift})
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(), mc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			dir := b.TempDir()
+			for i := 0; i < b.N; i++ {
+				ck := &dist.Checker{Opts: dist.Options{
+					Workers:     workers,
+					Launcher:    dist.NewPipeLauncher(),
+					SnapshotDir: dir,
+				}}
+				res, err := mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(),
+					mc.Options{Dist: ck})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Holds != want.Holds || res.StatesExplored != want.StatesExplored ||
+					res.TransitionsExplored != want.TransitionsExplored {
+					b.Fatalf("distributed result diverged: %+v vs %+v", res, want)
+				}
+			}
+			b.ReportMetric(float64(want.StatesExplored), "states")
+			b.ReportMetric(float64(workers), "workers")
+		})
 	}
 }

@@ -41,9 +41,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -51,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"ttastar/internal/dist"
 	"ttastar/internal/experiments"
 	"ttastar/internal/guardian"
 	"ttastar/internal/mc"
@@ -58,6 +61,33 @@ import (
 	"ttastar/internal/prof"
 	"ttastar/internal/trace"
 )
+
+// The registered spec builder lets a model.Model cross the coordinator/
+// worker process boundary: the coordinator ships DistSpec() ("tta" + the
+// config JSON), the worker rebuilds the identical model here.
+func init() {
+	dist.RegisterModel("tta", func(payload string) (dist.ModelSpec, error) {
+		var cfg model.Config
+		if err := json.Unmarshal([]byte(payload), &cfg); err != nil {
+			return dist.ModelSpec{}, fmt.Errorf("tta spec: %w", err)
+		}
+		m, err := model.New(cfg)
+		if err != nil {
+			return dist.ModelSpec{}, fmt.Errorf("tta spec: %w", err)
+		}
+		return dist.ModelSpec{Model: m, TrInv: m.PropertyBytes()}, nil
+	})
+}
+
+// stdioConn is the worker-mode protocol stream: the coordinator speaks
+// frames over the subprocess's stdin/stdout.
+type stdioConn struct{}
+
+func (stdioConn) Read(p []byte) (int, error)  { return os.Stdin.Read(p) }
+func (stdioConn) Write(p []byte) (int, error) { return os.Stdout.Write(p) }
+func (stdioConn) Close() error                { return nil }
+
+var _ io.ReadWriteCloser = stdioConn{}
 
 func main() {
 	err := run(os.Args[1:])
@@ -99,8 +129,16 @@ func run(args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	traceFile := fs.String("traceprofile", "", "write a runtime execution trace to this file")
+	distWorkers := fs.Int("dist-workers", 0, "explore across N worker processes with crash recovery (0 = in-process engine); results are identical for any value")
+	swifi := fs.String("swifi", "", "software-implemented fault injection script for -dist-workers, e.g. 'kill@worker=1@level=5;flakywrite@worker=0@level=3@fails=2'")
+	distLog := fs.String("dist-log", "", "directory for distributed worker logs and barrier snapshots (empty = temporary)")
+	distWorker := fs.Bool("dist-worker", false, "run as a distributed worker process on stdin/stdout (internal; spawned by -dist-workers)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *distWorker {
+		return dist.RunWorker(stdioConn{}, dist.WorkerOptions{})
 	}
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile, *traceFile)
@@ -140,6 +178,23 @@ func run(args []string) error {
 			return errors.New("-resume needs -checkpoint")
 		}
 		opts.ResumePath = *checkpoint
+	}
+	if *distWorkers > 0 {
+		if *distLog != "" {
+			if err := os.MkdirAll(*distLog, 0o755); err != nil {
+				return err
+			}
+		}
+		opts.Dist = &dist.Checker{Opts: dist.Options{
+			Workers:     *distWorkers,
+			SnapshotDir: *distLog,
+			Swifi:       *swifi,
+			Log: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "ttamc: "+format+"\n", args...)
+			},
+		}}
+	} else if *swifi != "" {
+		return errors.New("-swifi needs -dist-workers")
 	}
 	if *statsFlag {
 		opts.Stats = func(st mc.Stats) {

@@ -1,0 +1,639 @@
+package dist
+
+// The coordinator: owner of the level barrier and of worker lifecycles.
+//
+// The run is a single-threaded event loop over one channel fed by
+// per-worker reader goroutines and a deadline ticker; sends go through
+// per-worker unbounded outboxes drained by writer goroutines, so the
+// loop never blocks on a slow worker. Each level: issue Expands, route
+// BatchOut traffic to shard owners (buffering a copy for crash replay),
+// collect ExpandDones, broadcast Seal once nothing is outstanding,
+// collect LevelReports, then close the barrier — merge the per-worker
+// claim-key lists into the global frontier order, reduce violations by
+// minimum claim key, and advance. The result assembly mirrors
+// mc/engine.go line for line; divergence there is a bug here.
+//
+// Crash recovery (recover.go) re-enters this loop through the same
+// events: a death replays at most the dead worker's current level (plus
+// the previous one when its last barrier snapshot had failed to write)
+// from the last acknowledged snapshot, with claims idempotent under
+// replay because they carry the same keys.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ttastar/internal/mc"
+	"ttastar/internal/retry"
+)
+
+// Options parameterize a distributed check.
+type Options struct {
+	// Workers is the worker process count, 1..NumShards (default 2).
+	Workers int
+	// Launcher provides worker transports; nil means a ProcLauncher
+	// re-executing this binary with -dist-worker.
+	Launcher Launcher
+	// SnapshotDir holds the per-level barrier snapshots; empty means a
+	// temporary directory removed when the run ends.
+	SnapshotDir string
+	// Swifi is the fault-injection script (see swifi.go); applied to
+	// first incarnations only.
+	Swifi string
+	// HeartbeatInterval is the worker heartbeat cadence (default 250ms);
+	// HeartbeatDeadline is the silence span after which a worker is
+	// declared dead (default 5s).
+	HeartbeatInterval time.Duration
+	HeartbeatDeadline time.Duration
+	// MaxRespawns bounds respawn attempts per worker index (default 2);
+	// past it, the worker's shards are taken over by a survivor.
+	MaxRespawns int
+	// Log, when set, receives recovery and lifecycle diagnostics.
+	Log func(format string, args ...any)
+}
+
+// Recovery records one crash-recovery action for the work ledger.
+type Recovery struct {
+	// Level is the exploration level the death interrupted.
+	Level int32
+	// Worker is the dead worker's index; Mode is "respawn" or
+	// "takeover".
+	Worker int
+	Mode   string
+	// SlotTransitions is the transition count of the frontier slots
+	// whose expansion had to be re-run — the paid recovery cost, bounded
+	// by the lost shards' share of one level (two when the previous
+	// barrier snapshot had failed).
+	SlotTransitions uint64
+}
+
+// Report is the robustness ledger of a distributed run.
+type Report struct {
+	// Respawns and Takeovers count recovery actions.
+	Respawns  int
+	Takeovers int
+	// WorkTransitions is the sum of all worker incarnations' generated-
+	// transition counters; GeneratedTransitions is the logical total a
+	// crash-free run performs. Their difference, ReexpandedTransitions,
+	// is the work redone because of crashes.
+	WorkTransitions       uint64
+	GeneratedTransitions  uint64
+	ReexpandedTransitions uint64
+	Recoveries            []Recovery
+}
+
+// Checker implements mc.DistChecker: plug one into mc.Options.Dist and
+// every mc.Check* entry point routes through the distributed backend.
+type Checker struct {
+	Opts Options
+
+	mu   sync.Mutex
+	last Report
+}
+
+var _ mc.DistChecker = (*Checker)(nil)
+
+// Report returns the ledger of the most recent DistCheck.
+func (ck *Checker) Report() Report {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.last
+}
+
+// DistCheck runs the distributed search. Exactly one of stInv/trInv
+// must be set, matching the mc.Check* entry point that routed here.
+func (ck *Checker) DistCheck(m mc.Model, stInv mc.StateInvariantBytes,
+	trInv mc.TransitionInvariantBytes, opts mc.Options) (mc.Result, error) {
+	var res mc.Result
+	switch {
+	case opts.Resume != nil || opts.ResumePath != "":
+		return res, fmt.Errorf("dist: -resume is not supported with -dist-workers (recovery is built in)")
+	case opts.CheckpointPath != "":
+		return res, fmt.Errorf("dist: -checkpoint is not supported with -dist-workers (workers snapshot every level barrier)")
+	case opts.FallbackWalks > 0:
+		return res, fmt.Errorf("dist: -fallback-walks is not supported with -dist-workers")
+	case (stInv == nil) == (trInv == nil):
+		return res, fmt.Errorf("dist: exactly one invariant kind per distributed check")
+	}
+	sm, ok := m.(SpeccedModel)
+	if !ok {
+		return res, fmt.Errorf("dist: model %T cannot cross a process boundary (no DistSpec)", m)
+	}
+	start := time.Now()
+	c, err := newCoordinator(ck.Opts, m, sm, stInv, trInv, opts)
+	if err != nil {
+		return res, err
+	}
+	res, err = c.run()
+	rep := c.report()
+	ck.mu.Lock()
+	ck.last = rep
+	ck.mu.Unlock()
+	if opts.Stats != nil && err == nil {
+		d := time.Since(start)
+		st := mc.Stats{
+			States:       res.StatesExplored,
+			Transitions:  res.TransitionsExplored,
+			Levels:       c.levels,
+			PeakFrontier: c.peakFrontier,
+			Duration:     d,
+		}
+		if s := d.Seconds(); s > 0 {
+			st.StatesPerSec = float64(res.StatesExplored) / s
+		}
+		opts.Stats(st)
+	}
+	return res, err
+}
+
+// event is one occurrence delivered to the coordinator loop.
+type event struct {
+	kind    evKind
+	wi, inc int
+	typ     byte
+	payload []byte
+	err     error
+}
+
+type evKind int
+
+const (
+	evMsg evKind = iota
+	evDead
+	evTick
+)
+
+// wconn is the coordinator-side transport of one worker incarnation:
+// an unbounded outbox drained by a writer goroutine (the event loop
+// never blocks on a send) and a reader goroutine feeding the loop.
+type wconn struct {
+	index, inc int
+	conn       interface {
+		Read(p []byte) (int, error)
+		Write(p []byte) (int, error)
+		Close() error
+	}
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []outMsg
+	closed bool
+
+	lastHeard atomic.Int64 // unix nanos of the last frame read
+}
+
+type outMsg struct {
+	typ     byte
+	payload []byte
+}
+
+func (wc *wconn) enqueue(typ byte, payload []byte) {
+	wc.mu.Lock()
+	if !wc.closed {
+		wc.queue = append(wc.queue, outMsg{typ, payload})
+		wc.cond.Signal()
+	}
+	wc.mu.Unlock()
+}
+
+func (wc *wconn) shut() {
+	wc.mu.Lock()
+	wc.closed = true
+	wc.cond.Signal()
+	wc.mu.Unlock()
+	wc.conn.Close()
+}
+
+// workerState is the coordinator's bookkeeping for one worker index,
+// across incarnations.
+type workerState struct {
+	index   int
+	inc     int
+	conn    *wconn
+	alive   bool
+	helloed bool
+	retired bool // shards taken over; never respawned again
+
+	respawns     int
+	needCatchup  bool  // respawned; catch-up messages enqueue on its Hello
+	lastAckLevel int32 // level of the last acknowledged barrier snapshot (-1: none)
+	lastAckPath  string
+	redoSelfOnly bool // at last death: all its current-level expands had completed
+
+	expandedCur  uint64 // latest cumulative counter of the current incarnation
+	expandedDead uint64 // sum of final counters of dead incarnations
+
+	// taintLevel marks a takeover survivor whose own barrier snapshots do
+	// not yet cover the absorbed shards (-1: clean). A second crash while
+	// tainted is unrecoverable — the run aborts rather than risk a
+	// nondeterministic replay.
+	taintLevel int32
+
+	// Per current level. segs mirrors the worker's frontier composition
+	// in enqueue order: each Seal owes one report segment (filled when
+	// the report arrives — FIFO matches them up), each current-level
+	// Restore contributes a known-keys segment. The concatenation is the
+	// worker's frontier in its own order, which is all the barrier needs.
+	segs          []*keySegment
+	states        int64 // latest report totals
+	resident      int64
+	extraStates   int64 // absorbed from a takeover, until the next report covers it
+	extraResident int64
+}
+
+// keySegment is one stretch of a worker's frontier, identified by the
+// final claim keys of its states.
+type keySegment struct {
+	keys   []uint64
+	filled bool
+}
+
+// pendingExpand is an outstanding msgExpand.
+type pendingExpand struct {
+	wi    int
+	level int32
+	slots []uint32
+}
+
+// distViol is a violation candidate at the coordinator.
+type distViol struct {
+	key     uint64
+	isState bool
+	from    []byte // transition violations
+	to      []byte
+	enc     []byte // state violations
+}
+
+type coordinator struct {
+	o     Options
+	mopts mc.Options
+	model mc.Model
+	stInv mc.StateInvariantBytes
+	trInv mc.TransitionInvariantBytes
+
+	specName, specPayload string
+	reduced               bool
+	fingerprint           uint64
+
+	launcher   Launcher
+	snapDir    string
+	ownSnapDir bool
+	assign     [mc.NumShards]uint8
+	workers    []*workerState
+	events     chan event
+	tickStop   chan struct{}
+
+	// Level state. level is the exploration level being built: 0 is the
+	// initial states, level L>=1 expands the depth-(L-1) frontier.
+	level      int32
+	base       uint64
+	nextBase   uint64
+	slots      map[int][]uint32 // per worker: global slots of its frontier, in its frontier order
+	prevSlots  map[int][]uint32
+	lastSlots  map[int][]uint32 // computed at the barrier, promoted to slots by startLevel
+	prevBase   uint64
+	counts     []uint32 // per global slot of the current level
+	prevCounts []uint32
+	pending    map[uint32]pendingExpand
+	nextID     uint32
+	sealed     bool
+	resealAll  bool // recovery re-expansion may have claimed into drained stores
+	anyFull    bool
+	trBest     *distViol
+	stViols    []distViol
+	buffered   [mc.NumShards][]batchGroup // current level, per destination shard
+	bufPrev    [mc.NumShards][]batchGroup
+	afterSeal  []func()
+	openRecs   []openRecovery
+
+	totalStates   int64 // sum of worker States at the last barrier
+	totalResident int64
+	totalGen      uint64
+	levels        int
+	peakFrontier  int
+	done          chan struct{}
+
+	rep Report
+}
+
+// openRecovery is a recovery whose re-expansion cost is priced at the
+// next barrier, when the level's per-slot transition counts are final.
+type openRecovery struct {
+	rec       Recovery
+	slots     []uint32 // current-level slots re-expanded
+	prevSlots []uint32 // previous-level slots (two-level catch-up only)
+}
+
+func newCoordinator(o Options, m mc.Model, sm SpeccedModel, stInv mc.StateInvariantBytes,
+	trInv mc.TransitionInvariantBytes, mopts mc.Options) (*coordinator, error) {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.Workers > mc.NumShards {
+		return nil, fmt.Errorf("dist: at most %d workers (one per shard)", mc.NumShards)
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if o.HeartbeatDeadline <= 0 {
+		o.HeartbeatDeadline = 5 * time.Second
+	}
+	if o.MaxRespawns == 0 {
+		o.MaxRespawns = 2
+	}
+	if _, err := parseSwifi(o.Swifi); err != nil {
+		return nil, err
+	}
+	name, payload := sm.DistSpec()
+	c := &coordinator{
+		o:           o,
+		mopts:       mopts,
+		model:       m,
+		stInv:       stInv,
+		trInv:       trInv,
+		specName:    name,
+		specPayload: payload,
+		launcher:    o.Launcher,
+		snapDir:     o.SnapshotDir,
+		events:      make(chan event, 256),
+		slots:       map[int][]uint32{},
+		prevSlots:   map[int][]uint32{},
+		pending:     map[uint32]pendingExpand{},
+		done:        make(chan struct{}),
+	}
+	// The reduction gate, verbatim from the engine: quotient exploration
+	// only for a reducible model checked through a transition invariant
+	// with the oracle not forced.
+	if rm, ok := m.(mc.ReducibleModel); ok && !mopts.NoReduce && stInv == nil && trInv != nil && rm.Reducible() {
+		c.reduced = true
+	}
+	if fm, ok := m.(mc.FingerprintedModel); ok {
+		c.fingerprint = fm.Fingerprint()
+	}
+	if c.launcher == nil {
+		c.launcher = &ProcLauncher{LogDir: o.SnapshotDir}
+	}
+	for i := range c.assign {
+		c.assign[i] = uint8(i % o.Workers)
+	}
+	return c, nil
+}
+
+func (c *coordinator) logf(format string, args ...any) {
+	if c.o.Log != nil {
+		c.o.Log(format, args...)
+	}
+}
+
+func (c *coordinator) report() Report {
+	rep := c.rep
+	for _, w := range c.workers {
+		rep.WorkTransitions += w.expandedDead + w.expandedCur
+	}
+	rep.GeneratedTransitions = c.totalGen
+	if rep.WorkTransitions > c.totalGen {
+		rep.ReexpandedTransitions = rep.WorkTransitions - c.totalGen
+	}
+	return rep
+}
+
+// run drives the whole search; it always tears the fleet down before
+// returning.
+func (c *coordinator) run() (res mc.Result, err error) {
+	res.Holds = true
+	res.Reduced = c.reduced
+	if c.snapDir == "" {
+		dir, derr := os.MkdirTemp("", "ttamc-dist-*")
+		if derr != nil {
+			return res, fmt.Errorf("dist: snapshot dir: %w", derr)
+		}
+		c.snapDir = dir
+		c.ownSnapDir = true
+	}
+	defer func() {
+		c.shutdown()
+		if c.ownSnapDir {
+			os.RemoveAll(c.snapDir)
+		}
+	}()
+
+	if err := c.launchAll(); err != nil {
+		return res, err
+	}
+	return c.search(res)
+}
+
+// launchAll starts every worker and waits for the fleet's Hellos.
+func (c *coordinator) launchAll() error {
+	c.tickStop = make(chan struct{})
+	interval := c.o.HeartbeatDeadline / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	go func(stop chan struct{}) {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				select {
+				case c.events <- event{kind: evTick}:
+				case <-stop:
+					return
+				}
+			}
+		}
+	}(c.tickStop)
+
+	for i := 0; i < c.o.Workers; i++ {
+		w := &workerState{index: i, lastAckLevel: -1, taintLevel: -1}
+		c.workers = append(c.workers, w)
+		if err := c.startIncarnation(w, ""); err != nil {
+			return err
+		}
+	}
+	for !c.allHelloed() {
+		if err := c.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *coordinator) allHelloed() bool {
+	for _, w := range c.workers {
+		if w.alive && !w.helloed {
+			return false
+		}
+	}
+	return true
+}
+
+// startIncarnation launches the next incarnation of a worker index and
+// wires its transport into the event loop. restorePath, when non-empty,
+// tells the new process to rebuild its store from a barrier snapshot.
+func (c *coordinator) startIncarnation(w *workerState, restorePath string) error {
+	conn, err := c.launcher.Start(w.index, w.inc)
+	if err != nil {
+		return fmt.Errorf("dist: starting worker %d (incarnation %d): %w", w.index, w.inc, err)
+	}
+	wc := &wconn{index: w.index, inc: w.inc, conn: conn}
+	wc.cond = sync.NewCond(&wc.mu)
+	wc.lastHeard.Store(time.Now().UnixNano())
+	w.conn = wc
+	w.alive = true
+	w.helloed = false
+	swifi := ""
+	if w.inc == 0 {
+		swifi = c.o.Swifi
+	}
+	cfg := &msgConfig{
+		Index:       w.index,
+		Workers:     c.o.Workers,
+		SpecName:    c.specName,
+		SpecPayload: c.specPayload,
+		Reduced:     c.reduced,
+		CheckState:  c.stInv != nil,
+		MaxStates:   c.mopts.MaxStates,
+		Assign:      c.assign,
+		SnapshotDir: c.snapDir,
+		RestorePath: restorePath,
+		Swifi:       swifi,
+		HeartbeatMs: int(c.o.HeartbeatInterval / time.Millisecond),
+	}
+	c.sendTo(w, cfg)
+
+	go c.writeLoop(wc)
+	go c.readLoop(wc)
+	return nil
+}
+
+func (c *coordinator) writeLoop(wc *wconn) {
+	for {
+		wc.mu.Lock()
+		for len(wc.queue) == 0 && !wc.closed {
+			wc.cond.Wait()
+		}
+		if wc.closed {
+			wc.mu.Unlock()
+			return
+		}
+		m := wc.queue[0]
+		wc.queue = wc.queue[1:]
+		wc.mu.Unlock()
+		_, err := retry.Do(workerWriteAttempts, workerWriteBackoff, nil, func() error {
+			return writeFrame(wc.conn, m.typ, m.payload)
+		})
+		if err != nil {
+			// A worker we cannot write to is as dead as one we cannot
+			// hear from.
+			c.emit(event{kind: evDead, wi: wc.index, inc: wc.inc,
+				err: fmt.Errorf("write: %w", err)})
+			return
+		}
+	}
+}
+
+// emit delivers an event unless the run is already over (so transport
+// goroutines never block on a dead loop).
+func (c *coordinator) emit(ev event) {
+	select {
+	case c.events <- ev:
+	case <-c.done:
+	}
+}
+
+func (c *coordinator) readLoop(wc *wconn) {
+	for {
+		typ, payload, err := readFrame(wc.conn)
+		if err != nil {
+			c.emit(event{kind: evDead, wi: wc.index, inc: wc.inc, err: err})
+			return
+		}
+		wc.lastHeard.Store(time.Now().UnixNano())
+		if typ == mtHeartbeat {
+			continue
+		}
+		c.emit(event{kind: evMsg, wi: wc.index, inc: wc.inc, typ: typ, payload: payload})
+	}
+}
+
+func (c *coordinator) sendTo(w *workerState, m encoder) {
+	typ, payload := m.encode()
+	w.conn.enqueue(typ, payload)
+}
+
+// shutdown stops the fleet: Stop everyone, collect Byes briefly so the
+// work ledger gets final counters, then tear down transports.
+func (c *coordinator) shutdown() {
+	for _, w := range c.workers {
+		if w.alive && w.conn != nil {
+			c.sendTo(w, &msgStop{})
+		}
+	}
+	deadline := time.After(2 * time.Second)
+	for c.anyAwaitingBye() {
+		select {
+		case ev := <-c.events:
+			if ev.kind == evMsg && ev.typ == mtBye {
+				if w := c.eventWorker(ev); w != nil {
+					if bye, err := decodeBye(ev.payload); err == nil {
+						w.expandedCur = bye.Expanded
+					}
+					w.alive = false
+				}
+			}
+			if ev.kind == evDead {
+				if w := c.eventWorker(ev); w != nil {
+					w.alive = false
+				}
+			}
+		case <-deadline:
+			goto done
+		}
+	}
+done:
+	close(c.done)
+	if c.tickStop != nil {
+		close(c.tickStop)
+	}
+	for _, w := range c.workers {
+		if w.conn != nil {
+			w.conn.shut()
+		}
+	}
+	c.launcher.Close()
+}
+
+func (c *coordinator) anyAwaitingBye() bool {
+	for _, w := range c.workers {
+		if w.alive {
+			return true
+		}
+	}
+	return false
+}
+
+// eventWorker resolves an event to its worker iff it concerns the
+// current incarnation; stale events from killed incarnations are nil.
+func (c *coordinator) eventWorker(ev event) *workerState {
+	if ev.wi < 0 || ev.wi >= len(c.workers) {
+		return nil
+	}
+	w := c.workers[ev.wi]
+	if w.inc != ev.inc || w.conn == nil {
+		return nil
+	}
+	return w
+}
+
+// errFatal carries a run-aborting condition out of event handling.
+type fatalError struct{ err error }
+
+func (e fatalError) Error() string { return e.err.Error() }
+func (e fatalError) Unwrap() error { return e.err }

@@ -1,0 +1,425 @@
+package dist
+
+// End-to-end tests of the distributed checker against the in-process
+// engine: the contract under test is byte-identical Results — verdict,
+// counts, depth, counterexample — for any worker count, with and without
+// injected worker crashes. Workers run as in-process goroutines over
+// net.Pipe (pipeLauncher), so the full protocol is exercised without
+// forking.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"ttastar/internal/guardian"
+	"ttastar/internal/mc"
+	"ttastar/internal/model"
+)
+
+// graphModel is the test fixture: states 0..N-1 (2-byte encodings),
+// three successor maps that reach every residue from 0 within depth ~9
+// (probed for N=300), and a designated Target state whose visit (state
+// invariant) or entry (transition invariant) is the violation. Target
+// outside [0,N) makes either invariant hold.
+type graphModel struct {
+	N      int `json:"n"`
+	Target int `json:"target"`
+}
+
+func (g graphModel) enc(x int) mc.State {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], uint16(x))
+	return mc.State(b[:])
+}
+
+func gmDecode(enc []byte) int { return int(binary.BigEndian.Uint16(enc)) }
+
+func (g graphModel) Initial() []mc.State { return []mc.State{g.enc(0)} }
+
+func (g graphModel) Successors(s mc.State) []mc.State {
+	x := gmDecode([]byte(s))
+	return []mc.State{
+		g.enc((x + 1) % g.N),
+		g.enc((2 * x) % g.N),
+		g.enc((5*x + 3) % g.N),
+	}
+}
+
+func (g graphModel) DistSpec() (string, string) {
+	p, _ := json.Marshal(g)
+	return "distgraph", string(p)
+}
+
+func (g graphModel) Fingerprint() uint64 {
+	return 0x9e3779b97f4a7c15 ^ uint64(g.N)<<16 ^ uint64(g.Target+1)
+}
+
+func (g graphModel) stInvBytes() mc.StateInvariantBytes {
+	target := g.Target
+	return func(enc []byte) bool { return gmDecode(enc) != target }
+}
+
+func (g graphModel) trInvBytes() mc.TransitionInvariantBytes {
+	target := g.Target
+	return func(from, to []byte) bool { return gmDecode(to) != target }
+}
+
+func init() {
+	RegisterModel("distgraph", func(payload string) (ModelSpec, error) {
+		var g graphModel
+		if err := json.Unmarshal([]byte(payload), &g); err != nil {
+			return ModelSpec{}, err
+		}
+		return ModelSpec{Model: g, StInv: g.stInvBytes(), TrInv: g.trInvBytes()}, nil
+	})
+	// The production model, registered exactly as cmd/ttamc registers it,
+	// so reduced/concretized searches are covered in-process too.
+	RegisterModel("tta", func(payload string) (ModelSpec, error) {
+		var cfg model.Config
+		if err := json.Unmarshal([]byte(payload), &cfg); err != nil {
+			return ModelSpec{}, err
+		}
+		m, err := model.New(cfg)
+		if err != nil {
+			return ModelSpec{}, err
+		}
+		return ModelSpec{Model: m, TrInv: m.PropertyBytes()}, nil
+	})
+}
+
+// runEngine is the oracle: the in-process engine on the same options.
+func runEngine(t *testing.T, m mc.Model, stInv mc.StateInvariantBytes,
+	trInv mc.TransitionInvariantBytes, opts mc.Options) (mc.Result, error) {
+	t.Helper()
+	if stInv != nil {
+		return mc.CheckInvariantBytes(m, stInv, opts)
+	}
+	return mc.CheckTransitionInvariantBytes(m, trInv, opts)
+}
+
+// runDist runs the distributed checker over pipe workers.
+func runDist(t *testing.T, m mc.Model, stInv mc.StateInvariantBytes,
+	trInv mc.TransitionInvariantBytes, opts mc.Options, dopts Options) (mc.Result, Report, error) {
+	t.Helper()
+	if dopts.Launcher == nil {
+		dopts.Launcher = newPipeLauncher()
+	}
+	if dopts.SnapshotDir == "" {
+		dopts.SnapshotDir = t.TempDir()
+	}
+	ck := &Checker{Opts: dopts}
+	res, err := ck.DistCheck(m, stInv, trInv, opts)
+	return res, ck.Report(), err
+}
+
+// requireIdentical asserts the distributed Result matches the engine's
+// field for field.
+func requireIdentical(t *testing.T, got, want mc.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("distributed result diverges from engine:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDistMatchesEngine(t *testing.T) {
+	cases := []struct {
+		name string
+		g    graphModel
+		st   bool // state invariant (else transition invariant)
+	}{
+		{"st-holds", graphModel{N: 300, Target: 300}, true},
+		{"tr-holds", graphModel{N: 300, Target: 300}, false},
+		{"st-fails", graphModel{N: 300, Target: 97}, true},
+		{"tr-fails", graphModel{N: 300, Target: 97}, false},
+		{"tr-fails-deep", graphModel{N: 300, Target: 211}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stInv mc.StateInvariantBytes
+			var trInv mc.TransitionInvariantBytes
+			if tc.st {
+				stInv = tc.g.stInvBytes()
+			} else {
+				trInv = tc.g.trInvBytes()
+			}
+			want, err := runEngine(t, tc.g, stInv, trInv, mc.Options{})
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			for _, workers := range []int{1, 2, 5} {
+				got, _, err := runDist(t, tc.g, stInv, trInv, mc.Options{}, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("dist workers=%d: %v", workers, err)
+				}
+				requireIdentical(t, got, want)
+			}
+		})
+	}
+}
+
+func TestDistMatchesEngineTTAModel(t *testing.T) {
+	m, err := model.New(model.Config{Nodes: 3, Authority: guardian.AuthorityPassive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, noReduce := range []bool{false, true} {
+		opts := mc.Options{NoReduce: noReduce}
+		want, err := runEngine(t, m, nil, m.PropertyBytes(), opts)
+		if err != nil {
+			t.Fatalf("engine (noReduce=%v): %v", noReduce, err)
+		}
+		got, _, err := runDist(t, m, nil, m.PropertyBytes(), opts, Options{Workers: 3})
+		if err != nil {
+			t.Fatalf("dist (noReduce=%v): %v", noReduce, err)
+		}
+		requireIdentical(t, got, want)
+		if noReduce == want.Reduced {
+			t.Fatalf("reduction gate mismatch: noReduce=%v but Reduced=%v", noReduce, want.Reduced)
+		}
+	}
+}
+
+func TestDistKillRespawn(t *testing.T) {
+	cases := []struct {
+		name  string
+		g     graphModel
+		st    bool
+		swifi string
+		kills int
+	}{
+		{"kill-mid-holds", graphModel{N: 300, Target: 300}, false, "kill@worker=1@level=3", 1},
+		{"kill-early-fails", graphModel{N: 300, Target: 97}, false, "kill@worker=0@level=1", 1},
+		{"kill-st-fails", graphModel{N: 300, Target: 97}, true, "kill@worker=2@level=2", 1},
+		{"double-kill", graphModel{N: 300, Target: 300}, false,
+			"kill@worker=0@level=2,kill@worker=2@level=4", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stInv mc.StateInvariantBytes
+			var trInv mc.TransitionInvariantBytes
+			if tc.st {
+				stInv = tc.g.stInvBytes()
+			} else {
+				trInv = tc.g.trInvBytes()
+			}
+			want, err := runEngine(t, tc.g, stInv, trInv, mc.Options{})
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			got, rep, err := runDist(t, tc.g, stInv, trInv, mc.Options{},
+				Options{Workers: 3, Swifi: tc.swifi, Log: t.Logf})
+			if err != nil {
+				t.Fatalf("dist: %v", err)
+			}
+			requireIdentical(t, got, want)
+			if rep.Respawns != tc.kills || rep.Takeovers != 0 {
+				t.Fatalf("report: %d respawns %d takeovers, want %d/0", rep.Respawns, rep.Takeovers, tc.kills)
+			}
+			if len(rep.Recoveries) != tc.kills {
+				t.Fatalf("recoveries: %d entries, want %d", len(rep.Recoveries), tc.kills)
+			}
+			var priced uint64
+			for _, rec := range rep.Recoveries {
+				if rec.Mode != "respawn" {
+					t.Fatalf("recovery mode %q, want respawn", rec.Mode)
+				}
+				priced += rec.SlotTransitions
+			}
+			// The crash-recovery cost bound: work redone never exceeds the
+			// lost slots' transitions (the priced recovery budget).
+			if rep.ReexpandedTransitions > priced {
+				t.Fatalf("reexpanded %d transitions, over the %d priced by recoveries",
+					rep.ReexpandedTransitions, priced)
+			}
+			// On HOLDS the ledger's logical total equals the engine's
+			// count; a FAILS run truncates TransitionsExplored at the
+			// violation while the ledger still counts the whole level.
+			if want.Holds && rep.GeneratedTransitions != uint64(want.TransitionsExplored) {
+				t.Fatalf("generated %d, want the engine's %d", rep.GeneratedTransitions, want.TransitionsExplored)
+			}
+			if !want.Holds && rep.GeneratedTransitions < uint64(want.TransitionsExplored) {
+				t.Fatalf("generated %d, below the engine's %d", rep.GeneratedTransitions, want.TransitionsExplored)
+			}
+		})
+	}
+}
+
+func TestDistKillTakeover(t *testing.T) {
+	g := graphModel{N: 300, Target: 97}
+	want, err := runEngine(t, g, nil, g.trInvBytes(), mc.Options{})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	got, rep, err := runDist(t, g, nil, g.trInvBytes(), mc.Options{},
+		Options{Workers: 3, Swifi: "kill@worker=1@level=3", MaxRespawns: -1, Log: t.Logf})
+	if err != nil {
+		t.Fatalf("dist: %v", err)
+	}
+	requireIdentical(t, got, want)
+	if rep.Takeovers != 1 || rep.Respawns != 0 {
+		t.Fatalf("report: %d takeovers %d respawns, want 1/0", rep.Takeovers, rep.Respawns)
+	}
+	if len(rep.Recoveries) != 1 || rep.Recoveries[0].Mode != "takeover" {
+		t.Fatalf("recoveries: %+v, want one takeover", rep.Recoveries)
+	}
+}
+
+func TestDistFlakyAndSlowWrites(t *testing.T) {
+	g := graphModel{N: 300, Target: 300}
+	want, err := runEngine(t, g, nil, g.trInvBytes(), mc.Options{})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	got, rep, err := runDist(t, g, nil, g.trInvBytes(), mc.Options{},
+		Options{Workers: 2,
+			Swifi: "flakywrite@worker=0@level=1@fails=3,slowwrite@worker=1@level=2@delay=1ms"})
+	if err != nil {
+		t.Fatalf("dist: %v", err)
+	}
+	requireIdentical(t, got, want)
+	// The bounded-backoff retry absorbs the injected failures: no
+	// recovery machinery fires, nothing is re-expanded.
+	if rep.Respawns != 0 || rep.Takeovers != 0 || rep.ReexpandedTransitions != 0 {
+		t.Fatalf("writes should be retried, not recovered: %+v", rep)
+	}
+}
+
+func TestDistStallDetectedAndRecovered(t *testing.T) {
+	g := graphModel{N: 300, Target: 300}
+	want, err := runEngine(t, g, nil, g.trInvBytes(), mc.Options{})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	got, rep, err := runDist(t, g, nil, g.trInvBytes(), mc.Options{},
+		Options{Workers: 2, Swifi: "stall@worker=1@level=2@for=2s",
+			HeartbeatInterval: 10 * time.Millisecond,
+			HeartbeatDeadline: 150 * time.Millisecond,
+			Log:               t.Logf})
+	if err != nil {
+		t.Fatalf("dist: %v", err)
+	}
+	requireIdentical(t, got, want)
+	if rep.Respawns != 1 {
+		t.Fatalf("stalled worker not respawned: %+v", rep)
+	}
+}
+
+func TestDistStateLimit(t *testing.T) {
+	g := graphModel{N: 300, Target: 300}
+	opts := mc.Options{MaxStates: 50}
+	want, wantErr := runEngine(t, g, nil, g.trInvBytes(), opts)
+	if !errors.Is(wantErr, mc.ErrStateLimit) {
+		t.Fatalf("engine: %v, want ErrStateLimit", wantErr)
+	}
+	// The budget is enforced per worker store (a documented divergence:
+	// N workers admit at most N×MaxStates), so only the single-worker
+	// run matches the engine's count exactly; any worker count still
+	// fails with the same sentinel and at least the engine's coverage.
+	for _, workers := range []int{1, 3} {
+		got, _, err := runDist(t, g, nil, g.trInvBytes(), opts, Options{Workers: workers})
+		if !errors.Is(err, mc.ErrStateLimit) {
+			t.Fatalf("dist workers=%d: %v, want ErrStateLimit", workers, err)
+		}
+		if workers == 1 && got.StatesExplored != want.StatesExplored {
+			t.Fatalf("dist workers=1 explored %d states at the limit, engine %d",
+				got.StatesExplored, want.StatesExplored)
+		}
+		if got.StatesExplored < want.StatesExplored || got.StatesExplored > workers*opts.MaxStates {
+			t.Fatalf("dist workers=%d explored %d states, outside [%d, %d]",
+				workers, got.StatesExplored, want.StatesExplored, workers*opts.MaxStates)
+		}
+	}
+}
+
+func TestDistMaxDepth(t *testing.T) {
+	g := graphModel{N: 300, Target: 211} // violation at depth 9
+	opts := mc.Options{MaxDepth: 4}
+	want, err := runEngine(t, g, nil, g.trInvBytes(), opts)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if !want.DepthBounded || !want.Holds {
+		t.Fatalf("expected a depth-bounded HOLDS from the engine: %+v", want)
+	}
+	got, _, err := runDist(t, g, nil, g.trInvBytes(), opts, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("dist: %v", err)
+	}
+	requireIdentical(t, got, want)
+}
+
+// unspeccedModel lacks DistSpec — it must be refused, not shipped.
+type unspeccedModel struct{}
+
+func (unspeccedModel) Initial() []mc.State            { return []mc.State{"a"} }
+func (unspeccedModel) Successors(mc.State) []mc.State { return nil }
+
+func TestDistRejectsUnsupportedOptions(t *testing.T) {
+	g := graphModel{N: 10, Target: 10}
+	tr := g.trInvBytes()
+	st := g.stInvBytes()
+	ck := &Checker{Opts: Options{Workers: 2, Launcher: newPipeLauncher()}}
+	cases := []struct {
+		name  string
+		model mc.Model
+		stInv mc.StateInvariantBytes
+		trInv mc.TransitionInvariantBytes
+		opts  mc.Options
+	}{
+		{"resume-path", g, nil, tr, mc.Options{ResumePath: "x"}},
+		{"resume-inmem", g, nil, tr, mc.Options{Resume: &mc.Checkpoint{}}},
+		{"checkpoint", g, nil, tr, mc.Options{CheckpointPath: "x"}},
+		{"fallback", g, nil, tr, mc.Options{FallbackWalks: 3}},
+		{"both-invariants", g, st, tr, mc.Options{}},
+		{"no-invariant", g, nil, nil, mc.Options{}},
+		{"unspecced", unspeccedModel{}, nil, tr, mc.Options{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ck.DistCheck(tc.model, tc.stInv, tc.trInv, tc.opts); err == nil {
+				t.Fatal("accepted, want refusal")
+			}
+		})
+	}
+}
+
+func TestDistWorkerCountBounds(t *testing.T) {
+	g := graphModel{N: 10, Target: 10}
+	ck := &Checker{Opts: Options{Workers: mc.NumShards + 1, Launcher: newPipeLauncher()}}
+	if _, err := ck.DistCheck(g, nil, g.trInvBytes(), mc.Options{}); err == nil {
+		t.Fatalf("accepted %d workers, want refusal over %d shards", mc.NumShards+1, mc.NumShards)
+	}
+}
+
+func TestSwifiParse(t *testing.T) {
+	good := "kill@worker=1@level=5, stall@worker=2@level=3@for=2s," +
+		"flakywrite@worker=0@level=2@fails=3,slowwrite@worker=1@level=4@delay=100ms"
+	injs, err := parseSwifi(good)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(injs) != 4 {
+		t.Fatalf("parsed %d injections, want 4", len(injs))
+	}
+	if injs[1].Kind != injStall || injs[1].For != 2*time.Second {
+		t.Fatalf("stall parsed as %+v", injs[1])
+	}
+	bad := []string{
+		"explode@worker=1@level=1",   // unknown action
+		"kill@level=1",               // missing worker
+		"kill@worker=1",              // missing level
+		"stall@worker=1@level=1",     // missing for
+		"slowwrite@worker=1@level=1", // missing delay
+		"kill@worker=x@level=1",      // bad int
+		"kill@worker",                // malformed field
+	}
+	for _, spec := range bad {
+		if _, err := parseSwifi(spec); err == nil {
+			t.Errorf("accepted %q", spec)
+		}
+	}
+}

@@ -1,0 +1,658 @@
+// Package dist is the crash-tolerant multi-process exploration layer: a
+// coordinator/worker protocol that partitions the visited set by the
+// engine's shard hash across OS processes, exchanges frontier batches in
+// the packed state encoding, and synchronizes on level barriers at the
+// coordinator.
+//
+// Topology is a star: workers talk only to the coordinator, which
+// forwards cross-shard successor batches to their owners. Routing
+// everything through the hub costs a copy per foreign successor but buys
+// the two properties the robustness layer depends on: the coordinator
+// observes every message (so a level barrier is a local condition, not a
+// distributed one), and it can buffer the in-flight level's batches for
+// replay when a worker dies (see coord.go).
+//
+// Determinism is the engine's own argument extended across process
+// boundaries: every successor carries the claim key the serial sweep
+// would examine it under (levelBase + slot<<24 + succ), each state has
+// exactly one owning worker (its shard's), so all claims of a state meet
+// in one store and reduce by min key exactly as in the single-process
+// visited set. Verdicts, counts and counterexample traces are
+// byte-identical to the in-process engine for any worker count — and,
+// because claims are idempotent and levels replayable from barrier
+// snapshots, under injected worker crashes too.
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ttastar/internal/mc"
+)
+
+// Wire format: length-prefixed frames over an arbitrary byte stream
+// (subprocess stdio pipes in production, net.Pipe in tests).
+//
+//	frame   := length:u32le  type:u8  payload
+//	payload := uvarint fields, strings/byte-slices length-prefixed
+//
+// The payload codec mirrors the checkpoint file codec: hand-rolled
+// uvarints, length guards on every count, and a sticky error so decoders
+// read straight through without per-field checks.
+
+// Message types. C→W and W→C share one tag space.
+const (
+	mtConfig     byte = iota + 1 // C→W: identity, model spec, shard map
+	mtExpand                     // C→W: expand a slice of the frontier
+	mtBatch                      // C→W: successor claims for your shards
+	mtSeal                       // C→W: level complete once queue drains
+	mtAssign                     // C→W: updated shard ownership map
+	mtRestore                    // C→W: merge a dead worker's snapshot
+	mtTraceQuery                 // C→W: resolve a state's trace parent
+	mtStop                       // C→W: shut down
+
+	mtHello       // W→C: Config processed, ready
+	mtBatchOut    // W→C: foreign-shard successors to forward
+	mtExpandDone  // W→C: per-slot counts + best violation candidate
+	mtLevelReport // W→C: claimed keys, state-invariant violations, snapshot ack
+	mtTraceReply  // W→C: TraceQuery answer
+	mtHeartbeat   // W→C: liveness (sent from a side goroutine)
+	mtBye         // W→C: final counters, shutting down
+	mtFatal       // W→C: unrecoverable worker error
+)
+
+// maxFrame bounds a single frame so a corrupt length prefix cannot ask
+// for gigabytes.
+const maxFrame = 1 << 30
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("dist: frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// wbuf serializes a payload with uvarints.
+type wbuf struct {
+	b       []byte
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func (w *wbuf) u(v uint64) {
+	n := binary.PutUvarint(w.scratch[:], v)
+	w.b = append(w.b, w.scratch[:n]...)
+}
+func (w *wbuf) i(v int)      { w.u(uint64(v)) }
+func (w *wbuf) u32(v uint32) { w.u(uint64(v)) }
+func (w *wbuf) byte1(v byte) { w.b = append(w.b, v) }
+func (w *wbuf) boolean(v bool) {
+	if v {
+		w.byte1(1)
+	} else {
+		w.byte1(0)
+	}
+}
+func (w *wbuf) bytes(p []byte) { w.u(uint64(len(p))); w.b = append(w.b, p...) }
+func (w *wbuf) str(s string)   { w.bytes([]byte(s)) }
+func (w *wbuf) raw(p []byte)   { w.b = append(w.b, p...) }
+
+// rbuf parses a payload with length guards and a sticky error.
+type rbuf struct {
+	r   *bytes.Reader
+	err error
+}
+
+func newRbuf(p []byte) *rbuf { return &rbuf{r: bytes.NewReader(p)} }
+
+func (r *rbuf) u() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = fmt.Errorf("dist: truncated message")
+	}
+	return v
+}
+func (r *rbuf) i() int      { return int(r.u()) }
+func (r *rbuf) u32() uint32 { return uint32(r.u()) }
+func (r *rbuf) byte1() byte {
+	if r.err != nil {
+		return 0
+	}
+	b, err := r.r.ReadByte()
+	if err != nil {
+		r.err = fmt.Errorf("dist: truncated message")
+	}
+	return b
+}
+func (r *rbuf) boolean() bool { return r.byte1() != 0 }
+func (r *rbuf) bytes() []byte {
+	n := r.u()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.r.Len()) {
+		r.err = fmt.Errorf("dist: length %d exceeds remaining payload", n)
+		return nil
+	}
+	buf := make([]byte, n)
+	io.ReadFull(r.r, buf)
+	return buf
+}
+func (r *rbuf) str() string { return string(r.bytes()) }
+
+// count guards an element count against the remaining payload (every
+// element costs at least one byte).
+func (r *rbuf) count() int {
+	n := r.u()
+	if r.err == nil && n > uint64(r.r.Len()) {
+		r.err = fmt.Errorf("dist: element count %d exceeds remaining payload", n)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *rbuf) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.r.Len() != 0 {
+		return fmt.Errorf("dist: %d trailing bytes", r.r.Len())
+	}
+	return nil
+}
+
+// msgConfig initializes a worker: identity, the model spec to rebuild,
+// the invariant kind to check, the shard ownership map, snapshot
+// location, an optional snapshot to restore, the SWIFI script and the
+// heartbeat cadence.
+type msgConfig struct {
+	Index       int
+	Workers     int
+	SpecName    string
+	SpecPayload string
+	Reduced     bool
+	CheckState  bool // check the spec's state invariant (else its transition invariant)
+	MaxStates   int
+	Assign      [mc.NumShards]uint8
+	SnapshotDir string
+	RestorePath string
+	Swifi       string
+	HeartbeatMs int
+}
+
+func (m *msgConfig) encode() (byte, []byte) {
+	var w wbuf
+	w.i(m.Index)
+	w.i(m.Workers)
+	w.str(m.SpecName)
+	w.str(m.SpecPayload)
+	w.boolean(m.Reduced)
+	w.boolean(m.CheckState)
+	w.i(m.MaxStates)
+	w.raw(m.Assign[:])
+	w.str(m.SnapshotDir)
+	w.str(m.RestorePath)
+	w.str(m.Swifi)
+	w.i(m.HeartbeatMs)
+	return mtConfig, w.b
+}
+
+func decodeConfig(p []byte) (*msgConfig, error) {
+	r := newRbuf(p)
+	m := &msgConfig{
+		Index:       r.i(),
+		Workers:     r.i(),
+		SpecName:    r.str(),
+		SpecPayload: r.str(),
+		Reduced:     r.boolean(),
+		CheckState:  r.boolean(),
+		MaxStates:   r.i(),
+	}
+	for i := range m.Assign {
+		m.Assign[i] = r.byte1()
+	}
+	m.SnapshotDir = r.str()
+	m.RestorePath = r.str()
+	m.Swifi = r.str()
+	m.HeartbeatMs = r.i()
+	return m, r.done()
+}
+
+// msgExpand asks a worker to expand len(Slots) frontier states —
+// normally its whole frontier array, or, with FromEnd, the trailing
+// len(Slots) entries (the segment a takeover Restore just appended,
+// addressable without the coordinator knowing how much precedes it).
+// Slots[i] is the global frontier slot of the i-th addressed state, so
+// claim keys are Base + Slots[i]<<24 + j. SelfOnly suppresses
+// foreign-shard forwarding — the re-expansion mode for a recovered
+// worker whose original foreign batches were already delivered (its
+// ExpandDone had been received, and the connection delivers BatchOut
+// before ExpandDone).
+type msgExpand struct {
+	Level    int32
+	Base     uint64
+	ID       uint32
+	FromEnd  bool
+	SelfOnly bool
+	// Consume drops the expanded range from the frontier afterwards —
+	// set on takeover tail expansions, whose input states are another
+	// level's frontier merged in only to be expanded, not kept.
+	Consume bool
+	Slots   []uint32
+}
+
+func (m *msgExpand) encode() (byte, []byte) {
+	var w wbuf
+	w.u32(uint32(m.Level))
+	w.u(m.Base)
+	w.u32(m.ID)
+	w.boolean(m.FromEnd)
+	w.boolean(m.SelfOnly)
+	w.boolean(m.Consume)
+	w.i(len(m.Slots))
+	for _, s := range m.Slots {
+		w.u32(s)
+	}
+	return mtExpand, w.b
+}
+
+func decodeExpand(p []byte) (*msgExpand, error) {
+	r := newRbuf(p)
+	m := &msgExpand{
+		Level:    int32(r.u32()),
+		Base:     r.u(),
+		ID:       r.u32(),
+		FromEnd:  r.boolean(),
+		SelfOnly: r.boolean(),
+		Consume:  r.boolean(),
+	}
+	n := r.count()
+	m.Slots = make([]uint32, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Slots = append(m.Slots, r.u32())
+	}
+	return m, r.done()
+}
+
+// batchGroup is one frontier state's successors bound for one shard:
+// claim keys reconstruct as Base + Slot<<24 + Js[k], the parent is the
+// (canonical) frontier state encoding. Shard is meaningful only in
+// worker→coordinator direction (mtBatchOut).
+type batchGroup struct {
+	Shard     uint8
+	Slot      uint32
+	HasParent bool
+	Parent    []byte
+	Js        []uint32
+	Encs      [][]byte
+}
+
+func (g *batchGroup) encode(w *wbuf) {
+	w.byte1(g.Shard)
+	w.u32(g.Slot)
+	w.boolean(g.HasParent)
+	w.bytes(g.Parent)
+	w.i(len(g.Js))
+	for k := range g.Js {
+		w.u32(g.Js[k])
+		w.bytes(g.Encs[k])
+	}
+}
+
+func decodeGroup(r *rbuf) batchGroup {
+	g := batchGroup{
+		Shard:     r.byte1(),
+		Slot:      r.u32(),
+		HasParent: r.boolean(),
+		Parent:    r.bytes(),
+	}
+	n := r.count()
+	g.Js = make([]uint32, 0, n)
+	g.Encs = make([][]byte, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		g.Js = append(g.Js, r.u32())
+		g.Encs = append(g.Encs, r.bytes())
+	}
+	return g
+}
+
+// msgBatch delivers successor claims to the owner of their shards
+// (coordinator→worker: forwarded from another worker's mtBatchOut, the
+// coordinator's own initial-state routing, or a crash-recovery replay).
+type msgBatch struct {
+	Level  int32
+	Base   uint64
+	Groups []batchGroup
+}
+
+func (m *msgBatch) encode() (byte, []byte) {
+	var w wbuf
+	w.u32(uint32(m.Level))
+	w.u(m.Base)
+	w.i(len(m.Groups))
+	for i := range m.Groups {
+		m.Groups[i].encode(&w)
+	}
+	return mtBatch, w.b
+}
+
+func decodeBatch(p []byte) (*msgBatch, error) {
+	r := newRbuf(p)
+	m := &msgBatch{Level: int32(r.u32()), Base: r.u()}
+	n := r.count()
+	m.Groups = make([]batchGroup, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Groups = append(m.Groups, decodeGroup(r))
+	}
+	return m, r.done()
+}
+
+// msgBatchOut carries a worker's foreign-shard successors to the
+// coordinator for forwarding; same group layout, Shard field set.
+type msgBatchOut = msgBatch
+
+func encodeBatchOut(m *msgBatchOut) (byte, []byte) {
+	_, b := m.encode()
+	return mtBatchOut, b
+}
+
+// msgSeal tells a worker the coordinator has forwarded every batch of
+// Level: once the worker's inbound queue drains it can close the level —
+// drain its claims, snapshot, and send its mtLevelReport. Merge marks a
+// second seal of the same level (takeover work delivered after the
+// worker already drained): the drained claims extend the frontier
+// instead of replacing it, and the report carries only the new keys.
+type msgSeal struct {
+	Level int32
+	Merge bool
+}
+
+func (m *msgSeal) encode() (byte, []byte) {
+	var w wbuf
+	w.u32(uint32(m.Level))
+	w.boolean(m.Merge)
+	return mtSeal, w.b
+}
+
+func decodeSeal(p []byte) (*msgSeal, error) {
+	r := newRbuf(p)
+	m := &msgSeal{Level: int32(r.u32()), Merge: r.boolean()}
+	return m, r.done()
+}
+
+// msgAssign broadcasts the shard ownership map after a takeover.
+type msgAssign struct{ Assign [mc.NumShards]uint8 }
+
+func (m *msgAssign) encode() (byte, []byte) {
+	var w wbuf
+	w.raw(m.Assign[:])
+	return mtAssign, w.b
+}
+
+func decodeAssign(p []byte) (*msgAssign, error) {
+	r := newRbuf(p)
+	m := &msgAssign{}
+	for i := range m.Assign {
+		m.Assign[i] = r.byte1()
+	}
+	return m, r.done()
+}
+
+// msgRestore asks a surviving worker to merge a dead worker's barrier
+// snapshot into its store (takeover recovery); the snapshot's frontier
+// is appended to the worker's frontier array, where a subsequent
+// msgExpand with FromEnd can address it.
+type msgRestore struct{ Path string }
+
+func (m *msgRestore) encode() (byte, []byte) {
+	var w wbuf
+	w.str(m.Path)
+	return mtRestore, w.b
+}
+
+func decodeRestore(p []byte) (*msgRestore, error) {
+	r := newRbuf(p)
+	m := &msgRestore{Path: r.str()}
+	return m, r.done()
+}
+
+// msgTraceQuery resolves one step of counterexample reconstruction: the
+// owner of Enc's shard replies with its recorded trace parent.
+type msgTraceQuery struct{ Enc []byte }
+
+func (m *msgTraceQuery) encode() (byte, []byte) {
+	var w wbuf
+	w.bytes(m.Enc)
+	return mtTraceQuery, w.b
+}
+
+func decodeTraceQuery(p []byte) (*msgTraceQuery, error) {
+	r := newRbuf(p)
+	m := &msgTraceQuery{Enc: r.bytes()}
+	return m, r.done()
+}
+
+// msgStop asks a worker to send its mtBye and exit.
+type msgStop struct{}
+
+func (m *msgStop) encode() (byte, []byte) { return mtStop, nil }
+
+// msgHello acknowledges a processed msgConfig. Err is a config-stage
+// failure (unknown spec, unreadable restore snapshot, ...) — fatal for
+// the run.
+type msgHello struct {
+	Index int
+	Err   string
+}
+
+func (m *msgHello) encode() (byte, []byte) {
+	var w wbuf
+	w.i(m.Index)
+	w.str(m.Err)
+	return mtHello, w.b
+}
+
+func decodeHello(p []byte) (*msgHello, error) {
+	r := newRbuf(p)
+	m := &msgHello{Index: r.i(), Err: r.str()}
+	return m, r.done()
+}
+
+// msgExpandDone closes one msgExpand: Counts[i] is the successor count
+// of Slots[i] (the serial sweep's per-slot transition count), and the
+// optional violation candidate is the worker's lowest-keyed transition-
+// invariant violation (ViolFrom/ViolTo are the raw from/to encodings —
+// ViolTo pre-canonicalization, exactly what the engine reports).
+type msgExpandDone struct {
+	Level    int32
+	ID       uint32
+	Counts   []uint32
+	HasViol  bool
+	ViolKey  uint64
+	ViolFrom []byte
+	ViolTo   []byte
+}
+
+func (m *msgExpandDone) encode() (byte, []byte) {
+	var w wbuf
+	w.u32(uint32(m.Level))
+	w.u32(m.ID)
+	w.i(len(m.Counts))
+	for _, c := range m.Counts {
+		w.u32(c)
+	}
+	w.boolean(m.HasViol)
+	w.u(m.ViolKey)
+	w.bytes(m.ViolFrom)
+	w.bytes(m.ViolTo)
+	return mtExpandDone, w.b
+}
+
+func decodeExpandDone(p []byte) (*msgExpandDone, error) {
+	r := newRbuf(p)
+	m := &msgExpandDone{Level: int32(r.u32()), ID: r.u32()}
+	n := r.count()
+	m.Counts = make([]uint32, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Counts = append(m.Counts, r.u32())
+	}
+	m.HasViol = r.boolean()
+	m.ViolKey = r.u()
+	m.ViolFrom = r.bytes()
+	m.ViolTo = r.bytes()
+	return m, r.done()
+}
+
+// msgLevelReport closes a worker's level: the final (post-takeover)
+// claim keys of the states it admitted this level in ascending order
+// (delta-encoded), any state-invariant violations with their final keys,
+// totals, the barrier snapshot ack, and the worker's cumulative
+// generated-transition counter (the recovery-cost ledger).
+type msgLevelReport struct {
+	Level       int32
+	Keys        []uint64
+	StViolKeys  []uint64
+	StViolEncs  [][]byte
+	States      int64
+	Resident    int64
+	Full        bool
+	Snapshot    string // path of the written barrier snapshot; "" when the write failed
+	SnapshotErr string
+	Expanded    uint64
+}
+
+func (m *msgLevelReport) encode() (byte, []byte) {
+	var w wbuf
+	w.u32(uint32(m.Level))
+	w.i(len(m.Keys))
+	prev := uint64(0)
+	for _, k := range m.Keys {
+		w.u(k - prev)
+		prev = k
+	}
+	w.i(len(m.StViolKeys))
+	for i := range m.StViolKeys {
+		w.u(m.StViolKeys[i])
+		w.bytes(m.StViolEncs[i])
+	}
+	w.u(uint64(m.States))
+	w.u(uint64(m.Resident))
+	w.boolean(m.Full)
+	w.str(m.Snapshot)
+	w.str(m.SnapshotErr)
+	w.u(m.Expanded)
+	return mtLevelReport, w.b
+}
+
+func decodeLevelReport(p []byte) (*msgLevelReport, error) {
+	r := newRbuf(p)
+	m := &msgLevelReport{Level: int32(r.u32())}
+	n := r.count()
+	m.Keys = make([]uint64, 0, n)
+	prev := uint64(0)
+	for i := 0; i < n && r.err == nil; i++ {
+		prev += r.u()
+		m.Keys = append(m.Keys, prev)
+	}
+	n = r.count()
+	m.StViolKeys = make([]uint64, 0, n)
+	m.StViolEncs = make([][]byte, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.StViolKeys = append(m.StViolKeys, r.u())
+		m.StViolEncs = append(m.StViolEncs, r.bytes())
+	}
+	m.States = int64(r.u())
+	m.Resident = int64(r.u())
+	m.Full = r.boolean()
+	m.Snapshot = r.str()
+	m.SnapshotErr = r.str()
+	m.Expanded = r.u()
+	return m, r.done()
+}
+
+// msgTraceReply answers a msgTraceQuery.
+type msgTraceReply struct {
+	Found     bool
+	HasParent bool
+	Parent    []byte
+}
+
+func (m *msgTraceReply) encode() (byte, []byte) {
+	var w wbuf
+	w.boolean(m.Found)
+	w.boolean(m.HasParent)
+	w.bytes(m.Parent)
+	return mtTraceReply, w.b
+}
+
+func decodeTraceReply(p []byte) (*msgTraceReply, error) {
+	r := newRbuf(p)
+	m := &msgTraceReply{Found: r.boolean(), HasParent: r.boolean(), Parent: r.bytes()}
+	return m, r.done()
+}
+
+// msgHeartbeat carries no payload.
+type msgHeartbeat struct{}
+
+func (m *msgHeartbeat) encode() (byte, []byte) { return mtHeartbeat, nil }
+
+// msgBye is a worker's final word: its cumulative generated-transition
+// counter, so the coordinator's recovery-cost ledger is complete.
+type msgBye struct{ Expanded uint64 }
+
+func (m *msgBye) encode() (byte, []byte) {
+	var w wbuf
+	w.u(m.Expanded)
+	return mtBye, w.b
+}
+
+func decodeBye(p []byte) (*msgBye, error) {
+	r := newRbuf(p)
+	m := &msgBye{Expanded: r.u()}
+	return m, r.done()
+}
+
+// msgFatal reports an unrecoverable worker-side error (protocol
+// violation, claim-key overflow, state budget exceeded). The coordinator
+// aborts the run.
+type msgFatal struct{ Err string }
+
+func (m *msgFatal) encode() (byte, []byte) {
+	var w wbuf
+	w.str(m.Err)
+	return mtFatal, w.b
+}
+
+func decodeFatal(p []byte) (*msgFatal, error) {
+	r := newRbuf(p)
+	m := &msgFatal{Err: r.str()}
+	return m, r.done()
+}

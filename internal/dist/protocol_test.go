@@ -1,0 +1,187 @@
+package dist
+
+// Codec tests: every protocol message must survive an encode→frame→
+// decode round trip byte-exactly, and the decoders must reject damaged
+// payloads instead of panicking or inventing fields.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ttastar/internal/mc"
+)
+
+func roundTrip(t *testing.T, m encoder, decode func([]byte) (any, error), wantTyp byte) any {
+	t.Helper()
+	typ, payload := m.encode()
+	if typ != wantTyp {
+		t.Fatalf("message type %d, want %d", typ, wantTyp)
+	}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, typ, payload); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	gotTyp, gotPayload, err := readFrame(&buf)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if gotTyp != typ {
+		t.Fatalf("frame type %d, want %d", gotTyp, typ)
+	}
+	got, err := decode(gotPayload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return got
+}
+
+func TestProtocolRoundTrips(t *testing.T) {
+	var assign [mc.NumShards]uint8
+	for i := range assign {
+		assign[i] = uint8(i % 5)
+	}
+
+	cfg := &msgConfig{
+		Index: 3, Workers: 5, SpecName: "tta", SpecPayload: `{"Nodes":4}`,
+		Reduced: true, CheckState: true, MaxStates: 1 << 20, Assign: assign,
+		SnapshotDir: "/tmp/snaps", RestorePath: "/tmp/snaps/w3.cp",
+		Swifi: "kill@worker=1@level=2", HeartbeatMs: 250,
+	}
+	if got := roundTrip(t, cfg, func(p []byte) (any, error) { return decodeConfig(p) }, mtConfig); !reflect.DeepEqual(got, cfg) {
+		t.Fatalf("config mismatch:\n got %+v\nwant %+v", got, cfg)
+	}
+
+	exp := &msgExpand{Level: 7, Base: 1 << 40, ID: 42, FromEnd: true, SelfOnly: true,
+		Consume: true, Slots: []uint32{0, 3, 1 << 20}}
+	if got := roundTrip(t, exp, func(p []byte) (any, error) { return decodeExpand(p) }, mtExpand); !reflect.DeepEqual(got, exp) {
+		t.Fatalf("expand mismatch:\n got %+v\nwant %+v", got, exp)
+	}
+
+	batch := &msgBatch{Level: 2, Base: 99, Groups: []batchGroup{
+		{Shard: 7, Slot: 5, HasParent: true, Parent: []byte("pp"),
+			Js: []uint32{0, 2}, Encs: [][]byte{[]byte("s0"), []byte("s2")}},
+		{Shard: 1, Slot: 0, HasParent: false, Parent: []byte{},
+			Js: []uint32{1}, Encs: [][]byte{[]byte("x")}},
+	}}
+	if got := roundTrip(t, batch, func(p []byte) (any, error) { return decodeBatch(p) }, mtBatch); !reflect.DeepEqual(got, batch) {
+		t.Fatalf("batch mismatch:\n got %+v\nwant %+v", got, batch)
+	}
+
+	seal := &msgSeal{Level: 4, Merge: true}
+	if got := roundTrip(t, seal, func(p []byte) (any, error) { return decodeSeal(p) }, mtSeal); !reflect.DeepEqual(got, seal) {
+		t.Fatalf("seal mismatch: %+v", got)
+	}
+
+	asn := &msgAssign{Assign: assign}
+	if got := roundTrip(t, asn, func(p []byte) (any, error) { return decodeAssign(p) }, mtAssign); !reflect.DeepEqual(got, asn) {
+		t.Fatalf("assign mismatch: %+v", got)
+	}
+
+	rst := &msgRestore{Path: "/tmp/snaps/w1-l3.cp"}
+	if got := roundTrip(t, rst, func(p []byte) (any, error) { return decodeRestore(p) }, mtRestore); !reflect.DeepEqual(got, rst) {
+		t.Fatalf("restore mismatch: %+v", got)
+	}
+
+	tq := &msgTraceQuery{Enc: []byte("state-enc")}
+	if got := roundTrip(t, tq, func(p []byte) (any, error) { return decodeTraceQuery(p) }, mtTraceQuery); !reflect.DeepEqual(got, tq) {
+		t.Fatalf("trace query mismatch: %+v", got)
+	}
+
+	hello := &msgHello{Index: 2, Err: "no builder"}
+	if got := roundTrip(t, hello, func(p []byte) (any, error) { return decodeHello(p) }, mtHello); !reflect.DeepEqual(got, hello) {
+		t.Fatalf("hello mismatch: %+v", got)
+	}
+
+	ed := &msgExpandDone{Level: 3, ID: 9, Counts: []uint32{4, 0, 17},
+		HasViol: true, ViolKey: 123456, ViolFrom: []byte("from"), ViolTo: []byte("to")}
+	if got := roundTrip(t, ed, func(p []byte) (any, error) { return decodeExpandDone(p) }, mtExpandDone); !reflect.DeepEqual(got, ed) {
+		t.Fatalf("expand done mismatch:\n got %+v\nwant %+v", got, ed)
+	}
+
+	lr := &msgLevelReport{Level: 6, Keys: []uint64{10, 11, 500, 1 << 30},
+		StViolKeys: []uint64{77}, StViolEncs: [][]byte{[]byte("bad")},
+		States: 12345, Resident: 1 << 22, Full: true,
+		Snapshot: "/tmp/snaps/w0-l6.cp", SnapshotErr: "disk full", Expanded: 98765}
+	if got := roundTrip(t, lr, func(p []byte) (any, error) { return decodeLevelReport(p) }, mtLevelReport); !reflect.DeepEqual(got, lr) {
+		t.Fatalf("level report mismatch:\n got %+v\nwant %+v", got, lr)
+	}
+
+	trp := &msgTraceReply{Found: true, HasParent: true, Parent: []byte("par")}
+	if got := roundTrip(t, trp, func(p []byte) (any, error) { return decodeTraceReply(p) }, mtTraceReply); !reflect.DeepEqual(got, trp) {
+		t.Fatalf("trace reply mismatch: %+v", got)
+	}
+
+	bye := &msgBye{Expanded: 1 << 50}
+	if got := roundTrip(t, bye, func(p []byte) (any, error) { return decodeBye(p) }, mtBye); !reflect.DeepEqual(got, bye) {
+		t.Fatalf("bye mismatch: %+v", got)
+	}
+
+	fat := &msgFatal{Err: "claim-key overflow"}
+	if got := roundTrip(t, fat, func(p []byte) (any, error) { return decodeFatal(p) }, mtFatal); !reflect.DeepEqual(got, fat) {
+		t.Fatalf("fatal mismatch: %+v", got)
+	}
+}
+
+func TestProtocolBatchOutTag(t *testing.T) {
+	m := &msgBatchOut{Level: 1, Base: 2}
+	typ, payload := encodeBatchOut(m)
+	if typ != mtBatchOut {
+		t.Fatalf("type %d, want mtBatchOut", typ)
+	}
+	got, err := decodeBatch(payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Level != 1 || got.Base != 2 {
+		t.Fatalf("batch out mismatch: %+v", got)
+	}
+}
+
+// TestProtocolRejectsDamage: decoders on truncated payloads must error,
+// never panic, never accept.
+func TestProtocolRejectsDamage(t *testing.T) {
+	msgs := []struct {
+		name   string
+		m      encoder
+		decode func([]byte) error
+	}{
+		{"config", &msgConfig{Index: 1, SpecName: "x", Swifi: "s"},
+			func(p []byte) error { _, err := decodeConfig(p); return err }},
+		{"expand", &msgExpand{Level: 2, Slots: []uint32{1, 2, 3}},
+			func(p []byte) error { _, err := decodeExpand(p); return err }},
+		{"batch", &msgBatch{Level: 1, Groups: []batchGroup{{Slot: 1, Js: []uint32{0}, Encs: [][]byte{[]byte("e")}}}},
+			func(p []byte) error { _, err := decodeBatch(p); return err }},
+		{"report", &msgLevelReport{Level: 1, Keys: []uint64{5, 6}, States: 2},
+			func(p []byte) error { _, err := decodeLevelReport(p); return err }},
+		{"expanddone", &msgExpandDone{Level: 1, Counts: []uint32{1}, ViolFrom: []byte("f"), ViolTo: []byte("t")},
+			func(p []byte) error { _, err := decodeExpandDone(p); return err }},
+	}
+	for _, tc := range msgs {
+		_, payload := tc.m.encode()
+		for n := 0; n < len(payload); n++ {
+			if err := tc.decode(payload[:n]); err == nil {
+				t.Errorf("%s: truncation to %d bytes accepted", tc.name, n)
+			}
+		}
+		// Trailing garbage must be rejected too.
+		if err := tc.decode(append(append([]byte{}, payload...), 0xff)); err == nil {
+			t.Errorf("%s: trailing byte accepted", tc.name)
+		}
+	}
+}
+
+// TestFrameLengthGuard: a corrupt length prefix may not allocate
+// gigabytes or be accepted.
+func TestFrameLengthGuard(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // 4 GiB frame
+	if _, _, err := readFrame(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0}) // zero-length frame (no type byte)
+	if _, _, err := readFrame(&buf); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+}

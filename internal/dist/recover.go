@@ -1,0 +1,381 @@
+package dist
+
+// Event dispatch and crash recovery.
+//
+// A worker death is recovered from the last level-barrier snapshot it
+// acknowledged, so a crash costs at most the dead worker's share of one
+// level (two when that snapshot's write had itself failed). Recovery is
+// a respawn while the index has respawn budget, else a takeover: the
+// dead worker's shards are reassigned to the lowest-index survivor,
+// which merges the snapshot into its own store and re-expands only the
+// dead worker's frontier slots. Claims carry deterministic keys, so
+// every replayed delivery is idempotent and the verdict is untouched.
+
+import (
+	"fmt"
+	"time"
+
+	"ttastar/internal/mc"
+)
+
+// step processes exactly one event.
+func (c *coordinator) step() error {
+	ev := <-c.events
+	switch ev.kind {
+	case evTick:
+		return c.checkDeadlines()
+	case evDead:
+		if w := c.eventWorker(ev); w != nil && w.alive {
+			return c.handleDeath(w, ev.err)
+		}
+	case evMsg:
+		if w := c.eventWorker(ev); w != nil {
+			return c.dispatch(w, ev.typ, ev.payload)
+		}
+	}
+	return nil
+}
+
+// checkDeadlines declares dead every worker silent past the heartbeat
+// deadline.
+func (c *coordinator) checkDeadlines() error {
+	now := time.Now().UnixNano()
+	for _, w := range c.workers {
+		if !w.alive || w.conn == nil {
+			continue
+		}
+		if now-w.conn.lastHeard.Load() > int64(c.o.HeartbeatDeadline) {
+			if err := c.handleDeath(w, fmt.Errorf("silent for over %s", c.o.HeartbeatDeadline)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *coordinator) dispatch(w *workerState, typ byte, payload []byte) error {
+	switch typ {
+	case mtHello:
+		m, err := decodeHello(payload)
+		if err != nil {
+			return fatalError{fmt.Errorf("dist: worker %d: %w", w.index, err)}
+		}
+		if m.Err != "" {
+			return fatalError{fmt.Errorf("dist: worker %d failed to start: %s", w.index, m.Err)}
+		}
+		w.helloed = true
+		if w.needCatchup {
+			w.needCatchup = false
+			return c.enqueueCatchup(w)
+		}
+	case mtBatchOut:
+		m, err := decodeBatch(payload)
+		if err != nil {
+			return fatalError{fmt.Errorf("dist: worker %d: %w", w.index, err)}
+		}
+		c.onBatchOut(m)
+	case mtExpandDone:
+		m, err := decodeExpandDone(payload)
+		if err != nil {
+			return fatalError{fmt.Errorf("dist: worker %d: %w", w.index, err)}
+		}
+		return c.onExpandDone(w, m)
+	case mtLevelReport:
+		m, err := decodeLevelReport(payload)
+		if err != nil {
+			return fatalError{fmt.Errorf("dist: worker %d: %w", w.index, err)}
+		}
+		return c.onReport(w, m)
+	case mtFatal:
+		m, err := decodeFatal(payload)
+		if err != nil {
+			return fatalError{fmt.Errorf("dist: worker %d: %w", w.index, err)}
+		}
+		return fatalError{fmt.Errorf("dist: worker %d: %s", w.index, m.Err)}
+	case mtTraceReply, mtBye:
+		// Stray: a trace reply outside reconstruction, a Bye outside
+		// shutdown. Harmless.
+	}
+	return nil
+}
+
+// onBatchOut buffers a worker's foreign-shard successors for crash
+// replay and forwards them to their owners.
+func (c *coordinator) onBatchOut(m *msgBatch) {
+	if m.Level != c.level {
+		return // late redo traffic from an already-closed level
+	}
+	fwd := map[int][]batchGroup{}
+	for _, g := range m.Groups {
+		c.buffered[g.Shard] = append(c.buffered[g.Shard], g)
+		fwd[int(c.assign[g.Shard])] = append(fwd[int(c.assign[g.Shard])], g)
+	}
+	for wi, groups := range fwd {
+		ow := c.workers[wi]
+		// A recovering owner (not yet helloed) gets these groups from the
+		// buffer replay its Hello triggers.
+		if ow.alive && ow.helloed {
+			c.sendTo(ow, &msgBatch{Level: c.level, Base: c.base, Groups: groups})
+		}
+	}
+}
+
+func (c *coordinator) onExpandDone(w *workerState, m *msgExpandDone) error {
+	pe, ok := c.pending[m.ID]
+	if !ok || pe.wi != w.index {
+		return nil // superseded by a recovery reissue
+	}
+	delete(c.pending, m.ID)
+	if pe.level != c.level {
+		return nil // previous-level catch-up: its counts are long final
+	}
+	if len(m.Counts) != len(pe.slots) {
+		return fatalError{fmt.Errorf("dist: worker %d: expand %d returned %d counts for %d slots",
+			w.index, m.ID, len(m.Counts), len(pe.slots))}
+	}
+	for i, s := range pe.slots {
+		c.counts[s] = m.Counts[i]
+	}
+	if m.HasViol && (c.trBest == nil || m.ViolKey < c.trBest.key) {
+		c.trBest = &distViol{key: m.ViolKey, from: m.ViolFrom, to: m.ViolTo}
+	}
+	return nil
+}
+
+func (c *coordinator) onReport(w *workerState, m *msgLevelReport) error {
+	w.expandedCur = m.Expanded
+	if m.Snapshot != "" {
+		w.lastAckLevel = m.Level
+		w.lastAckPath = m.Snapshot
+		if w.taintLevel >= 0 && m.Level > w.taintLevel {
+			w.taintLevel = -1 // this snapshot covers the absorbed shards
+		}
+	} else if m.SnapshotErr != "" {
+		c.logf("dist: worker %d level %d snapshot failed: %s", w.index, m.Level, m.SnapshotErr)
+	}
+	if m.Level != c.level {
+		return nil // catch-up ack of an already-closed level
+	}
+	filled := false
+	for _, sg := range w.segs {
+		if !sg.filled {
+			sg.keys = m.Keys
+			sg.filled = true
+			filled = true
+			break
+		}
+	}
+	if !filled {
+		return fatalError{fmt.Errorf("dist: worker %d: level %d report with no seal outstanding", w.index, m.Level)}
+	}
+	w.states = m.States
+	w.resident = m.Resident
+	if m.Full {
+		c.anyFull = true
+	}
+	for i, k := range m.StViolKeys {
+		c.stViols = append(c.stViols, distViol{key: k, isState: true, enc: m.StViolEncs[i]})
+	}
+	return nil
+}
+
+// handleDeath retires the incarnation and starts recovery: respawn while
+// the index has budget, takeover past it.
+func (c *coordinator) handleDeath(w *workerState, cause error) error {
+	if !w.alive {
+		return nil
+	}
+	c.logf("dist: worker %d (incarnation %d) died at level %d: %v", w.index, w.inc, c.level, cause)
+	c.launcher.Kill(w.index)
+	w.conn.shut()
+	w.alive = false
+	w.helloed = false
+	w.needCatchup = false
+	w.expandedDead += w.expandedCur
+	w.expandedCur = 0
+	if w.taintLevel >= 0 {
+		return fatalError{fmt.Errorf("dist: worker %d died before its snapshots covered a prior takeover; overlapping crashes are unrecoverable", w.index)}
+	}
+	hadPendingCur := false
+	for id, pe := range c.pending {
+		if pe.wi == w.index {
+			if pe.level == c.level {
+				hadPendingCur = true
+			}
+			delete(c.pending, id)
+		}
+	}
+	// With no expansion of its in flight, all its foreign batches were
+	// delivered (BatchOut precedes ExpandDone in FIFO order), so the redo
+	// need not re-send them — and must not, once the level is sealed.
+	w.redoSelfOnly = !hadPendingCur
+
+	if w.respawns < c.o.MaxRespawns {
+		w.respawns++
+		c.rep.Respawns++
+		w.inc++
+		if err := c.startIncarnation(w, w.lastAckPath); err != nil {
+			return fatalError{err}
+		}
+		w.needCatchup = true
+		return nil
+	}
+	return c.takeover(w)
+}
+
+// enqueueCatchup brings a respawned worker back to the current level.
+// It runs on the new incarnation's Hello, so everything enqueued here
+// lands after its Config in FIFO order.
+func (c *coordinator) enqueueCatchup(w *workerState) error {
+	ack := w.lastAckLevel
+	rec := openRecovery{rec: Recovery{Level: c.level, Worker: w.index, Mode: "respawn"}}
+	switch {
+	case ack == c.level:
+		// Died after completing the level. The snapshot restored its full
+		// frontier and its report segments were already filled; nothing to
+		// redo.
+		for _, sg := range w.segs {
+			if !sg.filled {
+				return fatalError{fmt.Errorf("dist: worker %d restored at level %d with a report still outstanding", w.index, ack)}
+			}
+		}
+	case ack == c.level-1:
+		c.redoCurrent(w, &rec)
+	case ack == c.level-2:
+		// The previous barrier's snapshot write had failed: redo that
+		// level self-only first (its cross-shard batches were all
+		// delivered before its report), then the current one.
+		prev := c.level - 1
+		if slots := c.prevSlots[w.index]; prev >= 1 && len(slots) > 0 {
+			c.issueExpand(w, prev, c.prevBase, slots, false, true, false)
+			rec.prevSlots = append([]uint32(nil), slots...)
+		}
+		c.replayBuffered(w, &c.bufPrev, prev, c.prevBase)
+		// This seal's report is consumed as a snapshot ack only — the
+		// level's barrier closed long ago.
+		c.sendTo(w, &msgSeal{Level: prev, Merge: false})
+		c.redoCurrent(w, &rec)
+	default:
+		return fatalError{fmt.Errorf("dist: worker %d died %d levels past its last snapshot (level %d); unrecoverable",
+			w.index, c.level-ack, ack)}
+	}
+	c.openRecs = append(c.openRecs, rec)
+	return nil
+}
+
+// redoCurrent replays the current level for a respawned worker: its own
+// slot expansions, the batches buffered for its shards, and its seal if
+// the fleet already sealed.
+func (c *coordinator) redoCurrent(w *workerState, rec *openRecovery) {
+	if slots := c.slots[w.index]; len(slots) > 0 {
+		c.issueExpand(w, c.level, c.base, slots, false, w.redoSelfOnly, false)
+		rec.slots = append([]uint32(nil), slots...)
+	}
+	c.replayBuffered(w, &c.buffered, c.level, c.base)
+	if c.sealed {
+		c.sealTo(w, false)
+	}
+}
+
+// replayBuffered re-delivers every buffered group destined for one of
+// w's shards.
+func (c *coordinator) replayBuffered(w *workerState, buf *[mc.NumShards][]batchGroup, level int32, base uint64) {
+	var groups []batchGroup
+	for shard := range buf {
+		if int(c.assign[shard]) == w.index {
+			groups = append(groups, buf[shard]...)
+		}
+	}
+	if len(groups) > 0 {
+		c.sendTo(w, &msgBatch{Level: level, Base: base, Groups: groups})
+	}
+}
+
+// takeover reassigns a dead worker's shards to the lowest-index
+// survivor, which absorbs the snapshot and redoes at most the dead
+// worker's share of the current level.
+func (c *coordinator) takeover(d *workerState) error {
+	var s *workerState
+	for _, cand := range c.workers {
+		if cand.alive && cand.helloed && !cand.retired {
+			s = cand
+			break
+		}
+	}
+	if s == nil {
+		return fatalError{fmt.Errorf("dist: worker %d is out of respawns and no worker survives to take over", d.index)}
+	}
+	c.logf("dist: worker %d takes over worker %d's shards at level %d", s.index, d.index, c.level)
+	c.rep.Takeovers++
+	d.retired = true
+
+	// Capture the replay set before the ownership map changes under it.
+	var replay []batchGroup
+	for shard := range c.buffered {
+		if int(c.assign[shard]) == d.index {
+			replay = append(replay, c.buffered[shard]...)
+		}
+	}
+	for i := range c.assign {
+		if int(c.assign[i]) == d.index {
+			c.assign[i] = uint8(s.index)
+		}
+	}
+	for _, w := range c.workers {
+		if w.alive {
+			c.sendTo(w, &msgAssign{Assign: c.assign})
+		}
+	}
+
+	rec := openRecovery{rec: Recovery{Level: c.level, Worker: d.index, Mode: "takeover"}}
+	switch ack := d.lastAckLevel; {
+	case ack == c.level:
+		// The dead worker completed the level: absorb its snapshot and its
+		// already-reported frontier keys; nothing to re-expand. The Restore
+		// must land after the survivor's own seal drain, or the appended
+		// frontier tail would be clobbered by it.
+		var dKeys []uint64
+		for _, sg := range d.segs {
+			if !sg.filled {
+				return fatalError{fmt.Errorf("dist: worker %d retired at level %d with a report still outstanding", d.index, ack)}
+			}
+			dKeys = append(dKeys, sg.keys...)
+		}
+		path, states, resident := d.lastAckPath, d.states, d.resident
+		do := func() {
+			c.sendTo(s, &msgRestore{Path: path})
+			s.segs = append(s.segs, &keySegment{keys: dKeys, filled: true})
+			s.extraStates += states
+			s.extraResident += resident
+		}
+		if c.sealed {
+			do()
+		} else {
+			c.afterSeal = append(c.afterSeal, do)
+		}
+	case ack == c.level-1:
+		// Mid-level: merge the last barrier snapshot, re-expand the dead
+		// worker's frontier slots off the restored tail, replay the
+		// batches buffered for its shards.
+		if d.lastAckPath == "" {
+			return fatalError{fmt.Errorf("dist: worker %d left no snapshot to take over", d.index)}
+		}
+		c.sendTo(s, &msgRestore{Path: d.lastAckPath})
+		if slots := c.slots[d.index]; len(slots) > 0 {
+			c.issueExpand(s, c.level, c.base, slots, true, d.redoSelfOnly, true)
+			rec.slots = append([]uint32(nil), slots...)
+		}
+		if len(replay) > 0 {
+			c.sendTo(s, &msgBatch{Level: c.level, Base: c.base, Groups: replay})
+		}
+		if c.sealed {
+			c.sealTo(s, true)
+		}
+	default:
+		return fatalError{fmt.Errorf("dist: worker %d died %d levels past its last snapshot; takeover cannot catch up",
+			d.index, c.level-ack)}
+	}
+	s.taintLevel = c.level
+	c.openRecs = append(c.openRecs, rec)
+	return nil
+}

@@ -1,0 +1,476 @@
+package dist
+
+// The distributed search loop and barrier, mirroring the accounting of
+// mc/engine.go checkSearch exactly: same init semantics, same claim-key
+// bases, same violation reduction and counting, same Progress cadence.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"ttastar/internal/mc"
+)
+
+func (c *coordinator) search(res mc.Result) (mc.Result, error) {
+	ctx := c.mopts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Level 0: admit the initial states in index order, checking budget
+	// and state invariant serially at the coordinator exactly as the
+	// engine does — a violating or over-budget init never reaches a
+	// worker. Distinct inits are routed to their shard owners as batch
+	// claims with key = index.
+	var canon mc.CanonicalExpander
+	if c.reduced {
+		canon = c.model.(mc.ReducibleModel).NewReducedExpander()
+	}
+	inits := c.model.Initial()
+	seen := make(map[string]struct{}, len(inits))
+	var groups [mc.NumShards]*batchGroup
+	for i, s := range inits {
+		enc := []byte(s)
+		if canon != nil {
+			canon.Canonicalize(enc)
+		}
+		if _, dup := seen[string(enc)]; dup {
+			continue
+		}
+		if c.mopts.MaxStates > 0 && len(seen) >= c.mopts.MaxStates {
+			res.StatesExplored = len(seen)
+			return res, fmt.Errorf("%d states: %w", res.StatesExplored, mc.ErrStateLimit)
+		}
+		seen[string(enc)] = struct{}{}
+		if c.stInv != nil && !c.stInv(enc) {
+			res.Holds = false
+			res.Counterexample = []mc.State{s}
+			res.StatesExplored = len(seen)
+			return res, nil
+		}
+		shard := mc.ShardOf(mc.HashState(enc))
+		g := groups[shard]
+		if g == nil {
+			g = &batchGroup{Shard: uint8(shard), Slot: 0}
+			groups[shard] = g
+		}
+		g.Js = append(g.Js, uint32(i))
+		g.Encs = append(g.Encs, enc)
+	}
+	c.level, c.base = 0, 0
+	c.nextBase = uint64(len(inits)) << mc.KeySuccBits
+	for shard, g := range groups {
+		if g == nil {
+			continue
+		}
+		c.buffered[shard] = append(c.buffered[shard], *g)
+		w := c.workers[c.assign[shard]]
+		c.sendTo(w, &msgBatch{Level: 0, Base: 0, Groups: []batchGroup{*g}})
+	}
+	if err := c.collectLevel(); err != nil {
+		return c.finishErr(res, err)
+	}
+	frontierKeys := c.closeBarrier()
+	c.frontier(len(frontierKeys))
+
+	for depth := int32(0); len(frontierKeys) > 0; depth++ {
+		if err := ctx.Err(); err != nil {
+			res.Interrupted = true
+			res.StatesExplored = int(c.totalStates)
+			reason := mc.ErrInterrupted
+			if errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
+				reason = mc.ErrDeadline
+			}
+			return res, fmt.Errorf("depth %d, %d states: %w", res.Depth, res.StatesExplored, reason)
+		}
+		if c.mopts.MaxDepth > 0 && int(depth) >= c.mopts.MaxDepth {
+			res.DepthBounded = true
+			break
+		}
+		if c.mopts.MemBudget > 0 && c.totalResident > c.mopts.MemBudget {
+			res.StatesExplored = int(c.totalStates)
+			return res, fmt.Errorf("%d states: %w", res.StatesExplored, mc.ErrStateLimit)
+		}
+		if c.nextBase+(uint64(len(frontierKeys))+1)<<mc.KeySuccBits > mc.KeyMax {
+			return res, fmt.Errorf("mc: claim-key space exhausted at depth %d (%d states): %w",
+				depth, c.totalStates, mc.ErrStateLimit)
+		}
+
+		c.startLevel(depth+1, len(frontierKeys))
+		if err := c.collectLevel(); err != nil {
+			return c.finishErr(res, err)
+		}
+		c.levels++
+
+		if viol := c.reduceViolation(); viol != nil {
+			return c.violationResult(res, viol, int(depth))
+		}
+		for _, n := range c.counts {
+			res.TransitionsExplored += int(n)
+			c.totalGen += uint64(n)
+		}
+		if c.anyFull {
+			res.StatesExplored = int(c.sumStates())
+			return res, fmt.Errorf("%d states: %w", res.StatesExplored, mc.ErrStateLimit)
+		}
+
+		c.nextBase += uint64(len(frontierKeys)) << mc.KeySuccBits
+		frontierKeys = c.closeBarrier()
+		c.frontier(len(frontierKeys))
+		if len(frontierKeys) > 0 {
+			res.Depth = int(depth) + 1
+		}
+		if c.mopts.Progress != nil {
+			c.mopts.Progress(mc.Progress{
+				Depth:       int(depth) + 1,
+				States:      int(c.totalStates),
+				Transitions: res.TransitionsExplored,
+				Frontier:    len(frontierKeys),
+			})
+		}
+	}
+	res.StatesExplored = int(c.totalStates)
+	return res, nil
+}
+
+// finishErr unwraps fatalError markers for the caller.
+func (c *coordinator) finishErr(res mc.Result, err error) (mc.Result, error) {
+	if fe, ok := err.(fatalError); ok {
+		err = fe.err
+	}
+	res.StatesExplored = int(c.totalStates)
+	return res, err
+}
+
+func (c *coordinator) frontier(n int) {
+	if n > c.peakFrontier {
+		c.peakFrontier = n
+	}
+}
+
+// sumStates totals the active workers' latest reported state counts.
+func (c *coordinator) sumStates() int64 {
+	var total int64
+	for _, w := range c.workers {
+		if w.alive && !w.retired {
+			total += w.states + w.extraStates
+		}
+	}
+	return total
+}
+
+// startLevel rotates the level state and issues the level's Expands —
+// one per active worker (empty slot lists included, so SWIFI level
+// triggers fire on idle workers too).
+func (c *coordinator) startLevel(level int32, frontierLen int) {
+	c.prevSlots = c.slots
+	c.slots = c.lastSlots
+	c.lastSlots = nil
+	c.prevBase = c.base
+	c.level = level
+	c.base = c.nextBase
+	c.bufPrev = c.buffered
+	c.buffered = [mc.NumShards][]batchGroup{}
+	c.prevCounts = c.counts
+	c.counts = make([]uint32, frontierLen)
+	c.sealed = false
+	c.resealAll = false
+	c.anyFull = false
+	c.trBest = nil
+	c.stViols = nil
+	for _, w := range c.workers {
+		w.segs = nil
+		w.extraStates = 0
+		w.extraResident = 0
+	}
+	for _, w := range c.workers {
+		if !w.alive || w.retired {
+			continue
+		}
+		c.issueExpand(w, level, c.base, c.slots[w.index], false, false, false)
+	}
+}
+
+// issueExpand enqueues one msgExpand and registers it as pending.
+func (c *coordinator) issueExpand(w *workerState, level int32, base uint64,
+	slots []uint32, fromEnd, selfOnly, consume bool) {
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = pendingExpand{wi: w.index, level: level, slots: slots}
+	c.sendTo(w, &msgExpand{Level: level, Base: base, ID: id,
+		FromEnd: fromEnd, SelfOnly: selfOnly, Consume: consume, Slots: slots})
+	if c.sealed && !selfOnly && level == c.level {
+		// A post-seal re-expansion can forward foreign successors into
+		// stores that already drained; everyone must re-seal so those
+		// claims join the current frontier, not the next one.
+		c.resealAll = true
+	}
+}
+
+// collectLevel pumps events until the level's barrier is complete.
+func (c *coordinator) collectLevel() error {
+	for {
+		c.trySeal()
+		c.tryReseal()
+		if c.barrierReady() {
+			return nil
+		}
+		if err := c.step(); err != nil {
+			return err
+		}
+	}
+}
+
+func (c *coordinator) anyRecovering() bool {
+	for _, w := range c.workers {
+		if w.alive && !w.helloed {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *coordinator) trySeal() {
+	if c.sealed || len(c.pending) != 0 || c.anyRecovering() {
+		return
+	}
+	for _, w := range c.workers {
+		if w.alive && !w.retired {
+			c.sealTo(w, false)
+		}
+	}
+	c.sealed = true
+	for _, f := range c.afterSeal {
+		f()
+	}
+	c.afterSeal = nil
+}
+
+func (c *coordinator) tryReseal() {
+	if !c.sealed || !c.resealAll || len(c.pending) != 0 || c.anyRecovering() {
+		return
+	}
+	for _, w := range c.workers {
+		if w.alive && !w.retired {
+			c.sealTo(w, true)
+		}
+	}
+	c.resealAll = false
+}
+
+// sealTo enqueues a Seal and registers the report segment it owes.
+func (c *coordinator) sealTo(w *workerState, merge bool) {
+	c.sendTo(w, &msgSeal{Level: c.level, Merge: merge})
+	if merge {
+		w.segs = append(w.segs, &keySegment{})
+	} else {
+		w.segs = []*keySegment{{}}
+	}
+}
+
+func (c *coordinator) barrierReady() bool {
+	if !c.sealed || c.resealAll || len(c.pending) != 0 || c.anyRecovering() {
+		return false
+	}
+	for _, w := range c.workers {
+		if !w.alive || w.retired {
+			continue
+		}
+		if len(w.segs) == 0 {
+			return false
+		}
+		for _, sg := range w.segs {
+			if !sg.filled {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// closeBarrier merges the per-worker key sequences into the global
+// frontier order, assigns next-level slots, refreshes the global totals
+// and prices open recoveries. It returns the sorted global frontier keys.
+func (c *coordinator) closeBarrier() []uint64 {
+	var all []uint64
+	c.totalStates = 0
+	c.totalResident = 0
+	for _, w := range c.workers {
+		if !w.alive || w.retired {
+			continue
+		}
+		for _, sg := range w.segs {
+			all = append(all, sg.keys...)
+		}
+		c.totalStates += w.states + w.extraStates
+		c.totalResident += w.resident + w.extraResident
+	}
+	sorted := append([]uint64(nil), all...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	c.lastSlots = map[int][]uint32{}
+	for _, w := range c.workers {
+		if !w.alive || w.retired {
+			continue
+		}
+		var slots []uint32
+		for _, sg := range w.segs {
+			for _, k := range sg.keys {
+				slots = append(slots, uint32(sort.Search(len(sorted), func(i int) bool { return sorted[i] >= k })))
+			}
+		}
+		c.lastSlots[w.index] = slots
+	}
+	for _, or := range c.openRecs {
+		rec := or.rec
+		for _, s := range or.slots {
+			if int(s) < len(c.counts) {
+				rec.SlotTransitions += uint64(c.counts[s])
+			}
+		}
+		for _, s := range or.prevSlots {
+			if int(s) < len(c.prevCounts) {
+				rec.SlotTransitions += uint64(c.prevCounts[s])
+			}
+		}
+		c.rep.Recoveries = append(c.rep.Recoveries, rec)
+	}
+	c.openRecs = nil
+	return sorted
+}
+
+// reduceViolation picks the level's winner: lowest claim key, transition
+// beating state on a tie — engine semantics.
+func (c *coordinator) reduceViolation() *distViol {
+	best := c.trBest
+	for i := range c.stViols {
+		sv := &c.stViols[i]
+		if best == nil || sv.key < best.key {
+			best = sv
+		}
+	}
+	return best
+}
+
+// violationResult assembles the counterexample exactly as the engine
+// does, reconstructing the trace through per-owner parent queries.
+func (c *coordinator) violationResult(res mc.Result, viol *distViol, depth int) (mc.Result, error) {
+	res.Holds = false
+	res.Depth = depth + 1
+	limit := viol.key
+	if viol.isState {
+		limit++
+	}
+	levelClaimed := 0
+	var levelKeys []uint64
+	for _, w := range c.workers {
+		if !w.alive || w.retired {
+			continue
+		}
+		for _, sg := range w.segs {
+			levelClaimed += len(sg.keys)
+			levelKeys = append(levelKeys, sg.keys...)
+		}
+	}
+	prior := int(c.sumStates()) - levelClaimed
+	through := 0
+	for _, k := range levelKeys {
+		if k < limit {
+			through++
+		}
+	}
+	res.StatesExplored = prior + through
+	rel := viol.key - c.base
+	slot := int(rel >> mc.KeySuccBits)
+	tr := int(rel&(1<<mc.KeySuccBits-1)) + 1
+	for i := 0; i < slot && i < len(c.counts); i++ {
+		tr += int(c.counts[i])
+	}
+	res.TransitionsExplored += tr
+	for _, n := range c.counts {
+		c.totalGen += uint64(n)
+	}
+
+	var cex []mc.State
+	var err error
+	if viol.isState {
+		cex, err = c.tracePath(viol.enc)
+	} else {
+		cex, err = c.tracePath(viol.from)
+		if err == nil {
+			cex = append(cex, mc.State(viol.to))
+		}
+	}
+	if err != nil {
+		return res, err
+	}
+	res.Counterexample = cex
+	if c.reduced {
+		cc, cerr := mc.ConcretizeTrace(c.model, c.trInv, cex)
+		if cerr != nil {
+			return res, cerr
+		}
+		res.Counterexample = cc
+		res.Depth = len(cc) - 1
+	}
+	return res, nil
+}
+
+// tracePath walks parent encodings from enc back to a root through the
+// owning workers, mirroring the engine's tracePath over the store.
+func (c *coordinator) tracePath(enc []byte) ([]mc.State, error) {
+	var rev []mc.State
+	cur := append([]byte(nil), enc...)
+	for hops := 0; ; hops++ {
+		if hops > int(c.level)+2 {
+			return nil, fmt.Errorf("dist: trace longer than the search depth; parent chain corrupt")
+		}
+		rev = append(rev, mc.State(cur))
+		reply, err := c.queryParent(cur)
+		if err != nil {
+			return nil, err
+		}
+		if !reply.Found {
+			return nil, fmt.Errorf("dist: trace state missing from its owner's store")
+		}
+		if !reply.HasParent {
+			break
+		}
+		cur = reply.Parent
+	}
+	out := make([]mc.State, len(rev))
+	for i := range rev {
+		out[len(rev)-1-i] = rev[i]
+	}
+	return out, nil
+}
+
+// queryParent asks the owner of enc's shard for its recorded parent,
+// synchronously (the barrier is quiet when traces are reconstructed).
+func (c *coordinator) queryParent(enc []byte) (*msgTraceReply, error) {
+	w := c.workers[c.assign[mc.ShardOf(mc.HashState(enc))]]
+	if !w.alive {
+		return nil, fmt.Errorf("dist: trace owner (worker %d) is not alive", w.index)
+	}
+	c.sendTo(w, &msgTraceQuery{Enc: enc})
+	ticks := 0
+	for {
+		ev := <-c.events
+		switch ev.kind {
+		case evMsg:
+			if ev.typ == mtTraceReply && c.eventWorker(ev) == w {
+				return decodeTraceReply(ev.payload)
+			}
+		case evDead:
+			if c.eventWorker(ev) != nil {
+				return nil, fmt.Errorf("dist: worker %d died during trace reconstruction: %v", ev.wi, ev.err)
+			}
+		case evTick:
+			ticks++
+			if ticks > 8 {
+				return nil, fmt.Errorf("dist: trace query to worker %d timed out", w.index)
+			}
+		}
+	}
+}

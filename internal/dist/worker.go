@@ -1,0 +1,469 @@
+package dist
+
+// The worker: one single-threaded process owning a slice of the shard
+// space. It rebuilds the model from the spec in msgConfig, then serves
+// the coordinator's protocol: expand frontier slices (claiming own-shard
+// successors locally, forwarding foreign ones), apply forwarded batches,
+// and close each level by draining its claims, writing a barrier
+// snapshot and reporting. Process-level parallelism is the point — the
+// worker itself never spawns exploration goroutines; only the heartbeat
+// sender runs beside the main loop.
+//
+// Level numbering: level 0 is the initial states (delivered as batches,
+// never expanded); level L >= 1 is the expansion producing depth-L
+// states. A barrier snapshot written at Seal(L) holds the visited states
+// through depth L plus the depth-L claims as its frontier — everything a
+// replacement needs to re-enter the run at level L+1, or to re-expand
+// level L+1 itself if it was in flight.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ttastar/internal/mc"
+	"ttastar/internal/retry"
+)
+
+// Worker-side write retry budget: transient failures (including SWIFI
+// flakywrite injections) back off 5, 10, 20ms before giving up and
+// letting the coordinator's crash detection take over.
+const (
+	workerWriteAttempts = 4
+	workerWriteBackoff  = 5 * time.Millisecond
+)
+
+// WorkerOptions parameterize RunWorker for its two habitats.
+type WorkerOptions struct {
+	// Exit is the kill-injection primitive: os.Exit for a subprocess
+	// (the default), connection teardown + goroutine exit in-process.
+	Exit func(code int)
+}
+
+type worker struct {
+	conn    io.ReadWriteCloser
+	writeMu sync.Mutex
+	exit    func(code int)
+	inj     *injector
+
+	cfg         *msgConfig
+	spec        ModelSpec
+	exp         mc.Expander
+	canon       mc.CanonicalExpander
+	stInv       mc.StateInvariantBytes
+	trInv       mc.TransitionInvariantBytes
+	fingerprint uint64
+	store       *mc.ShardStore
+	assign      [mc.NumShards]uint8
+
+	frontier []uint32
+	stViol   []uint32
+	full     bool
+	expanded uint64
+	snaps    []string
+
+	hbStop chan struct{}
+}
+
+// RunWorker serves the coordinator protocol on conn until mtStop or
+// connection loss. It is the body of the hidden `ttamc -dist-worker`
+// mode and of the in-process pipe launcher.
+func RunWorker(conn io.ReadWriteCloser, opts WorkerOptions) error {
+	w := &worker{conn: conn, exit: opts.Exit}
+	if w.exit == nil {
+		w.exit = os.Exit
+	}
+	defer func() {
+		if w.hbStop != nil {
+			close(w.hbStop)
+		}
+	}()
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			// Coordinator gone: nothing to report to and no one to
+			// outlive. EOF after mtStop never reaches here (Stop
+			// returns below), so any read error is abnormal.
+			return fmt.Errorf("dist: worker lost coordinator: %w", err)
+		}
+		switch typ {
+		case mtConfig:
+			err = w.handleConfig(payload)
+		case mtExpand:
+			err = w.handleExpand(payload)
+		case mtBatch:
+			err = w.handleBatch(payload)
+		case mtSeal:
+			err = w.handleSeal(payload)
+		case mtAssign:
+			err = w.handleAssign(payload)
+		case mtRestore:
+			err = w.handleRestore(payload)
+		case mtTraceQuery:
+			err = w.handleTraceQuery(payload)
+		case mtStop:
+			w.send(&msgBye{Expanded: w.expanded})
+			return nil
+		default:
+			err = fmt.Errorf("dist: worker got unexpected message type %d", typ)
+		}
+		if err != nil {
+			w.send(&msgFatal{Err: err.Error()})
+			return err
+		}
+	}
+}
+
+type encoder interface{ encode() (byte, []byte) }
+
+// send writes one message with bounded-backoff retry on transient
+// failures. A persistent failure is not fatal here — the coordinator's
+// deadline/EOF detection owns the verdict on this worker's life.
+func (w *worker) send(m encoder) error {
+	typ, payload := m.encode()
+	return w.sendRaw(typ, payload)
+}
+
+func (w *worker) sendRaw(typ byte, payload []byte) error {
+	_, err := retry.Do(workerWriteAttempts, workerWriteBackoff, nil, func() error {
+		if err := w.inj.beforeWrite(); err != nil {
+			return err
+		}
+		w.writeMu.Lock()
+		defer w.writeMu.Unlock()
+		return writeFrame(w.conn, typ, payload)
+	})
+	return err
+}
+
+func (w *worker) handleConfig(payload []byte) error {
+	cfg, err := decodeConfig(payload)
+	if err != nil {
+		return err
+	}
+	if w.cfg != nil {
+		return fmt.Errorf("dist: duplicate Config")
+	}
+	if err := w.configure(cfg); err != nil {
+		w.send(&msgHello{Index: cfg.Index, Err: err.Error()})
+		return err
+	}
+	if err := w.send(&msgHello{Index: cfg.Index}); err != nil {
+		return err
+	}
+	w.startHeartbeat()
+	return nil
+}
+
+func (w *worker) configure(cfg *msgConfig) error {
+	spec, err := buildModel(cfg.SpecName, cfg.SpecPayload)
+	if err != nil {
+		return err
+	}
+	injs, err := parseSwifi(cfg.Swifi)
+	if err != nil {
+		return err
+	}
+	w.cfg = cfg
+	w.spec = spec
+	w.inj = newInjector(injs, cfg.Index)
+	w.assign = cfg.Assign
+	if cfg.CheckState {
+		if spec.StInv == nil {
+			return fmt.Errorf("dist: model %q defines no state invariant", cfg.SpecName)
+		}
+		w.stInv = spec.StInv
+	} else {
+		if spec.TrInv == nil {
+			return fmt.Errorf("dist: model %q defines no transition invariant", cfg.SpecName)
+		}
+		w.trInv = spec.TrInv
+	}
+	if cfg.Reduced {
+		rm, ok := spec.Model.(mc.ReducibleModel)
+		if !ok || !rm.Reducible() {
+			return fmt.Errorf("dist: reduced search requested but model %q is not reducible", cfg.SpecName)
+		}
+		ce := rm.NewReducedExpander()
+		w.exp, w.canon = ce, ce
+	} else {
+		w.exp = mc.ExpanderFor(spec.Model)
+	}
+	if fm, ok := spec.Model.(mc.FingerprintedModel); ok {
+		w.fingerprint = fm.Fingerprint()
+	}
+	w.store = mc.NewShardStore(cfg.MaxStates)
+	if cfg.RestorePath != "" {
+		cp, err := mc.ReadCheckpoint(cfg.RestorePath)
+		if err != nil {
+			return fmt.Errorf("dist: restoring %s: %w", cfg.RestorePath, err)
+		}
+		w.frontier, err = w.store.Restore(cp)
+		if err != nil {
+			return fmt.Errorf("dist: restoring %s: %w", cfg.RestorePath, err)
+		}
+	}
+	return nil
+}
+
+func (w *worker) startHeartbeat() {
+	interval := time.Duration(w.cfg.HeartbeatMs) * time.Millisecond
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	w.hbStop = make(chan struct{})
+	go func(stop chan struct{}) {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if w.inj.heartbeatPaused() {
+					continue
+				}
+				w.send(&msgHeartbeat{})
+			}
+		}
+	}(w.hbStop)
+}
+
+// batchFlushBytes bounds an outgoing mtBatchOut frame.
+const batchFlushBytes = 256 << 10
+
+func (w *worker) handleExpand(payload []byte) error {
+	m, err := decodeExpand(payload)
+	if err != nil {
+		return err
+	}
+	if w.store == nil {
+		return fmt.Errorf("dist: Expand before Config")
+	}
+	w.inj.atLevel(m.Level, w.exit)
+	start := 0
+	if m.FromEnd {
+		start = len(w.frontier) - len(m.Slots)
+	}
+	if start < 0 || start+len(m.Slots) > len(w.frontier) {
+		return fmt.Errorf("dist: Expand range [%d,%d) exceeds frontier of %d",
+			start, start+len(m.Slots), len(w.frontier))
+	}
+	me := uint8(w.cfg.Index)
+	counts := make([]uint32, len(m.Slots))
+	var violKey uint64
+	var violFrom, violTo []byte
+	hasViol := false
+	var out []batchGroup
+	outBytes := 0
+	flush := func() error {
+		if len(out) == 0 {
+			return nil
+		}
+		err := w.sendRaw(encodeBatchOut(&msgBatchOut{Level: m.Level, Base: m.Base, Groups: out}))
+		out, outBytes = nil, 0
+		return err
+	}
+	// Per-slot scratch: one group per destination shard, reused.
+	var slotGroups [mc.NumShards]*batchGroup
+	for i, slot := range m.Slots {
+		ref := w.frontier[start+i]
+		sb := w.store.BytesOf(ref)
+		succs := w.exp.Successors(sb)
+		counts[i] = uint32(len(succs))
+		w.expanded += uint64(len(succs))
+		for j, succ := range succs {
+			key := mc.ClaimKey(m.Base, int(slot), j)
+			// The invariant sees the raw successor before
+			// canonicalization, exactly as in the engine; a violating
+			// transition is never claimed or forwarded.
+			if w.trInv != nil && !w.trInv(sb, succ) {
+				if !hasViol || key < violKey {
+					hasViol = true
+					violKey = key
+					violFrom = append(violFrom[:0], sb...)
+					violTo = append(violTo[:0], succ...)
+				}
+				continue
+			}
+			if w.canon != nil {
+				w.canon.Canonicalize(succ)
+			}
+			shard := mc.ShardOf(mc.HashState(succ))
+			if w.assign[shard] == me {
+				st, sref := w.store.Claim(succ, key, sb, true, m.Base)
+				if st == mc.ClaimNew && w.stInv != nil && !w.stInv(succ) {
+					w.stViol = append(w.stViol, sref)
+				}
+				if st == mc.ClaimFull {
+					w.full = true
+				}
+			} else if !m.SelfOnly {
+				g := slotGroups[shard]
+				if g == nil {
+					g = &batchGroup{Shard: uint8(shard), Slot: slot, HasParent: true,
+						Parent: append([]byte(nil), sb...)}
+					slotGroups[shard] = g
+				}
+				g.Js = append(g.Js, uint32(j))
+				g.Encs = append(g.Encs, append([]byte(nil), succ...))
+				outBytes += len(succ) + 8
+			}
+		}
+		for shard, g := range slotGroups {
+			if g == nil {
+				continue
+			}
+			out = append(out, *g)
+			outBytes += len(g.Parent) + 16
+			slotGroups[shard] = nil
+		}
+		if outBytes >= batchFlushBytes {
+			if err := flush(); err != nil {
+				return nil // delivery failure: let crash detection decide
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil
+	}
+	if m.Consume {
+		w.frontier = w.frontier[:start]
+	}
+	w.send(&msgExpandDone{Level: m.Level, ID: m.ID, Counts: counts,
+		HasViol: hasViol, ViolKey: violKey, ViolFrom: violFrom, ViolTo: violTo})
+	return nil
+}
+
+func (w *worker) handleBatch(payload []byte) error {
+	m, err := decodeBatch(payload)
+	if err != nil {
+		return err
+	}
+	if w.store == nil {
+		return fmt.Errorf("dist: Batch before Config")
+	}
+	for gi := range m.Groups {
+		g := &m.Groups[gi]
+		for k := range g.Js {
+			enc := g.Encs[k]
+			key := mc.ClaimKey(m.Base, int(g.Slot), int(g.Js[k]))
+			st, sref := w.store.Claim(enc, key, g.Parent, g.HasParent, m.Base)
+			if st == mc.ClaimNew && w.stInv != nil && !w.stInv(enc) {
+				w.stViol = append(w.stViol, sref)
+			}
+			if st == mc.ClaimFull {
+				w.full = true
+			}
+		}
+	}
+	return nil
+}
+
+func (w *worker) handleSeal(payload []byte) error {
+	m, err := decodeSeal(payload)
+	if err != nil {
+		return err
+	}
+	if w.store == nil {
+		return fmt.Errorf("dist: Seal before Config")
+	}
+	w.inj.levelDone(m.Level)
+	refs, keys := w.store.DrainLevel()
+	if m.Merge {
+		w.frontier = append(w.frontier, refs...)
+	} else {
+		w.frontier = refs
+	}
+	rep := &msgLevelReport{
+		Level:    m.Level,
+		Keys:     keys,
+		States:   w.store.Count(),
+		Resident: w.store.Resident(),
+		Full:     w.full,
+		Expanded: w.expanded,
+	}
+	w.full = false
+	for _, ref := range w.stViol {
+		rep.StViolKeys = append(rep.StViolKeys, w.store.KeyOf(ref))
+		rep.StViolEncs = append(rep.StViolEncs, w.store.BytesOf(ref))
+	}
+	w.stViol = w.stViol[:0]
+	path := filepath.Join(w.cfg.SnapshotDir, fmt.Sprintf("w%d-l%d.mc", w.cfg.Index, m.Level))
+	cp := w.store.Snapshot(m.Level+1, w.cfg.Reduced, w.fingerprint, w.frontier)
+	// The barrier snapshot rides the same transient-retry policy as the
+	// engine's periodic checkpoints — and the same SWIFI write
+	// injections, which is how the retry path gets exercised end to end.
+	_, werr := retry.Do(workerWriteAttempts, workerWriteBackoff, nil, func() error {
+		if err := w.inj.beforeWrite(); err != nil {
+			return err
+		}
+		return mc.WriteCheckpoint(path, cp)
+	})
+	if werr != nil {
+		// A failed snapshot is reported, not fatal: the run only loses
+		// recovery depth for this worker (coord.go bounds how much).
+		rep.SnapshotErr = werr.Error()
+	} else {
+		rep.Snapshot = path
+		if n := len(w.snaps); n == 0 || w.snaps[n-1] != path {
+			w.snaps = append(w.snaps, path)
+		}
+		// Keep the last two barrier snapshots: deleting L-1 on writing L
+		// would lose the recovery point if this worker dies between the
+		// write and the coordinator acknowledging the report.
+		if len(w.snaps) > 2 {
+			os.Remove(w.snaps[0])
+			w.snaps = w.snaps[1:]
+		}
+	}
+	w.send(rep)
+	return nil
+}
+
+func (w *worker) handleAssign(payload []byte) error {
+	m, err := decodeAssign(payload)
+	if err != nil {
+		return err
+	}
+	w.assign = m.Assign
+	return nil
+}
+
+func (w *worker) handleRestore(payload []byte) error {
+	m, err := decodeRestore(payload)
+	if err != nil {
+		return err
+	}
+	if w.store == nil {
+		return fmt.Errorf("dist: Restore before Config")
+	}
+	cp, err := mc.ReadCheckpoint(m.Path)
+	if err != nil {
+		return fmt.Errorf("dist: takeover restore %s: %w", m.Path, err)
+	}
+	extra, err := w.store.Merge(cp)
+	if err != nil {
+		return fmt.Errorf("dist: takeover restore %s: %w", m.Path, err)
+	}
+	// The dead worker's frontier is appended; the coordinator addresses
+	// it through msgExpand.Offset ranges and knows the concatenation
+	// order (own claims first, merges in arrival order).
+	w.frontier = append(w.frontier, extra...)
+	return nil
+}
+
+func (w *worker) handleTraceQuery(payload []byte) error {
+	m, err := decodeTraceQuery(payload)
+	if err != nil {
+		return err
+	}
+	if w.store == nil {
+		return fmt.Errorf("dist: TraceQuery before Config")
+	}
+	parent, hasParent, found := w.store.ParentOf(m.Enc)
+	return w.send(&msgTraceReply{Found: found, HasParent: hasParent, Parent: []byte(parent)})
+}

@@ -33,6 +33,9 @@ type CampaignCell struct {
 	Retried  int // runs that needed a retry on a derived seed stream
 	Failed   int // runs abandoned after exhausting retries
 	Skipped  int // runs never started because the campaign was cancelled
+	// CheckpointRetries counts transient checkpoint-flush failures
+	// retried away while this cell's runs recorded.
+	CheckpointRetries int
 }
 
 // DisruptionRate returns the fraction of runs with healthy-node disruption.
@@ -75,6 +78,7 @@ func (c *CampaignCell) Merge(o CampaignCell) {
 	c.Retried += o.Retried
 	c.Failed += o.Failed
 	c.Skipped += o.Skipped
+	c.CheckpointRetries += o.CheckpointRetries
 }
 
 // reduceVerdicts builds the campaign aggregate from ordered run verdicts,
@@ -96,6 +100,7 @@ func (c *CampaignCell) noteStats(st RunStats) {
 	c.Retried += st.Retried
 	c.Failed += st.Failed
 	c.Skipped += st.Skipped
+	c.CheckpointRetries += st.CheckpointRetries
 }
 
 // verdictFor reads the standard disruption verdict off a finished run:

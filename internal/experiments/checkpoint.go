@@ -20,6 +20,9 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"ttastar/internal/retry"
 )
 
 const campaignCheckpointVersion = 1
@@ -32,6 +35,13 @@ const flushEvery = 64
 // validation.
 var ErrBadCheckpoint = errors.New("experiments: invalid checkpoint")
 
+// flushAttempts / flushBackoff bound the retry loop around a transient
+// Flush failure (ENOSPC, EINTR, ...): 4 attempts backing off 5, 10, 20ms.
+const (
+	flushAttempts = 4
+	flushBackoff  = 5 * time.Millisecond
+)
+
 // Checkpoint is a persistent store of completed campaign run verdicts.
 // It is safe for concurrent use by the worker pool.
 type Checkpoint struct {
@@ -39,6 +49,7 @@ type Checkpoint struct {
 	path       string
 	cells      map[string]map[string]json.RawMessage // label → run index → verdict
 	sinceFlush int
+	retries    atomic.Int64 // transient-failure retries spent in Flush
 }
 
 type checkpointFile struct {
@@ -128,7 +139,8 @@ func (cp *Checkpoint) record(label string, r int, v any) error {
 
 // Flush atomically writes the store to its path (temp-file + rename).
 // encoding/json emits map keys sorted, so equal progress always produces
-// equal bytes.
+// equal bytes. Transient write failures (ENOSPC, EINTR, ...) are retried
+// with bounded backoff; the retries are tallied for RunStats.
 func (cp *Checkpoint) Flush() error {
 	cp.mu.Lock()
 	cells, err := json.Marshal(cp.cells)
@@ -144,25 +156,41 @@ func (cp *Checkpoint) Flush() error {
 	if err != nil {
 		return fmt.Errorf("experiments: checkpoint: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(cp.path), ".campaign-checkpoint-*")
+	n, err := retry.Do(flushAttempts, flushBackoff, nil, func() error {
+		return cp.writeFile(data)
+	})
+	cp.retries.Add(int64(n))
 	if err != nil {
-		return fmt.Errorf("experiments: checkpoint: %w", err)
-	}
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("experiments: checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("experiments: checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), cp.path); err != nil {
-		os.Remove(tmp.Name())
 		return fmt.Errorf("experiments: checkpoint: %w", err)
 	}
 	return nil
 }
+
+// writeFile is one atomic write attempt: temp file, write, rename.
+func (cp *Checkpoint) writeFile(data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(cp.path), ".campaign-checkpoint-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), cp.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// takeRetries drains the flush-retry tally (read-and-reset), so each
+// campaign cell reports the retries spent while its runs recorded.
+func (cp *Checkpoint) takeRetries() int { return int(cp.retries.Swap(0)) }
 
 // Remove deletes the checkpoint file — called when a campaign completes
 // conclusively so stale progress can never shadow a finished run.

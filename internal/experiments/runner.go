@@ -116,6 +116,9 @@ type RunStats struct {
 	Retried   int // runs that succeeded only after a retry
 	Failed    int // runs whose every attempt panicked
 	Skipped   int // runs never started (cancellation)
+	// CheckpointRetries counts transient checkpoint-flush failures
+	// (ENOSPC, EINTR, ...) retried away while these runs recorded.
+	CheckpointRetries int
 }
 
 func (s *RunStats) add(o RunStats) {
@@ -127,6 +130,7 @@ func (s *RunStats) add(o RunStats) {
 	s.Retried += o.Retried
 	s.Failed += o.Failed
 	s.Skipped += o.Skipped
+	s.CheckpointRetries += o.CheckpointRetries
 }
 
 // Domain separators so the cluster's noise RNG and the experiment's fault
@@ -327,6 +331,9 @@ func RunSeededContext[T any](ctx context.Context, label string, runs int, base u
 		if errors.Is(err, ErrRunSkipped) {
 			stats.Skipped++
 		}
+	}
+	if cp != nil {
+		stats.CheckpointRetries += cp.takeRetries()
 	}
 	err := firstError(errs)
 	if err == nil && ctx.Err() != nil {

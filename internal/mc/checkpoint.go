@@ -43,6 +43,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
+
+	"ttastar/internal/retry"
 )
 
 const (
@@ -57,9 +60,16 @@ const (
 // in the version-3 flags word.
 const checkpointFlagReduced = 1 << 0
 
-// ErrBadCheckpoint reports a checkpoint file that failed validation:
-// wrong magic, unsupported version, checksum mismatch, or truncation.
-var ErrBadCheckpoint = errors.New("mc: invalid checkpoint")
+// ErrCheckpointCorrupt reports a checkpoint file that failed validation:
+// wrong magic, unsupported version, checksum mismatch, truncation, or an
+// internally inconsistent record graph. The file is never modified or
+// removed by the reader — a corrupt snapshot is left in place for
+// inspection.
+var ErrCheckpointCorrupt = errors.New("mc: checkpoint corrupt")
+
+// ErrBadCheckpoint is the pre-PR8 name for ErrCheckpointCorrupt; they are
+// the same sentinel, so errors.Is matches either.
+var ErrBadCheckpoint = ErrCheckpointCorrupt
 
 // ErrModelMismatch reports a structurally valid checkpoint whose model
 // fingerprint differs from the resuming search's model: the snapshot's
@@ -201,6 +211,33 @@ func (w *cpWriter) str(s State) {
 	w.raw([]byte(s))
 }
 
+// checkpointWrapWriter is a test seam: when non-nil, WriteCheckpoint
+// routes every byte destined for the temp file through the returned
+// writer, letting crash-consistency tests inject mid-write failures at
+// arbitrary offsets without touching the filesystem layer.
+var checkpointWrapWriter func(io.Writer) io.Writer
+
+// Bounded backoff for transient checkpoint-write failures (S2): four
+// attempts at 10ms, 20ms, 40ms keeps the worst-case stall under 100ms —
+// negligible next to a level expansion — while riding out EINTR storms
+// and momentary disk-pressure blips.
+const (
+	checkpointWriteAttempts = 4
+	checkpointWriteBackoff  = 10 * time.Millisecond
+)
+
+// WriteCheckpointRetry writes cp to path like WriteCheckpoint, retrying
+// transient filesystem failures (EINTR, EAGAIN, ENOSPC, ...) with
+// bounded exponential backoff. It returns the number of retries
+// performed alongside the final error, so callers can surface "the
+// snapshot needed retries" or "the snapshot was ultimately dropped" in
+// their stats instead of losing it silently.
+func WriteCheckpointRetry(path string, cp *Checkpoint) (int, error) {
+	return retry.Do(checkpointWriteAttempts, checkpointWriteBackoff, nil, func() error {
+		return WriteCheckpoint(path, cp)
+	})
+}
+
 // WriteCheckpoint atomically writes cp to path: the payload goes to a
 // temp file in the same directory, is checksummed, and renamed over the
 // target only once complete.
@@ -216,8 +253,12 @@ func WriteCheckpoint(path string, cp *Checkpoint) error {
 		}
 	}()
 
+	var out io.Writer = tmp
+	if checkpointWrapWriter != nil {
+		out = checkpointWrapWriter(tmp)
+	}
 	h := fnv.New64a()
-	bw := bufio.NewWriterSize(io.MultiWriter(tmp, h), 1<<16)
+	bw := bufio.NewWriterSize(io.MultiWriter(out, h), 1<<16)
 	w := &cpWriter{w: bw}
 	w.raw([]byte(checkpointMagic))
 	w.uvarint(checkpointVersion)
@@ -250,7 +291,7 @@ func WriteCheckpoint(path string, cp *Checkpoint) error {
 	if w.err == nil {
 		var sum [8]byte
 		binary.BigEndian.PutUint64(sum[:], h.Sum64())
-		_, w.err = tmp.Write(sum[:])
+		_, w.err = out.Write(sum[:])
 	}
 	if w.err == nil {
 		w.err = tmp.Close()

@@ -374,6 +374,8 @@ type searchMetrics struct {
 	loadFactor   float64
 	resident     int64
 	peakResident int64
+	cpRetries    int
+	cpWriteErr   string
 }
 
 func (sm *searchMetrics) frontier(n int) {
@@ -402,6 +404,15 @@ func (sm *searchMetrics) collect(v *visitedSet, sc *levelScratch) {
 // It wraps the search with the Options.Stats bookkeeping so the inner
 // loop pays nothing when stats are off.
 func check(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBytes, opts Options) (Result, error) {
+	if opts.Dist != nil {
+		// A distributed backend replaces the whole in-process search; it
+		// receives the raw Options (its own defaults differ — e.g.
+		// Workers means processes there) with the hook cleared so a
+		// backend calling back into mc cannot recurse.
+		d := opts.Dist
+		opts.Dist = nil
+		return d.DistCheck(m, stInv, trInv, opts)
+	}
 	opts = opts.withDefaults()
 	if opts.Stats == nil {
 		return checkSearch(m, stInv, trInv, opts, nil)
@@ -415,17 +426,19 @@ func check(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBytes, o
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)
 	st := Stats{
-		States:            res.StatesExplored,
-		Transitions:       res.TransitionsExplored,
-		Levels:            met.levels,
-		PeakFrontier:      met.peakFrontier,
-		Duration:          d,
-		Allocs:            ms1.Mallocs - ms0.Mallocs,
-		AllocBytes:        ms1.TotalAlloc - ms0.TotalAlloc,
-		LoadFactor:        met.loadFactor,
-		ProbeHist:         met.probeHist,
-		ResidentBytes:     met.resident,
-		PeakResidentBytes: met.peakResident,
+		States:             res.StatesExplored,
+		Transitions:        res.TransitionsExplored,
+		Levels:             met.levels,
+		PeakFrontier:       met.peakFrontier,
+		Duration:           d,
+		Allocs:             ms1.Mallocs - ms0.Mallocs,
+		AllocBytes:         ms1.TotalAlloc - ms0.TotalAlloc,
+		LoadFactor:         met.loadFactor,
+		ProbeHist:          met.probeHist,
+		ResidentBytes:      met.resident,
+		PeakResidentBytes:  met.peakResident,
+		CheckpointRetries:  met.cpRetries,
+		CheckpointWriteErr: met.cpWriteErr,
 	}
 	if s := d.Seconds(); s > 0 {
 		st.StatesPerSec = float64(res.StatesExplored) / s
@@ -610,8 +623,18 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 		levelsSinceCheckpoint++
 		if opts.CheckpointPath != "" && opts.CheckpointEvery > 0 &&
 			levelsSinceCheckpoint >= opts.CheckpointEvery && len(frontier) > 0 {
-			if err := WriteCheckpoint(opts.CheckpointPath, snapshot(v, res, frontier, depth+1, fingerprint)); err != nil {
-				return res, err
+			// A periodic snapshot is an optimization, not a correctness
+			// requirement: transient write failures are retried with
+			// bounded backoff, and a snapshot that still cannot be
+			// written is dropped — surfaced through Stats — rather than
+			// killing the search. Any earlier snapshot stays in place,
+			// so a later resume is merely older, never wrong.
+			retries, err := WriteCheckpointRetry(opts.CheckpointPath, snapshot(v, res, frontier, depth+1, fingerprint))
+			if met != nil {
+				met.cpRetries += retries
+				if err != nil {
+					met.cpWriteErr = err.Error()
+				}
 			}
 			levelsSinceCheckpoint = 0
 		}
@@ -670,7 +693,10 @@ func interrupted(v *visitedSet, res Result, frontier []uint32, depth int32,
 	res.Interrupted = true
 	res.StatesExplored = int(v.count.Load())
 	if opts.CheckpointPath != "" {
-		if err := WriteCheckpoint(opts.CheckpointPath, snapshot(v, res, frontier, depth, fingerprint)); err != nil {
+		// Unlike a periodic snapshot, the interrupt snapshot is the
+		// run's only surviving artifact — a write failure here is fatal
+		// after the transient-retry budget is spent.
+		if _, err := WriteCheckpointRetry(opts.CheckpointPath, snapshot(v, res, frontier, depth, fingerprint)); err != nil {
 			return res, err
 		}
 	}

@@ -211,6 +211,20 @@ type Options struct {
 	// goroutine, after the Result is final. It is observability only:
 	// enabling it never changes the Result.
 	Stats func(Stats)
+	// Dist, when non-nil, delegates the whole search to a distributed
+	// backend (internal/dist) instead of the in-process engine. The
+	// backend receives these Options with Dist cleared and must honor
+	// the same determinism contract: verdicts, counts and
+	// counterexamples byte-identical to the in-process engine's.
+	Dist DistChecker
+}
+
+// DistChecker is the hook a distributed exploration backend plugs into
+// Options.Dist. Keeping it an interface here (rather than importing the
+// backend) leaves mc dependency-free: internal/dist imports mc, never
+// the reverse.
+type DistChecker interface {
+	DistCheck(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBytes, opts Options) (Result, error)
 }
 
 // Stats is the per-search observability summary handed to Options.Stats.
@@ -247,11 +261,24 @@ type Stats struct {
 	// is the number Options.MemBudget is enforced against.
 	ResidentBytes     int64
 	PeakResidentBytes int64
+	// CheckpointRetries counts transient periodic-snapshot write
+	// failures that a bounded-backoff retry absorbed.
+	// CheckpointWriteErr is the final error of a periodic snapshot that
+	// failed every attempt ("" when none did): the search continues
+	// without that snapshot — an exhausted disk should not kill an
+	// hours-long exploration — so the miss is surfaced here instead of
+	// being dropped silently.
+	CheckpointRetries  int
+	CheckpointWriteErr string
 }
+
+// defaultMaxStates is the state budget applied when Options.MaxStates
+// is zero.
+const defaultMaxStates = 20_000_000
 
 func (o Options) withDefaults() Options {
 	if o.MaxStates == 0 {
-		o.MaxStates = 20_000_000
+		o.MaxStates = defaultMaxStates
 	}
 	if o.Workers < 1 {
 		o.Workers = runtime.NumCPU()

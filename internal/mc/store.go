@@ -1,0 +1,284 @@
+package mc
+
+// ShardStore: the visited-set slice a distributed worker owns.
+//
+// The coordinator/worker protocol (internal/dist) partitions the state
+// space by the same shard hash the in-process engine uses — shard =
+// low bits of the FNV-1a state hash — assigning each worker a subset of
+// the 64 shards. A worker's store holds exactly the admitted states of
+// its shards, so the union of all worker stores at a level barrier is
+// bit-for-bit the single-process visited set at the same barrier, and
+// the min-claim-key determinism argument carries across process
+// boundaries unchanged.
+//
+// The one representation difference from the engine's visitedSet: an
+// entry's parent field here is an intern-table index of the parent's
+// *encoding*, not a slot ref. A parent may live on another worker, so a
+// ref into the local log cannot name it — but its encoding can, and the
+// intern table dedupes the copies (a state's children share one parent
+// entry). That makes every worker's store self-contained: it snapshots
+// to the ordinary checkpoint-v4 format (parent encodings are exactly
+// what the format stores) and restores on a fresh process with nothing
+// but the file, which is what crash recovery needs.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NumShards is the visited-set shard count. The distributed layer
+// assigns ownership per shard, so it is the unit of partitioning and of
+// crash recovery.
+const NumShards = numShards
+
+// HashState returns the engine's state hash (64-bit FNV-1a) for an
+// encoding — the hash claim keys, shard selection and probe sequences
+// are all derived from.
+func HashState(enc []byte) uint64 { return hashBytes(enc) }
+
+// KeySuccBits is the successor-index width of a claim key (see
+// claimKey in engine.go): key = base + slot<<KeySuccBits + succ.
+const KeySuccBits = keySuccBits
+
+// KeyMax is the largest representable claim key; the key space is
+// exhausted once a level's base would mint keys beyond it.
+const KeyMax = keyMask
+
+// ClaimKey mints the claim key for successor succ of frontier slot
+// slot under a level's base — the engine's serial examination order,
+// exported so the distributed layer mints identical keys.
+func ClaimKey(base uint64, slot, succ int) uint64 { return claimKey(base, slot, succ) }
+
+// ShardOf maps a state hash to its shard index.
+func ShardOf(h uint64) uint32 { return uint32(h) & (numShards - 1) }
+
+// ExpanderFor returns the model's allocation-free expander when it
+// offers one, else an adapter over Model.Successors.
+func ExpanderFor(m Model) Expander { return expanderFor(m) }
+
+// ConcretizeTrace decanonicalizes a counterexample produced by a
+// reduced (quotient) search into a concrete witness, re-verifying the
+// violation against the oracle semantics in the process. For a model
+// without a reduction it returns the trace unchanged.
+func ConcretizeTrace(m Model, trInv TransitionInvariantBytes, canonTrace []State) ([]State, error) {
+	rm, ok := m.(ReducibleModel)
+	if !ok {
+		return canonTrace, nil
+	}
+	return concretize(m, rm, trInv, canonTrace)
+}
+
+// ClaimStatus is the outcome of a ShardStore claim.
+type ClaimStatus int
+
+const (
+	// ClaimNew: the state was admitted for the first time.
+	ClaimNew ClaimStatus = iota
+	// ClaimDup: the state was already visited (its key may have been
+	// lowered by a same-level takeover).
+	ClaimDup
+	// ClaimFull: the state budget is exhausted; the state was NOT
+	// admitted.
+	ClaimFull
+)
+
+// ShardStore is a worker-owned slice of the visited set, with parents
+// stored as interned encodings (see the package comment above). It is
+// NOT safe for concurrent use — a distributed worker is single-threaded
+// by design, process-level parallelism being the point.
+type ShardStore struct {
+	v       *visitedSet
+	claimed []uint32 // refs admitted since the last DrainLevel
+	pc      probeCounter
+}
+
+// NewShardStore returns an empty store bounded at maxStates admitted
+// states (<= 0 means the engine's default budget).
+func NewShardStore(maxStates int) *ShardStore {
+	if maxStates <= 0 {
+		maxStates = defaultMaxStates
+	}
+	return &ShardStore{v: newVisitedSet(maxStates)}
+}
+
+// Claim tries to admit enc under key, recording parentEnc (when
+// hasParent) as the trace parent. levelBase is the lowest key minted in
+// the current level, exactly as in the engine: a same-level duplicate
+// with a lower key takes over the parent record (min-key reduction),
+// an earlier-level duplicate is immutable. The returned ref is valid
+// only for ClaimNew.
+func (s *ShardStore) Claim(enc []byte, key uint64, parentEnc []byte, hasParent bool, levelBase uint64) (ClaimStatus, uint32) {
+	parent := uint32(0)
+	if hasParent {
+		idx, added := s.v.overflow.intern(parentEnc)
+		if added > 0 {
+			s.v.resident.Add(added)
+			s.v.bumpPeak()
+		}
+		parent = idx
+	}
+	st, ref := s.v.claim(enc, hashBytes(enc), parent, key, hasParent, levelBase, &s.pc)
+	switch st {
+	case claimNew:
+		s.claimed = append(s.claimed, ref)
+		return ClaimNew, ref
+	case claimDup:
+		return ClaimDup, 0
+	default:
+		return ClaimFull, 0
+	}
+}
+
+// DrainLevel returns the states admitted since the previous drain,
+// ordered by their final (post-takeover) claim keys — the worker's
+// contribution to the next frontier — plus those keys, aligned.
+func (s *ShardStore) DrainLevel() ([]uint32, []uint64) {
+	refs := s.claimed
+	s.claimed = nil
+	sort.Slice(refs, func(i, j int) bool { return s.v.keyOf(refs[i]) < s.v.keyOf(refs[j]) })
+	keys := make([]uint64, len(refs))
+	for i, r := range refs {
+		keys[i] = s.v.keyOf(r)
+	}
+	return refs, keys
+}
+
+// BytesOf returns the encoding of an admitted state. The slice aliases
+// the store's stable entry log.
+func (s *ShardStore) BytesOf(ref uint32) []byte { return s.v.bytesOf(ref) }
+
+// KeyOf returns the state's current (winning) claim key.
+func (s *ShardStore) KeyOf(ref uint32) uint64 { return s.v.keyOf(ref) }
+
+// ParentOf resolves a state's trace parent by encoding. found reports
+// whether enc is admitted at all; hasParent distinguishes roots.
+func (s *ShardStore) ParentOf(enc []byte) (parent State, hasParent, found bool) {
+	ref, ok := s.v.find(enc, hashBytes(enc))
+	if !ok {
+		return "", false, false
+	}
+	e := s.v.entryOf(ref)
+	if _, has := s.v.parentOf(ref); !has {
+		return "", false, true
+	}
+	return State(s.v.overflow.lookup(e.parent)), true, true
+}
+
+// Count returns the number of admitted states.
+func (s *ShardStore) Count() int64 { return s.v.count.Load() }
+
+// Resident returns the store's exact resident byte footprint.
+func (s *ShardStore) Resident() int64 { return s.v.resident.Load() }
+
+// Snapshot captures the store as an ordinary checkpoint: every admitted
+// state with its parent encoding, plus frontier (the refs of the level
+// just drained, in key order) so a restored worker can re-expand the
+// in-flight level. Entries are state-sorted, so snapshot bytes are
+// canonical.
+func (s *ShardStore) Snapshot(depth int32, reduced bool, fingerprint uint64, frontier []uint32) *Checkpoint {
+	v := s.v
+	cp := &Checkpoint{
+		Depth:       depth,
+		Reduced:     reduced,
+		Fingerprint: fingerprint,
+		Frontier:    make([]State, len(frontier)),
+		Visited:     make([]VisitedEntry, 0, v.count.Load()),
+	}
+	for i, ref := range frontier {
+		cp.Frontier[i] = v.stateOf(ref)
+	}
+	for si := range v.shards {
+		sh := &v.shards[si]
+		for o := uint32(0); o < sh.ordCount; o++ {
+			ref := makeRef(uint32(si), o)
+			e := VisitedEntry{State: v.stateOf(ref)}
+			ent := v.entryOf(ref)
+			if _, has := v.parentOf(ref); has {
+				e.Parent = State(v.overflow.lookup(ent.parent))
+				e.HasParent = true
+			}
+			cp.Visited = append(cp.Visited, e)
+		}
+	}
+	sort.Slice(cp.Visited, func(i, j int) bool { return cp.Visited[i].State < cp.Visited[j].State })
+	return cp
+}
+
+// Restore loads a snapshot into an empty store and returns the saved
+// frontier refs in stored (key) order. Restored entries claim with key
+// 0, so any in-flight level's base orders strictly past them.
+func (s *ShardStore) Restore(cp *Checkpoint) ([]uint32, error) {
+	v := s.v
+	if v.count.Load() != 0 {
+		return nil, fmt.Errorf("mc: ShardStore.Restore on a non-empty store")
+	}
+	if int64(len(cp.Visited)) > v.max {
+		return nil, fmt.Errorf("mc: snapshot holds %d states, over the %d-state budget: %w",
+			len(cp.Visited), v.max, ErrStateLimit)
+	}
+	for _, e := range cp.Visited {
+		parent := uint32(0)
+		if e.HasParent {
+			idx, added := v.overflow.intern([]byte(e.Parent))
+			if added > 0 {
+				v.resident.Add(added)
+			}
+			parent = idx
+		}
+		enc := []byte(e.State)
+		st, _ := v.claim(enc, hashBytes(enc), parent, 0, e.HasParent, 1, nil)
+		if st != claimNew {
+			return nil, fmt.Errorf("%w: duplicate visited state", ErrCheckpointCorrupt)
+		}
+	}
+	v.bumpPeak()
+	frontier := make([]uint32, len(cp.Frontier))
+	for i, st := range cp.Frontier {
+		enc := []byte(st)
+		ref, ok := v.find(enc, hashBytes(enc))
+		if !ok {
+			return nil, fmt.Errorf("%w: frontier state missing from visited set", ErrCheckpointCorrupt)
+		}
+		frontier[i] = ref
+	}
+	s.claimed = nil
+	return frontier, nil
+}
+
+// Merge loads a snapshot's states into a store that may already hold
+// other shards' states — the takeover path of crash recovery, where a
+// surviving worker absorbs a dead worker's slice. The incoming shards
+// must be disjoint from the store's current contents.
+func (s *ShardStore) Merge(cp *Checkpoint) ([]uint32, error) {
+	v := s.v
+	for _, e := range cp.Visited {
+		parent := uint32(0)
+		if e.HasParent {
+			idx, added := v.overflow.intern([]byte(e.Parent))
+			if added > 0 {
+				v.resident.Add(added)
+			}
+			parent = idx
+		}
+		enc := []byte(e.State)
+		st, _ := v.claim(enc, hashBytes(enc), parent, 0, e.HasParent, 1, nil)
+		switch st {
+		case claimNew:
+		case claimFull:
+			return nil, fmt.Errorf("mc: merge over the %d-state budget: %w", v.max, ErrStateLimit)
+		default:
+			return nil, fmt.Errorf("%w: merged snapshot overlaps the store", ErrCheckpointCorrupt)
+		}
+	}
+	v.bumpPeak()
+	frontier := make([]uint32, len(cp.Frontier))
+	for i, st := range cp.Frontier {
+		enc := []byte(st)
+		ref, ok := v.find(enc, hashBytes(enc))
+		if !ok {
+			return nil, fmt.Errorf("%w: frontier state missing from visited set", ErrCheckpointCorrupt)
+		}
+		frontier[i] = ref
+	}
+	return frontier, nil
+}

@@ -10,6 +10,7 @@
 package model
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"strings"
@@ -439,6 +440,21 @@ func (m *Model) couplerAllows(c int, f Fault) bool {
 		return true
 	}
 	return m.cfg.CouplerFaults[c].Allows(f)
+}
+
+// DistSpec identifies the model across process boundaries for the
+// distributed checker (internal/dist): a registered builder name plus
+// the JSON of the defaulted configuration. A worker process rebuilds a
+// model with the identical packed encoding, transition relation and
+// fingerprint from these two strings alone.
+func (m *Model) DistSpec() (name, payload string) {
+	b, err := json.Marshal(m.cfg)
+	if err != nil {
+		// Config is a plain struct of ints, bools and int slices; this
+		// cannot fail for a constructed model.
+		panic(fmt.Sprintf("model: encoding config: %v", err))
+	}
+	return "tta", string(b)
 }
 
 // Fingerprint implements mc.FingerprintedModel: a digest of everything

@@ -1,0 +1,52 @@
+// Package retry is the repo's one bounded-backoff loop: checkpoint
+// writers, campaign flushes and the distributed protocol all retry
+// transient failures through it, so attempt counts and backoff shapes
+// are consistent (and testable) everywhere.
+package retry
+
+import (
+	"errors"
+	"syscall"
+	"time"
+)
+
+// Transient reports whether err is worth retrying: the interruptible /
+// resource-pressure errno family (EINTR, EAGAIN, ENOSPC, EBUSY, and the
+// file-table exhaustion pair). Permanent conditions — permission denied,
+// missing directories, read-only filesystems — fail immediately so a
+// misconfiguration is not masked behind a backoff sleep.
+func Transient(err error) bool {
+	for _, errno := range []syscall.Errno{
+		syscall.EINTR, syscall.EAGAIN, syscall.ENOSPC,
+		syscall.EBUSY, syscall.ENFILE, syscall.EMFILE,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}
+
+// Do runs f up to attempts times, sleeping base, 2·base, 4·base, ...
+// between attempts. Only errors transient(err) accepts are retried; any
+// other error — and the last transient one, once attempts are spent — is
+// returned as-is. transient == nil means Transient. The returned count is
+// the number of retries performed (0 when the first attempt decided).
+func Do(attempts int, base time.Duration, transient func(error) bool, f func() error) (int, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if transient == nil {
+		transient = Transient
+	}
+	var err error
+	for a := 0; a < attempts; a++ {
+		if err = f(); err == nil || !transient(err) {
+			return a, err
+		}
+		if a < attempts-1 {
+			time.Sleep(base << a)
+		}
+	}
+	return attempts - 1, err
+}
