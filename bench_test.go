@@ -11,6 +11,7 @@ import (
 	"math"
 	"runtime"
 	"testing"
+	"time"
 
 	"ttastar/internal/analysis"
 	"ttastar/internal/cluster"
@@ -395,29 +396,49 @@ func BenchmarkModelCheckerThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkDistThroughput measures the distributed checker on the same
-// small-shifting model (reduced mode, 5533 states): the full
-// coordinator/worker protocol — shard routing, level barriers, per-level
-// snapshots — over in-process pipe workers, so the number isolates
-// protocol overhead from fork cost. The verdict contract (byte-identical
-// to the in-process engine) is asserted on every iteration.
+// BenchmarkDistThroughput measures the distributed checker over the
+// worker↔worker shard mesh (reduced mode): the full coordinator control
+// plane plus the point-to-point data plane — pooled batch frames, level
+// barriers, per-level snapshots — over in-process pipe workers, so the
+// number isolates protocol overhead from fork cost. The verdict
+// contract (byte-identical to the in-process engine, whose wall clock
+// is re-measured here for the x-inproc ratio) is asserted on every
+// iteration. The 4-node rows are the alloc-regression anchors; the
+// 6-node row (≈2.45M quotient states) is the scale point. Worker-count
+// scaling (ns/op falling 2→4 workers) only shows on multi-core
+// hardware: on one core four workers just do more protocol work (426
+// vs 135 frames/op) with zero extra parallelism, which is why the
+// states/sec, frames/op and wire-B/op metrics are reported — they let
+// a multi-core run separate protocol cost from scheduling.
 func BenchmarkDistThroughput(b *testing.B) {
-	m, err := model.New(model.Config{Authority: guardian.AuthoritySmallShift})
-	if err != nil {
-		b.Fatal(err)
-	}
-	want, err := mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(), mc.Options{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	for _, workers := range []int{2, 4} {
-		workers := workers
-		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		nodes   int
+		workers int
+	}{
+		{"workers-2", 4, 2},
+		{"workers-4", 4, 4},
+		{"6nodes-workers-4", 6, 4},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			m, err := model.New(model.Config{Authority: guardian.AuthoritySmallShift, Nodes: tc.nodes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			inStart := time.Now()
+			want, err := mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(), mc.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			inWall := time.Since(inStart)
 			b.ReportAllocs()
 			dir := b.TempDir()
+			var frames, wireBytes uint64
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				ck := &dist.Checker{Opts: dist.Options{
-					Workers:     workers,
+					Workers:     tc.workers,
 					Launcher:    dist.NewPipeLauncher(),
 					SnapshotDir: dir,
 				}}
@@ -430,9 +451,19 @@ func BenchmarkDistThroughput(b *testing.B) {
 					res.TransitionsExplored != want.TransitionsExplored {
 					b.Fatalf("distributed result diverged: %+v vs %+v", res, want)
 				}
+				rep := ck.Report()
+				frames += rep.Frames
+				wireBytes += rep.BytesOnWire
 			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(want.StatesExplored)*float64(b.N)/s, "states/sec")
+				b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/inWall.Seconds(), "x-inproc")
+			}
+			b.ReportMetric(float64(frames)/float64(b.N), "frames/op")
+			b.ReportMetric(float64(wireBytes)/float64(b.N), "wire-B/op")
 			b.ReportMetric(float64(want.StatesExplored), "states")
-			b.ReportMetric(float64(workers), "workers")
+			b.ReportMetric(float64(tc.workers), "workers")
 		})
 	}
 }

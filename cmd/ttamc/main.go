@@ -205,6 +205,10 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr,
 				"ttamc: visited set: load factor %.2f, resident %d bytes (peak %d), probe lengths %v\n",
 				st.LoadFactor, st.ResidentBytes, st.PeakResidentBytes, st.ProbeHist)
+			if st.WireFrames > 0 {
+				fmt.Fprintf(os.Stderr, "ttamc: wire: %d frames, %d bytes\n",
+					st.WireFrames, st.WireBytes)
+			}
 		}
 	}
 	levels := 0

@@ -1,0 +1,80 @@
+package dist
+
+// Steady-state allocation and robustness checks for the pooled frame
+// codec and the mesh batch format — the data plane's hot path.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFramePoolSteadyStateAllocs pins the pooled frame path: once the
+// free lists are warm, a writeFrame → readFramePooled round trip must
+// be allocation-free. A regression here (a missed putFrame, a copy
+// sneaking back in) multiplies by every frame of every level of every
+// distributed run, so the bound is deliberately tight.
+func TestFramePoolSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	payload := bytes.Repeat([]byte{0xA5}, 4096)
+	var buf bytes.Buffer
+	round := func() {
+		buf.Reset()
+		if err := writeFrame(&buf, mtMeshBatch, payload); err != nil {
+			t.Fatal(err)
+		}
+		typ, got, fb, err := readFramePooled(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != mtMeshBatch || len(got) != len(payload) {
+			t.Fatalf("round trip mangled: typ %d, %d payload bytes", typ, len(got))
+		}
+		putFrame(fb)
+	}
+	for i := 0; i < 16; i++ {
+		round() // warm the size-class pools and the buffer
+	}
+	// sync.Pool may be cleared by a GC mid-measurement, so allow a
+	// fractional average; anything near one alloc per round is a leak.
+	if allocs := testing.AllocsPerRun(200, round); allocs >= 1 {
+		t.Fatalf("pooled frame round trip allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// FuzzDecodeBatch throws arbitrary bytes at the mesh batch decoder:
+// any input must either parse or be rejected with an error — never
+// panic, never call visit past the first defect. Seeds cover the empty
+// payload, well-formed batches, and every truncation of one.
+func FuzzDecodeBatch(f *testing.F) {
+	var groups []byte
+	groups = appendMeshGroup(groups, 7, []byte("parent-a"),
+		[]uint32{1, 3, 9}, [][]byte{[]byte("s1"), []byte("s2"), []byte("longer-succ-3")})
+	groups = appendMeshGroup(groups, 63, nil, []uint32{0}, [][]byte{[]byte("x")})
+	fb := beginMeshBatch(12, 1<<30)
+	fb.raw(groups)
+	payload := append([]byte(nil), fb.b[5:]...) // after length+type
+	putFrame(fb)
+
+	f.Add([]byte{})
+	f.Add(payload)
+	for i := 0; i < len(payload); i += 3 {
+		f.Add(append([]byte(nil), payload[:i]...))
+	}
+	f.Fuzz(func(t *testing.T, p []byte) {
+		_, _, groups, err := decodeMeshBatchHeader(p)
+		if err != nil {
+			return
+		}
+		n, err := walkMeshGroups(groups, func(slot uint32, parent []byte, j uint32, enc []byte) {
+			// Views must stay in bounds; touching them would segfault
+			// under the fuzzer if they didn't.
+			_ = parent
+			_ = enc
+		})
+		if n < 0 {
+			t.Fatalf("negative group count %d (err %v)", n, err)
+		}
+	})
+}

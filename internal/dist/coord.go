@@ -5,10 +5,15 @@ package dist
 // The run is a single-threaded event loop over one channel fed by
 // per-worker reader goroutines and a deadline ticker; sends go through
 // per-worker unbounded outboxes drained by writer goroutines, so the
-// loop never blocks on a slow worker. Each level: issue Expands, route
-// BatchOut traffic to shard owners (buffering a copy for crash replay),
-// collect ExpandDones, broadcast Seal once nothing is outstanding,
-// collect LevelReports, then close the barrier — merge the per-worker
+// loop never blocks on a slow worker. Since PR 9 the coordinator is
+// control-plane only: successor batches flow worker↔worker over the
+// mesh (mesh.go), and the coordinator instead runs the counting
+// barrier — it folds each ExpandDone's declared per-destination group
+// counts into an accounting table and ships each Seal with the exact
+// per-(sender, incarnation) counts the worker must have received
+// before draining. Each level: issue Expands, collect ExpandDones,
+// broadcast counted Seals once nothing is outstanding, collect
+// LevelReports, then close the barrier — merge the per-worker
 // claim-key lists into the global frontier order, reduce violations by
 // minimum claim key, and advance. The result assembly mirrors
 // mc/engine.go line for line; divergence there is a bug here.
@@ -16,8 +21,9 @@ package dist
 // Crash recovery (recover.go) re-enters this loop through the same
 // events: a death replays at most the dead worker's current level (plus
 // the previous one when its last barrier snapshot had failed to write)
-// from the last acknowledged snapshot, with claims idempotent under
-// replay because they carry the same keys.
+// from its chain of acknowledged delta snapshots, with the lost mesh
+// traffic re-delivered from the surviving senders' replay buffers and
+// every replayed claim idempotent because it carries the same key.
 
 import (
 	"fmt"
@@ -83,6 +89,10 @@ type Report struct {
 	GeneratedTransitions  uint64
 	ReexpandedTransitions uint64
 	Recoveries            []Recovery
+	// Frames and BytesOnWire total the fleet's frame writes — mesh
+	// batches plus control traffic — across all incarnations.
+	Frames      uint64
+	BytesOnWire uint64
 }
 
 // Checker implements mc.DistChecker: plug one into mc.Options.Dist and
@@ -140,6 +150,8 @@ func (ck *Checker) DistCheck(m mc.Model, stInv mc.StateInvariantBytes,
 			Levels:       c.levels,
 			PeakFrontier: c.peakFrontier,
 			Duration:     d,
+			WireFrames:   rep.Frames,
+			WireBytes:    rep.BytesOnWire,
 		}
 		if s := d.Seconds(); s > 0 {
 			st.StatesPerSec = float64(res.StatesExplored) / s
@@ -226,6 +238,22 @@ type workerState struct {
 	expandedCur  uint64 // latest cumulative counter of the current incarnation
 	expandedDead uint64 // sum of final counters of dead incarnations
 
+	wireFramesCur  uint64 // wire counters, same cur/dead split
+	wireBytesCur   uint64
+	wireFramesDead uint64
+	wireBytesDead  uint64
+
+	// chains lists the delta-snapshot chains a fresh incarnation of this
+	// index must merge besides its own: the chains of workers it took
+	// over (recursively), in takeover order. Its own chain (with the
+	// frontier flag) is appended at respawn time.
+	chains []restoreSrc
+
+	// owed holds replay commands addressed to this index that arrived
+	// while it was itself recovering; they are flushed (or absorbed by a
+	// full redo) during its catch-up.
+	owed []*replayOp
+
 	// taintLevel marks a takeover survivor whose own barrier snapshots do
 	// not yet cover the absorbed shards (-1: clean). A second crash while
 	// tainted is unrecoverable — the run aborts rather than risk a
@@ -245,10 +273,35 @@ type workerState struct {
 }
 
 // keySegment is one stretch of a worker's frontier, identified by the
-// final claim keys of its states.
+// final claim keys of its states. seq ties it to the Seal that owes it
+// (reports echo the seal's sequence number).
 type keySegment struct {
+	seq    uint32
 	keys   []uint64
 	filled bool
+}
+
+// sentRec is one accounting cell: how many mesh groups one sender
+// incarnation has declared toward one destination this level.
+type sentRec struct {
+	inc      int
+	declared uint64
+}
+
+// replayOp tracks the re-delivery of buffered mesh traffic to a
+// recovered destination. Seals are withheld while any op is open, so
+// every Expect is computed from settled counts. reset distinguishes a
+// respawned destination (the replay supersedes a sender's earlier
+// declarations wholesale — its counters start over) from a takeover
+// destination (the absorbed-shard replay adds to traffic the survivor
+// already legitimately received).
+type replayOp struct {
+	level   int32
+	dest    int
+	mask    [mc.NumShards / 8]byte // shards to re-deliver (the destination's)
+	reset   bool
+	waiting map[int]bool // sender indices owing a ReplayDone
+	then    []func() error
 }
 
 // pendingExpand is an outstanding msgExpand.
@@ -281,6 +334,7 @@ type coordinator struct {
 	launcher   Launcher
 	snapDir    string
 	ownSnapDir bool
+	meshDir    string
 	assign     [mc.NumShards]uint8
 	workers    []*workerState
 	events     chan event
@@ -304,10 +358,13 @@ type coordinator struct {
 	anyFull    bool
 	trBest     *distViol
 	stViols    []distViol
-	buffered   [mc.NumShards][]batchGroup // current level, per destination shard
-	bufPrev    [mc.NumShards][]batchGroup
+	initGroups [mc.NumShards]*batchGroup // level-0 claims, kept for recovery re-delivery
+	accCur     []map[int]*sentRec        // per destination: per sender, declared mesh groups
+	accPrev    []map[int]*sentRec
+	replayOps  []*replayOp
+	sealSeq    uint32
 	afterSeal  []func()
-	openRecs   []openRecovery
+	openRecs   []*openRecovery
 
 	totalStates   int64 // sum of worker States at the last barrier
 	totalResident int64
@@ -379,7 +436,29 @@ func newCoordinator(o Options, m mc.Model, sm SpeccedModel, stInv mc.StateInvari
 	for i := range c.assign {
 		c.assign[i] = uint8(i % o.Workers)
 	}
+	c.accCur = freshAcc(o.Workers)
+	c.accPrev = freshAcc(o.Workers)
 	return c, nil
+}
+
+func freshAcc(workers int) []map[int]*sentRec {
+	acc := make([]map[int]*sentRec, workers)
+	for i := range acc {
+		acc[i] = map[int]*sentRec{}
+	}
+	return acc
+}
+
+// accFor resolves a level to its accounting table; levels older than
+// the previous one are settled and unaccountable.
+func (c *coordinator) accFor(level int32) []map[int]*sentRec {
+	switch level {
+	case c.level:
+		return c.accCur
+	case c.level - 1:
+		return c.accPrev
+	}
+	return nil
 }
 
 func (c *coordinator) logf(format string, args ...any) {
@@ -392,6 +471,8 @@ func (c *coordinator) report() Report {
 	rep := c.rep
 	for _, w := range c.workers {
 		rep.WorkTransitions += w.expandedDead + w.expandedCur
+		rep.Frames += w.wireFramesDead + w.wireFramesCur
+		rep.BytesOnWire += w.wireBytesDead + w.wireBytesCur
 	}
 	rep.GeneratedTransitions = c.totalGen
 	if rep.WorkTransitions > c.totalGen {
@@ -413,8 +494,17 @@ func (c *coordinator) run() (res mc.Result, err error) {
 		c.snapDir = dir
 		c.ownSnapDir = true
 	}
+	// The mesh rendezvous directory is always a fresh temp dir (not the
+	// snapshot dir, which callers may point at long paths — Unix socket
+	// addresses have a ~100-byte limit).
+	meshDir, derr := os.MkdirTemp("", "ttamc-mesh-*")
+	if derr != nil {
+		return res, fmt.Errorf("dist: mesh dir: %w", derr)
+	}
+	c.meshDir = meshDir
 	defer func() {
 		c.shutdown()
+		os.RemoveAll(c.meshDir)
 		if c.ownSnapDir {
 			os.RemoveAll(c.snapDir)
 		}
@@ -453,7 +543,7 @@ func (c *coordinator) launchAll() error {
 	for i := 0; i < c.o.Workers; i++ {
 		w := &workerState{index: i, lastAckLevel: -1, taintLevel: -1}
 		c.workers = append(c.workers, w)
-		if err := c.startIncarnation(w, ""); err != nil {
+		if err := c.startIncarnation(w, nil); err != nil {
 			return err
 		}
 	}
@@ -475,9 +565,10 @@ func (c *coordinator) allHelloed() bool {
 }
 
 // startIncarnation launches the next incarnation of a worker index and
-// wires its transport into the event loop. restorePath, when non-empty,
-// tells the new process to rebuild its store from a barrier snapshot.
-func (c *coordinator) startIncarnation(w *workerState, restorePath string) error {
+// wires its transport into the event loop. restore, when non-empty,
+// tells the new process to rebuild its store by merging the listed
+// delta-snapshot chains.
+func (c *coordinator) startIncarnation(w *workerState, restore []restoreSrc) error {
 	conn, err := c.launcher.Start(w.index, w.inc)
 	if err != nil {
 		return fmt.Errorf("dist: starting worker %d (incarnation %d): %w", w.index, w.inc, err)
@@ -492,8 +583,13 @@ func (c *coordinator) startIncarnation(w *workerState, restorePath string) error
 	if w.inc == 0 {
 		swifi = c.o.Swifi
 	}
+	peerIncs := make([]int, c.o.Workers)
+	for _, v := range c.workers {
+		peerIncs[v.index] = v.inc
+	}
 	cfg := &msgConfig{
 		Index:       w.index,
+		Inc:         w.inc,
 		Workers:     c.o.Workers,
 		SpecName:    c.specName,
 		SpecPayload: c.specPayload,
@@ -502,11 +598,24 @@ func (c *coordinator) startIncarnation(w *workerState, restorePath string) error
 		MaxStates:   c.mopts.MaxStates,
 		Assign:      c.assign,
 		SnapshotDir: c.snapDir,
-		RestorePath: restorePath,
+		MeshDir:     c.meshDir,
+		PeerIncs:    peerIncs,
+		Restore:     restore,
 		Swifi:       swifi,
 		HeartbeatMs: int(c.o.HeartbeatInterval / time.Millisecond),
 	}
 	c.sendTo(w, cfg)
+	if w.inc > 0 {
+		// Tell every other live worker to retarget its outbound link at
+		// this incarnation. Queued ahead of any replay command issued
+		// after this call, so replays always flow to the replacement —
+		// never to a stalled zombie's still-open listener.
+		for _, v := range c.workers {
+			if v != w && v.alive {
+				c.sendTo(v, &msgPeerInc{Index: w.index, Inc: w.inc})
+			}
+		}
+	}
 
 	go c.writeLoop(wc)
 	go c.readLoop(wc)
@@ -584,6 +693,8 @@ func (c *coordinator) shutdown() {
 				if w := c.eventWorker(ev); w != nil {
 					if bye, err := decodeBye(ev.payload); err == nil {
 						w.expandedCur = bye.Expanded
+						w.wireFramesCur = bye.WireFrames
+						w.wireBytesCur = bye.WireBytes
 					}
 					w.alive = false
 				}

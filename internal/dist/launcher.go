@@ -132,12 +132,13 @@ func (l *ProcLauncher) Close() {
 // benchmarks and single-binary embedding; the protocol bytes are
 // identical to the subprocess path.
 type pipeLauncher struct {
+	hub   *meshHub // in-process worker↔worker mesh shared by this run's workers
 	mu    sync.Mutex
 	conns map[int]net.Conn // coordinator-side ends, for Kill
 }
 
 func newPipeLauncher() *pipeLauncher {
-	return &pipeLauncher{conns: make(map[int]net.Conn)}
+	return &pipeLauncher{hub: newMeshHub(), conns: make(map[int]net.Conn)}
 }
 
 // NewPipeLauncher returns a Launcher that runs workers as in-process
@@ -160,7 +161,7 @@ func (l *pipeLauncher) Start(index, incarnation int) (io.ReadWriteCloser, error)
 			workerEnd.Close()
 			runtime.Goexit()
 		}
-		RunWorker(workerEnd, WorkerOptions{Exit: exit})
+		RunWorker(workerEnd, WorkerOptions{Exit: exit, Mesh: l.hub})
 		workerEnd.Close()
 	}()
 	return coordEnd, nil

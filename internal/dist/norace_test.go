@@ -1,0 +1,5 @@
+//go:build !race
+
+package dist
+
+const raceEnabled = false

@@ -4,23 +4,32 @@
 // the packed state encoding, and synchronizes on level barriers at the
 // coordinator.
 //
-// Topology is a star: workers talk only to the coordinator, which
-// forwards cross-shard successor batches to their owners. Routing
-// everything through the hub costs a copy per foreign successor but buys
-// the two properties the robustness layer depends on: the coordinator
-// observes every message (so a level barrier is a local condition, not a
-// distributed one), and it can buffer the in-flight level's batches for
-// replay when a worker dies (see coord.go).
+// Topology is a control-plane/data-plane split. The coordinator star
+// carries only control traffic — config, expand commands, level
+// barriers, heartbeats, snapshot acks, recovery orchestration — while
+// successor batches flow point-to-point over an N×(N−1) worker↔worker
+// mesh (mesh.go), routed by the 64-shard hash. The star's barrier
+// property is preserved by counting instead of observing: a sender
+// declares in its mtExpandDone how many groups it generated for each
+// destination (having flushed those frames first), the coordinator sums
+// the declarations into each mtSeal's Expect list, and a worker closes
+// a level only once its per-(sender,incarnation) receive counts match.
+// Replay buffers likewise move from the coordinator into the sending
+// workers (indexed by level and destination shard), so crash recovery
+// re-requests lost batches from their producers (mtReplay/mtReplayDone)
+// and the recovery-cost ledger in Report is unchanged.
 //
 // Determinism is the engine's own argument extended across process
 // boundaries: every successor carries the claim key the serial sweep
 // would examine it under (levelBase + slot<<24 + succ), each state has
 // exactly one owning worker (its shard's), so all claims of a state meet
 // in one store and reduce by min key exactly as in the single-process
-// visited set. Verdicts, counts and counterexample traces are
-// byte-identical to the in-process engine for any worker count — and,
-// because claims are idempotent and levels replayable from barrier
-// snapshots, under injected worker crashes too.
+// visited set. Claims are idempotent and keys are position-derived, so
+// neither mesh arrival order nor duplicated delivery after a recovery
+// can perturb the result. Verdicts, counts and counterexample traces
+// are byte-identical to the in-process engine for any worker count —
+// and, because levels are replayable from sender buffers plus per-level
+// delta snapshots, under injected worker crashes too.
 package dist
 
 import (
@@ -28,74 +37,208 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"ttastar/internal/mc"
 )
 
 // Wire format: length-prefixed frames over an arbitrary byte stream
-// (subprocess stdio pipes in production, net.Pipe in tests).
+// (subprocess stdio pipes and Unix-socket mesh links in production,
+// in-memory pipes in tests).
 //
 //	frame   := length:u32le  type:u8  payload
 //	payload := uvarint fields, strings/byte-slices length-prefixed
 //
 // The payload codec mirrors the checkpoint file codec: hand-rolled
 // uvarints, length guards on every count, and a sticky error so decoders
-// read straight through without per-field checks.
+// read straight through without per-field checks. The data-plane frame
+// (mtMeshBatch) additionally delta-codes successor indices and drops
+// per-group framing the receiver can infer, and both directions run
+// over a size-classed frame-buffer free list so the steady state is
+// allocation-free.
 
-// Message types. C→W and W→C share one tag space.
+// Message types. Control (C→W, W→C) and mesh (W→W) share one tag space.
 const (
 	mtConfig     byte = iota + 1 // C→W: identity, model spec, shard map
 	mtExpand                     // C→W: expand a slice of the frontier
-	mtBatch                      // C→W: successor claims for your shards
-	mtSeal                       // C→W: level complete once queue drains
+	mtBatch                      // C→W: successor claims for your shards (level-0 init + its replay)
+	mtSeal                       // C→W: level complete once Expect counts match
 	mtAssign                     // C→W: updated shard ownership map
-	mtRestore                    // C→W: merge a dead worker's snapshot
+	mtRestore                    // C→W: merge a dead worker's snapshot chain
+	mtReplay                     // C→W: re-send buffered mesh batches to a recovered peer
+	mtPeerInc                    // C→W: a peer's current incarnation changed (or the peer retired)
 	mtTraceQuery                 // C→W: resolve a state's trace parent
 	mtStop                       // C→W: shut down
 
 	mtHello       // W→C: Config processed, ready
-	mtBatchOut    // W→C: foreign-shard successors to forward
-	mtExpandDone  // W→C: per-slot counts + best violation candidate
+	mtExpandDone  // W→C: per-slot counts, per-destination declarations, violation candidate
+	mtReplayDone  // W→C: replay command executed, group count
 	mtLevelReport // W→C: claimed keys, state-invariant violations, snapshot ack
 	mtTraceReply  // W→C: TraceQuery answer
 	mtHeartbeat   // W→C: liveness (sent from a side goroutine)
 	mtBye         // W→C: final counters, shutting down
 	mtFatal       // W→C: unrecoverable worker error
+
+	mtMeshBatch // W→W: successor claim groups for the receiver's shards
 )
 
 // maxFrame bounds a single frame so a corrupt length prefix cannot ask
 // for gigabytes.
 const maxFrame = 1 << 30
 
-func writeFrame(w io.Writer, typ byte, payload []byte) error {
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
-	hdr[4] = typ
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return err
+// ---------------------------------------------------------------------
+// Pooled frame buffers
+//
+// Every frame — sent or received — lives in a frameBuf drawn from a
+// size-classed free list, so the steady-state data plane allocates
+// nothing. A buffer is pooled under the floor power-of-two class of its
+// capacity and grabbed by the ceiling class of the requested size, so a
+// grabbed buffer always fits the request. Buffers above the largest
+// class (or below the smallest) fall back to the garbage collector.
+
+type frameBuf struct{ b []byte }
+
+const (
+	frameClassMin = 9  // 512 B
+	frameClassMax = 26 // 64 MiB
+)
+
+var framePools [frameClassMax - frameClassMin + 1]sync.Pool
+
+// frameClassCeil returns the smallest class whose size covers n, or -1
+// when n exceeds the largest pooled class.
+func frameClassCeil(n int) int {
+	for c := frameClassMin; c <= frameClassMax; c++ {
+		if n <= 1<<c {
+			return c
 		}
 	}
-	return nil
+	return -1
+}
+
+// frameClassFloor returns the largest class not exceeding cap c, or -1
+// when the capacity is below the smallest class.
+func frameClassFloor(n int) int {
+	cl := -1
+	for c := frameClassMin; c <= frameClassMax; c++ {
+		if n >= 1<<c {
+			cl = c
+		}
+	}
+	return cl
+}
+
+// grabFrame returns a frameBuf with len 0 and capacity >= n.
+func grabFrame(n int) *frameBuf {
+	c := frameClassCeil(n)
+	if c < 0 {
+		return &frameBuf{b: make([]byte, 0, n)}
+	}
+	if v := framePools[c-frameClassMin].Get(); v != nil {
+		fb := v.(*frameBuf)
+		fb.b = fb.b[:0]
+		return fb
+	}
+	return &frameBuf{b: make([]byte, 0, 1<<c)}
+}
+
+// putFrame returns a buffer to the free list.
+func putFrame(fb *frameBuf) {
+	if fb == nil {
+		return
+	}
+	c := frameClassFloor(cap(fb.b))
+	if c < 0 {
+		return
+	}
+	fb.b = fb.b[:0]
+	framePools[c-frameClassMin].Put(fb)
+}
+
+// beginFrame starts building an outgoing frame in a pooled buffer:
+// 4-byte length placeholder, type byte, then payload via the append
+// helpers; finish patches the length so the whole frame goes out in one
+// Write.
+func beginFrame(typ byte) *frameBuf {
+	fb := grabFrame(1 << frameClassMin)
+	fb.b = append(fb.b, 0, 0, 0, 0, typ)
+	return fb
+}
+
+func (fb *frameBuf) u(v uint64) {
+	var s [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(s[:], v)
+	fb.b = append(fb.b, s[:n]...)
+}
+
+func (fb *frameBuf) raw(p []byte) { fb.b = append(fb.b, p...) }
+
+func (fb *frameBuf) bytes(p []byte) {
+	fb.u(uint64(len(p)))
+	fb.raw(p)
+}
+
+// payloadLen is the number of payload bytes appended so far.
+func (fb *frameBuf) payloadLen() int { return len(fb.b) - 5 }
+
+// finish patches the length header and returns the wire bytes.
+func (fb *frameBuf) finish() []byte {
+	binary.LittleEndian.PutUint32(fb.b[:4], uint32(len(fb.b)-4))
+	return fb.b
+}
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	// Assemble header+payload in a pooled buffer and write once: a frame
+	// is never interleaved even on a shared stream, and the send path
+	// does not allocate.
+	fb := grabFrame(5 + len(payload))
+	fb.b = append(fb.b, 0, 0, 0, 0, typ)
+	fb.b = append(fb.b, payload...)
+	_, err := w.Write(fb.finish())
+	putFrame(fb)
+	return err
+}
+
+// readFramePooled reads one frame into a pooled buffer. The returned
+// frameBuf owns the payload view; the caller releases it with putFrame
+// once the message is fully consumed.
+func readFramePooled(r io.Reader) (byte, []byte, *frameBuf, error) {
+	// The length header is read into a pooled buffer too: a stack array
+	// would escape through the io.Reader interface and cost one heap
+	// allocation per frame.
+	fb := grabFrame(4)
+	fb.b = fb.b[:4]
+	if _, err := io.ReadFull(r, fb.b); err != nil {
+		putFrame(fb)
+		return 0, nil, nil, err
+	}
+	n := binary.LittleEndian.Uint32(fb.b)
+	if n == 0 || n > maxFrame {
+		putFrame(fb)
+		return 0, nil, nil, fmt.Errorf("dist: frame length %d out of range", n)
+	}
+	if int(n) > cap(fb.b) {
+		putFrame(fb)
+		fb = grabFrame(int(n))
+	}
+	fb.b = fb.b[:n]
+	if _, err := io.ReadFull(r, fb.b); err != nil {
+		putFrame(fb)
+		return 0, nil, nil, err
+	}
+	return fb.b[0], fb.b[1:], fb, nil
 }
 
 func readFrame(r io.Reader) (byte, []byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	typ, payload, fb, err := readFramePooled(r)
+	if err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	if n == 0 || n > maxFrame {
-		return 0, nil, fmt.Errorf("dist: frame length %d out of range", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
-	}
-	return buf[0], buf[1:], nil
+	// Copy out so the pooled buffer can be recycled; the hot paths use
+	// readFramePooled directly.
+	out := append([]byte(nil), payload...)
+	putFrame(fb)
+	return typ, out, nil
 }
 
 // wbuf serializes a payload with uvarints.
@@ -189,12 +332,152 @@ func (r *rbuf) done() error {
 	return nil
 }
 
+// ---------------------------------------------------------------------
+// Mesh data-plane codec (mtMeshBatch)
+//
+//	payload := level:u32varint  base:uvarint  group*
+//	group   := slot:uvarint  parentLen:uvarint parent
+//	           nsucc:uvarint  (jdelta:uvarint encLen:uvarint enc)*nsucc
+//
+// Successor indices within a group are strictly ascending (the serial
+// sweep order), so they are delta-coded; the first delta is the
+// absolute index. Shard and has-parent markers are dropped from the
+// wire: the receiver owns whatever arrives, and mesh groups always have
+// parents (roots are routed at level 0 over the control plane). The
+// identical group byte layout doubles as the sender-side replay buffer
+// format, so replaying to a recovered peer is a byte-range copy.
+
+// beginMeshBatch starts an mtMeshBatch frame.
+func beginMeshBatch(level int32, base uint64) *frameBuf {
+	fb := beginFrame(mtMeshBatch)
+	fb.u(uint64(uint32(level)))
+	fb.u(base)
+	return fb
+}
+
+// appendMeshGroup appends one group in mesh layout to dst: the group
+// header, then the successors with delta-coded indices. js must be
+// strictly ascending. Used by the sender both for replay buffers and
+// (via raw copy) for outgoing frames.
+func appendMeshGroup(dst []byte, slot uint32, parent []byte, js []uint32, encs [][]byte) []byte {
+	var s [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(s[:], v)
+		dst = append(dst, s[:n]...)
+	}
+	put(uint64(slot))
+	put(uint64(len(parent)))
+	dst = append(dst, parent...)
+	put(uint64(len(js)))
+	prev := uint32(0)
+	for k, j := range js {
+		put(uint64(j - prev))
+		prev = j
+		put(uint64(len(encs[k])))
+		dst = append(dst, encs[k]...)
+	}
+	return dst
+}
+
+// bdec is the lean zero-copy decoder for the data plane: explicit
+// bounds checks, views instead of copies, no bytes.Reader.
+type bdec struct {
+	p   []byte
+	off int
+}
+
+func (d *bdec) more() bool { return d.off < len(d.p) }
+
+func (d *bdec) uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(d.p[d.off:])
+	if n <= 0 {
+		return 0, false
+	}
+	d.off += n
+	return v, true
+}
+
+func (d *bdec) view(n uint64) ([]byte, bool) {
+	if n > uint64(len(d.p)-d.off) {
+		return nil, false
+	}
+	v := d.p[d.off : d.off+int(n)]
+	d.off += int(n)
+	return v, true
+}
+
+var errMeshBatchCorrupt = fmt.Errorf("dist: corrupt mesh batch")
+
+// decodeMeshBatchHeader splits an mtMeshBatch payload into its level,
+// base and the raw group sequence.
+func decodeMeshBatchHeader(p []byte) (level int32, base uint64, groups []byte, err error) {
+	d := bdec{p: p}
+	lv, ok1 := d.uvarint()
+	b, ok2 := d.uvarint()
+	if !ok1 || !ok2 || lv > 1<<31 {
+		return 0, 0, nil, errMeshBatchCorrupt
+	}
+	return int32(uint32(lv)), b, p[d.off:], nil
+}
+
+// walkMeshGroups parses a group sequence (a mesh batch payload after
+// its header, or a slice of a sender replay buffer), invoking visit per
+// successor with views into p. Malformed input is rejected with an
+// error; visit is never called past the first defect.
+func walkMeshGroups(p []byte, visit func(slot uint32, parent []byte, j uint32, enc []byte)) (groups int, err error) {
+	d := bdec{p: p}
+	for d.more() {
+		slot, ok := d.uvarint()
+		if !ok || slot > 1<<32-1 {
+			return groups, errMeshBatchCorrupt
+		}
+		plen, ok := d.uvarint()
+		if !ok {
+			return groups, errMeshBatchCorrupt
+		}
+		parent, ok := d.view(plen)
+		if !ok {
+			return groups, errMeshBatchCorrupt
+		}
+		nsucc, ok := d.uvarint()
+		// Each successor costs at least two bytes (jdelta + encLen).
+		if !ok || nsucc > uint64(len(d.p)-d.off) {
+			return groups, errMeshBatchCorrupt
+		}
+		j := uint64(0)
+		for k := uint64(0); k < nsucc; k++ {
+			jd, ok := d.uvarint()
+			if !ok {
+				return groups, errMeshBatchCorrupt
+			}
+			j += jd
+			if j > 1<<32-1 {
+				return groups, errMeshBatchCorrupt
+			}
+			elen, ok := d.uvarint()
+			if !ok {
+				return groups, errMeshBatchCorrupt
+			}
+			enc, ok := d.view(elen)
+			if !ok {
+				return groups, errMeshBatchCorrupt
+			}
+			if visit != nil {
+				visit(uint32(slot), parent, uint32(j), enc)
+			}
+		}
+		groups++
+	}
+	return groups, nil
+}
+
 // msgConfig initializes a worker: identity, the model spec to rebuild,
 // the invariant kind to check, the shard ownership map, snapshot
-// location, an optional snapshot to restore, the SWIFI script and the
-// heartbeat cadence.
+// location, an optional snapshot chain to restore, the SWIFI script and
+// the heartbeat cadence.
 type msgConfig struct {
 	Index       int
+	Inc         int // incarnation; stamps this worker's mesh handshakes
 	Workers     int
 	SpecName    string
 	SpecPayload string
@@ -203,14 +486,27 @@ type msgConfig struct {
 	MaxStates   int
 	Assign      [mc.NumShards]uint8
 	SnapshotDir string
-	RestorePath string
+	MeshDir     string // Unix-socket rendezvous dir (subprocess workers)
+	PeerIncs    []int  // current incarnation per worker index; mesh sends address these
+	Restore     []restoreSrc
 	Swifi       string
 	HeartbeatMs int
+}
+
+// restoreSrc names one delta-snapshot chain to merge at config time:
+// worker Index's files for levels 0..Through, in level order. The chain
+// flagged Frontier (the restored worker's own) also contributes the
+// saved frontier; absorbed chains are visited-set-only.
+type restoreSrc struct {
+	Index    int
+	Through  int32
+	Frontier bool
 }
 
 func (m *msgConfig) encode() (byte, []byte) {
 	var w wbuf
 	w.i(m.Index)
+	w.i(m.Inc)
 	w.i(m.Workers)
 	w.str(m.SpecName)
 	w.str(m.SpecPayload)
@@ -219,7 +515,17 @@ func (m *msgConfig) encode() (byte, []byte) {
 	w.i(m.MaxStates)
 	w.raw(m.Assign[:])
 	w.str(m.SnapshotDir)
-	w.str(m.RestorePath)
+	w.str(m.MeshDir)
+	w.i(len(m.PeerIncs))
+	for _, inc := range m.PeerIncs {
+		w.i(inc)
+	}
+	w.i(len(m.Restore))
+	for _, rs := range m.Restore {
+		w.i(rs.Index)
+		w.u32(uint32(rs.Through))
+		w.boolean(rs.Frontier)
+	}
 	w.str(m.Swifi)
 	w.i(m.HeartbeatMs)
 	return mtConfig, w.b
@@ -229,6 +535,7 @@ func decodeConfig(p []byte) (*msgConfig, error) {
 	r := newRbuf(p)
 	m := &msgConfig{
 		Index:       r.i(),
+		Inc:         r.i(),
 		Workers:     r.i(),
 		SpecName:    r.str(),
 		SpecPayload: r.str(),
@@ -240,7 +547,21 @@ func decodeConfig(p []byte) (*msgConfig, error) {
 		m.Assign[i] = r.byte1()
 	}
 	m.SnapshotDir = r.str()
-	m.RestorePath = r.str()
+	m.MeshDir = r.str()
+	np := r.count()
+	m.PeerIncs = make([]int, 0, np)
+	for i := 0; i < np && r.err == nil; i++ {
+		m.PeerIncs = append(m.PeerIncs, r.i())
+	}
+	n := r.count()
+	m.Restore = make([]restoreSrc, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Restore = append(m.Restore, restoreSrc{
+			Index:    r.i(),
+			Through:  int32(r.u32()),
+			Frontier: r.boolean(),
+		})
+	}
 	m.Swifi = r.str()
 	m.HeartbeatMs = r.i()
 	return m, r.done()
@@ -344,9 +665,10 @@ func decodeGroup(r *rbuf) batchGroup {
 	return g
 }
 
-// msgBatch delivers successor claims to the owner of their shards
-// (coordinator→worker: forwarded from another worker's mtBatchOut, the
-// coordinator's own initial-state routing, or a crash-recovery replay).
+// msgBatch delivers successor claims to the owner of their shards over
+// the control plane — only the coordinator's level-0 initial-state
+// routing and its crash-recovery replay use it; all expansion traffic
+// rides the mesh (mtMeshBatch).
 type msgBatch struct {
 	Level  int32
 	Base   uint64
@@ -375,36 +697,57 @@ func decodeBatch(p []byte) (*msgBatch, error) {
 	return m, r.done()
 }
 
-// msgBatchOut carries a worker's foreign-shard successors to the
-// coordinator for forwarding; same group layout, Shard field set.
-type msgBatchOut = msgBatch
-
-func encodeBatchOut(m *msgBatchOut) (byte, []byte) {
-	_, b := m.encode()
-	return mtBatchOut, b
+// msgSeal tells a worker every sender has declared its mesh traffic for
+// Level: once the worker's receive counts reach every Expect entry it
+// can close the level — drain its claims, snapshot, and send its
+// mtLevelReport (stamped with Seq so the coordinator can match it).
+// Merge marks a second seal of the same level (takeover work delivered
+// after the worker already drained): the drained claims extend the
+// frontier instead of replacing it, and the report carries only the new
+// keys. Each Seq is executed at most once, so a re-delivered seal after
+// a recovery is harmless.
+type msgSeal struct {
+	Level  int32
+	Seq    uint32
+	Merge  bool
+	Expect []expectCount
 }
 
-// msgSeal tells a worker the coordinator has forwarded every batch of
-// Level: once the worker's inbound queue drains it can close the level —
-// drain its claims, snapshot, and send its mtLevelReport. Merge marks a
-// second seal of the same level (takeover work delivered after the
-// worker already drained): the drained claims extend the frontier
-// instead of replacing it, and the report carries only the new keys.
-type msgSeal struct {
-	Level int32
-	Merge bool
+// expectCount is one sender's cumulative declared group count for the
+// sealed level, keyed by incarnation: frames from other incarnations of
+// the same sender (stale zombies, superseded attempts) don't count.
+type expectCount struct {
+	Sender    int
+	SenderInc int
+	Groups    uint64
 }
 
 func (m *msgSeal) encode() (byte, []byte) {
 	var w wbuf
 	w.u32(uint32(m.Level))
+	w.u32(m.Seq)
 	w.boolean(m.Merge)
+	w.i(len(m.Expect))
+	for _, e := range m.Expect {
+		w.i(e.Sender)
+		w.i(e.SenderInc)
+		w.u(e.Groups)
+	}
 	return mtSeal, w.b
 }
 
 func decodeSeal(p []byte) (*msgSeal, error) {
 	r := newRbuf(p)
-	m := &msgSeal{Level: int32(r.u32()), Merge: r.boolean()}
+	m := &msgSeal{Level: int32(r.u32()), Seq: r.u32(), Merge: r.boolean()}
+	n := r.count()
+	m.Expect = make([]expectCount, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Expect = append(m.Expect, expectCount{
+			Sender:    r.i(),
+			SenderInc: r.i(),
+			Groups:    r.u(),
+		})
+	}
 	return m, r.done()
 }
 
@@ -426,21 +769,108 @@ func decodeAssign(p []byte) (*msgAssign, error) {
 	return m, r.done()
 }
 
-// msgRestore asks a surviving worker to merge a dead worker's barrier
-// snapshot into its store (takeover recovery); the snapshot's frontier
-// is appended to the worker's frontier array, where a subsequent
-// msgExpand with FromEnd can address it.
-type msgRestore struct{ Path string }
+// msgRestore asks a surviving worker to merge a dead worker's
+// delta-snapshot chain (files for levels 0..Through) into its store
+// (takeover recovery); the last delta's frontier is appended to the
+// worker's frontier array, where a subsequent msgExpand with FromEnd
+// can address it.
+type msgRestore struct {
+	Index   int
+	Through int32
+}
 
 func (m *msgRestore) encode() (byte, []byte) {
 	var w wbuf
-	w.str(m.Path)
+	w.i(m.Index)
+	w.u32(uint32(m.Through))
 	return mtRestore, w.b
 }
 
 func decodeRestore(p []byte) (*msgRestore, error) {
 	r := newRbuf(p)
-	m := &msgRestore{Path: r.str()}
+	m := &msgRestore{Index: r.i(), Through: int32(r.u32())}
+	return m, r.done()
+}
+
+// msgReplay asks a worker to re-deliver its buffered mesh groups for
+// Level whose shards are set in ShardMask — the recovery path for a
+// destination that lost in-flight frames. Dest==self means apply
+// locally (a respawned worker re-absorbing its own inbound traffic has
+// no wire to cross). The worker answers with mtReplayDone carrying the
+// group count actually sent, which the coordinator folds into the
+// destination's Expect.
+type msgReplay struct {
+	Level     int32
+	Dest      int
+	ShardMask [mc.NumShards / 8]byte
+}
+
+func (m *msgReplay) maskSet(shard int) { m.ShardMask[shard/8] |= 1 << (shard % 8) }
+
+func (m *msgReplay) maskHas(shard int) bool {
+	return m.ShardMask[shard/8]&(1<<(shard%8)) != 0
+}
+
+func (m *msgReplay) encode() (byte, []byte) {
+	var w wbuf
+	w.u32(uint32(m.Level))
+	w.i(m.Dest)
+	w.raw(m.ShardMask[:])
+	return mtReplay, w.b
+}
+
+func decodeReplay(p []byte) (*msgReplay, error) {
+	r := newRbuf(p)
+	m := &msgReplay{Level: int32(r.u32()), Dest: r.i()}
+	for i := range m.ShardMask {
+		m.ShardMask[i] = r.byte1()
+	}
+	return m, r.done()
+}
+
+// msgReplayDone closes one msgReplay: Groups is the number of groups
+// re-sent over the mesh (zero for a self-apply).
+type msgReplayDone struct {
+	Level  int32
+	Dest   int
+	Groups uint64
+}
+
+func (m *msgReplayDone) encode() (byte, []byte) {
+	var w wbuf
+	w.u32(uint32(m.Level))
+	w.i(m.Dest)
+	w.u(m.Groups)
+	return mtReplayDone, w.b
+}
+
+func decodeReplayDone(p []byte) (*msgReplayDone, error) {
+	r := newRbuf(p)
+	m := &msgReplayDone{Level: int32(r.u32()), Dest: r.i(), Groups: r.u()}
+	return m, r.done()
+}
+
+// msgPeerInc tells a worker that peer Index now runs as incarnation Inc
+// (a respawn — redirect the link there and drop anything still queued
+// for the dead incarnation) or that the index retired for good (Gone —
+// a takeover; the link goes down permanently).
+type msgPeerInc struct {
+	Index int
+	Inc   int
+	Gone  bool
+}
+
+func (m *msgPeerInc) encode() (byte, []byte) {
+	var w wbuf
+	w.i(m.Index)
+	w.i(m.Inc)
+	w.boolean(m.Gone)
+	return mtPeerInc, w.b
+}
+
+func decodePeerInc(p []byte) (*msgPeerInc, error) {
+	r := newRbuf(p)
+	m := &msgPeerInc{Index: r.i(), Inc: r.i(), Gone: r.boolean()}
 	return m, r.done()
 }
 
@@ -487,18 +917,29 @@ func decodeHello(p []byte) (*msgHello, error) {
 }
 
 // msgExpandDone closes one msgExpand: Counts[i] is the successor count
-// of Slots[i] (the serial sweep's per-slot transition count), and the
-// optional violation candidate is the worker's lowest-keyed transition-
-// invariant violation (ViolFrom/ViolTo are the raw from/to encodings —
-// ViolTo pre-canonicalization, exactly what the engine reports).
+// of Slots[i] (the serial sweep's per-slot transition count), SentTo
+// declares how many mesh groups this expansion generated per
+// destination (all of them flush-synced to the wire before this message
+// was sent — the "declared ⇒ delivered" invariant recovery counts on),
+// and the optional violation candidate is the worker's lowest-keyed
+// transition-invariant violation (ViolFrom/ViolTo are the raw from/to
+// encodings — ViolTo pre-canonicalization, exactly what the engine
+// reports).
 type msgExpandDone struct {
 	Level    int32
 	ID       uint32
 	Counts   []uint32
+	SentTo   []sentCount
 	HasViol  bool
 	ViolKey  uint64
 	ViolFrom []byte
 	ViolTo   []byte
+}
+
+// sentCount is one destination's generated-group declaration.
+type sentCount struct {
+	Dest   int
+	Groups uint64
 }
 
 func (m *msgExpandDone) encode() (byte, []byte) {
@@ -508,6 +949,11 @@ func (m *msgExpandDone) encode() (byte, []byte) {
 	w.i(len(m.Counts))
 	for _, c := range m.Counts {
 		w.u32(c)
+	}
+	w.i(len(m.SentTo))
+	for _, s := range m.SentTo {
+		w.i(s.Dest)
+		w.u(s.Groups)
 	}
 	w.boolean(m.HasViol)
 	w.u(m.ViolKey)
@@ -524,6 +970,11 @@ func decodeExpandDone(p []byte) (*msgExpandDone, error) {
 	for i := 0; i < n && r.err == nil; i++ {
 		m.Counts = append(m.Counts, r.u32())
 	}
+	n = r.count()
+	m.SentTo = make([]sentCount, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.SentTo = append(m.SentTo, sentCount{Dest: r.i(), Groups: r.u()})
+	}
 	m.HasViol = r.boolean()
 	m.ViolKey = r.u()
 	m.ViolFrom = r.bytes()
@@ -538,6 +989,7 @@ func decodeExpandDone(p []byte) (*msgExpandDone, error) {
 // generated-transition counter (the recovery-cost ledger).
 type msgLevelReport struct {
 	Level       int32
+	Seq         uint32 // the executed seal's sequence number
 	Keys        []uint64
 	StViolKeys  []uint64
 	StViolEncs  [][]byte
@@ -547,11 +999,14 @@ type msgLevelReport struct {
 	Snapshot    string // path of the written barrier snapshot; "" when the write failed
 	SnapshotErr string
 	Expanded    uint64
+	WireFrames  uint64 // cumulative frames this incarnation has written
+	WireBytes   uint64 // cumulative bytes this incarnation has written
 }
 
 func (m *msgLevelReport) encode() (byte, []byte) {
 	var w wbuf
 	w.u32(uint32(m.Level))
+	w.u32(m.Seq)
 	w.i(len(m.Keys))
 	prev := uint64(0)
 	for _, k := range m.Keys {
@@ -569,12 +1024,14 @@ func (m *msgLevelReport) encode() (byte, []byte) {
 	w.str(m.Snapshot)
 	w.str(m.SnapshotErr)
 	w.u(m.Expanded)
+	w.u(m.WireFrames)
+	w.u(m.WireBytes)
 	return mtLevelReport, w.b
 }
 
 func decodeLevelReport(p []byte) (*msgLevelReport, error) {
 	r := newRbuf(p)
-	m := &msgLevelReport{Level: int32(r.u32())}
+	m := &msgLevelReport{Level: int32(r.u32()), Seq: r.u32()}
 	n := r.count()
 	m.Keys = make([]uint64, 0, n)
 	prev := uint64(0)
@@ -595,6 +1052,8 @@ func decodeLevelReport(p []byte) (*msgLevelReport, error) {
 	m.Snapshot = r.str()
 	m.SnapshotErr = r.str()
 	m.Expanded = r.u()
+	m.WireFrames = r.u()
+	m.WireBytes = r.u()
 	return m, r.done()
 }
 
@@ -625,18 +1084,25 @@ type msgHeartbeat struct{}
 func (m *msgHeartbeat) encode() (byte, []byte) { return mtHeartbeat, nil }
 
 // msgBye is a worker's final word: its cumulative generated-transition
-// counter, so the coordinator's recovery-cost ledger is complete.
-type msgBye struct{ Expanded uint64 }
+// counter and wire totals, so the coordinator's recovery-cost ledger
+// and traffic accounting are complete.
+type msgBye struct {
+	Expanded   uint64
+	WireFrames uint64
+	WireBytes  uint64
+}
 
 func (m *msgBye) encode() (byte, []byte) {
 	var w wbuf
 	w.u(m.Expanded)
+	w.u(m.WireFrames)
+	w.u(m.WireBytes)
 	return mtBye, w.b
 }
 
 func decodeBye(p []byte) (*msgBye, error) {
 	r := newRbuf(p)
-	m := &msgBye{Expanded: r.u()}
+	m := &msgBye{Expanded: r.u(), WireFrames: r.u(), WireBytes: r.u()}
 	return m, r.done()
 }
 

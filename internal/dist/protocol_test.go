@@ -43,10 +43,12 @@ func TestProtocolRoundTrips(t *testing.T) {
 	}
 
 	cfg := &msgConfig{
-		Index: 3, Workers: 5, SpecName: "tta", SpecPayload: `{"Nodes":4}`,
+		Index: 3, Inc: 2, Workers: 5, SpecName: "tta", SpecPayload: `{"Nodes":4}`,
 		Reduced: true, CheckState: true, MaxStates: 1 << 20, Assign: assign,
-		SnapshotDir: "/tmp/snaps", RestorePath: "/tmp/snaps/w3.cp",
-		Swifi: "kill@worker=1@level=2", HeartbeatMs: 250,
+		SnapshotDir: "/tmp/snaps", MeshDir: "/tmp/mesh",
+		PeerIncs: []int{0, 2, 0, 1, 3},
+		Restore:  []restoreSrc{{Index: 1, Through: 4}, {Index: 3, Through: 5, Frontier: true}},
+		Swifi:    "kill@worker=1@level=2", HeartbeatMs: 250,
 	}
 	if got := roundTrip(t, cfg, func(p []byte) (any, error) { return decodeConfig(p) }, mtConfig); !reflect.DeepEqual(got, cfg) {
 		t.Fatalf("config mismatch:\n got %+v\nwant %+v", got, cfg)
@@ -68,7 +70,8 @@ func TestProtocolRoundTrips(t *testing.T) {
 		t.Fatalf("batch mismatch:\n got %+v\nwant %+v", got, batch)
 	}
 
-	seal := &msgSeal{Level: 4, Merge: true}
+	seal := &msgSeal{Level: 4, Seq: 17, Merge: true,
+		Expect: []expectCount{{Sender: 0, SenderInc: 2, Groups: 1 << 40}, {Sender: 4, Groups: 3}}}
 	if got := roundTrip(t, seal, func(p []byte) (any, error) { return decodeSeal(p) }, mtSeal); !reflect.DeepEqual(got, seal) {
 		t.Fatalf("seal mismatch: %+v", got)
 	}
@@ -78,7 +81,7 @@ func TestProtocolRoundTrips(t *testing.T) {
 		t.Fatalf("assign mismatch: %+v", got)
 	}
 
-	rst := &msgRestore{Path: "/tmp/snaps/w1-l3.cp"}
+	rst := &msgRestore{Index: 1, Through: 3}
 	if got := roundTrip(t, rst, func(p []byte) (any, error) { return decodeRestore(p) }, mtRestore); !reflect.DeepEqual(got, rst) {
 		t.Fatalf("restore mismatch: %+v", got)
 	}
@@ -94,15 +97,17 @@ func TestProtocolRoundTrips(t *testing.T) {
 	}
 
 	ed := &msgExpandDone{Level: 3, ID: 9, Counts: []uint32{4, 0, 17},
+		SentTo:  []sentCount{{Dest: 0, Groups: 12}, {Dest: 2, Groups: 1 << 33}},
 		HasViol: true, ViolKey: 123456, ViolFrom: []byte("from"), ViolTo: []byte("to")}
 	if got := roundTrip(t, ed, func(p []byte) (any, error) { return decodeExpandDone(p) }, mtExpandDone); !reflect.DeepEqual(got, ed) {
 		t.Fatalf("expand done mismatch:\n got %+v\nwant %+v", got, ed)
 	}
 
-	lr := &msgLevelReport{Level: 6, Keys: []uint64{10, 11, 500, 1 << 30},
+	lr := &msgLevelReport{Level: 6, Seq: 42, Keys: []uint64{10, 11, 500, 1 << 30},
 		StViolKeys: []uint64{77}, StViolEncs: [][]byte{[]byte("bad")},
 		States: 12345, Resident: 1 << 22, Full: true,
-		Snapshot: "/tmp/snaps/w0-l6.cp", SnapshotErr: "disk full", Expanded: 98765}
+		Snapshot: "/tmp/snaps/w0-l6.mc", SnapshotErr: "disk full", Expanded: 98765,
+		WireFrames: 4096, WireBytes: 1 << 34}
 	if got := roundTrip(t, lr, func(p []byte) (any, error) { return decodeLevelReport(p) }, mtLevelReport); !reflect.DeepEqual(got, lr) {
 		t.Fatalf("level report mismatch:\n got %+v\nwant %+v", got, lr)
 	}
@@ -112,7 +117,29 @@ func TestProtocolRoundTrips(t *testing.T) {
 		t.Fatalf("trace reply mismatch: %+v", got)
 	}
 
-	bye := &msgBye{Expanded: 1 << 50}
+	rpl := &msgReplay{Level: 5, Dest: 2}
+	rpl.maskSet(0)
+	rpl.maskSet(13)
+	rpl.maskSet(63)
+	if got := roundTrip(t, rpl, func(p []byte) (any, error) { return decodeReplay(p) }, mtReplay); !reflect.DeepEqual(got, rpl) {
+		t.Fatalf("replay mismatch: %+v", got)
+	}
+
+	rpd := &msgReplayDone{Level: 5, Dest: 2, Groups: 1 << 36}
+	if got := roundTrip(t, rpd, func(p []byte) (any, error) { return decodeReplayDone(p) }, mtReplayDone); !reflect.DeepEqual(got, rpd) {
+		t.Fatalf("replay done mismatch: %+v", got)
+	}
+
+	pinc := &msgPeerInc{Index: 4, Inc: 7}
+	if got := roundTrip(t, pinc, func(p []byte) (any, error) { return decodePeerInc(p) }, mtPeerInc); !reflect.DeepEqual(got, pinc) {
+		t.Fatalf("peer inc mismatch: %+v", got)
+	}
+	gone := &msgPeerInc{Index: 2, Gone: true}
+	if got := roundTrip(t, gone, func(p []byte) (any, error) { return decodePeerInc(p) }, mtPeerInc); !reflect.DeepEqual(got, gone) {
+		t.Fatalf("peer gone mismatch: %+v", got)
+	}
+
+	bye := &msgBye{Expanded: 1 << 50, WireFrames: 321, WireBytes: 1 << 44}
 	if got := roundTrip(t, bye, func(p []byte) (any, error) { return decodeBye(p) }, mtBye); !reflect.DeepEqual(got, bye) {
 		t.Fatalf("bye mismatch: %+v", got)
 	}
@@ -123,18 +150,60 @@ func TestProtocolRoundTrips(t *testing.T) {
 	}
 }
 
-func TestProtocolBatchOutTag(t *testing.T) {
-	m := &msgBatchOut{Level: 1, Base: 2}
-	typ, payload := encodeBatchOut(m)
-	if typ != mtBatchOut {
-		t.Fatalf("type %d, want mtBatchOut", typ)
+// TestMeshBatchCodec: the zero-copy data-plane codec round-trips a
+// frame built the way the worker send path builds it.
+func TestMeshBatchCodec(t *testing.T) {
+	fb := beginMeshBatch(7, 1<<30)
+	g := appendMeshGroup(nil, 3, []byte("parent"), []uint32{0, 2, 7}, [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")})
+	g1len := len(g)
+	g = appendMeshGroup(g, 1<<20, nil, []uint32{5}, [][]byte{[]byte("zz")})
+	fb.raw(g)
+	wire := fb.finish()
+	if int(wire[0])|int(wire[1])<<8|int(wire[2])<<16|int(wire[3])<<24 != len(wire)-4 {
+		t.Fatalf("length header %v does not match frame size %d", wire[:4], len(wire))
 	}
-	got, err := decodeBatch(payload)
+	if wire[4] != mtMeshBatch {
+		t.Fatalf("type byte %d, want mtMeshBatch", wire[4])
+	}
+	level, base, groups, err := decodeMeshBatchHeader(wire[5:])
 	if err != nil {
-		t.Fatalf("decode: %v", err)
+		t.Fatalf("header: %v", err)
 	}
-	if got.Level != 1 || got.Base != 2 {
-		t.Fatalf("batch out mismatch: %+v", got)
+	if level != 7 || base != 1<<30 {
+		t.Fatalf("header level=%d base=%d", level, base)
+	}
+	type succ struct {
+		slot uint32
+		par  string
+		j    uint32
+		enc  string
+	}
+	var got []succ
+	n, err := walkMeshGroups(groups, func(slot uint32, parent []byte, j uint32, enc []byte) {
+		got = append(got, succ{slot, string(parent), j, string(enc)})
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("walk: groups=%d err=%v", n, err)
+	}
+	want := []succ{
+		{3, "parent", 0, "a"}, {3, "parent", 2, "bb"}, {3, "parent", 7, "ccc"},
+		{1 << 20, "", 5, "zz"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("walk mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	putFrame(fb)
+
+	// Truncations must reject, never panic, never silently accept —
+	// except the empty prefix and the exact first-group boundary, which
+	// are complete sequences in their own right.
+	for i := 0; i < len(groups); i++ {
+		if i == 0 || i == g1len {
+			continue
+		}
+		if _, err := walkMeshGroups(groups[:i], nil); err == nil {
+			t.Errorf("truncation to %d group bytes accepted", i)
+		}
 	}
 }
 

@@ -65,7 +65,7 @@ func (c *coordinator) search(res mc.Result) (mc.Result, error) {
 		if g == nil {
 			continue
 		}
-		c.buffered[shard] = append(c.buffered[shard], *g)
+		c.initGroups[shard] = g
 		w := c.workers[c.assign[shard]]
 		c.sendTo(w, &msgBatch{Level: 0, Base: 0, Groups: []batchGroup{*g}})
 	}
@@ -171,8 +171,8 @@ func (c *coordinator) startLevel(level int32, frontierLen int) {
 	c.prevBase = c.base
 	c.level = level
 	c.base = c.nextBase
-	c.bufPrev = c.buffered
-	c.buffered = [mc.NumShards][]batchGroup{}
+	c.accPrev = c.accCur
+	c.accCur = freshAcc(c.o.Workers)
 	c.prevCounts = c.counts
 	c.counts = make([]uint32, frontierLen)
 	c.sealed = false
@@ -233,7 +233,7 @@ func (c *coordinator) anyRecovering() bool {
 }
 
 func (c *coordinator) trySeal() {
-	if c.sealed || len(c.pending) != 0 || c.anyRecovering() {
+	if c.sealed || len(c.pending) != 0 || len(c.replayOps) != 0 || c.anyRecovering() {
 		return
 	}
 	for _, w := range c.workers {
@@ -249,7 +249,7 @@ func (c *coordinator) trySeal() {
 }
 
 func (c *coordinator) tryReseal() {
-	if !c.sealed || !c.resealAll || len(c.pending) != 0 || c.anyRecovering() {
+	if !c.sealed || !c.resealAll || len(c.pending) != 0 || len(c.replayOps) != 0 || c.anyRecovering() {
 		return
 	}
 	for _, w := range c.workers {
@@ -260,18 +260,30 @@ func (c *coordinator) tryReseal() {
 	c.resealAll = false
 }
 
-// sealTo enqueues a Seal and registers the report segment it owes.
+// sealTo enqueues a Seal quoting exactly the mesh groups declared
+// toward the worker this level, and registers the report segment it
+// owes. The worker executes the seal only once its received counts
+// match the Expects — the counting half of the level barrier.
 func (c *coordinator) sealTo(w *workerState, merge bool) {
-	c.sendTo(w, &msgSeal{Level: c.level, Merge: merge})
+	seq := c.sealSeq
+	c.sealSeq++
+	m := &msgSeal{Level: c.level, Seq: seq, Merge: merge}
+	for sender, rec := range c.accCur[w.index] {
+		if rec.declared > 0 {
+			m.Expect = append(m.Expect, expectCount{Sender: sender, SenderInc: rec.inc, Groups: rec.declared})
+		}
+	}
+	c.sendTo(w, m)
+	sg := &keySegment{seq: seq}
 	if merge {
-		w.segs = append(w.segs, &keySegment{})
+		w.segs = append(w.segs, sg)
 	} else {
-		w.segs = []*keySegment{{}}
+		w.segs = []*keySegment{sg}
 	}
 }
 
 func (c *coordinator) barrierReady() bool {
-	if !c.sealed || c.resealAll || len(c.pending) != 0 || c.anyRecovering() {
+	if !c.sealed || c.resealAll || len(c.pending) != 0 || len(c.replayOps) != 0 || c.anyRecovering() {
 		return false
 	}
 	for _, w := range c.workers {

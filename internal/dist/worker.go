@@ -1,20 +1,38 @@
 package dist
 
-// The worker: one single-threaded process owning a slice of the shard
-// space. It rebuilds the model from the spec in msgConfig, then serves
-// the coordinator's protocol: expand frontier slices (claiming own-shard
-// successors locally, forwarding foreign ones), apply forwarded batches,
-// and close each level by draining its claims, writing a barrier
-// snapshot and reporting. Process-level parallelism is the point — the
-// worker itself never spawns exploration goroutines; only the heartbeat
-// sender runs beside the main loop.
+// The worker: one process owning a slice of the shard space. It
+// rebuilds the model from the spec in msgConfig, then serves the
+// coordinator's control protocol while exchanging successor batches
+// directly with its peers over the mesh (mesh.go).
 //
-// Level numbering: level 0 is the initial states (delivered as batches,
-// never expanded); level L >= 1 is the expansion producing depth-L
-// states. A barrier snapshot written at Seal(L) holds the visited states
-// through depth L plus the depth-L claims as its frontier — everything a
-// replacement needs to re-enter the run at level L+1, or to re-expand
-// level L+1 itself if it was in flight.
+// Concurrency shape: the exploration itself is single-threaded — one
+// main loop owns the store, the frontier and all protocol state.
+// Around it run only I/O pumps: a reader per inbound connection
+// (coordinator + accepted mesh links) feeding one unbounded two-lane
+// inbox, a sender goroutine per outbound mesh link, and the heartbeat.
+// The inbox is unbounded on purpose: a bounded queue would close a
+// backpressure cycle across the worker ring (everyone blocked sending
+// into everyone's full queue); unbounded, memory is bounded by a
+// level's frame volume, which the level barrier already bounds.
+//
+// Ordering: control messages are handled strictly in arrival order —
+// except that a pending seal blocks later control traffic (other than
+// Stop) until its Expect counts are met, because messages behind it
+// (the next level's Expand, a Replay) assume the sealed level's claims
+// are drained. Mesh frames are applied whenever they arrive: claims
+// are idempotent and carry position-derived keys, so arrival order is
+// irrelevant, and per-(sender,incarnation) counting decides seal
+// readiness. Frames from stale incarnations (a killed worker's zombie
+// goroutine, a superseded attempt) re-claim content a redo also
+// produces — idempotent duplicates — and their counts sit under
+// incarnation keys no Expect lists.
+//
+// Level numbering: level 0 is the initial states (delivered as control
+// batches, never expanded); level L >= 1 is the expansion producing
+// depth-L states. The barrier at Seal(L) writes a delta snapshot —
+// w{i}-l{L}.mc holding only level L's claims plus the worker's current
+// frontier — so a worker's chain of delta files is its whole store,
+// and barrier cost is proportional to the level, not the visited set.
 
 import (
 	"fmt"
@@ -22,6 +40,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ttastar/internal/mc"
@@ -41,6 +60,106 @@ type WorkerOptions struct {
 	// Exit is the kill-injection primitive: os.Exit for a subprocess
 	// (the default), connection teardown + goroutine exit in-process.
 	Exit func(code int)
+	// Mesh overrides the data-plane transport; nil builds a Unix-socket
+	// mesh from msgConfig.MeshDir (the subprocess path). The pipe
+	// launcher injects its in-memory hub here.
+	Mesh MeshNet
+}
+
+// wev is one inbox event: a control frame, a mesh frame, or a
+// coordinator-connection error.
+type wev struct {
+	mesh    bool
+	from    int
+	fromInc int
+	typ     byte
+	payload []byte
+	fb      *frameBuf
+	err     error
+}
+
+// workerInbox is the two-lane unbounded event queue. Mesh events are
+// always deliverable; control events can be held behind a pending seal
+// (Stop and connection errors jump the queue).
+type workerInbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	mesh  []wev
+	coord []wev
+}
+
+func newWorkerInbox() *workerInbox {
+	q := &workerInbox{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *workerInbox) push(ev wev) {
+	q.mu.Lock()
+	if ev.mesh {
+		q.mesh = append(q.mesh, ev)
+	} else {
+		q.coord = append(q.coord, ev)
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *workerInbox) next(blockCoord bool) wev {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.mesh) > 0 {
+			ev := q.mesh[0]
+			q.mesh = q.mesh[1:]
+			return ev
+		}
+		if len(q.coord) > 0 {
+			ev := q.coord[0]
+			if !blockCoord || ev.err != nil || ev.typ == mtStop {
+				q.coord = q.coord[1:]
+				return ev
+			}
+		}
+		q.cond.Wait()
+	}
+}
+
+// sendBuf is one level's replay buffer: every mesh group this worker
+// generated for the level, in wire layout, indexed by destination
+// shard. Expansion always appends here — even under SelfOnly, which
+// suppresses only the sending — so a recovered peer can be re-fed from
+// any live worker's buffer regardless of the recovery sequence that
+// produced it. Two levels are retained (current + previous), matching
+// the deepest catch-up the coordinator performs.
+type sendBuf struct {
+	level  int32
+	base   uint64
+	shards [mc.NumShards]shardLog
+}
+
+type shardLog struct {
+	data   []byte
+	groups uint64
+}
+
+func (b *sendBuf) reset(level int32, base uint64) {
+	b.level = level
+	b.base = base
+	for i := range b.shards {
+		b.shards[i].data = b.shards[i].data[:0]
+		b.shards[i].groups = 0
+	}
+}
+
+// groupAcc accumulates one frontier slot's successors bound for one
+// shard, in wire layout, before the group header can be written (the
+// successor count precedes the successors).
+type groupAcc struct {
+	active bool
+	njs    int
+	prevJ  uint32
+	succs  []byte
 }
 
 type worker struct {
@@ -63,52 +182,113 @@ type worker struct {
 	stViol   []uint32
 	full     bool
 	expanded uint64
-	snaps    []string
+
+	// data plane
+	mesh     MeshNet
+	listener MeshListener
+	links    []*peerLink
+	peerIncs []int // current incarnation per peer index (mtPeerInc updates)
+	inbox    *workerInbox
+	accepted struct {
+		mu    sync.Mutex
+		conns []io.Closer
+	}
+	wireFrames atomic.Uint64
+	wireBytes  atomic.Uint64
+
+	// seal/counting state
+	got          map[uint64]uint64 // level<<32|sender<<16|inc -> groups received
+	pendingSeals []*msgSeal
+	executedSeqs map[uint32]bool
+
+	// per-level state
+	bufCur, bufPrev *sendBuf
+	levelRefs       []uint32 // claims drained at the current seal level (cumulative over merges)
+	sealLevel       int32
+	accs            [mc.NumShards]groupAcc
+	gcount          []uint64 // per-destination groups generated by the current expand
+	outFrames       []*frameBuf
 
 	hbStop chan struct{}
+}
+
+func gotKey(level int32, sender, inc int) uint64 {
+	return uint64(uint32(level))<<32 | uint64(uint16(sender))<<16 | uint64(uint16(inc))
 }
 
 // RunWorker serves the coordinator protocol on conn until mtStop or
 // connection loss. It is the body of the hidden `ttamc -dist-worker`
 // mode and of the in-process pipe launcher.
 func RunWorker(conn io.ReadWriteCloser, opts WorkerOptions) error {
-	w := &worker{conn: conn, exit: opts.Exit}
+	w := &worker{
+		conn:         conn,
+		exit:         opts.Exit,
+		mesh:         opts.Mesh,
+		inbox:        newWorkerInbox(),
+		got:          make(map[uint64]uint64),
+		executedSeqs: make(map[uint32]bool),
+		sealLevel:    -1,
+	}
 	if w.exit == nil {
 		w.exit = os.Exit
 	}
-	defer func() {
-		if w.hbStop != nil {
-			close(w.hbStop)
+	defer w.teardown()
+
+	// Coordinator reader pump.
+	go func() {
+		for {
+			typ, payload, fb, err := readFramePooled(conn)
+			if err != nil {
+				w.inbox.push(wev{err: err})
+				return
+			}
+			w.inbox.push(wev{typ: typ, payload: payload, fb: fb})
 		}
 	}()
+
 	for {
-		typ, payload, err := readFrame(conn)
-		if err != nil {
+		ev := w.inbox.next(len(w.pendingSeals) > 0)
+		if ev.err != nil {
 			// Coordinator gone: nothing to report to and no one to
-			// outlive. EOF after mtStop never reaches here (Stop
-			// returns below), so any read error is abnormal.
-			return fmt.Errorf("dist: worker lost coordinator: %w", err)
+			// outlive. EOF after mtStop never reaches here (Stop returns
+			// below), so any read error is abnormal.
+			return fmt.Errorf("dist: worker lost coordinator: %w", ev.err)
 		}
-		switch typ {
-		case mtConfig:
-			err = w.handleConfig(payload)
-		case mtExpand:
-			err = w.handleExpand(payload)
-		case mtBatch:
-			err = w.handleBatch(payload)
-		case mtSeal:
-			err = w.handleSeal(payload)
-		case mtAssign:
-			err = w.handleAssign(payload)
-		case mtRestore:
-			err = w.handleRestore(payload)
-		case mtTraceQuery:
-			err = w.handleTraceQuery(payload)
-		case mtStop:
-			w.send(&msgBye{Expanded: w.expanded})
-			return nil
-		default:
-			err = fmt.Errorf("dist: worker got unexpected message type %d", typ)
+		var err error
+		if ev.mesh {
+			err = w.handleMeshBatch(ev)
+		} else {
+			switch ev.typ {
+			case mtConfig:
+				err = w.handleConfig(ev.payload)
+			case mtExpand:
+				err = w.handleExpand(ev.payload)
+			case mtBatch:
+				err = w.handleBatch(ev.payload)
+			case mtSeal:
+				err = w.handleSeal(ev.payload)
+			case mtAssign:
+				err = w.handleAssign(ev.payload)
+			case mtRestore:
+				err = w.handleRestore(ev.payload)
+			case mtReplay:
+				err = w.handleReplay(ev.payload)
+			case mtPeerInc:
+				err = w.handlePeerInc(ev.payload)
+			case mtTraceQuery:
+				err = w.handleTraceQuery(ev.payload)
+			case mtStop:
+				putFrame(ev.fb)
+				w.send(&msgBye{Expanded: w.expanded,
+					WireFrames: w.wireFrames.Load(), WireBytes: w.wireBytes.Load()})
+				return nil
+			default:
+				err = fmt.Errorf("dist: worker got unexpected message type %d", ev.typ)
+			}
+		}
+		putFrame(ev.fb)
+		if err == nil {
+			err = w.tryExecSeals()
 		}
 		if err != nil {
 			w.send(&msgFatal{Err: err.Error()})
@@ -117,11 +297,33 @@ func RunWorker(conn io.ReadWriteCloser, opts WorkerOptions) error {
 	}
 }
 
+func (w *worker) teardown() {
+	if w.hbStop != nil {
+		close(w.hbStop)
+	}
+	if w.listener != nil {
+		w.listener.Close()
+	}
+	for _, l := range w.links {
+		if l != nil {
+			l.shut()
+		}
+	}
+	w.accepted.mu.Lock()
+	conns := w.accepted.conns
+	w.accepted.conns = nil
+	w.accepted.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
 type encoder interface{ encode() (byte, []byte) }
 
-// send writes one message with bounded-backoff retry on transient
-// failures. A persistent failure is not fatal here — the coordinator's
-// deadline/EOF detection owns the verdict on this worker's life.
+// send writes one control message with bounded-backoff retry on
+// transient failures. A persistent failure is not fatal here — the
+// coordinator's deadline/EOF detection owns the verdict on this
+// worker's life.
 func (w *worker) send(m encoder) error {
 	typ, payload := m.encode()
 	return w.sendRaw(typ, payload)
@@ -136,6 +338,10 @@ func (w *worker) sendRaw(typ byte, payload []byte) error {
 		defer w.writeMu.Unlock()
 		return writeFrame(w.conn, typ, payload)
 	})
+	if err == nil {
+		w.wireFrames.Add(1)
+		w.wireBytes.Add(uint64(5 + len(payload)))
+	}
 	return err
 }
 
@@ -196,17 +402,76 @@ func (w *worker) configure(cfg *msgConfig) error {
 		w.fingerprint = fm.Fingerprint()
 	}
 	w.store = mc.NewShardStore(cfg.MaxStates)
-	if cfg.RestorePath != "" {
-		cp, err := mc.ReadCheckpoint(cfg.RestorePath)
-		if err != nil {
-			return fmt.Errorf("dist: restoring %s: %w", cfg.RestorePath, err)
+	for _, src := range cfg.Restore {
+		if err := w.restoreChain(src.Index, src.Through, src.Frontier); err != nil {
+			return err
 		}
-		w.frontier, err = w.store.Restore(cp)
+	}
+
+	// Data plane: listen, then accept in the background; peers are
+	// dialed lazily on first send.
+	if w.mesh == nil {
+		if cfg.MeshDir == "" {
+			return fmt.Errorf("dist: config names no mesh directory")
+		}
+		w.mesh = NewSocketMesh(cfg.MeshDir)
+	}
+	ln, err := w.mesh.Listen(cfg.Index, cfg.Inc)
+	if err != nil {
+		return err
+	}
+	w.listener = ln
+	w.links = make([]*peerLink, cfg.Workers)
+	w.peerIncs = make([]int, cfg.Workers)
+	copy(w.peerIncs, cfg.PeerIncs)
+	w.gcount = make([]uint64, cfg.Workers)
+	w.outFrames = make([]*frameBuf, cfg.Workers)
+	go w.acceptLoop(ln)
+	return nil
+}
+
+// restoreChain merges one worker's delta files for levels 0..through,
+// in order; the last file's frontier is appended when wantFrontier.
+func (w *worker) restoreChain(index int, through int32, wantFrontier bool) error {
+	for l := int32(0); l <= through; l++ {
+		path := filepath.Join(w.cfg.SnapshotDir, fmt.Sprintf("w%d-l%d.mc", index, l))
+		cp, err := mc.ReadCheckpoint(path)
 		if err != nil {
-			return fmt.Errorf("dist: restoring %s: %w", cfg.RestorePath, err)
+			return fmt.Errorf("dist: restoring %s: %w", path, err)
+		}
+		extra, err := w.store.Merge(cp)
+		if err != nil {
+			return fmt.Errorf("dist: restoring %s: %w", path, err)
+		}
+		if wantFrontier && l == through {
+			w.frontier = append(w.frontier, extra...)
 		}
 	}
 	return nil
+}
+
+func (w *worker) acceptLoop(ln MeshListener) {
+	for {
+		conn, from, fromInc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		w.accepted.mu.Lock()
+		w.accepted.conns = append(w.accepted.conns, conn)
+		w.accepted.mu.Unlock()
+		go w.readMesh(conn, from, fromInc)
+	}
+}
+
+func (w *worker) readMesh(conn io.ReadWriteCloser, from, fromInc int) {
+	for {
+		typ, payload, fb, err := readFramePooled(conn)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		w.inbox.push(wev{mesh: true, from: from, fromInc: fromInc, typ: typ, payload: payload, fb: fb})
+	}
 }
 
 func (w *worker) startHeartbeat() {
@@ -232,8 +497,77 @@ func (w *worker) startHeartbeat() {
 	}(w.hbStop)
 }
 
-// batchFlushBytes bounds an outgoing mtBatchOut frame.
+// batchFlushBytes bounds an outgoing mtMeshBatch frame's payload. The
+// threshold is per destination — a destination whose frames sit below
+// it keeps accumulating across the whole expansion and is flushed once
+// at the end, not once per frontier chunk.
 const batchFlushBytes = 256 << 10
+
+// bufFor returns the replay buffer for level, rotating on a new level.
+// The displaced previous-previous buffer's arrays are recycled.
+func (w *worker) bufFor(level int32, base uint64) *sendBuf {
+	if w.bufCur != nil && level == w.bufCur.level {
+		return w.bufCur
+	}
+	if w.bufPrev != nil && level == w.bufPrev.level {
+		return w.bufPrev
+	}
+	old := w.bufPrev
+	w.bufPrev = w.bufCur
+	if old == nil {
+		old = &sendBuf{}
+	}
+	old.reset(level, base)
+	w.bufCur = old
+	return w.bufCur
+}
+
+func (w *worker) link(dest int) *peerLink {
+	l := w.links[dest]
+	if l == nil {
+		l = newPeerLink(w, dest, w.peerIncs[dest])
+		w.links[dest] = l
+	}
+	return l
+}
+
+// handlePeerInc retargets (or retires) the outbound link to a peer
+// whose incarnation changed. The coordinator sends it before any
+// replay command that would use the link, so by the time frames flow
+// the link addresses the replacement, never the dead incarnation.
+func (w *worker) handlePeerInc(payload []byte) error {
+	m, err := decodePeerInc(payload)
+	if err != nil {
+		return err
+	}
+	if w.cfg == nil || m.Index < 0 || m.Index >= len(w.peerIncs) {
+		return fmt.Errorf("dist: bad PeerInc index")
+	}
+	if m.Gone {
+		if l := w.links[m.Index]; l != nil {
+			l.markGone()
+		}
+		return nil
+	}
+	if m.Inc > w.peerIncs[m.Index] {
+		w.peerIncs[m.Index] = m.Inc
+		if l := w.links[m.Index]; l != nil {
+			l.revive(m.Inc)
+		}
+	}
+	return nil
+}
+
+// frameFor returns the open outgoing frame for dest, starting one if
+// needed.
+func (w *worker) frameFor(dest int, level int32, base uint64) *frameBuf {
+	fb := w.outFrames[dest]
+	if fb == nil {
+		fb = beginMeshBatch(level, base)
+		w.outFrames[dest] = fb
+	}
+	return fb
+}
 
 func (w *worker) handleExpand(payload []byte) error {
 	m, err := decodeExpand(payload)
@@ -252,29 +586,23 @@ func (w *worker) handleExpand(payload []byte) error {
 		return fmt.Errorf("dist: Expand range [%d,%d) exceeds frontier of %d",
 			start, start+len(m.Slots), len(w.frontier))
 	}
+	buf := w.bufFor(m.Level, m.Base)
 	me := uint8(w.cfg.Index)
 	counts := make([]uint32, len(m.Slots))
+	for i := range w.gcount {
+		w.gcount[i] = 0
+	}
 	var violKey uint64
 	var violFrom, violTo []byte
 	hasViol := false
-	var out []batchGroup
-	outBytes := 0
-	flush := func() error {
-		if len(out) == 0 {
-			return nil
-		}
-		err := w.sendRaw(encodeBatchOut(&msgBatchOut{Level: m.Level, Base: m.Base, Groups: out}))
-		out, outBytes = nil, 0
-		return err
-	}
-	// Per-slot scratch: one group per destination shard, reused.
-	var slotGroups [mc.NumShards]*batchGroup
+	var touched []uint8 // shards this slot produced foreign successors for
 	for i, slot := range m.Slots {
 		ref := w.frontier[start+i]
 		sb := w.store.BytesOf(ref)
 		succs := w.exp.Successors(sb)
 		counts[i] = uint32(len(succs))
 		w.expanded += uint64(len(succs))
+		touched = touched[:0]
 		for j, succ := range succs {
 			key := mc.ClaimKey(m.Base, int(slot), j)
 			// The invariant sees the raw successor before
@@ -301,40 +629,119 @@ func (w *worker) handleExpand(payload []byte) error {
 				if st == mc.ClaimFull {
 					w.full = true
 				}
-			} else if !m.SelfOnly {
-				g := slotGroups[shard]
-				if g == nil {
-					g = &batchGroup{Shard: uint8(shard), Slot: slot, HasParent: true,
-						Parent: append([]byte(nil), sb...)}
-					slotGroups[shard] = g
+			} else {
+				acc := &w.accs[shard]
+				if !acc.active {
+					acc.active = true
+					acc.njs = 0
+					acc.prevJ = 0
+					acc.succs = acc.succs[:0]
+					touched = append(touched, uint8(shard))
 				}
-				g.Js = append(g.Js, uint32(j))
-				g.Encs = append(g.Encs, append([]byte(nil), succ...))
-				outBytes += len(succ) + 8
+				acc.succs = appendUvarint(acc.succs, uint64(uint32(j)-acc.prevJ))
+				acc.prevJ = uint32(j)
+				acc.succs = appendUvarint(acc.succs, uint64(len(succ)))
+				acc.succs = append(acc.succs, succ...)
+				acc.njs++
 			}
 		}
-		for shard, g := range slotGroups {
-			if g == nil {
+		// Close this slot's groups: append to the replay buffer and, when
+		// sending, to the destination's open frame.
+		for _, shard := range touched {
+			acc := &w.accs[shard]
+			log := &buf.shards[shard]
+			glen := len(log.data)
+			log.data = appendUvarint(log.data, uint64(slot))
+			log.data = appendUvarint(log.data, uint64(len(sb)))
+			log.data = append(log.data, sb...)
+			log.data = appendUvarint(log.data, uint64(acc.njs))
+			log.data = append(log.data, acc.succs...)
+			log.groups++
+			acc.active = false
+			if m.SelfOnly {
 				continue
 			}
-			out = append(out, *g)
-			outBytes += len(g.Parent) + 16
-			slotGroups[shard] = nil
-		}
-		if outBytes >= batchFlushBytes {
-			if err := flush(); err != nil {
-				return nil // delivery failure: let crash detection decide
+			dest := int(w.assign[shard])
+			w.gcount[dest]++
+			fb := w.frameFor(dest, m.Level, m.Base)
+			fb.raw(log.data[glen:])
+			if fb.payloadLen() >= batchFlushBytes {
+				w.outFrames[dest] = nil
+				w.link(dest).enqueue(fb)
 			}
 		}
 	}
-	if err := flush(); err != nil {
-		return nil
+	// Flush every open frame and sync the links: once ExpandDone
+	// declares these groups, they must already be on the wire (the
+	// receiver can then count on draining them even if we die next).
+	for dest, fb := range w.outFrames {
+		if fb == nil {
+			continue
+		}
+		w.outFrames[dest] = nil
+		if fb.payloadLen() == 0 {
+			putFrame(fb)
+			continue
+		}
+		w.link(dest).enqueue(fb)
 	}
+	w.flushLinks()
 	if m.Consume {
 		w.frontier = w.frontier[:start]
 	}
-	w.send(&msgExpandDone{Level: m.Level, ID: m.ID, Counts: counts,
-		HasViol: hasViol, ViolKey: violKey, ViolFrom: violFrom, ViolTo: violTo})
+	done := &msgExpandDone{Level: m.Level, ID: m.ID, Counts: counts,
+		HasViol: hasViol, ViolKey: violKey, ViolFrom: violFrom, ViolTo: violTo}
+	for dest, n := range w.gcount {
+		if n > 0 {
+			done.SentTo = append(done.SentTo, sentCount{Dest: dest, Groups: n})
+		}
+	}
+	w.send(done)
+	return nil
+}
+
+func (w *worker) flushLinks() {
+	var waits []chan struct{}
+	for _, l := range w.links {
+		if l != nil {
+			if ch := l.flush(); ch != nil {
+				waits = append(waits, ch)
+			}
+		}
+	}
+	for _, ch := range waits {
+		<-ch
+	}
+}
+
+// handleMeshBatch applies one inbound mesh frame: claim every
+// successor, then credit the (sender, incarnation) count the level's
+// seal is waiting on.
+func (w *worker) handleMeshBatch(ev wev) error {
+	if ev.typ != mtMeshBatch {
+		return fmt.Errorf("dist: unexpected mesh message type %d", ev.typ)
+	}
+	if w.store == nil {
+		return fmt.Errorf("dist: mesh batch before Config")
+	}
+	level, base, groups, err := decodeMeshBatchHeader(ev.payload)
+	if err != nil {
+		return err
+	}
+	n, err := walkMeshGroups(groups, func(slot uint32, parent []byte, j uint32, enc []byte) {
+		key := mc.ClaimKey(base, int(slot), int(j))
+		st, sref := w.store.Claim(enc, key, parent, true, base)
+		if st == mc.ClaimNew && w.stInv != nil && !w.stInv(enc) {
+			w.stViol = append(w.stViol, sref)
+		}
+		if st == mc.ClaimFull {
+			w.full = true
+		}
+	})
+	if err != nil {
+		return err
+	}
+	w.got[gotKey(level, ev.from, ev.fromInc)] += uint64(n)
 	return nil
 }
 
@@ -363,6 +770,9 @@ func (w *worker) handleBatch(payload []byte) error {
 	return nil
 }
 
+// handleSeal parks the seal until its Expect counts are met (see
+// tryExecSeals); re-delivered or superseded seals are deduplicated by
+// sequence number.
 func (w *worker) handleSeal(payload []byte) error {
 	m, err := decodeSeal(payload)
 	if err != nil {
@@ -371,20 +781,72 @@ func (w *worker) handleSeal(payload []byte) error {
 	if w.store == nil {
 		return fmt.Errorf("dist: Seal before Config")
 	}
+	if w.executedSeqs[m.Seq] {
+		return nil
+	}
+	for i, s := range w.pendingSeals {
+		if s.Seq == m.Seq {
+			w.pendingSeals[i] = m
+			return nil
+		}
+	}
+	w.pendingSeals = append(w.pendingSeals, m)
+	return nil
+}
+
+// tryExecSeals executes pending seals, in order, whose Expect counts
+// have been met. A count exceeding its Expect is a protocol bug and is
+// surfaced loudly rather than masked.
+func (w *worker) tryExecSeals() error {
+	for len(w.pendingSeals) > 0 {
+		m := w.pendingSeals[0]
+		ready := true
+		for _, e := range m.Expect {
+			got := w.got[gotKey(m.Level, e.Sender, e.SenderInc)]
+			if got > e.Groups {
+				return fmt.Errorf("dist: worker %d level %d: got %d groups from worker %d inc %d, expected %d",
+					w.cfg.Index, m.Level, got, e.Sender, e.SenderInc, e.Groups)
+			}
+			if got < e.Groups {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			return nil
+		}
+		w.pendingSeals = w.pendingSeals[1:]
+		if err := w.execSeal(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *worker) execSeal(m *msgSeal) error {
 	w.inj.levelDone(m.Level)
+	w.executedSeqs[m.Seq] = true
 	refs, keys := w.store.DrainLevel()
 	if m.Merge {
 		w.frontier = append(w.frontier, refs...)
 	} else {
 		w.frontier = refs
 	}
+	if m.Level != w.sealLevel {
+		w.levelRefs = w.levelRefs[:0]
+		w.sealLevel = m.Level
+	}
+	w.levelRefs = append(w.levelRefs, refs...)
 	rep := &msgLevelReport{
-		Level:    m.Level,
-		Keys:     keys,
-		States:   w.store.Count(),
-		Resident: w.store.Resident(),
-		Full:     w.full,
-		Expanded: w.expanded,
+		Level:      m.Level,
+		Seq:        m.Seq,
+		Keys:       keys,
+		States:     w.store.Count(),
+		Resident:   w.store.Resident(),
+		Full:       w.full,
+		Expanded:   w.expanded,
+		WireFrames: w.wireFrames.Load(),
+		WireBytes:  w.wireBytes.Load(),
 	}
 	w.full = false
 	for _, ref := range w.stViol {
@@ -392,16 +854,17 @@ func (w *worker) handleSeal(payload []byte) error {
 		rep.StViolEncs = append(rep.StViolEncs, w.store.BytesOf(ref))
 	}
 	w.stViol = w.stViol[:0]
+	// The delta snapshot: this level's claims (cumulative over merge
+	// seals — the file is rewritten with the takeover's additions) plus
+	// the worker's whole current frontier. The chain of deltas replaces
+	// PR 8's full per-level snapshots; files are kept for the run's
+	// lifetime since each is the only copy of its level.
 	path := filepath.Join(w.cfg.SnapshotDir, fmt.Sprintf("w%d-l%d.mc", w.cfg.Index, m.Level))
-	cp := w.store.Snapshot(m.Level+1, w.cfg.Reduced, w.fingerprint, w.frontier)
-	// The barrier snapshot rides the same transient-retry policy as the
-	// engine's periodic checkpoints — and the same SWIFI write
-	// injections, which is how the retry path gets exercised end to end.
 	_, werr := retry.Do(workerWriteAttempts, workerWriteBackoff, nil, func() error {
 		if err := w.inj.beforeWrite(); err != nil {
 			return err
 		}
-		return mc.WriteCheckpoint(path, cp)
+		return w.store.WriteDelta(path, m.Level+1, w.cfg.Reduced, w.fingerprint, w.levelRefs, w.frontier)
 	})
 	if werr != nil {
 		// A failed snapshot is reported, not fatal: the run only loses
@@ -409,15 +872,12 @@ func (w *worker) handleSeal(payload []byte) error {
 		rep.SnapshotErr = werr.Error()
 	} else {
 		rep.Snapshot = path
-		if n := len(w.snaps); n == 0 || w.snaps[n-1] != path {
-			w.snaps = append(w.snaps, path)
-		}
-		// Keep the last two barrier snapshots: deleting L-1 on writing L
-		// would lose the recovery point if this worker dies between the
-		// write and the coordinator acknowledging the report.
-		if len(w.snaps) > 2 {
-			os.Remove(w.snaps[0])
-			w.snaps = w.snaps[1:]
+	}
+	// Counts for levels this seal closes can no longer be referenced by
+	// any future Expect (merge seals target the current level only).
+	for k := range w.got {
+		if int32(k>>32) < m.Level {
+			delete(w.got, k)
 		}
 	}
 	w.send(rep)
@@ -441,19 +901,79 @@ func (w *worker) handleRestore(payload []byte) error {
 	if w.store == nil {
 		return fmt.Errorf("dist: Restore before Config")
 	}
-	cp, err := mc.ReadCheckpoint(m.Path)
-	if err != nil {
-		return fmt.Errorf("dist: takeover restore %s: %w", m.Path, err)
-	}
-	extra, err := w.store.Merge(cp)
-	if err != nil {
-		return fmt.Errorf("dist: takeover restore %s: %w", m.Path, err)
-	}
 	// The dead worker's frontier is appended; the coordinator addresses
-	// it through msgExpand.Offset ranges and knows the concatenation
+	// it through msgExpand FromEnd ranges and knows the concatenation
 	// order (own claims first, merges in arrival order).
-	w.frontier = append(w.frontier, extra...)
-	return nil
+	return w.restoreChain(m.Index, m.Through, true)
+}
+
+// handleReplay re-delivers this worker's buffered groups for the
+// requested level and shards. Dest==self applies them locally (a
+// respawned worker re-absorbing inbound traffic it had produced for
+// itself has no wire to cross — but that never happens for own shards;
+// the self case is a takeover absorbing shards this worker was feeding
+// the dead owner). The coordinator folds the returned group count into
+// the destination's Expect.
+func (w *worker) handleReplay(payload []byte) error {
+	m, err := decodeReplay(payload)
+	if err != nil {
+		return err
+	}
+	var buf *sendBuf
+	switch {
+	case w.bufCur != nil && w.bufCur.level == m.Level:
+		buf = w.bufCur
+	case w.bufPrev != nil && w.bufPrev.level == m.Level:
+		buf = w.bufPrev
+	default:
+		return fmt.Errorf("dist: worker %d: replay for level %d but no buffer", w.cfg.Index, m.Level)
+	}
+	if m.Dest == w.cfg.Index {
+		for shard := 0; shard < mc.NumShards; shard++ {
+			if !m.maskHas(shard) || buf.shards[shard].groups == 0 {
+				continue
+			}
+			_, err := walkMeshGroups(buf.shards[shard].data, func(slot uint32, parent []byte, j uint32, enc []byte) {
+				key := mc.ClaimKey(buf.base, int(slot), int(j))
+				st, sref := w.store.Claim(enc, key, parent, true, buf.base)
+				if st == mc.ClaimNew && w.stInv != nil && !w.stInv(enc) {
+					w.stViol = append(w.stViol, sref)
+				}
+				if st == mc.ClaimFull {
+					w.full = true
+				}
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return w.send(&msgReplayDone{Level: m.Level, Dest: m.Dest})
+	}
+	l := w.link(m.Dest)
+	groups := uint64(0)
+	var fb *frameBuf
+	for shard := 0; shard < mc.NumShards; shard++ {
+		log := &buf.shards[shard]
+		if !m.maskHas(shard) || log.groups == 0 {
+			continue
+		}
+		if fb == nil {
+			fb = beginMeshBatch(buf.level, buf.base)
+		}
+		fb.raw(log.data)
+		groups += log.groups
+		if fb.payloadLen() >= batchFlushBytes {
+			l.enqueue(fb)
+			fb = nil
+		}
+	}
+	if fb != nil {
+		l.enqueue(fb)
+	}
+	if ch := l.flush(); ch != nil {
+		<-ch
+	}
+	return w.send(&msgReplayDone{Level: m.Level, Dest: m.Dest, Groups: groups})
 }
 
 func (w *worker) handleTraceQuery(payload []byte) error {
@@ -466,4 +986,13 @@ func (w *worker) handleTraceQuery(payload []byte) error {
 	}
 	parent, hasParent, found := w.store.ParentOf(m.Enc)
 	return w.send(&msgTraceReply{Found: found, HasParent: hasParent, Parent: []byte(parent)})
+}
+
+// appendUvarint appends v to dst in varint encoding.
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
 }

@@ -211,6 +211,28 @@ func (w *cpWriter) str(s State) {
 	w.raw([]byte(s))
 }
 
+// bstr writes a length-prefixed byte string without the State round
+// trip — the streaming delta writer feeds store-log slices straight
+// through, so the hot path stays allocation-free.
+func (w *cpWriter) bstr(b []byte) {
+	w.uvarint(uint64(len(b)))
+	w.raw(b)
+}
+
+func (w *cpWriter) byte1(b byte) {
+	w.scratch[0] = b
+	w.raw(w.scratch[:1])
+}
+
+// sstr writes a length-prefixed string without converting to []byte;
+// io.WriteString reaches bufio's copy-free WriteString fast path.
+func (w *cpWriter) sstr(s string) {
+	w.uvarint(uint64(len(s)))
+	if w.err == nil {
+		_, w.err = io.WriteString(w.w, s)
+	}
+}
+
 // checkpointWrapWriter is a test seam: when non-nil, WriteCheckpoint
 // routes every byte destined for the temp file through the returned
 // writer, letting crash-consistency tests inject mid-write failures at
@@ -242,6 +264,40 @@ func WriteCheckpointRetry(path string, cp *Checkpoint) (int, error) {
 // temp file in the same directory, is checksummed, and renamed over the
 // target only once complete.
 func WriteCheckpoint(path string, cp *Checkpoint) error {
+	return writeCheckpointFile(path, func(w *cpWriter) {
+		w.uvarint(uint64(uint32(cp.Depth)))
+		w.uvarint(uint64(cp.ResultDepth))
+		w.uvarint(uint64(cp.Transitions))
+		flags := uint64(0)
+		if cp.Reduced {
+			flags |= checkpointFlagReduced
+		}
+		w.uvarint(flags)
+		w.uvarint(cp.Fingerprint)
+		w.uvarint(uint64(len(cp.Frontier)))
+		for _, s := range cp.Frontier {
+			w.str(s)
+		}
+		w.uvarint(uint64(len(cp.Visited)))
+		for _, e := range cp.Visited {
+			w.str(e.State)
+			w.str(e.Parent)
+			flags := byte(0)
+			if e.HasParent {
+				flags = 1
+			}
+			w.raw([]byte{flags})
+		}
+	})
+}
+
+// writeCheckpointFile owns the checkpoint file envelope — temp file,
+// magic + version header, FNV-64a trailer, atomic rename — around a
+// caller-supplied body. Every checkpoint-format file (full engine
+// snapshots and the distributed layer's per-level shard deltas) goes
+// through here so the envelope, the test write-wrap seam and the
+// crash-consistency guarantees stay identical.
+func writeCheckpointFile(path string, body func(w *cpWriter)) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".mc-checkpoint-*")
 	if err != nil {
 		return fmt.Errorf("mc: checkpoint: %w", err)
@@ -262,29 +318,7 @@ func WriteCheckpoint(path string, cp *Checkpoint) error {
 	w := &cpWriter{w: bw}
 	w.raw([]byte(checkpointMagic))
 	w.uvarint(checkpointVersion)
-	w.uvarint(uint64(uint32(cp.Depth)))
-	w.uvarint(uint64(cp.ResultDepth))
-	w.uvarint(uint64(cp.Transitions))
-	flags := uint64(0)
-	if cp.Reduced {
-		flags |= checkpointFlagReduced
-	}
-	w.uvarint(flags)
-	w.uvarint(cp.Fingerprint)
-	w.uvarint(uint64(len(cp.Frontier)))
-	for _, s := range cp.Frontier {
-		w.str(s)
-	}
-	w.uvarint(uint64(len(cp.Visited)))
-	for _, e := range cp.Visited {
-		w.str(e.State)
-		w.str(e.Parent)
-		flags := byte(0)
-		if e.HasParent {
-			flags = 1
-		}
-		w.raw([]byte{flags})
-	}
+	body(w)
 	if w.err == nil {
 		w.err = bw.Flush()
 	}

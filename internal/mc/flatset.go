@@ -239,7 +239,7 @@ func (v *visitedSet) keyFields(enc []byte, scratch *[4]byte) (nfield uint64, kb 
 	if len(enc) <= inlineStateBytes {
 		return uint64(len(enc)) + 1, enc
 	}
-	idx, added := v.overflow.intern(enc)
+	idx, _, added := v.overflow.intern(enc)
 	if added > 0 {
 		v.resident.Add(added)
 		v.bumpPeak()

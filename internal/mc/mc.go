@@ -247,6 +247,11 @@ type Stats struct {
 	// deltas cannot go negative when the GC runs mid-search.
 	Allocs     uint64
 	AllocBytes uint64
+	// WireFrames and WireBytes total the protocol frames and bytes a
+	// distributed backend put on the wire (control plus data plane);
+	// both are zero for the in-process engine.
+	WireFrames uint64
+	WireBytes  uint64
 	// LoadFactor is the visited set's final occupancy: admitted states
 	// over total probe-index cells.
 	LoadFactor float64

@@ -6,7 +6,10 @@ package mc
 // the canonical encoding directly in its 32-byte slots, and states move
 // through the engine as 32-bit refs into those slots.
 
-import "sync"
+import (
+	"sync"
+	"unsafe"
+)
 
 // inlineStateBytes is the inline capacity of a visited-set slot: the
 // packed codec needs 20 bytes for the largest (7-node) model, and test
@@ -14,30 +17,53 @@ import "sync"
 const inlineStateBytes = 20
 
 // internTable deduplicates encodings too long for a slot's inline
-// array. It is a cold path: the repo's own models never reach it.
+// array — and, in a distributed worker's ShardStore, every admitted
+// state's parent encoding. That second use makes it a hot path: one
+// insert per (parent, worker) pair, so entry bytes live in append-only
+// slab chunks and each entry is a zero-copy string view into its
+// chunk, costing one allocation per chunk rather than one per entry.
 type internTable struct {
 	mu    sync.Mutex
 	index map[string]uint32
 	strs  []string
+	slab  []byte // current chunk; never reallocated, only appended within cap
 }
 
-// intern returns the table index for enc, plus the number of bytes newly
-// retained (0 when enc was already present) so the visited set can keep
-// its resident accounting exact.
-func (t *internTable) intern(enc []byte) (uint32, int64) {
+// internChunkBytes sizes a slab chunk; entries longer than this get a
+// dedicated chunk.
+const internChunkBytes = 1 << 16
+
+// intern returns the table index for enc, the canonical stored string
+// (a stable slab view callers may retain), plus the number of bytes
+// newly retained (0 when enc was already present) so the visited set
+// can keep its resident accounting exact.
+func (t *internTable) intern(enc []byte) (uint32, string, int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if idx, ok := t.index[string(enc)]; ok {
-		return idx, 0
+		return idx, t.strs[idx], 0
 	}
 	if t.index == nil {
 		t.index = make(map[string]uint32)
 	}
+	var s string
+	if len(enc) > 0 {
+		if len(enc) > cap(t.slab)-len(t.slab) {
+			size := internChunkBytes
+			if len(enc) > size {
+				size = len(enc)
+			}
+			// Retired chunks stay alive through the views into them.
+			t.slab = make([]byte, 0, size)
+		}
+		off := len(t.slab)
+		t.slab = append(t.slab, enc...)
+		s = unsafe.String(&t.slab[off], len(enc))
+	}
 	idx := uint32(len(t.strs))
-	s := string(enc)
 	t.strs = append(t.strs, s)
 	t.index[s] = idx
-	return idx, int64(len(s))
+	return idx, s, int64(len(s))
 }
 
 func (t *internTable) lookup(idx uint32) string {

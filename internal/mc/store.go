@@ -90,6 +90,16 @@ type ShardStore struct {
 	v       *visitedSet
 	claimed []uint32 // refs admitted since the last DrainLevel
 	pc      probeCounter
+
+	// One-entry parent-intern cache: successive claims overwhelmingly
+	// share a parent (a mesh batch group is one parent's successors),
+	// so remembering the last interned encoding turns the per-claim
+	// intern-map lookup into a short byte compare. lastParent is the
+	// table's canonical slab-backed string, so the compare needs no
+	// copy and the reference stays valid forever.
+	lastParent string
+	lastIdx    uint32
+	haveLast   bool
 }
 
 // NewShardStore returns an empty store bounded at maxStates admitted
@@ -110,12 +120,17 @@ func NewShardStore(maxStates int) *ShardStore {
 func (s *ShardStore) Claim(enc []byte, key uint64, parentEnc []byte, hasParent bool, levelBase uint64) (ClaimStatus, uint32) {
 	parent := uint32(0)
 	if hasParent {
-		idx, added := s.v.overflow.intern(parentEnc)
-		if added > 0 {
-			s.v.resident.Add(added)
-			s.v.bumpPeak()
+		if s.haveLast && string(parentEnc) == s.lastParent {
+			parent = s.lastIdx
+		} else {
+			idx, canon, added := s.v.overflow.intern(parentEnc)
+			if added > 0 {
+				s.v.resident.Add(added)
+				s.v.bumpPeak()
+			}
+			parent = idx
+			s.lastParent, s.lastIdx, s.haveLast = canon, idx, true
 		}
-		parent = idx
 	}
 	st, ref := s.v.claim(enc, hashBytes(enc), parent, key, hasParent, levelBase, &s.pc)
 	switch st {
@@ -204,6 +219,62 @@ func (s *ShardStore) Snapshot(depth int32, reduced bool, fingerprint uint64, fro
 	return cp
 }
 
+// WriteDelta atomically writes a per-level delta snapshot: a
+// checkpoint-v4 file holding ONLY the states of levelRefs (the refs the
+// last DrainLevel returned) plus the worker's complete current
+// frontier. A worker's chain of delta files w-l0..lK therefore covers
+// exactly its visited set through level K, and each file is readable by
+// the ordinary ReadCheckpoint — restore replays the chain through
+// Merge. Unlike Snapshot, this streams straight from the entry log with
+// no per-state materialization or re-sorting, so barrier cost is
+// O(level), not O(visited) — and not O(level·log level) either.
+//
+// Entries keep levelRefs' order: DrainLevel's final-claim-key order,
+// which the min-key reduction makes deterministic for a deterministic
+// level (arrival order of mesh frames never reaches it). Delta bytes
+// are therefore still run-to-run identical, just not state-sorted the
+// way full Snapshots are; readers (Restore/Merge) are order-blind.
+func (s *ShardStore) WriteDelta(path string, depth int32, reduced bool, fingerprint uint64, levelRefs, frontier []uint32) error {
+	v := s.v
+	refs := levelRefs
+	return writeCheckpointFile(path, func(w *cpWriter) {
+		w.uvarint(uint64(uint32(depth)))
+		w.uvarint(0) // ResultDepth: deltas never carry a verdict
+		w.uvarint(0) // Transitions: priced by the coordinator's ledger
+		flags := uint64(0)
+		if reduced {
+			flags |= checkpointFlagReduced
+		}
+		w.uvarint(flags)
+		w.uvarint(fingerprint)
+		w.uvarint(uint64(len(frontier)))
+		for _, r := range frontier {
+			w.bstr(v.bytesOf(r))
+		}
+		w.uvarint(uint64(len(refs)))
+		for _, r := range refs {
+			w.bstr(v.bytesOf(r))
+			pb, has := s.parentStringOf(r)
+			w.sstr(pb)
+			hp := byte(0)
+			if has {
+				hp = 1
+			}
+			w.byte1(hp)
+		}
+	})
+}
+
+// parentStringOf resolves an admitted state's interned parent encoding
+// without copying it.
+func (s *ShardStore) parentStringOf(ref uint32) (string, bool) {
+	if _, has := s.v.parentOf(ref); !has {
+		return "", false
+	}
+	e := s.v.entryOf(ref)
+	return s.v.overflow.lookup(e.parent), true
+}
+
 // Restore loads a snapshot into an empty store and returns the saved
 // frontier refs in stored (key) order. Restored entries claim with key
 // 0, so any in-flight level's base orders strictly past them.
@@ -219,7 +290,7 @@ func (s *ShardStore) Restore(cp *Checkpoint) ([]uint32, error) {
 	for _, e := range cp.Visited {
 		parent := uint32(0)
 		if e.HasParent {
-			idx, added := v.overflow.intern([]byte(e.Parent))
+			idx, _, added := v.overflow.intern([]byte(e.Parent))
 			if added > 0 {
 				v.resident.Add(added)
 			}
@@ -254,7 +325,7 @@ func (s *ShardStore) Merge(cp *Checkpoint) ([]uint32, error) {
 	for _, e := range cp.Visited {
 		parent := uint32(0)
 		if e.HasParent {
-			idx, added := v.overflow.intern([]byte(e.Parent))
+			idx, _, added := v.overflow.intern([]byte(e.Parent))
 			if added > 0 {
 				v.resident.Add(added)
 			}
