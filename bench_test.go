@@ -347,6 +347,11 @@ func BenchmarkCampaignParallel(b *testing.B) {
 // (5.4x), and runs unconditionally — bench-smoke CI exercises it on
 // every push. BenchmarkModelCheckerThroughput keeps the oracle
 // enumeration as the like-for-like hot-path anchor across reports.
+//
+// Besides wall clock, each row reports the visited set's peak resident
+// footprint and the sealed tier's share of it — the quantities the
+// sealed-tier compaction exists to shrink, gated in CI by benchjson
+// -compare alongside ns/op.
 func BenchmarkModelScaling(b *testing.B) {
 	for _, n := range []int{2, 3, 4, 5, 6} {
 		n := n
@@ -357,7 +362,9 @@ func BenchmarkModelScaling(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
-				res, err := mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(), mc.Options{})
+				var st mc.Stats
+				res, err := mc.CheckTransitionInvariantBytes(m, m.PropertyBytes(),
+					mc.Options{Stats: func(s mc.Stats) { st = s }})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -366,6 +373,8 @@ func BenchmarkModelScaling(b *testing.B) {
 				}
 				if i == 0 {
 					b.ReportMetric(float64(res.StatesExplored), "states")
+					b.ReportMetric(float64(st.PeakResidentBytes), "peak-resident-B")
+					b.ReportMetric(float64(st.SealedStates), "sealed-states")
 				}
 			}
 		})

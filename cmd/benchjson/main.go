@@ -14,9 +14,11 @@
 //
 //	benchjson -compare -fail-above 2.0 BENCH_pr4.json BENCH_pr5.json
 //
-// which prints a per-benchmark delta table for ns/op, B/op and
-// allocs/op (override with -metrics) and exits non-zero if any ratio
-// new/old exceeds the threshold.
+// which prints a per-benchmark delta table for ns/op, B/op, allocs/op
+// and peak-resident-B (override with -metrics) and exits non-zero if
+// any ratio new/old exceeds the threshold. Metrics absent on either
+// side of a pair are skipped, so benchmarks that don't report a custom
+// metric (most report no peak-resident-B) never trip the gate.
 package main
 
 import (
@@ -76,7 +78,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	requireMetrics := fs.String("require-metrics", "", "comma-separated metric units every benchmark must report")
 	compareMode := fs.Bool("compare", false, "compare two benchjson files: benchjson -compare old.json new.json")
 	failAbove := fs.Float64("fail-above", 0, "with -compare: fail if any new/old metric ratio exceeds this (0 disables)")
-	metrics := fs.String("metrics", "ns/op,B/op,allocs/op", "with -compare: comma-separated metrics to diff")
+	metrics := fs.String("metrics", "ns/op,B/op,allocs/op,peak-resident-B", "with -compare: comma-separated metrics to diff (skipped where absent)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -135,6 +135,45 @@ func TestCompareGateTrips(t *testing.T) {
 	}
 }
 
+// Memory-footprint rows: peak-resident-B is in the default -compare
+// metric set, so a blow-up trips the gate like an ns/op regression —
+// but only where both sides report it; benches without the custom
+// metric (or baselines predating it) are skipped, never gate failures.
+const oldResident = `goos: linux
+BenchmarkModelScaling/6nodes-8   	 1	 12000000000 ns/op	 60000000 peak-resident-B	500000 B/op	 900 allocs/op
+BenchmarkE4MaxFrameExample-8     	 100	 1000 ns/op	 10 B/op	 1 allocs/op
+`
+
+const bloatedResident = `goos: linux
+BenchmarkModelScaling/6nodes-8   	 1	 12100000000 ns/op	170000000 peak-resident-B	500000 B/op	 900 allocs/op
+BenchmarkE4MaxFrameExample-8     	 100	 1000 ns/op	 10 B/op	 1 allocs/op
+`
+
+func TestComparePeakResidentGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", oldResident)
+	badPath := writeReport(t, dir, "bad.json", bloatedResident)
+
+	var out bytes.Buffer
+	err := run([]string{"-compare", "-fail-above", "2.0", oldPath, badPath}, nil, &out)
+	if err == nil || !strings.Contains(err.Error(), "peak-resident-B") {
+		t.Fatalf("2.8x peak-resident-B regression not caught: %v", err)
+	}
+
+	// A baseline that predates the metric must compare cleanly: the
+	// row is skipped on that side rather than treated as a regression.
+	legacyPath := writeReport(t, dir, "legacy.json", `goos: linux
+BenchmarkModelScaling/6nodes-8   	 1	 12000000000 ns/op	500000 B/op	 900 allocs/op
+`)
+	out.Reset()
+	if err := run([]string{"-compare", "-fail-above", "2.0", legacyPath, badPath}, nil, &out); err != nil {
+		t.Fatalf("metric absent from baseline must be skipped: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "peak-resident-B") {
+		t.Errorf("skipped metric still appears in report:\n%s", out.String())
+	}
+}
+
 func TestCompareReportFile(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := writeReport(t, dir, "old.json", oldBench)

@@ -595,6 +595,7 @@ func (c *coordinator) startIncarnation(w *workerState, restore []restoreSrc) err
 		SpecPayload: c.specPayload,
 		Reduced:     c.reduced,
 		CheckState:  c.stInv != nil,
+		NoSeal:      c.mopts.NoSeal,
 		MaxStates:   c.mopts.MaxStates,
 		Assign:      c.assign,
 		SnapshotDir: c.snapDir,

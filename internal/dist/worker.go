@@ -432,6 +432,10 @@ func (w *worker) configure(cfg *msgConfig) error {
 
 // restoreChain merges one worker's delta files for levels 0..through,
 // in order; the last file's frontier is appended when wantFrontier.
+// Restored states claim with key 0 — immutable from birth — so each
+// file's entries migrate straight to the sealed tier (frontier refs
+// included: sealed states expand fine, they just decode per BytesOf);
+// the seal rewrites whatever live refs this worker already holds.
 func (w *worker) restoreChain(index int, through int32, wantFrontier bool) error {
 	for l := int32(0); l <= through; l++ {
 		path := filepath.Join(w.cfg.SnapshotDir, fmt.Sprintf("w%d-l%d.mc", index, l))
@@ -439,7 +443,12 @@ func (w *worker) restoreChain(index int, through int32, wantFrontier bool) error
 		if err != nil {
 			return fmt.Errorf("dist: restoring %s: %w", path, err)
 		}
-		extra, err := w.store.Merge(cp)
+		var extra []uint32
+		if w.cfg.NoSeal {
+			extra, err = w.store.Merge(cp)
+		} else {
+			extra, err = w.store.MergeSealed(cp, w.frontier, w.levelRefs, w.stViol)
+		}
 		if err != nil {
 			return fmt.Errorf("dist: restoring %s: %w", path, err)
 		}
@@ -827,16 +836,28 @@ func (w *worker) execSeal(m *msgSeal) error {
 	w.inj.levelDone(m.Level)
 	w.executedSeqs[m.Seq] = true
 	refs, keys := w.store.DrainLevel()
+	n := len(refs)
 	if m.Merge {
 		w.frontier = append(w.frontier, refs...)
 	} else {
 		w.frontier = refs
 	}
 	if m.Level != w.sealLevel {
+		// The previous seal level's claims are fully expanded (this
+		// level's expansion consumed them) and past any re-keying window
+		// (takeover claims carry this level's base or later; stale-
+		// incarnation redeliveries are idempotent under the min-key
+		// reduction), so they migrate to the sealed tier here. The seal
+		// compacts the live tier, so the refs just drained — held by
+		// w.frontier — are rewritten in place and levelRefs is rebuilt
+		// from the rewritten frontier tail below.
+		if !w.cfg.NoSeal && len(w.levelRefs) > 0 {
+			w.store.SealLevel(w.levelRefs, w.frontier, w.stViol)
+		}
 		w.levelRefs = w.levelRefs[:0]
 		w.sealLevel = m.Level
 	}
-	w.levelRefs = append(w.levelRefs, refs...)
+	w.levelRefs = append(w.levelRefs, w.frontier[len(w.frontier)-n:]...)
 	rep := &msgLevelReport{
 		Level:      m.Level,
 		Seq:        m.Seq,

@@ -50,9 +50,19 @@ import (
 
 const (
 	checkpointMagic = "TTAMCCP\x00"
-	// checkpointVersion is the written format; checkpointLegacyVersion
-	// is the oldest format the reader still accepts.
+	// checkpointVersion is the classic per-state format WriteCheckpoint
+	// emits (and the distributed layer's delta files reuse);
+	// checkpointLegacyVersion is the oldest format the reader still
+	// accepts. checkpointVersionSealed is the two-tier engine snapshot
+	// (version 5): the sealed arenas are serialized wholesale and the
+	// live tier — exactly the frontier at a level boundary — keeps its
+	// real claim keys and parent refs, so a resumed search is
+	// byte-identical to the uninterrupted one, resident footprint
+	// included. The engine writes v5 once anything is sealed and falls
+	// back to v4 for unsealed searches (Options.NoSeal, or an interrupt
+	// before the first level boundary).
 	checkpointVersion       = 4
+	checkpointVersionSealed = 5
 	checkpointLegacyVersion = 1
 )
 
@@ -165,6 +175,10 @@ func (v *visitedSet) restore(cp *Checkpoint) ([]uint32, error) {
 		}
 		refs[i] = ref
 	}
+	// Every restored entry carries key 0, so the first level boundary
+	// cannot tell their levels apart: it seals them as one batch, in
+	// this (state-sorted, deterministic) order.
+	v.restoredAll = refs
 	for i, e := range cp.Visited {
 		if !e.HasParent {
 			continue
@@ -264,7 +278,7 @@ func WriteCheckpointRetry(path string, cp *Checkpoint) (int, error) {
 // temp file in the same directory, is checksummed, and renamed over the
 // target only once complete.
 func WriteCheckpoint(path string, cp *Checkpoint) error {
-	return writeCheckpointFile(path, func(w *cpWriter) {
+	return writeCheckpointFile(path, checkpointVersion, func(w *cpWriter) {
 		w.uvarint(uint64(uint32(cp.Depth)))
 		w.uvarint(uint64(cp.ResultDepth))
 		w.uvarint(uint64(cp.Transitions))
@@ -297,7 +311,7 @@ func WriteCheckpoint(path string, cp *Checkpoint) error {
 // snapshots and the distributed layer's per-level shard deltas) goes
 // through here so the envelope, the test write-wrap seam and the
 // crash-consistency guarantees stay identical.
-func writeCheckpointFile(path string, body func(w *cpWriter)) error {
+func writeCheckpointFile(path string, version uint64, body func(w *cpWriter)) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".mc-checkpoint-*")
 	if err != nil {
 		return fmt.Errorf("mc: checkpoint: %w", err)
@@ -317,7 +331,7 @@ func writeCheckpointFile(path string, body func(w *cpWriter)) error {
 	bw := bufio.NewWriterSize(io.MultiWriter(out, h), 1<<16)
 	w := &cpWriter{w: bw}
 	w.raw([]byte(checkpointMagic))
-	w.uvarint(checkpointVersion)
+	w.uvarint(version)
 	body(w)
 	if w.err == nil {
 		w.err = bw.Flush()
@@ -386,36 +400,63 @@ func (r *cpReader) count() int {
 	return int(n)
 }
 
-// ReadCheckpoint loads and validates a checkpoint file. The current
-// version-4 format and every legacy format are accepted: version 3 lacks
-// the model fingerprint (defaulted to 0, which disables the identity
-// check), version 2 additionally lacks the search-flags word (defaulted
-// to a non-reduced search) and version 1 additionally carries a
-// per-entry claim key and depth that are parsed and discarded. A missing
-// file surfaces as an error wrapping os.ErrNotExist so callers can treat
-// it as "start fresh".
-func ReadCheckpoint(path string) (*Checkpoint, error) {
+// readCheckpointEnvelope loads a checkpoint-format file, validates the
+// envelope (magic, checksum, version range) and returns the format
+// version with a reader positioned at the body.
+func readCheckpointEnvelope(path string) (uint64, *cpReader, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("mc: checkpoint: %w", err)
+		return 0, nil, fmt.Errorf("mc: checkpoint: %w", err)
 	}
 	if len(data) < len(checkpointMagic)+8 {
-		return nil, fmt.Errorf("%w: file too short", ErrBadCheckpoint)
+		return 0, nil, fmt.Errorf("%w: file too short", ErrBadCheckpoint)
 	}
 	payload, trailer := data[:len(data)-8], data[len(data)-8:]
 	h := fnv.New64a()
 	h.Write(payload)
 	if h.Sum64() != binary.BigEndian.Uint64(trailer) {
-		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadCheckpoint)
+		return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrBadCheckpoint)
 	}
 	if string(payload[:len(checkpointMagic)]) != checkpointMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+		return 0, nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
 	}
 	r := &cpReader{r: bytes.NewReader(payload[len(checkpointMagic):])}
 	version := r.uvarint()
-	if r.err == nil && (version < checkpointLegacyVersion || version > checkpointVersion) {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, version)
+	if r.err == nil && (version < checkpointLegacyVersion || version > checkpointVersionSealed) {
+		return 0, nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, version)
 	}
+	return version, r, r.err
+}
+
+// ReadCheckpoint loads and validates a checkpoint file. The version-5
+// sealed-tier format, the classic version-4 format and every legacy
+// format are accepted: version 3 lacks the model fingerprint (defaulted
+// to 0, which disables the identity check), version 2 additionally
+// lacks the search-flags word (defaulted to a non-reduced search) and
+// version 1 additionally carries a per-entry claim key and depth that
+// are parsed and discarded. A version-5 file is materialized into the
+// classic per-state Checkpoint form — losing the claim keys and the
+// compact representation, so a resume through this API behaves like a
+// v4 resume; the engine's own resume path (resolveResume) consumes v5
+// natively instead. A missing file surfaces as an error wrapping
+// os.ErrNotExist so callers can treat it as "start fresh".
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	version, r, err := readCheckpointEnvelope(path)
+	if err != nil {
+		return nil, err
+	}
+	if version == checkpointVersionSealed {
+		s5, err := parseSealedSnap(r)
+		if err != nil {
+			return nil, err
+		}
+		return s5.materialize()
+	}
+	return parseClassicCheckpoint(version, r)
+}
+
+// parseClassicCheckpoint parses a v1–v4 body.
+func parseClassicCheckpoint(version uint64, r *cpReader) (*Checkpoint, error) {
 	cp := &Checkpoint{
 		Depth:       int32(r.uvarint()),
 		ResultDepth: int(r.uvarint()),
@@ -452,4 +493,319 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, r.r.Len())
 	}
 	return cp, nil
+}
+
+// bytes reads a length-prefixed byte blob with an allocation guard.
+func (r *cpReader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.r.Len()) {
+		r.err = fmt.Errorf("%w: blob length %d exceeds remaining payload", ErrBadCheckpoint, n)
+		return nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		r.err = fmt.Errorf("%w: truncated", ErrBadCheckpoint)
+		return nil
+	}
+	return buf
+}
+
+// sealedSnap is the parsed native form of a version-5 (sealed-tier)
+// checkpoint: the per-shard arenas wholesale, plus the live tier —
+// exactly the frontier, in frontier order, with real claim keys and
+// sealed parent refs — and the claim-key base the next level resumes
+// at.
+type sealedSnap struct {
+	depth       int32
+	resultDepth int
+	transitions int
+	reduced     bool
+	fingerprint uint64
+	nextBase    uint64
+	shards      [numShards]sealedShardSnap
+	live        []liveSnapEntry
+}
+
+type sealedShardSnap struct {
+	count    uint32
+	restarts []uint32
+	blob     []byte
+}
+
+type liveSnapEntry struct {
+	enc []byte
+	key uint64
+	pw  uint64 // parent ref+1; 0 = root
+}
+
+// writeSealedCheckpoint writes the engine's two-tier state as a
+// version-5 snapshot. Must be called at a level boundary right after a
+// seal, where the live tier is exactly the frontier and every live
+// parent is sealed.
+func writeSealedCheckpoint(path string, v *visitedSet, res Result,
+	frontier []uint32, depth int32, fingerprint, nextBase uint64) error {
+	return writeCheckpointFile(path, checkpointVersionSealed, func(w *cpWriter) {
+		w.uvarint(uint64(uint32(depth)))
+		w.uvarint(uint64(res.Depth))
+		w.uvarint(uint64(res.TransitionsExplored))
+		flags := uint64(0)
+		if res.Reduced {
+			flags |= checkpointFlagReduced
+		}
+		w.uvarint(flags)
+		w.uvarint(fingerprint)
+		w.uvarint(nextBase)
+		for si := range v.shards {
+			ss := &v.shards[si].sealed
+			w.uvarint(uint64(ss.count))
+			prev := uint32(0)
+			for _, r := range ss.restarts {
+				w.uvarint(uint64(r - prev))
+				prev = r
+			}
+			w.bstr(ss.blob)
+		}
+		w.uvarint(uint64(len(frontier)))
+		for _, ref := range frontier {
+			w.bstr(v.bytesOf(ref))
+			w.uvarint(v.keyOf(ref))
+			w.uvarint(v.parentWordOf(ref))
+		}
+	})
+}
+
+// writeSealedCheckpointRetry is writeSealedCheckpoint under the same
+// bounded transient-failure retry policy as WriteCheckpointRetry.
+func writeSealedCheckpointRetry(path string, v *visitedSet, res Result,
+	frontier []uint32, depth int32, fingerprint, nextBase uint64) (int, error) {
+	return retry.Do(checkpointWriteAttempts, checkpointWriteBackoff, nil, func() error {
+		return writeSealedCheckpoint(path, v, res, frontier, depth, fingerprint, nextBase)
+	})
+}
+
+// parseSealedSnap parses a version-5 body. Arena bytes are validated
+// later, by the checked decode sweep that rebuilds the probe indexes
+// (restoreSealed / materialize); this pass only enforces structural
+// bounds.
+func parseSealedSnap(r *cpReader) (*sealedSnap, error) {
+	s5 := &sealedSnap{
+		depth:       int32(r.uvarint()),
+		resultDepth: int(r.uvarint()),
+		transitions: int(r.uvarint()),
+	}
+	s5.reduced = r.uvarint()&checkpointFlagReduced != 0
+	s5.fingerprint = r.uvarint()
+	s5.nextBase = r.uvarint()
+	for si := range s5.shards {
+		sn := &s5.shards[si]
+		cnt := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if cnt > maxOrdinal {
+			return nil, fmt.Errorf("%w: sealed shard holds %d entries", ErrBadCheckpoint, cnt)
+		}
+		sn.count = uint32(cnt)
+		nres := (int(cnt) + sealedRestartEvery - 1) / sealedRestartEvery
+		if uint64(nres) > uint64(r.r.Len()) {
+			return nil, fmt.Errorf("%w: restart count exceeds remaining payload", ErrBadCheckpoint)
+		}
+		prev := uint64(0)
+		for i := 0; i < nres; i++ {
+			prev += r.uvarint()
+			if prev > uint64(1)<<32-1 {
+				return nil, fmt.Errorf("%w: restart offset overflow", ErrBadCheckpoint)
+			}
+			sn.restarts = append(sn.restarts, uint32(prev))
+		}
+		sn.blob = r.bytes()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if nres > 0 && (sn.restarts[0] != 0 || int(sn.restarts[nres-1]) >= len(sn.blob)) {
+			return nil, fmt.Errorf("%w: restart offsets out of range", ErrBadCheckpoint)
+		}
+		if cnt == 0 && len(sn.blob) != 0 {
+			return nil, fmt.Errorf("%w: empty sealed shard with arena bytes", ErrBadCheckpoint)
+		}
+	}
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		le := liveSnapEntry{enc: r.bytes()}
+		le.key = r.uvarint()
+		le.pw = r.uvarint()
+		if r.err == nil && le.key > keyMask {
+			return nil, fmt.Errorf("%w: live claim key out of range", ErrBadCheckpoint)
+		}
+		s5.live = append(s5.live, le)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, r.r.Len())
+	}
+	return s5, nil
+}
+
+// sealedRefState resolves a sealed parent word against per-shard
+// decoded state tables.
+func sealedRefState(states *[numShards][]State, pw uint64) (State, bool, error) {
+	if pw == 0 {
+		return "", false, nil
+	}
+	if pw-1 > uint64(^uint32(0)) {
+		return "", false, fmt.Errorf("%w: parent ref overflow", ErrBadCheckpoint)
+	}
+	ref := uint32(pw - 1)
+	si, o := ref&(numShards-1), ref>>shardBits
+	if int(o) >= len(states[si]) {
+		return "", false, fmt.Errorf("%w: parent ref beyond sealed tier", ErrBadCheckpoint)
+	}
+	return states[si][o], true, nil
+}
+
+// materialize converts a parsed v5 snapshot into the classic
+// per-state Checkpoint form: every arena fully decoded (checked), refs
+// resolved back to parent encodings, entries state-sorted. Claim keys
+// are dropped — the classic form never had them — so a resume from the
+// materialized form behaves like a v4 resume.
+func (s5 *sealedSnap) materialize() (*Checkpoint, error) {
+	var states [numShards][]State
+	var pws [numShards][]uint64
+	var d sealedDecoder
+	for si := range s5.shards {
+		sn := &s5.shards[si]
+		if sn.count == 0 {
+			continue
+		}
+		ss := &sealedShard{count: sn.count, blob: sn.blob, restarts: sn.restarts}
+		d.startAt(ss, 0, true)
+		for d.ord < sn.count {
+			if err := d.stepChecked(len(ss.blob)); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+			}
+			states[si] = append(states[si], State(d.enc))
+			pws[si] = append(pws[si], d.pw)
+		}
+		if d.off != len(ss.blob) {
+			return nil, fmt.Errorf("%w: %d trailing arena bytes", ErrBadCheckpoint, len(ss.blob)-d.off)
+		}
+	}
+	cp := &Checkpoint{
+		Depth:       s5.depth,
+		ResultDepth: s5.resultDepth,
+		Transitions: s5.transitions,
+		Reduced:     s5.reduced,
+		Fingerprint: s5.fingerprint,
+	}
+	for si := range states {
+		for o, st := range states[si] {
+			p, has, err := sealedRefState(&states, pws[si][o])
+			if err != nil {
+				return nil, err
+			}
+			cp.Visited = append(cp.Visited, VisitedEntry{State: st, Parent: p, HasParent: has})
+		}
+	}
+	for _, le := range s5.live {
+		p, has, err := sealedRefState(&states, le.pw)
+		if err != nil {
+			return nil, err
+		}
+		cp.Visited = append(cp.Visited, VisitedEntry{State: State(le.enc), Parent: p, HasParent: has})
+		cp.Frontier = append(cp.Frontier, State(le.enc))
+	}
+	sort.Slice(cp.Visited, func(i, j int) bool { return cp.Visited[i].State < cp.Visited[j].State })
+	return cp, nil
+}
+
+// restoreSealed loads a v5 snapshot natively: arenas are installed
+// wholesale (their probe indexes rebuilt by a checked decode sweep
+// replaying the writer's growth schedule, so capacities — and resident
+// bytes — come out exactly as written) and the live entries are claimed
+// with their real keys in frontier order. The returned frontier plus
+// the snapshot's nextBase continue the interrupted run byte-for-byte.
+func (v *visitedSet) restoreSealed(s5 *sealedSnap) ([]uint32, error) {
+	total := int64(len(s5.live))
+	for i := range s5.shards {
+		total += int64(s5.shards[i].count)
+	}
+	if total > v.max {
+		return nil, fmt.Errorf("mc: checkpoint holds %d states, over the %d-state budget: %w",
+			total, v.max, ErrStateLimit)
+	}
+	var d sealedDecoder
+	for si := range v.shards {
+		sn := &s5.shards[si]
+		if sn.count == 0 {
+			continue
+		}
+		sh := &v.shards[si]
+		ss := &sh.sealed
+		ss.count = sn.count
+		ss.blob = sn.blob
+		ss.restarts = sn.restarts
+		newLen := sealedInitialCells
+		for uint64(sn.count)*4 > uint64(newLen)*3 {
+			newLen = sealedGrow(newLen)
+		}
+		ss.index = make([]uint32, newLen)
+		d.startAt(ss, 0, v.parentIsRef)
+		for d.ord < sn.count {
+			ord := d.ord
+			if err := d.stepChecked(len(ss.blob)); err != nil {
+				return nil, fmt.Errorf("%w: shard %d ordinal %d: %v", ErrBadCheckpoint, si, ord, err)
+			}
+			if d.pw != 0 {
+				if d.pw-1 > uint64(^uint32(0)) {
+					return nil, fmt.Errorf("%w: parent ref overflow", ErrBadCheckpoint)
+				}
+				pref := uint32(d.pw - 1)
+				if pref>>shardBits >= s5.shards[pref&(numShards-1)].count {
+					return nil, fmt.Errorf("%w: parent ref beyond sealed tier", ErrBadCheckpoint)
+				}
+			}
+			h := hashBytes(d.enc)
+			ss.indexInsert(uint32(h>>32), ord)
+		}
+		if d.off != len(ss.blob) {
+			return nil, fmt.Errorf("%w: %d trailing arena bytes", ErrBadCheckpoint, len(ss.blob)-d.off)
+		}
+		// Seed the delta-chain carry so later seals append seamlessly.
+		ss.lastEnc = append(ss.lastEnc[:0], d.enc...)
+		ss.lastPW = d.pw
+		sh.liveBase = sn.count
+		sh.ordCount = sn.count
+		v.resident.Add(ss.residentBytes())
+	}
+	v.count.Add(total - int64(len(s5.live))) // live entries charge via claim
+	var pc probeCounter
+	frontier := make([]uint32, 0, len(s5.live))
+	for _, le := range s5.live {
+		if le.key >= s5.nextBase {
+			return nil, fmt.Errorf("%w: live claim key at or past the resumed base", ErrBadCheckpoint)
+		}
+		hasParent := le.pw != 0
+		var parent uint32
+		if hasParent {
+			if le.pw-1 > uint64(^uint32(0)) {
+				return nil, fmt.Errorf("%w: parent ref overflow", ErrBadCheckpoint)
+			}
+			parent = uint32(le.pw - 1)
+			if parent>>shardBits >= v.shards[parent&(numShards-1)].sealed.count {
+				return nil, fmt.Errorf("%w: live parent not sealed", ErrBadCheckpoint)
+			}
+		}
+		st, ref := v.claim(le.enc, hashBytes(le.enc), parent, le.key, hasParent, le.key+1, &pc)
+		if st != claimNew {
+			return nil, fmt.Errorf("%w: duplicate live state", ErrBadCheckpoint)
+		}
+		frontier = append(frontier, ref)
+	}
+	v.bumpPeak()
+	return frontier, nil
 }

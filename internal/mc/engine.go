@@ -374,6 +374,9 @@ type searchMetrics struct {
 	loadFactor   float64
 	resident     int64
 	peakResident int64
+	sealedStates int64
+	sealedArena  int64
+	sealedIndex  int64
 	cpRetries    int
 	cpWriteErr   string
 }
@@ -398,6 +401,7 @@ func (sm *searchMetrics) collect(v *visitedSet, sc *levelScratch) {
 	sm.loadFactor = v.loadFactor()
 	sm.resident = v.resident.Load()
 	sm.peakResident = v.peak.Load()
+	sm.sealedStates, sm.sealedArena, sm.sealedIndex = v.sealedStats()
 }
 
 // check is the engine entry point shared by the four Check* functions.
@@ -437,6 +441,9 @@ func check(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBytes, o
 		ProbeHist:          met.probeHist,
 		ResidentBytes:      met.resident,
 		PeakResidentBytes:  met.peakResident,
+		SealedStates:       met.sealedStates,
+		SealedArenaBytes:   met.sealedArena,
+		SealedIndexBytes:   met.sealedIndex,
 		CheckpointRetries:  met.cpRetries,
 		CheckpointWriteErr: met.cpWriteErr,
 	}
@@ -476,17 +483,28 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 		fingerprint = fm.Fingerprint()
 	}
 
-	resume, err := resolveResume(opts)
+	resume, resume5, err := resolveResume(opts)
 	if err != nil {
 		return res, err
 	}
-	if resume != nil && resume.Reduced != res.Reduced {
-		return res, fmt.Errorf("mc: checkpoint is from a %s search but this search is %s; match the NoReduce option (-no-reduce) of the original run",
-			reductionMode(resume.Reduced), reductionMode(res.Reduced))
+	if resume != nil || resume5 != nil {
+		cpReduced, cpFp := false, uint64(0)
+		if resume5 != nil {
+			cpReduced, cpFp = resume5.reduced, resume5.fingerprint
+		} else {
+			cpReduced, cpFp = resume.Reduced, resume.Fingerprint
+		}
+		if cpReduced != res.Reduced {
+			return res, fmt.Errorf("mc: checkpoint is from a %s search but this search is %s; match the NoReduce option (-no-reduce) of the original run",
+				reductionMode(cpReduced), reductionMode(res.Reduced))
+		}
+		if cpFp != 0 && fingerprint != 0 && cpFp != fingerprint {
+			return res, fmt.Errorf("%w: checkpoint is from a model with fingerprint %016x but this model's is %016x; match the -nodes/-couplers/-authority and option flags of the original run",
+				ErrModelMismatch, cpFp, fingerprint)
+		}
 	}
-	if resume != nil && resume.Fingerprint != 0 && fingerprint != 0 && resume.Fingerprint != fingerprint {
-		return res, fmt.Errorf("%w: checkpoint is from a model with fingerprint %016x but this model's is %016x; match the -nodes/-couplers/-authority and option flags of the original run",
-			ErrModelMismatch, resume.Fingerprint, fingerprint)
+	if resume5 != nil && opts.NoSeal {
+		return res, fmt.Errorf("mc: checkpoint was written by a sealed-tier search and cannot resume with sealing disabled; drop -no-seal")
 	}
 
 	sc := newLevelScratch(m, opts.Workers, rm)
@@ -497,7 +515,20 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 	// it advances by len(frontier) << keySuccBits per level, keeping
 	// claim keys globally monotone across the whole search.
 	var nextBase uint64
-	if resume != nil {
+	if resume5 != nil {
+		// Native v5 resume: arenas installed wholesale, live entries keep
+		// their real claim keys, and the key base continues where the
+		// interrupted run stopped — the resumed search is byte-identical
+		// to the uninterrupted one, resident footprint included.
+		frontier, err = v.restoreSealed(resume5)
+		if err != nil {
+			return res, err
+		}
+		startDepth = resume5.depth
+		res.Depth = resume5.resultDepth
+		res.TransitionsExplored = resume5.transitions
+		nextBase = resume5.nextBase
+	} else if resume != nil {
 		frontier, err = v.restore(resume)
 		if err != nil {
 			return res, err
@@ -540,7 +571,7 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 	levelsSinceCheckpoint := 0
 	for depth := startDepth; len(frontier) > 0; depth++ {
 		if err := ctx.Err(); err != nil {
-			return interrupted(v, res, frontier, depth, fingerprint, err, opts)
+			return interrupted(v, res, frontier, depth, fingerprint, nextBase, err, opts)
 		}
 		if opts.MaxDepth > 0 && int(depth) >= opts.MaxDepth {
 			res.DepthBounded = true
@@ -606,6 +637,21 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 		// Double-buffer the frontier: build the next generation into the
 		// spare buffer, then recycle the one just expanded.
 		next := nextFrontier(v, sc, lvl, sc.spare)
+		if !opts.NoSeal {
+			// The frontier just expanded is immutable now — takeovers only
+			// ever touch current-level claims — so migrate it into the
+			// sealed tier and rewrite next's refs to the compacted live
+			// positions. After a v4 restore the first boundary seals every
+			// restored entry instead: they all carry key 0, so their
+			// levels are indistinguishable, and all of them (frontier
+			// included) are older than the level just computed.
+			batch := frontier
+			if v.restoredAll != nil {
+				batch = v.restoredAll
+				v.restoredAll = nil
+			}
+			v.seal(batch, next)
+		}
 		sc.spare = frontier[:0]
 		frontier = next
 		met.frontier(len(frontier))
@@ -629,7 +675,7 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 			// written is dropped — surfaced through Stats — rather than
 			// killing the search. Any earlier snapshot stays in place,
 			// so a later resume is merely older, never wrong.
-			retries, err := WriteCheckpointRetry(opts.CheckpointPath, snapshot(v, res, frontier, depth+1, fingerprint))
+			retries, err := writeSnapshotAuto(v, res, frontier, depth+1, fingerprint, nextBase, opts)
 			if met != nil {
 				met.cpRetries += retries
 				if err != nil {
@@ -645,19 +691,42 @@ func checkSearch(m Model, stInv StateInvariantBytes, trInv TransitionInvariantBy
 
 // resolveResume picks the checkpoint to restore: the in-memory one wins,
 // then ResumePath — where a missing file means "start fresh", so
-// interrupt/resume loops need no existence checks.
-func resolveResume(opts Options) (*Checkpoint, error) {
+// interrupt/resume loops need no existence checks. A version-5 file at
+// ResumePath is returned in native sealed form (second result) so the
+// engine resumes it byte-identically; everything else materializes as a
+// classic Checkpoint.
+func resolveResume(opts Options) (*Checkpoint, *sealedSnap, error) {
 	if opts.Resume != nil {
-		return opts.Resume, nil
+		return opts.Resume, nil, nil
 	}
 	if opts.ResumePath == "" {
-		return nil, nil
+		return nil, nil, nil
 	}
-	cp, err := ReadCheckpoint(opts.ResumePath)
+	version, r, err := readCheckpointEnvelope(opts.ResumePath)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return nil, nil, nil
 	}
-	return cp, err
+	if err != nil {
+		return nil, nil, err
+	}
+	if version == checkpointVersionSealed {
+		s5, err := parseSealedSnap(r)
+		return nil, s5, err
+	}
+	cp, err := parseClassicCheckpoint(version, r)
+	return cp, nil, err
+}
+
+// writeSnapshotAuto writes the engine checkpoint in the right format:
+// version 5 once anything is sealed (the live tier is then exactly the
+// frontier, which is what v5 stores), the classic v4 snapshot otherwise
+// (NoSeal searches, or an interrupt before the first level boundary).
+func writeSnapshotAuto(v *visitedSet, res Result, frontier []uint32, depth int32,
+	fingerprint, nextBase uint64, opts Options) (int, error) {
+	if sealed, _, _ := v.sealedStats(); sealed > 0 {
+		return writeSealedCheckpointRetry(opts.CheckpointPath, v, res, frontier, depth, fingerprint, nextBase)
+	}
+	return WriteCheckpointRetry(opts.CheckpointPath, snapshot(v, res, frontier, depth, fingerprint))
 }
 
 // reductionMode names a search mode in user-facing errors.
@@ -689,14 +758,14 @@ func conclusive(res Result, opts Options) (Result, error) {
 // everything explored so far, a checkpoint is flushed if requested, and
 // the context's cause is surfaced as ErrDeadline or ErrInterrupted.
 func interrupted(v *visitedSet, res Result, frontier []uint32, depth int32,
-	fingerprint uint64, cause error, opts Options) (Result, error) {
+	fingerprint, nextBase uint64, cause error, opts Options) (Result, error) {
 	res.Interrupted = true
 	res.StatesExplored = int(v.count.Load())
 	if opts.CheckpointPath != "" {
 		// Unlike a periodic snapshot, the interrupt snapshot is the
 		// run's only surviving artifact — a write failure here is fatal
 		// after the transient-retry budget is spent.
-		if _, err := WriteCheckpointRetry(opts.CheckpointPath, snapshot(v, res, frontier, depth, fingerprint)); err != nil {
+		if _, err := writeSnapshotAuto(v, res, frontier, depth, fingerprint, nextBase, opts); err != nil {
 			return res, err
 		}
 	}

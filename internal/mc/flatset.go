@@ -111,20 +111,40 @@ func chunkOf(o uint32) (c int, off uint32) {
 	return c, off
 }
 
-// flatShard is one visited-set shard: the entry log, its probe index,
-// and the mutex serializing inserts and same-level takeovers.
+// flatShard is one visited-set shard: the live entry log, its probe
+// index, the mutex serializing inserts and same-level takeovers, and
+// the sealed tier holding every level that has finished expanding
+// (sealed.go).
+//
+// Ordinals are one space: [0, liveBase) are sealed (decoded from the
+// arena), [liveBase, ordCount) are live (chunked 32-byte slots at
+// position ordinal-liveBase). Sealing at a level boundary migrates the
+// just-expanded frontier into the arena, compacts the surviving
+// current-level claims down to position 0 and advances liveBase — refs
+// therefore change across a seal, and the seal call rewrites every ref
+// array the engine still holds.
 type flatShard struct {
 	mu       sync.Mutex
 	index    atomic.Pointer[[]uint64]
 	chunks   [maxEntryChunks]atomic.Pointer[[]entry]
 	ordCount uint32 // entries appended; written only under mu
+	liveBase uint32 // first live ordinal; written only at level barriers
+	sealed   sealedShard
 }
 
-// entryAt returns the (stable) entry for ordinal o. Callers must have
-// observed o's publication: either through an index cell load or a
-// happens-before edge such as the level barrier.
+// entryAt returns the (stable within a level) live entry for ordinal
+// o, which must be >= liveBase. Callers must have observed o's
+// publication: either through an index cell load or a happens-before
+// edge such as the level barrier.
 func (sh *flatShard) entryAt(o uint32) *entry {
-	c, off := chunkOf(o)
+	c, off := chunkOf(o - sh.liveBase)
+	return &(*sh.chunks[c].Load())[off]
+}
+
+// entryAtPos addresses a live slot by position directly (seal-time
+// compaction, where ordinals are in flux).
+func (sh *flatShard) entryAtPos(pos uint32) *entry {
+	c, off := chunkOf(pos)
 	return &(*sh.chunks[c].Load())[off]
 }
 
@@ -136,10 +156,32 @@ type visitedSet struct {
 	resident atomic.Int64 // exact live bytes: chunks + index cells + intern
 	peak     atomic.Int64 // high-water resident, including growth transients
 	overflow internTable  // encodings too long for a slot's inline array
+
+	// parentIsRef selects the sealed tier's parent layout: the engine
+	// stores parent refs (rewritten to sealed ordinals and
+	// delta-coded); a distributed ShardStore stores parent intern
+	// indexes, whose arrival-order-dependent values must be written as
+	// fixed-width words to keep arena bytes deterministic.
+	parentIsRef bool
+
+	// restoredAll is the claim-order ref list of a v4-checkpoint
+	// restore: those entries carry key 0, so the first level boundary
+	// cannot tell their levels apart and seals them as one batch in
+	// this (deterministic, state-sorted) order. Cleared after that
+	// first seal.
+	restoredAll []uint32
+
+	// Seal scratch, reused across level boundaries; scratchBytes is its
+	// counted capacity so migration transients stay in the resident
+	// audit.
+	sealGroups   [numShards][]uint32
+	sealRemap    [numShards][]uint32
+	sealDec      sealedDecoder
+	scratchBytes int64
 }
 
 func newVisitedSet(maxStates int) *visitedSet {
-	v := &visitedSet{max: int64(maxStates)}
+	v := &visitedSet{max: int64(maxStates), parentIsRef: true}
 	// Seed every shard's initial probe index and first entry chunk from
 	// two shared backing arrays: four allocations for the whole set
 	// instead of two per touched shard, which is what a 64-shard layout
@@ -175,20 +217,42 @@ func (v *visitedSet) bumpPeak() {
 
 func makeRef(shard, ord uint32) uint32 { return ord<<shardBits | shard }
 
+// refShard splits a ref and reports whether it addresses the shard's
+// sealed tier.
+func (v *visitedSet) refShard(ref uint32) (sh *flatShard, ord uint32, sealed bool) {
+	sh = &v.shards[ref&(numShards-1)]
+	ord = ref >> shardBits
+	return sh, ord, ord < sh.liveBase
+}
+
+// entryOf returns the live slot for ref, which must not be sealed.
 func (v *visitedSet) entryOf(ref uint32) *entry {
 	return v.shards[ref&(numShards-1)].entryAt(ref >> shardBits)
 }
 
-// bytesOf returns the encoding of a visited state. The inline path
-// aliases the entry's slot — stable for the set's lifetime because
-// entries never move.
-func (v *visitedSet) bytesOf(ref uint32) []byte {
-	e := v.entryOf(ref)
-	m := atomic.LoadUint64(&e.meta)
+// encOfLive returns the encoding of a live entry (aliases the slot or
+// the intern table).
+func (v *visitedSet) encOfLive(e *entry, m uint64) []byte {
 	if nf := metaNfield(m); nf != nfieldOverflow {
 		return e.data[:nf-1]
 	}
 	return []byte(v.overflow.lookup(binary.LittleEndian.Uint32(e.data[:4])))
+}
+
+// bytesOf returns the encoding of a visited state. The live inline
+// path aliases the entry's slot — stable for the level's duration; the
+// sealed path decodes into a fresh allocation, and is only reached
+// from cold paths (traces, checkpoints, snapshots): by construction
+// every ref the hot path touches is live.
+func (v *visitedSet) bytesOf(ref uint32) []byte {
+	sh, ord, sealed := v.refShard(ref)
+	if sealed {
+		var d sealedDecoder
+		enc, _ := d.decodeAt(&sh.sealed, ord, v.parentIsRef)
+		return append([]byte(nil), enc...)
+	}
+	e := sh.entryAt(ord)
+	return v.encOfLive(e, atomic.LoadUint64(&e.meta))
 }
 
 // stateOf converts a visited state back to the opaque State form
@@ -197,16 +261,64 @@ func (v *visitedSet) stateOf(ref uint32) State {
 	return State(v.bytesOf(ref))
 }
 
-// keyOf returns the state's current (winning) claim key.
+// keyOf returns the state's current (winning) claim key. Sealed
+// entries report key 0: their keys can never win or lose a takeover
+// again, so the tier does not store them — callers ordering by key
+// (DrainLevel) only ever hold live refs.
 func (v *visitedSet) keyOf(ref uint32) uint64 {
-	return metaKey(atomic.LoadUint64(&v.entryOf(ref).meta))
+	sh, ord, sealed := v.refShard(ref)
+	if sealed {
+		return 0
+	}
+	return metaKey(atomic.LoadUint64(&sh.entryAt(ord).meta))
 }
 
-// parentOf returns the state's BFS parent ref, if it has one. Only
-// called between levels or after the search.
+// parentWordOf returns the raw sealed-layout parent word for ref:
+// ref+1 (0 = none) in engine mode, internIdx<<1|hasParent in dist
+// mode. Works for both tiers; only called between levels or after the
+// search.
+func (v *visitedSet) parentWordOf(ref uint32) uint64 {
+	sh, ord, sealed := v.refShard(ref)
+	if sealed {
+		var d sealedDecoder
+		_, pw := d.decodeAt(&sh.sealed, ord, v.parentIsRef)
+		return pw
+	}
+	e := sh.entryAt(ord)
+	m := atomic.LoadUint64(&e.meta)
+	if v.parentIsRef {
+		if m&hasParentBit == 0 {
+			return 0
+		}
+		return uint64(e.parent) + 1
+	}
+	pw := uint64(e.parent) << 1
+	if m&hasParentBit != 0 {
+		pw |= 1
+	}
+	return pw
+}
+
+// parentOf returns the state's BFS parent ref, if it has one
+// (engine mode only). Only called between levels or after the search.
 func (v *visitedSet) parentOf(ref uint32) (uint32, bool) {
-	e := v.entryOf(ref)
-	return e.parent, atomic.LoadUint64(&e.meta)&hasParentBit != 0
+	pw := v.parentWordOf(ref)
+	if pw == 0 {
+		return 0, false
+	}
+	return uint32(pw - 1), true
+}
+
+// sealedStats sums the sealed tier's footprint for Stats: entry count,
+// arena bytes (blob + restart offsets) and quotiented-index bytes.
+func (v *visitedSet) sealedStats() (states, arena, index int64) {
+	for s := range v.shards {
+		ss := &v.shards[s].sealed
+		states += int64(ss.count)
+		arena += int64(len(ss.blob)) + int64(len(ss.restarts)*4)
+		index += int64(len(ss.index) * 4)
+	}
+	return states, arena, index
 }
 
 // probeBuckets sizes the probe-length histogram: buckets for lengths
@@ -215,9 +327,20 @@ const probeBuckets = 8
 
 // probeCounter accumulates a probe-length histogram; each worker owns
 // one (persistent across levels) so the hot path never shares a cache
-// line.
+// line. It also carries the worker's sealed-tier decoder, whose
+// rolling buffer would otherwise be a per-probe allocation.
 type probeCounter struct {
 	hist [probeBuckets]uint64
+	dec  sealedDecoder
+}
+
+// sealDec returns the counter's decoder, or a fresh one for the
+// counterless cold paths (restore, tests).
+func (p *probeCounter) sealDec() *sealedDecoder {
+	if p == nil {
+		return new(sealedDecoder)
+	}
+	return &p.dec
 }
 
 func (p *probeCounter) add(n int) {
@@ -281,7 +404,19 @@ func (v *visitedSet) claim(enc []byte, h uint64, parent uint32, key uint64,
 		for n := 1; ; n++ {
 			cell := atomic.LoadUint64(&cells[i])
 			if cell == 0 {
-				break // not present in this snapshot: insert under lock
+				// Not in the live snapshot. A hit against the (immutable,
+				// atomics-free) sealed tier is always a prior-level
+				// duplicate and resolves here; on a miss the entry is new
+				// — the locked re-probe below only needs to recheck the
+				// live index, because concurrent inserts are by
+				// definition current-level.
+				if sh.sealed.count > 0 {
+					if _, ok := sh.sealed.find(ph, enc, pc.sealDec(), v.parentIsRef); ok {
+						pc.add(n)
+						return claimDup, 0
+					}
+				}
+				break // insert under lock
 			}
 			if uint32(cell>>32) == ph {
 				e := sh.entryAt(uint32(cell) - 1)
@@ -315,7 +450,7 @@ func (v *visitedSet) claim(enc []byte, h uint64, parent uint32, key uint64,
 				sh.mu.Unlock()
 				panic(fmt.Sprintf("mc: visited-set shard exceeds %d entries", maxOrdinal))
 			}
-			e := v.entrySlotLocked(sh, ord)
+			e := v.entrySlotLocked(sh, ord-sh.liveBase)
 			copy(e.data[:], kb)
 			e.parent = parent
 			atomic.StoreUint64(&e.meta, packMeta(nfield, hasParent, key))
@@ -323,7 +458,9 @@ func (v *visitedSet) claim(enc []byte, h uint64, parent uint32, key uint64,
 			// Release-store the cell: the entry above is now visible to
 			// any lock-free probe that observes the cell.
 			atomic.StoreUint64(&cells[i], uint64(ph)<<32|uint64(ord+1))
-			if uint64(sh.ordCount)*4 > uint64(len(cells))*3 {
+			// Growth is driven by the live count: the index only holds
+			// entries above liveBase.
+			if uint64(sh.ordCount-sh.liveBase)*4 > uint64(len(cells))*3 {
 				v.growIndexLocked(sh, cells)
 			}
 			sh.mu.Unlock()
@@ -367,6 +504,12 @@ func (v *visitedSet) find(enc []byte, h uint64) (uint32, bool) {
 	for i := ph & mask; ; i = (i + 1) & mask {
 		cell := atomic.LoadUint64(&cells[i])
 		if cell == 0 {
+			if sh.sealed.count > 0 {
+				var d sealedDecoder
+				if ord, ok := sh.sealed.find(ph, enc, &d, v.parentIsRef); ok {
+					return makeRef(shardIdx, ord), true
+				}
+			}
 			return 0, false
 		}
 		if uint32(cell>>32) == ph {
@@ -418,10 +561,11 @@ func (v *visitedSet) growIndexLocked(sh *flatShard, cells []uint64) {
 	}
 }
 
-// entrySlotLocked returns the slot for the next ordinal, allocating its
-// chunk on first touch. Caller holds sh.mu.
-func (v *visitedSet) entrySlotLocked(sh *flatShard, ord uint32) *entry {
-	c, off := chunkOf(ord)
+// entrySlotLocked returns the slot for the next live position
+// (ordinal − liveBase), allocating its chunk on first touch. Caller
+// holds sh.mu.
+func (v *visitedSet) entrySlotLocked(sh *flatShard, pos uint32) *entry {
+	c, off := chunkOf(pos)
 	if off == 0 && sh.chunks[c].Load() == nil {
 		chunk := make([]entry, entryChunkBase<<c)
 		v.resident.Add(int64(len(chunk)) * 32)
@@ -431,16 +575,236 @@ func (v *visitedSet) entrySlotLocked(sh *flatShard, ord uint32) *entry {
 	return &(*sh.chunks[c].Load())[off]
 }
 
-// loadFactor is the admitted-state count over total probe cells.
+// loadFactor is the admitted-state count over total probe cells, both
+// tiers.
 func (v *visitedSet) loadFactor() float64 {
 	cells := 0
 	for i := range v.shards {
 		if ip := v.shards[i].index.Load(); ip != nil {
 			cells += len(*ip)
 		}
+		cells += len(v.shards[i].sealed.index)
 	}
 	if cells == 0 {
 		return 0
 	}
 	return float64(v.count.Load()) / float64(cells)
+}
+
+// seal migrates batch — the refs of the level that just finished
+// expanding, in the engine's deterministic key order — out of the live
+// slots into each shard's sealed tier, compacts the surviving live
+// entries (the next frontier's claims) down to position 0, and
+// rewrites every ref the caller still holds (the slices passed as
+// rewrite) to the post-seal ordinal space.
+//
+// Called only at level barriers (or single-threaded restore): workers
+// are quiescent, so plain loads and stores are safe, and the next
+// level's spawns publish the new tier through the barrier's
+// happens-before edge.
+//
+// Determinism: the batch's per-shard content and order are a pure
+// function of the level's key-sorted frontier, so arena bytes, index
+// capacities, chunk frees and the resident counter all come out
+// identical at every worker count.
+func (v *visitedSet) seal(batch []uint32, rewrite ...[]uint32) {
+	if len(batch) == 0 {
+		return
+	}
+	// Group the batch by shard, preserving batch (key) order: group
+	// position i becomes sealed ordinal oldBase+i.
+	for s := range v.sealGroups {
+		v.sealGroups[s] = v.sealGroups[s][:0]
+	}
+	for _, r := range batch {
+		s := r & (numShards - 1)
+		v.sealGroups[s] = append(v.sealGroups[s], r>>shardBits)
+	}
+
+	// Remap tables for every shard with batch members: old live
+	// position → new ordinal. Batch members take the next sealed
+	// ordinals in batch order; survivors keep their relative arrival
+	// order above them. Built for all shards before any entry moves,
+	// because parent refs cross shards.
+	var oldBase [numShards]uint32
+	for s := range v.shards {
+		sh := &v.shards[s]
+		oldBase[s] = sh.liveBase
+		g := v.sealGroups[s]
+		rm := v.sealRemap[s][:0]
+		if len(g) > 0 {
+			liveCount := sh.ordCount - sh.liveBase
+			for i := uint32(0); i < liveCount; i++ {
+				rm = append(rm, ^uint32(0))
+			}
+			for i, ord := range g {
+				rm[ord-sh.liveBase] = sh.liveBase + uint32(i)
+			}
+			next := sh.liveBase + uint32(len(g))
+			for p := range rm {
+				if rm[p] == ^uint32(0) {
+					rm[p] = next
+					next++
+				}
+			}
+		}
+		v.sealRemap[s] = rm
+	}
+	remapRef := func(r uint32) uint32 {
+		s := r & (numShards - 1)
+		rm := v.sealRemap[s]
+		if len(rm) == 0 {
+			return r // shard untouched this seal
+		}
+		o := r >> shardBits
+		if o < oldBase[s] {
+			return r // already sealed
+		}
+		return rm[o-oldBase[s]]<<shardBits | s
+	}
+
+	// The scratch above is part of the set's footprint while it lives;
+	// its capacity only grows, so account the delta.
+	var sb int64
+	for s := range v.sealGroups {
+		sb += int64(cap(v.sealGroups[s]))*4 + int64(cap(v.sealRemap[s]))*4
+	}
+	if sb != v.scratchBytes {
+		v.resident.Add(sb - v.scratchBytes)
+		v.scratchBytes = sb
+		v.bumpPeak()
+	}
+
+	for s := range v.shards {
+		sh := &v.shards[s]
+		g := v.sealGroups[s]
+		liveCount := sh.ordCount - oldBase[s]
+		if liveCount == 0 {
+			continue
+		}
+		ss := &sh.sealed
+
+		// Encode the batch into the arena and quotiented index. This
+		// reads live slots, so it runs before compaction moves them.
+		arenaBefore := int64(len(ss.blob)) + int64(len(ss.restarts)*4)
+		for _, ord := range g {
+			e := sh.entryAt(ord)
+			enc := v.encOfLive(e, e.meta)
+			var pw uint64
+			if v.parentIsRef {
+				if e.meta&hasParentBit != 0 {
+					pw = uint64(remapRef(e.parent)) + 1
+				}
+			} else {
+				pw = uint64(e.parent) << 1
+				if e.meta&hasParentBit != 0 {
+					pw |= 1
+				}
+			}
+			if ss.indexNeedsGrow() {
+				added, freed := ss.indexGrow(v.parentIsRef, &v.sealDec)
+				v.resident.Add(added)
+				v.bumpPeak()
+				v.resident.Add(-freed)
+			}
+			h := hashBytes(enc)
+			ss.appendEntry(enc, pw, v.parentIsRef)
+			ss.indexInsert(uint32(h>>32), ss.count-1)
+		}
+		v.resident.Add(int64(len(ss.blob)) + int64(len(ss.restarts)*4) - arenaBefore)
+		v.bumpPeak()
+
+		// Compact survivors down to position 0 (ascending, so dest ≤
+		// src) and rewrite their parent refs into the new space —
+		// needed even in shards that sealed nothing, since parents
+		// cross shards.
+		nSurv := liveCount - uint32(len(g))
+		if len(g) > 0 {
+			rm := v.sealRemap[s]
+			sealedEnd := oldBase[s] + uint32(len(g))
+			dst := uint32(0)
+			for p := uint32(0); p < liveCount; p++ {
+				if rm[p] < sealedEnd {
+					continue // migrated to the sealed tier
+				}
+				if dst != p {
+					*sh.entryAtPos(dst) = *sh.entryAtPos(p)
+				}
+				dst++
+			}
+		}
+		if v.parentIsRef {
+			for p := uint32(0); p < nSurv; p++ {
+				e := sh.entryAtPos(p)
+				if e.meta&hasParentBit != 0 {
+					e.parent = remapRef(e.parent)
+				}
+			}
+		}
+
+		// Release entry chunks beyond the survivors' needs. Chunk 0
+		// lives in the set-wide shared backing and is never freed.
+		needChunks := 1
+		if nSurv > 0 {
+			c, _ := chunkOf(nSurv - 1)
+			needChunks = c + 1
+		}
+		for c := needChunks; c < maxEntryChunks; c++ {
+			p := sh.chunks[c].Load()
+			if p == nil {
+				break
+			}
+			v.resident.Add(-int64(len(*p)) * 32)
+			sh.chunks[c].Store(nil)
+		}
+
+		// Rebuild the live index over the survivors. Capacity replays
+		// the insert-driven growth schedule from the initial size, so
+		// it is a pure function of the survivor count — the same
+		// capacity a fresh set would reach, keeping resident bytes
+		// deterministic (and matching a checkpoint reader's replay).
+		newCells := initialIndexCells
+		for uint64(nSurv)*4 > uint64(newCells)*3 {
+			if newCells < growDoubleAt {
+				newCells *= 4
+			} else {
+				newCells *= 2
+			}
+		}
+		oldIdx := *sh.index.Load()
+		var cells []uint64
+		if len(oldIdx) == newCells {
+			cells = oldIdx
+			for i := range cells {
+				cells[i] = 0
+			}
+		} else {
+			cells = make([]uint64, newCells)
+			v.resident.Add(int64(newCells) * 8)
+			v.bumpPeak()
+			if len(oldIdx) > initialIndexCells {
+				v.resident.Add(-int64(len(oldIdx)) * 8)
+			}
+		}
+		newBase := oldBase[s] + uint32(len(g))
+		mask := uint32(newCells - 1)
+		for p := uint32(0); p < nSurv; p++ {
+			e := sh.entryAtPos(p)
+			h := hashBytes(v.encOfLive(e, e.meta))
+			i := uint32(h>>32) & mask
+			for cells[i] != 0 {
+				i = (i + 1) & mask
+			}
+			cells[i] = uint64(uint32(h>>32))<<32 | uint64(newBase+p+1)
+		}
+		sh.index.Store(&cells)
+		sh.liveBase = newBase
+	}
+
+	// Finally, rewrite every ref array the caller still holds.
+	for _, arr := range rewrite {
+		for i, r := range arr {
+			arr[i] = remapRef(r)
+		}
+	}
 }

@@ -206,6 +206,12 @@ type Options struct {
 	// and depths match the published enumeration exactly. It has no
 	// effect on models without a reduction.
 	NoReduce bool
+	// NoSeal disables the sealed visited-set tier — the oracle mode for
+	// the two-tier memory layout: every admitted state stays in a live
+	// 32-byte slot forever, as before PR 10. Results are byte-identical
+	// either way; only the resident footprint (and checkpoint format —
+	// an unsealed search writes v4 snapshots) changes.
+	NoSeal bool
 	// Stats, when non-nil, receives a summary of the completed search —
 	// throughput, allocation churn, peak frontier — from the coordinating
 	// goroutine, after the Result is final. It is observability only:
@@ -260,12 +266,25 @@ type Stats struct {
 	// everything at probeBuckets steps or more.
 	ProbeHist [8]uint64
 	// ResidentBytes is the visited set's exact resident footprint at
-	// search end (entry slabs + probe indexes + interned overflow);
-	// PeakResidentBytes is its high-water mark, including the transients
-	// where an old and a grown probe index are briefly both live. This
-	// is the number Options.MemBudget is enforced against.
+	// search end (live entry slabs + probe indexes + interned overflow +
+	// the sealed tier + seal scratch); PeakResidentBytes is its
+	// high-water mark, including the transients where an old and a grown
+	// probe index are briefly both live. This is the number
+	// Options.MemBudget is enforced against. The one deliberate
+	// approximation: sealed arena slack capacity (bounded at ~25% by its
+	// growth policy) is not counted — the counter tracks bytes in use,
+	// which is also what survives a checkpoint round trip unchanged.
 	ResidentBytes     int64
 	PeakResidentBytes int64
+	// SealedStates is the number of visited states migrated into the
+	// sealed tier (all states of levels that finished expanding, unless
+	// Options.NoSeal). SealedArenaBytes is their delta-compressed
+	// encoding arena (blob + restart offsets); SealedIndexBytes the
+	// quotiented probe index over them. Live states are
+	// States − SealedStates.
+	SealedStates     int64
+	SealedArenaBytes int64
+	SealedIndexBytes int64
 	// CheckpointRetries counts transient periodic-snapshot write
 	// failures that a bounded-backoff retry absorbed.
 	// CheckpointWriteErr is the final error of a periodic snapshot that

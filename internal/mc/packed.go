@@ -33,10 +33,20 @@ type internTable struct {
 // dedicated chunk.
 const internChunkBytes = 1 << 16
 
+// internStrBytes is the accounted per-entry overhead beyond the slab
+// bytes themselves: the string header in strs. (The index map's buckets
+// are NOT accounted — like slice-growth slack elsewhere, they are a
+// bounded multiple of what is.)
+const internStrBytes = 16
+
 // intern returns the table index for enc, the canonical stored string
 // (a stable slab view callers may retain), plus the number of bytes
 // newly retained (0 when enc was already present) so the visited set
-// can keep its resident accounting exact.
+// can keep its resident accounting exact. Slab chunks are charged at
+// their full capacity when allocated — a retired chunk's slack is real
+// resident memory (the views into it pin the whole allocation) — and
+// entries landing in an already-charged chunk add only internStrBytes,
+// so every slab byte is counted exactly once.
 func (t *internTable) intern(enc []byte) (uint32, string, int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -47,6 +57,7 @@ func (t *internTable) intern(enc []byte) (uint32, string, int64) {
 		t.index = make(map[string]uint32)
 	}
 	var s string
+	added := int64(internStrBytes)
 	if len(enc) > 0 {
 		if len(enc) > cap(t.slab)-len(t.slab) {
 			size := internChunkBytes
@@ -55,6 +66,7 @@ func (t *internTable) intern(enc []byte) (uint32, string, int64) {
 			}
 			// Retired chunks stay alive through the views into them.
 			t.slab = make([]byte, 0, size)
+			added += int64(size)
 		}
 		off := len(t.slab)
 		t.slab = append(t.slab, enc...)
@@ -63,7 +75,7 @@ func (t *internTable) intern(enc []byte) (uint32, string, int64) {
 	idx := uint32(len(t.strs))
 	t.strs = append(t.strs, s)
 	t.index[s] = idx
-	return idx, s, int64(len(s))
+	return idx, s, added
 }
 
 func (t *internTable) lookup(idx uint32) string {

@@ -108,7 +108,13 @@ func NewShardStore(maxStates int) *ShardStore {
 	if maxStates <= 0 {
 		maxStates = defaultMaxStates
 	}
-	return &ShardStore{v: newVisitedSet(maxStates)}
+	s := &ShardStore{v: newVisitedSet(maxStates)}
+	// Parents here are intern-table indexes, not refs: the sealed tier
+	// must store them as fixed-width words (their values depend on mesh
+	// arrival order, so delta-coding them would make arena *sizes* racy)
+	// and must never rewrite them at a seal.
+	s.v.parentIsRef = false
+	return s
 }
 
 // Claim tries to admit enc under key, recording parentEnc (when
@@ -158,25 +164,42 @@ func (s *ShardStore) DrainLevel() ([]uint32, []uint64) {
 	return refs, keys
 }
 
-// BytesOf returns the encoding of an admitted state. The slice aliases
-// the store's stable entry log.
+// BytesOf returns the encoding of an admitted state. For a live state
+// the slice aliases the store's entry log; a sealed state decodes into
+// a fresh allocation.
 func (s *ShardStore) BytesOf(ref uint32) []byte { return s.v.bytesOf(ref) }
+
+// SealLevel migrates refs — a fully-expanded level's states, in the
+// order DrainLevel returned them (deterministic final-key order, so
+// every worker count builds identical arenas) — into the sealed tier,
+// and rewrites the live ref arrays passed as rewrite (the worker's
+// current frontier, typically) plus any refs claimed since the last
+// drain to the post-seal ordinal space. Must only be called at a level
+// barrier, after the sealed level can no longer be re-keyed: its
+// successors' level has fully drained.
+func (s *ShardStore) SealLevel(refs []uint32, rewrite ...[]uint32) {
+	if len(s.claimed) > 0 {
+		rewrite = append(rewrite, s.claimed)
+	}
+	s.v.seal(refs, rewrite...)
+}
 
 // KeyOf returns the state's current (winning) claim key.
 func (s *ShardStore) KeyOf(ref uint32) uint64 { return s.v.keyOf(ref) }
 
 // ParentOf resolves a state's trace parent by encoding. found reports
-// whether enc is admitted at all; hasParent distinguishes roots.
+// whether enc is admitted at all; hasParent distinguishes roots. Works
+// for both tiers — trace queries reach arbitrarily old levels.
 func (s *ShardStore) ParentOf(enc []byte) (parent State, hasParent, found bool) {
 	ref, ok := s.v.find(enc, hashBytes(enc))
 	if !ok {
 		return "", false, false
 	}
-	e := s.v.entryOf(ref)
-	if _, has := s.v.parentOf(ref); !has {
+	ps, has := s.parentStringOf(ref)
+	if !has {
 		return "", false, true
 	}
-	return State(s.v.overflow.lookup(e.parent)), true, true
+	return State(ps), true, true
 }
 
 // Count returns the number of admitted states.
@@ -207,9 +230,8 @@ func (s *ShardStore) Snapshot(depth int32, reduced bool, fingerprint uint64, fro
 		for o := uint32(0); o < sh.ordCount; o++ {
 			ref := makeRef(uint32(si), o)
 			e := VisitedEntry{State: v.stateOf(ref)}
-			ent := v.entryOf(ref)
-			if _, has := v.parentOf(ref); has {
-				e.Parent = State(v.overflow.lookup(ent.parent))
+			if ps, has := s.parentStringOf(ref); has {
+				e.Parent = State(ps)
 				e.HasParent = true
 			}
 			cp.Visited = append(cp.Visited, e)
@@ -237,7 +259,7 @@ func (s *ShardStore) Snapshot(depth int32, reduced bool, fingerprint uint64, fro
 func (s *ShardStore) WriteDelta(path string, depth int32, reduced bool, fingerprint uint64, levelRefs, frontier []uint32) error {
 	v := s.v
 	refs := levelRefs
-	return writeCheckpointFile(path, func(w *cpWriter) {
+	return writeCheckpointFile(path, checkpointVersion, func(w *cpWriter) {
 		w.uvarint(uint64(uint32(depth)))
 		w.uvarint(0) // ResultDepth: deltas never carry a verdict
 		w.uvarint(0) // Transitions: priced by the coordinator's ledger
@@ -266,13 +288,14 @@ func (s *ShardStore) WriteDelta(path string, depth int32, reduced bool, fingerpr
 }
 
 // parentStringOf resolves an admitted state's interned parent encoding
-// without copying it.
+// without copying it. The parent word is internIdx<<1 | hasParent in
+// both tiers (parentIsRef == false here).
 func (s *ShardStore) parentStringOf(ref uint32) (string, bool) {
-	if _, has := s.v.parentOf(ref); !has {
+	pw := s.v.parentWordOf(ref)
+	if pw&1 == 0 {
 		return "", false
 	}
-	e := s.v.entryOf(ref)
-	return s.v.overflow.lookup(e.parent), true
+	return s.v.overflow.lookup(uint32(pw >> 1)), true
 }
 
 // Restore loads a snapshot into an empty store and returns the saved
@@ -297,7 +320,7 @@ func (s *ShardStore) Restore(cp *Checkpoint) ([]uint32, error) {
 			parent = idx
 		}
 		enc := []byte(e.State)
-		st, _ := v.claim(enc, hashBytes(enc), parent, 0, e.HasParent, 1, nil)
+		st, _ := v.claim(enc, hashBytes(enc), parent, 0, e.HasParent, 1, &s.pc)
 		if st != claimNew {
 			return nil, fmt.Errorf("%w: duplicate visited state", ErrCheckpointCorrupt)
 		}
@@ -321,7 +344,37 @@ func (s *ShardStore) Restore(cp *Checkpoint) ([]uint32, error) {
 // surviving worker absorbs a dead worker's slice. The incoming shards
 // must be disjoint from the store's current contents.
 func (s *ShardStore) Merge(cp *Checkpoint) ([]uint32, error) {
+	if _, err := s.mergeClaims(cp); err != nil {
+		return nil, err
+	}
+	return s.frontierRefs(cp)
+}
+
+// MergeSealed is Merge for a sealed-tier store: the snapshot's visited
+// states are claimed and then migrated straight to the sealed tier.
+// Restored entries claim with key 0 — below every level base a running
+// search can mint — so they can never be re-keyed and owe no live
+// residency. The seal compacts the store's surviving live entries, so
+// every ref array the caller holds across the call must be passed as
+// rewrite (the store's own pending-drain list is rewritten implicitly).
+// The returned frontier refs address the sealed tier and remain valid
+// inputs to BytesOf and expansion.
+func (s *ShardStore) MergeSealed(cp *Checkpoint, rewrite ...[]uint32) ([]uint32, error) {
+	refs, err := s.mergeClaims(cp)
+	if err != nil {
+		return nil, err
+	}
+	if len(refs) > 0 {
+		s.SealLevel(refs, rewrite...)
+	}
+	return s.frontierRefs(cp)
+}
+
+// mergeClaims claims every visited entry of the snapshot, returning the
+// admitted refs in snapshot order.
+func (s *ShardStore) mergeClaims(cp *Checkpoint) ([]uint32, error) {
 	v := s.v
+	refs := make([]uint32, 0, len(cp.Visited))
 	for _, e := range cp.Visited {
 		parent := uint32(0)
 		if e.HasParent {
@@ -332,9 +385,10 @@ func (s *ShardStore) Merge(cp *Checkpoint) ([]uint32, error) {
 			parent = idx
 		}
 		enc := []byte(e.State)
-		st, _ := v.claim(enc, hashBytes(enc), parent, 0, e.HasParent, 1, nil)
+		st, ref := v.claim(enc, hashBytes(enc), parent, 0, e.HasParent, 1, &s.pc)
 		switch st {
 		case claimNew:
+			refs = append(refs, ref)
 		case claimFull:
 			return nil, fmt.Errorf("mc: merge over the %d-state budget: %w", v.max, ErrStateLimit)
 		default:
@@ -342,6 +396,13 @@ func (s *ShardStore) Merge(cp *Checkpoint) ([]uint32, error) {
 		}
 	}
 	v.bumpPeak()
+	return refs, nil
+}
+
+// frontierRefs resolves the snapshot's frontier states to refs in the
+// store's current ordinal space.
+func (s *ShardStore) frontierRefs(cp *Checkpoint) ([]uint32, error) {
+	v := s.v
 	frontier := make([]uint32, len(cp.Frontier))
 	for i, st := range cp.Frontier {
 		enc := []byte(st)

@@ -5,14 +5,14 @@
 # at a previous report, also emits a regression comparison against it.
 #
 # Usage:
-#   scripts/bench.sh                 # full suite -> BENCH_pr9.json
+#   scripts/bench.sh                 # full suite -> BENCH_pr10.json
 #   BENCH_FILTER='E1|Throughput' BENCHTIME=1x scripts/bench.sh  # CI smoke
-#   BENCH_BASELINE=BENCH_pr8.json BENCH_FAIL_ABOVE=2.0 scripts/bench.sh
+#   BENCH_BASELINE=BENCH_pr9.json BENCH_FAIL_ABOVE=2.0 scripts/bench.sh
 #
 # Environment:
 #   BENCH_FILTER      -bench regexp        (default: all top-level benches)
 #   BENCHTIME         -benchtime value     (default: 1x — each bench once)
-#   BENCH_OUT         output JSON path     (default: BENCH_pr9.json)
+#   BENCH_OUT         output JSON path     (default: BENCH_pr10.json)
 #   BENCH_COUNT       -count value         (default: 1)
 #   BENCH_BASELINE    old JSON to compare against (default: none)
 #   BENCH_FAIL_ABOVE  fail if any new/old ratio exceeds this (default: 0 = report only)
@@ -23,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 BENCH_FILTER=${BENCH_FILTER:-.}
 BENCHTIME=${BENCHTIME:-1x}
-BENCH_OUT=${BENCH_OUT:-BENCH_pr9.json}
+BENCH_OUT=${BENCH_OUT:-BENCH_pr10.json}
 BENCH_COUNT=${BENCH_COUNT:-1}
 BENCH_BASELINE=${BENCH_BASELINE:-}
 BENCH_FAIL_ABOVE=${BENCH_FAIL_ABOVE:-0}
